@@ -1,0 +1,142 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//   1. Gray order vs lexicographic vs unsorted H-Build (Proposition 2).
+//   2. H-Build window size (structure + search cost trade-off).
+//   3. Leafful vs leafless DHA memory (the Option A/B broadcast choice).
+//   4. Static HA-Index segment width.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "index/dynamic_ha_index.h"
+#include "index/static_ha_index.h"
+#include "ops/operators.h"
+
+namespace hamming::bench {
+namespace {
+
+void SortModeAblation(const PreparedDataset& ds) {
+  std::printf("\n[1] H-Build sort order (n=%zu, h=3)\n", ds.codes.size());
+  std::printf("%-16s %12s %12s %12s %12s\n", "order", "build(ms)",
+              "query(ms)", "internal", "edges");
+  std::printf("%s\n", Separator());
+  struct ModeRow {
+    const char* name;
+    BuildSortMode mode;
+  };
+  for (const auto& m :
+       {ModeRow{"gray", BuildSortMode::kGray},
+        ModeRow{"lexicographic", BuildSortMode::kLexicographic},
+        ModeRow{"unsorted", BuildSortMode::kNone}}) {
+    DynamicHAIndexOptions opts;
+    opts.sort_mode = m.mode;
+    DynamicHAIndex index(opts);
+    Stopwatch watch;
+    (void)index.Build(ds.codes);
+    double build_ms = watch.ElapsedMillis();
+    double query_ms = MeasureQueryMillis(index, ds.query_codes, 3);
+    auto stats = index.Stats();
+    std::printf("%-16s %12.2f %12.4f %12zu %12zu\n", m.name, build_ms,
+                query_ms, stats.num_internal_nodes, stats.num_edges);
+  }
+}
+
+void WindowAblation(const PreparedDataset& ds) {
+  std::printf("\n[2] H-Build window size (n=%zu, h=3)\n", ds.codes.size());
+  std::printf("%-8s %12s %12s %12s %12s\n", "window", "build(ms)",
+              "query(ms)", "internal", "leaves");
+  std::printf("%s\n", Separator());
+  for (std::size_t w : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    DynamicHAIndexOptions opts;
+    opts.window = w;
+    DynamicHAIndex index(opts);
+    Stopwatch watch;
+    (void)index.Build(ds.codes);
+    double build_ms = watch.ElapsedMillis();
+    double query_ms = MeasureQueryMillis(index, ds.query_codes, 3);
+    auto stats = index.Stats();
+    std::printf("%-8zu %12.2f %12.4f %12zu %12zu\n", w, build_ms, query_ms,
+                stats.num_internal_nodes, stats.num_leaves);
+  }
+}
+
+void LeafAblation(const PreparedDataset& ds) {
+  std::printf("\n[3] leafful vs leafless DHA memory (n=%zu)\n",
+              ds.codes.size());
+  std::printf("%-10s %16s %16s %16s\n", "variant", "total", "internal",
+              "leaf");
+  std::printf("%s\n", Separator());
+  for (bool leaves : {true, false}) {
+    DynamicHAIndexOptions opts;
+    opts.store_tuple_ids = leaves;
+    DynamicHAIndex index(opts);
+    (void)index.Build(ds.codes);
+    auto mem = index.Memory();
+    std::printf("%-10s %16s %16s %16s\n", leaves ? "leafful" : "leafless",
+                FormatBytes(mem.total()).c_str(),
+                FormatBytes(mem.internal_bytes).c_str(),
+                FormatBytes(mem.leaf_bytes).c_str());
+  }
+}
+
+void SegmentAblation(const PreparedDataset& ds) {
+  std::printf("\n[4] SHA-Index segment width (n=%zu, h=3)\n",
+              ds.codes.size());
+  std::printf("%-10s %12s %12s %14s\n", "seg bits", "build(ms)",
+              "query(ms)", "shared nodes");
+  std::printf("%s\n", Separator());
+  for (std::size_t seg : {2u, 4u, 8u, 16u}) {
+    StaticHAIndex index(StaticHAIndexOptions{seg});
+    Stopwatch watch;
+    (void)index.Build(ds.codes);
+    double build_ms = watch.ElapsedMillis();
+    double query_ms = MeasureQueryMillis(index, ds.query_codes, 3);
+    std::printf("%-10zu %12.2f %12.4f %14zu\n", seg, build_ms, query_ms,
+                index.NodeCount());
+  }
+}
+
+void JoinPlanAblation(const PreparedDataset& ds) {
+  // Self-join over a prefix of the dataset with each physical plan.
+  std::printf("\n[5] centralized join plan (self-join n=%zu, h=3)\n",
+              std::min<std::size_t>(ds.codes.size(), 8000));
+  std::printf("%-14s %14s %14s\n", "plan", "time(ms)", "pairs");
+  std::printf("%s\n", Separator());
+  std::vector<BinaryCode> subset(
+      ds.codes.begin(),
+      ds.codes.begin() + std::min<std::size_t>(ds.codes.size(), 8000));
+  auto table = HammingTable::FromCodes(subset).ValueOrDie();
+  struct PlanRow {
+    const char* name;
+    ops::JoinPlan plan;
+  };
+  for (const auto& p :
+       {PlanRow{"nested-loops", ops::JoinPlan::kNestedLoops},
+        PlanRow{"index-probe", ops::JoinPlan::kIndexProbe},
+        PlanRow{"dual-tree", ops::JoinPlan::kDualTree}}) {
+    ops::OperatorOptions opts;
+    opts.plan = p.plan;
+    Stopwatch watch;
+    auto pairs = ops::HammingJoin(table, table, 3, opts);
+    double ms = watch.ElapsedMillis();
+    std::printf("%-14s %14.1f %14zu\n", p.name, ms,
+                pairs.ok() ? pairs->size() : 0);
+  }
+}
+
+}  // namespace
+}  // namespace hamming::bench
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);  // keep progress visible when piped
+  auto args = hamming::bench::BenchArgs::Parse(argc, argv);
+  std::printf("=== Ablations: HA-Index design choices (scale %.2f) ===\n",
+              args.scale);
+  auto ds = hamming::bench::Prepare(hamming::DatasetKind::kNusWide,
+                                    args.Scaled(20000), 100,
+                                    /*code_bits=*/32);
+  hamming::bench::SortModeAblation(ds);
+  hamming::bench::WindowAblation(ds);
+  hamming::bench::LeafAblation(ds);
+  hamming::bench::SegmentAblation(ds);
+  hamming::bench::JoinPlanAblation(ds);
+  return 0;
+}

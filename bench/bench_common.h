@@ -1,0 +1,131 @@
+// Shared plumbing for the per-table / per-figure benchmark harnesses.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// Section 6 at a laptop-friendly default scale; pass --scale=<f> to grow
+// the workloads toward paper scale (absolute numbers will differ from
+// the authors' 2007-era Xeon cluster; the *shapes* are the reproduction
+// target — see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "dataset/generators.h"
+#include "hashing/spectral_hashing.h"
+#include "index/hamming_index.h"
+
+namespace hamming::bench {
+
+/// \brief Parses --scale=<double> and --quick from argv (default 1.0).
+struct BenchArgs {
+  double scale = 1.0;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+        args.scale = std::atof(argv[i] + 8);
+        if (args.scale <= 0) args.scale = 1.0;
+      } else if (std::strcmp(argv[i], "--quick") == 0) {
+        args.scale = 0.25;
+      }
+    }
+    return args;
+  }
+
+  std::size_t Scaled(std::size_t base) const {
+    auto n = static_cast<std::size_t>(static_cast<double>(base) * scale);
+    return n < 16 ? 16 : n;
+  }
+};
+
+/// \brief A dataset prepared for Hamming experiments: raw features, a
+/// trained Spectral Hashing model, and the binary codes of every tuple
+/// and query.
+struct PreparedDataset {
+  DatasetKind kind;
+  FloatMatrix data;
+  FloatMatrix queries;
+  std::unique_ptr<SpectralHashing> hash;
+  std::vector<BinaryCode> codes;
+  std::vector<BinaryCode> query_codes;
+  double hash_train_seconds = 0.0;
+};
+
+/// \brief Generates `n` tuples + `nq` queries of `kind`, trains Spectral
+/// Hashing on a sample, and hashes everything to `code_bits`-bit codes.
+inline PreparedDataset Prepare(DatasetKind kind, std::size_t n,
+                               std::size_t nq, std::size_t code_bits,
+                               uint64_t seed = 42) {
+  PreparedDataset out;
+  out.kind = kind;
+  GeneratorOptions gopts;
+  gopts.seed = seed;
+  // Richer visual vocabulary + more within-theme variation than the
+  // generator defaults: real photo collections do not collapse onto a
+  // handful of identical codes, and hash-bucket selectivity (which the
+  // MH/HEngine baselines live on) depends on that dispersion.
+  gopts.num_clusters = 256;
+  gopts.cluster_spread = 0.35;
+  out.data = GenerateDataset(kind, n, gopts);
+  out.queries = GenerateQueries(kind, nq, gopts);
+
+  // Train on a capped sample: covariance + Jacobi on d x d is the fixed
+  // cost; the sample size only affects estimate quality.
+  std::size_t train_n = n < 2000 ? n : 2000;
+  FloatMatrix sample(train_n, out.data.cols());
+  for (std::size_t i = 0; i < train_n; ++i) {
+    auto src = out.data.Row(i * (n / train_n));
+    std::copy(src.begin(), src.end(), sample.MutableRow(i).begin());
+  }
+  SpectralHashingOptions hopts;
+  hopts.code_bits = code_bits;
+  Stopwatch watch;
+  out.hash = SpectralHashing::Train(sample, hopts).ValueOrDie();
+  out.hash_train_seconds = watch.ElapsedSeconds();
+  out.codes = out.hash->HashAll(out.data);
+  out.query_codes = out.hash->HashAll(out.queries);
+  return out;
+}
+
+/// \brief Average per-query H-Search latency in milliseconds.
+inline double MeasureQueryMillis(const HammingIndex& index,
+                                 const std::vector<BinaryCode>& queries,
+                                 std::size_t h) {
+  Stopwatch watch;
+  std::size_t sink = 0;
+  for (const auto& q : queries) {
+    auto got = index.Search(q, h);
+    if (got.ok()) sink += got->size();
+  }
+  double ms = watch.ElapsedMillis() / static_cast<double>(queries.size());
+  // Defeat dead-code elimination.
+  if (sink == static_cast<std::size_t>(-1)) std::printf("impossible\n");
+  return ms;
+}
+
+/// \brief Average delete-one + insert-one latency in milliseconds
+/// (Table 4's "update time").
+inline double MeasureUpdateMillis(HammingIndex* index,
+                                  const std::vector<BinaryCode>& codes,
+                                  std::size_t rounds = 50) {
+  Stopwatch watch;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    TupleId id = static_cast<TupleId>((r * 7919) % codes.size());
+    (void)index->Delete(id, codes[id]);
+    (void)index->Insert(id, codes[id]);
+  }
+  return watch.ElapsedMillis() / static_cast<double>(rounds);
+}
+
+inline const char* Separator() {
+  return "------------------------------------------------------------"
+         "--------------------";
+}
+
+}  // namespace hamming::bench

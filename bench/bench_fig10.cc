@@ -1,0 +1,86 @@
+// Reproduces Figure 10: effect of the preprocessing sample size on (a)
+// the per-phase Hamming-join time and (b) the precision/recall of the
+// approximate kNN-join against the exact in-space kNN-join. The paper's
+// observations: more sampling improves partition balance (and hence
+// build/join time) while hash learning dominates preprocessing; precision
+// and recall improve moderately with sample size, and recall stays low
+// (binary codes are a lossy proxy for the metric space).
+#include <cstdio>
+
+#include <set>
+
+#include "bench_common.h"
+#include "knn/exact_knn.h"
+#include "mrjoin/mrha.h"
+
+namespace hamming::bench {
+namespace {
+
+using namespace hamming::mrjoin;  // NOLINT(build/namespaces)
+
+void Run(DatasetKind kind, std::size_t n, std::size_t knn_k) {
+  GeneratorOptions gopts;
+  auto data = GenerateDataset(kind, n, gopts);
+
+  // Exact kNN-join ground truth (quadratic; sized accordingly).
+  auto exact = ExactKnnJoin(data, data, knn_k);
+  std::set<std::pair<TupleId, TupleId>> truth;
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    for (const auto& nb : exact[i]) {
+      truth.emplace(static_cast<TupleId>(i), static_cast<TupleId>(nb.id));
+    }
+  }
+
+  std::printf("\n(%s) n=%zu, h=3, k=%zu — phases (s) and join quality vs "
+              "sampling percentage\n", DatasetKindName(kind), n, knn_k);
+  std::printf("%-8s %10s %10s %10s %10s %10s %11s %8s\n", "sample%",
+              "sampling", "learnhash", "pivots", "build", "join",
+              "precision", "recall");
+  std::printf("%s\n", Separator());
+
+  for (double pct : {0.05, 0.10, 0.15, 0.20, 0.25, 0.30}) {
+    mr::Cluster cluster({16, 4, 0});
+    MrhaOptions opts;
+    opts.num_partitions = 16;
+    opts.sample_rate = pct;
+    opts.h = 3;
+    auto result = RunMrhaJoin(data, data, opts, &cluster);
+    if (!result.ok()) {
+      std::printf("%-8.2f failed: %s\n", pct,
+                  result.status().ToString().c_str());
+      continue;
+    }
+    // Join quality: the Hamming-join pairs as an approximation of the
+    // exact kNN-join pair set.
+    std::size_t hit = 0;
+    std::set<std::pair<TupleId, TupleId>> produced;
+    for (const auto& p : result->pairs) produced.emplace(p.r, p.s);
+    for (const auto& p : produced) {
+      if (truth.count(p)) ++hit;
+    }
+    double precision =
+        produced.empty() ? 0.0
+                         : static_cast<double>(hit) /
+                               static_cast<double>(produced.size());
+    double recall = truth.empty() ? 0.0
+                                  : static_cast<double>(hit) /
+                                        static_cast<double>(truth.size());
+    const auto& t = result->phase_seconds;
+    std::printf("%-8.2f %10.3f %10.3f %10.3f %10.3f %10.3f %11.3f %8.3f\n",
+                pct, t.sampling, t.learn_hash, t.pivot_selection,
+                t.index_build, t.join, precision, recall);
+  }
+}
+
+}  // namespace
+}  // namespace hamming::bench
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);  // keep progress visible when piped
+  auto args = hamming::bench::BenchArgs::Parse(argc, argv);
+  std::printf("=== Figure 10: effect of data sampling on Hamming-join "
+              "phases and quality (scale %.2f) ===\n", args.scale);
+  hamming::bench::Run(hamming::DatasetKind::kNusWide, args.Scaled(2000),
+                      /*knn_k=*/50);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Figure 6: effect of the Hamming-distance threshold h on
+// Hamming-select query time, per dataset, for all methods. The paper's
+// observation: MH and HEngine degrade steeply with h, the HA-Index
+// variants grow slowly because the search terminates early in upper
+// index levels.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "index/dynamic_ha_index.h"
+#include "index/hengine.h"
+#include "index/linear_scan.h"
+#include "index/multi_hash_table.h"
+#include "index/radix_tree.h"
+#include "index/static_ha_index.h"
+
+namespace hamming::bench {
+namespace {
+
+void RunDataset(DatasetKind kind, std::size_t n, std::size_t nq) {
+  PreparedDataset ds = Prepare(kind, n, nq, /*code_bits=*/32);
+  const std::size_t max_h = 6;
+
+  std::printf("\n(%s)  n=%zu, L=32 — avg query ms vs threshold h\n",
+              DatasetKindName(kind), n);
+  std::printf("%-14s", "method");
+  for (std::size_t h = 1; h <= max_h; ++h) std::printf(" %10s%zu", "h=", h);
+  std::printf("\n%s\n", Separator());
+
+  struct Row {
+    const char* name;
+    std::unique_ptr<HammingIndex> index;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"Nested-Loops", std::make_unique<LinearScanIndex>()});
+  rows.push_back({"MH-4", std::make_unique<MultiHashTableIndex>(4)});
+  rows.push_back({"MH-10", std::make_unique<MultiHashTableIndex>(10)});
+  rows.push_back({"HEngine", std::make_unique<HEngineIndex>(max_h)});
+  rows.push_back({"Radix-Tree", std::make_unique<RadixTreeIndex>()});
+  rows.push_back({"SHA-Index", std::make_unique<StaticHAIndex>(
+                                   StaticHAIndexOptions{8})});
+  rows.push_back({"DHA-Index", std::make_unique<DynamicHAIndex>()});
+
+  for (auto& row : rows) {
+    Status st = row.index->Build(ds.codes);
+    std::printf("%-14s", row.name);
+    if (!st.ok()) {
+      std::printf("  build failed: %s\n", st.ToString().c_str());
+      continue;
+    }
+    for (std::size_t h = 1; h <= max_h; ++h) {
+      std::printf(" %11.4f",
+                  MeasureQueryMillis(*row.index, ds.query_codes, h));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace hamming::bench
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);  // keep progress visible when piped
+  auto args = hamming::bench::BenchArgs::Parse(argc, argv);
+  std::printf("=== Figure 6: query time vs Hamming threshold (scale %.2f) "
+              "===\n", args.scale);
+  const std::size_t nq = 100;
+  hamming::bench::RunDataset(hamming::DatasetKind::kNusWide,
+                             args.Scaled(20000), nq);
+  hamming::bench::RunDataset(hamming::DatasetKind::kFlickr,
+                             args.Scaled(20000), nq);
+  hamming::bench::RunDataset(hamming::DatasetKind::kDbpedia,
+                             args.Scaled(20000), nq);
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Reproduces Figure 7: MapReduce shuffle cost (log scale in the paper)
+// vs data size (x5..x25 of the base) for PGBJ, PMH-10, MRHA-Index-A and
+// MRHA-Index-B on the three datasets. Expected shape: PGBJ's replicated
+// d-dimensional shuffle is 1-2 orders of magnitude above the hash-based
+// plans; MRHA's index broadcast undercuts PMH's replicated-table
+// broadcast; Option B ships less than Option A.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dataset/scale.h"
+#include "mrjoin/mrha.h"
+#include "mrjoin/pgbj.h"
+#include "mrjoin/pmh.h"
+
+namespace hamming::bench {
+namespace {
+
+using namespace hamming::mrjoin;  // NOLINT(build/namespaces)
+
+struct ShuffleRow {
+  std::size_t scale_factor;
+  double pgbj_mb;
+  double pmh_mb;
+  double mrha_a_mb;
+  double mrha_b_mb;
+};
+
+double Mb(int64_t bytes) { return static_cast<double>(bytes) / (1 << 20); }
+
+void RunDataset(DatasetKind kind, std::size_t base_n,
+                const std::vector<std::size_t>& factors, std::size_t knn_k) {
+  GeneratorOptions gopts;
+  auto base = GenerateDataset(kind, base_n, gopts);
+  // The hash is learned once per dataset (the paper re-learns it only
+  // when enough new data arrives) and shared by every plan/scale point,
+  // so the sweep measures join work, not repeated Jacobi decompositions.
+  SpectralHashingOptions hopts;
+  hopts.code_bits = 32;
+  std::shared_ptr<const SpectralHashing> hash(
+      SpectralHashing::Train(base, hopts).ValueOrDie().release());
+
+  std::printf("\n(%s)  base n=%zu, self-join workload, h=3, k=%zu\n",
+              DatasetKindName(kind), base_n, knn_k);
+  std::printf("%-8s %12s %12s %14s %14s\n", "size(x)", "PGBJ(MB)",
+              "PMH-10(MB)", "MRHA-A(MB)", "MRHA-B(MB)");
+  std::printf("%s\n", Separator());
+
+  for (std::size_t f : factors) {
+    FloatMatrix data = ScaleDataset(base, f);
+    ShuffleRow row{f, 0, 0, 0, 0};
+
+    {
+      mr::Cluster cluster({16, 4, 0});
+      PgbjOptions opts;
+      opts.num_partitions = 16;
+      opts.k = knn_k;
+      auto r = RunPgbjJoin(data, data, opts, &cluster);
+      if (r.ok()) row.pgbj_mb = Mb(r->shuffle_bytes + r->broadcast_bytes);
+    }
+    {
+      mr::Cluster cluster({16, 4, 0});
+      PmhOptions opts;
+      opts.num_partitions = 16;
+      opts.num_tables = 10;
+      opts.pretrained = hash;
+      auto r = RunPmhJoin(data, data, opts, &cluster);
+      if (r.ok()) row.pmh_mb = Mb(r->shuffle_bytes + r->broadcast_bytes);
+    }
+    {
+      mr::Cluster cluster({16, 4, 0});
+      MrhaOptions opts;
+      opts.num_partitions = 16;
+      opts.option = MrhaOption::kA;
+      opts.pretrained = hash;
+      auto r = RunMrhaJoin(data, data, opts, &cluster);
+      if (r.ok()) row.mrha_a_mb = Mb(r->shuffle_bytes + r->broadcast_bytes);
+    }
+    {
+      mr::Cluster cluster({16, 4, 0});
+      MrhaOptions opts;
+      opts.num_partitions = 16;
+      opts.option = MrhaOption::kB;
+      opts.pretrained = hash;
+      auto r = RunMrhaJoin(data, data, opts, &cluster);
+      if (r.ok()) row.mrha_b_mb = Mb(r->shuffle_bytes + r->broadcast_bytes);
+    }
+    std::printf("%-8zu %12.3f %12.3f %14.3f %14.3f\n", row.scale_factor,
+                row.pgbj_mb, row.pmh_mb, row.mrha_a_mb, row.mrha_b_mb);
+  }
+}
+
+}  // namespace
+}  // namespace hamming::bench
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);  // keep progress visible when piped
+  auto args = hamming::bench::BenchArgs::Parse(argc, argv);
+  std::printf("=== Figure 7: shuffle cost of Hamming-join / kNN-join plans "
+              "(scale %.2f) ===\n", args.scale);
+  std::vector<std::size_t> factors{5, 10, 15, 20, 25};
+  hamming::bench::RunDataset(hamming::DatasetKind::kNusWide,
+                             args.Scaled(300), factors, /*knn_k=*/10);
+  hamming::bench::RunDataset(hamming::DatasetKind::kFlickr,
+                             args.Scaled(200), factors, /*knn_k=*/10);
+  hamming::bench::RunDataset(hamming::DatasetKind::kDbpedia,
+                             args.Scaled(300), factors, /*knn_k=*/10);
+  return 0;
+}

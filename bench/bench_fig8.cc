@@ -1,0 +1,70 @@
+// Reproduces Figure 8: Dynamic HA-Index build time (a) and query
+// processing time (b) as the H-Build window length varies (normalized by
+// dataset size, 0.005 - 0.04), for index depths 4-7. The paper's
+// observations: build time grows with window size and shrinks with
+// smaller depth; query time grows slowly (<10% across a 4x window
+// increase) — the index is not sensitive to these parameters.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "index/dynamic_ha_index.h"
+
+namespace hamming::bench {
+namespace {
+
+void Run(std::size_t n, std::size_t nq) {
+  PreparedDataset ds =
+      Prepare(DatasetKind::kNusWide, n, nq, /*code_bits=*/32);
+  const double window_fractions[] = {0.005, 0.01, 0.015, 0.02,
+                                     0.025, 0.03, 0.035, 0.04};
+  const std::size_t depths[] = {4, 5, 6, 7};
+
+  std::printf("\n(a) H-Build time (ms), n=%zu (NUS-WIDE)\n", n);
+  std::printf("%-10s", "win/n");
+  for (std::size_t d : depths) std::printf("   depth=%zu", d);
+  std::printf("\n%s\n", Separator());
+  // Keep the built indexes for phase (b).
+  std::vector<std::vector<DynamicHAIndex>> built(
+      std::size(window_fractions));
+  for (std::size_t wi = 0; wi < std::size(window_fractions); ++wi) {
+    std::printf("%-10.3f", window_fractions[wi]);
+    for (std::size_t d : depths) {
+      DynamicHAIndexOptions opts;
+      opts.window = std::max<std::size_t>(
+          2, static_cast<std::size_t>(window_fractions[wi] *
+                                      static_cast<double>(n)));
+      opts.max_depth = d;
+      DynamicHAIndex index(opts);
+      Stopwatch watch;
+      (void)index.Build(ds.codes);
+      std::printf(" %9.2f", watch.ElapsedMillis());
+      built[wi].push_back(std::move(index));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(b) query time (ms), h=3\n");
+  std::printf("%-10s", "win/n");
+  for (std::size_t d : depths) std::printf("   depth=%zu", d);
+  std::printf("\n%s\n", Separator());
+  for (std::size_t wi = 0; wi < std::size(window_fractions); ++wi) {
+    std::printf("%-10.3f", window_fractions[wi]);
+    for (std::size_t di = 0; di < std::size(depths); ++di) {
+      std::printf(" %9.4f",
+                  MeasureQueryMillis(built[wi][di], ds.query_codes, 3));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace hamming::bench
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);  // keep progress visible when piped
+  auto args = hamming::bench::BenchArgs::Parse(argc, argv);
+  std::printf("=== Figure 8: DHA-Index build/query time vs window length "
+              "and depth (scale %.2f) ===\n", args.scale);
+  hamming::bench::Run(args.Scaled(20000), 100);
+  return 0;
+}

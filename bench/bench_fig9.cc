@@ -1,0 +1,126 @@
+// Reproduces Figure 9: MapReduce join running time vs data size
+// (x5..x25) for PGBJ, PMH-10, MRHA-Index-A and MRHA-Index-B. Expected
+// shape: PGBJ grows super-linearly (the exact in-space kNN join), the
+// hash-based plans stay near-linear, and the MRHA plans beat PMH-10.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "dataset/scale.h"
+#include "mrjoin/mrha.h"
+#include "mrjoin/pgbj.h"
+#include "mrjoin/pmh.h"
+
+namespace hamming::bench {
+namespace {
+
+using namespace hamming::mrjoin;  // NOLINT(build/namespaces)
+
+// The in-process runtime executes map/reduce work on real threads but
+// moves shuffle/broadcast bytes through memory. A Hadoop 0.22 cluster
+// pays disk + network for every one of those bytes; its effective
+// end-to-end shuffle throughput is on the order of 10 MB/s per job
+// (spill, sort, fetch, merge). Running time here is therefore measured
+// compute time plus that modeled data-movement time, which is what makes
+// the plans' byte footprints (Figure 7) show up in Figure 9 exactly as
+// they do on a real cluster.
+constexpr double kEffectiveShuffleMBps = 10.0;
+
+double ModeledSeconds(double wall_s, int64_t moved_bytes) {
+  return wall_s + static_cast<double>(moved_bytes) /
+                      (kEffectiveShuffleMBps * 1048576.0);
+}
+
+void RunDataset(DatasetKind kind, std::size_t base_n,
+                const std::vector<std::size_t>& factors, std::size_t knn_k) {
+  GeneratorOptions gopts;
+  auto base = GenerateDataset(kind, base_n, gopts);
+  // The hash is learned once per dataset (the paper re-learns it only
+  // when enough new data arrives) and shared by every plan/scale point,
+  // so the sweep measures join work, not repeated Jacobi decompositions.
+  SpectralHashingOptions hopts;
+  hopts.code_bits = 32;
+  std::shared_ptr<const SpectralHashing> hash(
+      SpectralHashing::Train(base, hopts).ValueOrDie().release());
+
+  std::printf("\n(%s)  base n=%zu, self-join workload, h=3, k=%zu\n",
+              DatasetKindName(kind), base_n, knn_k);
+  std::printf("%-8s %12s %12s %14s %14s\n", "size(x)", "PGBJ(s)",
+              "PMH-10(s)", "MRHA-A(s)", "MRHA-B(s)");
+  std::printf("%s\n", Separator());
+
+  for (std::size_t f : factors) {
+    FloatMatrix data = ScaleDataset(base, f);
+    double pgbj_s = 0, pmh_s = 0, a_s = 0, b_s = 0;
+    {
+      mr::Cluster cluster({16, 4, 0});
+      PgbjOptions opts;
+      opts.num_partitions = 16;
+      opts.k = knn_k;
+      Stopwatch w;
+      auto r = RunPgbjJoin(data, data, opts, &cluster);
+      if (r.ok()) {
+        pgbj_s = ModeledSeconds(w.ElapsedSeconds(),
+                                r->shuffle_bytes + r->broadcast_bytes);
+      }
+    }
+    {
+      mr::Cluster cluster({16, 4, 0});
+      PmhOptions opts;
+      opts.num_partitions = 16;
+      opts.num_tables = 10;
+      opts.pretrained = hash;
+      Stopwatch w;
+      auto r = RunPmhJoin(data, data, opts, &cluster);
+      if (r.ok()) {
+        pmh_s = ModeledSeconds(w.ElapsedSeconds(),
+                               r->shuffle_bytes + r->broadcast_bytes);
+      }
+    }
+    {
+      mr::Cluster cluster({16, 4, 0});
+      MrhaOptions opts;
+      opts.num_partitions = 16;
+      opts.option = MrhaOption::kA;
+      opts.pretrained = hash;
+      Stopwatch w;
+      auto r = RunMrhaJoin(data, data, opts, &cluster);
+      if (r.ok()) {
+        a_s = ModeledSeconds(w.ElapsedSeconds(),
+                             r->shuffle_bytes + r->broadcast_bytes);
+      }
+    }
+    {
+      mr::Cluster cluster({16, 4, 0});
+      MrhaOptions opts;
+      opts.num_partitions = 16;
+      opts.option = MrhaOption::kB;
+      opts.pretrained = hash;
+      Stopwatch w;
+      auto r = RunMrhaJoin(data, data, opts, &cluster);
+      if (r.ok()) {
+        b_s = ModeledSeconds(w.ElapsedSeconds(),
+                             r->shuffle_bytes + r->broadcast_bytes);
+      }
+    }
+    std::printf("%-8zu %12.3f %12.3f %14.3f %14.3f\n", f, pgbj_s, pmh_s,
+                a_s, b_s);
+  }
+}
+
+}  // namespace
+}  // namespace hamming::bench
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);  // keep progress visible when piped
+  auto args = hamming::bench::BenchArgs::Parse(argc, argv);
+  std::printf("=== Figure 9: running time of Hamming-join / kNN-join plans "
+              "(scale %.2f) ===\n", args.scale);
+  std::vector<std::size_t> factors{5, 10, 15, 20, 25};
+  hamming::bench::RunDataset(hamming::DatasetKind::kNusWide,
+                             args.Scaled(300), factors, /*knn_k=*/10);
+  hamming::bench::RunDataset(hamming::DatasetKind::kFlickr,
+                             args.Scaled(200), factors, /*knn_k=*/10);
+  hamming::bench::RunDataset(hamming::DatasetKind::kDbpedia,
+                             args.Scaled(300), factors, /*knn_k=*/10);
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Google-benchmark microbenchmarks of the primitives the paper's cost
+// model is built on: XOR+popcount distance, Gray rank, masked partial
+// distance, and H-Search across index implementations.
+#include <benchmark/benchmark.h>
+
+#include "code/gray.h"
+#include "code/masked_code.h"
+#include "common/rng.h"
+#include "index/dynamic_ha_index.h"
+#include "index/hengine.h"
+#include "index/linear_scan.h"
+#include "index/multi_hash_table.h"
+#include "index/radix_tree.h"
+#include "index/static_ha_index.h"
+
+namespace hamming {
+namespace {
+
+std::vector<BinaryCode> MakeCodes(std::size_t n, std::size_t bits,
+                                  std::size_t clusters) {
+  Rng rng(42);
+  std::vector<BinaryCode> centers;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    BinaryCode code(bits);
+    for (std::size_t b = 0; b < bits; ++b) code.SetBit(b, rng.Bernoulli(0.5));
+    centers.push_back(code);
+  }
+  std::vector<BinaryCode> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    BinaryCode code = centers[i % clusters];
+    for (int f = 0; f < 3; ++f) {
+      code.FlipBit(static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(bits) - 1)));
+    }
+    out.push_back(code);
+  }
+  return out;
+}
+
+void BM_HammingDistance(benchmark::State& state) {
+  auto codes = MakeCodes(2, static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codes[0].Distance(codes[1]));
+  }
+}
+BENCHMARK(BM_HammingDistance)->Arg(32)->Arg(64)->Arg(128)->Arg(512);
+
+void BM_WithinDistanceEarlyExit(benchmark::State& state) {
+  auto codes = MakeCodes(2, 512, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codes[0].WithinDistance(codes[1], 3));
+  }
+}
+BENCHMARK(BM_WithinDistanceEarlyExit);
+
+void BM_GrayRank(benchmark::State& state) {
+  auto codes = MakeCodes(1, static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GrayRank(codes[0]));
+  }
+}
+BENCHMARK(BM_GrayRank)->Arg(32)->Arg(512);
+
+void BM_MaskedPartialDistance(benchmark::State& state) {
+  auto codes = MakeCodes(2, 64, 1);
+  MaskedCode pattern = MaskedCode::Agreement(codes[0], codes[1]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pattern.PartialDistance(codes[0]));
+  }
+}
+BENCHMARK(BM_MaskedPartialDistance);
+
+template <typename MakeIndex>
+void SearchBench(benchmark::State& state, MakeIndex make) {
+  auto codes = MakeCodes(static_cast<std::size_t>(state.range(0)), 32, 32);
+  auto index = make();
+  if (!index->Build(codes).ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  Rng rng(7);
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    auto got = index->Search(codes[qi % codes.size()], 3);
+    benchmark::DoNotOptimize(got);
+    qi += 97;
+  }
+}
+
+void BM_SearchLinear(benchmark::State& state) {
+  SearchBench(state, [] { return std::make_unique<LinearScanIndex>(); });
+}
+void BM_SearchMh4(benchmark::State& state) {
+  SearchBench(state, [] { return std::make_unique<MultiHashTableIndex>(4); });
+}
+void BM_SearchHEngine(benchmark::State& state) {
+  SearchBench(state, [] { return std::make_unique<HEngineIndex>(4); });
+}
+void BM_SearchRadix(benchmark::State& state) {
+  SearchBench(state, [] { return std::make_unique<RadixTreeIndex>(); });
+}
+void BM_SearchSha(benchmark::State& state) {
+  SearchBench(state,
+              [] { return std::make_unique<StaticHAIndex>(); });
+}
+void BM_SearchDha(benchmark::State& state) {
+  SearchBench(state, [] { return std::make_unique<DynamicHAIndex>(); });
+}
+BENCHMARK(BM_SearchLinear)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_SearchMh4)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_SearchHEngine)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_SearchRadix)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_SearchSha)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_SearchDha)->Arg(10000)->Arg(50000);
+
+void BM_DhaBuild(benchmark::State& state) {
+  auto codes = MakeCodes(static_cast<std::size_t>(state.range(0)), 32, 32);
+  for (auto _ : state) {
+    DynamicHAIndex index;
+    benchmark::DoNotOptimize(index.Build(codes));
+  }
+}
+BENCHMARK(BM_DhaBuild)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hamming
+
+BENCHMARK_MAIN();

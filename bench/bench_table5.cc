@@ -1,0 +1,137 @@
+// Reproduces Table 5: approximate kNN-select — query time and index
+// build time for E2LSH, LSB-Tree(25), SHA-Index(32/64), DHA-Index(32/64).
+// The paper's observations: the HA-Index approaches beat LSH by two
+// orders of magnitude; LSB-Tree queries are decent but its index build is
+// enormous; HA-Index build/query grow smoothly with code length.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "index/dynamic_ha_index.h"
+#include "index/static_ha_index.h"
+#include "knn/e2lsh.h"
+#include "knn/exact_knn.h"
+#include "knn/hamming_knn.h"
+#include "knn/lsb_tree.h"
+
+namespace hamming::bench {
+namespace {
+
+constexpr std::size_t kK = 50;
+
+struct Row {
+  std::string name;
+  double query_ms;
+  double build_s;
+  double recall;
+};
+
+template <typename IndexT>
+Row MeasureHaKnn(const std::string& name, const PreparedDataset& ds32,
+                 const PreparedDataset& ds64, std::size_t bits,
+                 IndexT make_index,
+                 const std::vector<std::vector<Neighbor>>& truth) {
+  const PreparedDataset& ds = bits == 32 ? ds32 : ds64;
+  Stopwatch watch;
+  auto index = make_index();
+  (void)index->Build(ds.codes);
+  double build_s = watch.ElapsedSeconds() + ds.hash_train_seconds;
+
+  HammingKnnSearcher searcher(index.get(), ds.hash.get(), &ds.data);
+  watch.Restart();
+  double recall = 0.0;
+  for (std::size_t qi = 0; qi < ds.queries.rows(); ++qi) {
+    auto nn = searcher.Search(ds.queries.Row(qi), kK).ValueOrDie();
+    std::vector<std::size_t> ids;
+    for (const auto& x : nn) ids.push_back(x.id);
+    recall += RecallAtK(truth[qi], ids);
+  }
+  double query_ms =
+      watch.ElapsedMillis() / static_cast<double>(ds.queries.rows());
+  recall /= static_cast<double>(ds.queries.rows());
+  return {name, query_ms, build_s, recall};
+}
+
+void RunDataset(DatasetKind kind, std::size_t n, std::size_t nq) {
+  PreparedDataset ds32 = Prepare(kind, n, nq, /*code_bits=*/32);
+  PreparedDataset ds64 = Prepare(kind, n, nq, /*code_bits=*/64);
+  std::printf("\n(%s)  n=%zu, k=%zu, %zu queries\n", DatasetKindName(kind),
+              n, kK, nq);
+  std::printf("%-16s %12s %14s %10s\n", "algorithm", "query(ms)",
+              "index build(s)", "recall@k");
+  std::printf("%s\n", Separator());
+
+  // Exact ground truth for recall reporting.
+  std::vector<std::vector<Neighbor>> truth(nq);
+  for (std::size_t qi = 0; qi < nq; ++qi) {
+    truth[qi] = ExactKnn(ds32.data, ds32.queries.Row(qi), kK);
+  }
+
+  std::vector<Row> rows;
+
+  {  // E2LSH (20 tables, as in the paper).
+    Stopwatch watch;
+    E2LshOptions opts;
+    opts.num_tables = 20;
+    auto lsh = E2Lsh::Build(ds32.data, opts).ValueOrDie();
+    double build_s = watch.ElapsedSeconds();
+    watch.Restart();
+    double recall = 0.0;
+    for (std::size_t qi = 0; qi < nq; ++qi) {
+      auto nn = lsh.Search(ds32.queries.Row(qi), kK);
+      std::vector<std::size_t> ids;
+      for (const auto& x : nn) ids.push_back(x.id);
+      recall += RecallAtK(truth[qi], ids);
+    }
+    rows.push_back({"LSH", watch.ElapsedMillis() / nq, build_s,
+                    recall / static_cast<double>(nq)});
+  }
+  {  // LSB-Tree forest with 25 trees.
+    Stopwatch watch;
+    LsbTreeOptions opts;
+    opts.num_trees = 25;
+    auto forest = LsbForest::Build(ds32.data, opts).ValueOrDie();
+    double build_s = watch.ElapsedSeconds();
+    watch.Restart();
+    double recall = 0.0;
+    for (std::size_t qi = 0; qi < nq; ++qi) {
+      auto nn = forest.Search(ds32.queries.Row(qi), kK);
+      std::vector<std::size_t> ids;
+      for (const auto& x : nn) ids.push_back(x.id);
+      recall += RecallAtK(truth[qi], ids);
+    }
+    rows.push_back({"LSB-Tree(25)", watch.ElapsedMillis() / nq, build_s,
+                    recall / static_cast<double>(nq)});
+  }
+  for (std::size_t bits : {32u, 64u}) {
+    rows.push_back(MeasureHaKnn(
+        "SHA-Index(" + std::to_string(bits) + ")", ds32, ds64, bits,
+        [] { return std::make_unique<StaticHAIndex>(StaticHAIndexOptions{8}); },
+        truth));
+    rows.push_back(MeasureHaKnn(
+        "DHA-Index(" + std::to_string(bits) + ")", ds32, ds64, bits,
+        [] { return std::make_unique<DynamicHAIndex>(); }, truth));
+  }
+
+  for (const auto& r : rows) {
+    std::printf("%-16s %12.3f %14.3f %10.3f\n", r.name.c_str(), r.query_ms,
+                r.build_s, r.recall);
+  }
+}
+
+}  // namespace
+}  // namespace hamming::bench
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);  // keep progress visible when piped
+  auto args = hamming::bench::BenchArgs::Parse(argc, argv);
+  std::printf("=== Table 5: approximate kNN-select comparison "
+              "(scale %.2f) ===\n", args.scale);
+  const std::size_t nq = 50;
+  hamming::bench::RunDataset(hamming::DatasetKind::kNusWide,
+                             args.Scaled(20000), nq);
+  hamming::bench::RunDataset(hamming::DatasetKind::kFlickr,
+                             args.Scaled(10000), nq);
+  hamming::bench::RunDataset(hamming::DatasetKind::kDbpedia,
+                             args.Scaled(20000), nq);
+  return 0;
+}

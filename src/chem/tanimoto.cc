@@ -1,0 +1,107 @@
+#include "chem/tanimoto.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hamming::chem {
+
+double TanimotoSimilarity(const BinaryCode& a, const BinaryCode& b) {
+  std::size_t inter = (a & b).PopCount();
+  std::size_t uni = (a | b).PopCount();
+  if (uni == 0) return 1.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::size_t TanimotoHammingBound(double t, std::size_t wa, std::size_t wb) {
+  // d = wa + wb - 2c and T = c / (wa + wb - c) >= t
+  //   => c >= t (wa + wb) / (1 + t)
+  //   => d <= (1 - t) / (1 + t) * (wa + wb).
+  double bound = (1.0 - t) / (1.0 + t) * static_cast<double>(wa + wb);
+  return static_cast<std::size_t>(std::floor(bound + 1e-9));
+}
+
+Result<TanimotoSearcher> TanimotoSearcher::Build(
+    const std::vector<BinaryCode>& fingerprints,
+    DynamicHAIndexOptions index_opts) {
+  TanimotoSearcher s;
+  s.fingerprints_ = fingerprints;
+  // Group ids by popcount, then bulk-build one HA-Index per group with
+  // global ids.
+  std::map<std::size_t, std::pair<std::vector<TupleId>,
+                                  std::vector<BinaryCode>>> groups;
+  for (std::size_t i = 0; i < fingerprints.size(); ++i) {
+    auto& g = groups[fingerprints[i].PopCount()];
+    g.first.push_back(static_cast<TupleId>(i));
+    g.second.push_back(fingerprints[i]);
+  }
+  for (auto& [weight, g] : groups) {
+    DynamicHAIndex index(index_opts);
+    HAMMING_RETURN_NOT_OK(index.BuildWithIds(g.first, g.second));
+    s.buckets_.emplace(weight, std::move(index));
+  }
+  return s;
+}
+
+Result<std::vector<TupleId>> TanimotoSearcher::Search(
+    const BinaryCode& query, double threshold) const {
+  if (threshold <= 0.0 || threshold > 1.0) {
+    return Status::InvalidArgument("Tanimoto threshold must be in (0, 1]");
+  }
+  const std::size_t q = query.PopCount();
+  std::vector<TupleId> out;
+  // Popcount pruning: |fp| in [ceil(t*q), floor(q/t)]; when q = 0 only
+  // the empty fingerprint qualifies (T = 1 by convention).
+  std::size_t lo = static_cast<std::size_t>(
+      std::ceil(threshold * static_cast<double>(q) - 1e-9));
+  std::size_t hi = q == 0
+                       ? 0
+                       : static_cast<std::size_t>(std::floor(
+                             static_cast<double>(q) / threshold + 1e-9));
+  for (auto it = buckets_.lower_bound(lo);
+       it != buckets_.end() && it->first <= hi; ++it) {
+    std::size_t h = TanimotoHammingBound(threshold, q, it->first);
+    HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> candidates,
+                             it->second.Search(query, h));
+    for (TupleId id : candidates) {
+      if (TanimotoSimilarity(query, fingerprints_[id]) >= threshold - 1e-12) {
+        out.push_back(id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<BinaryCode> GenerateFingerprints(std::size_t n, std::size_t bits,
+                                             std::size_t scaffolds,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  // Scaffolds: ~15% of bits set; molecules add ~8% decoration bits and
+  // occasionally drop a scaffold bit.
+  std::vector<BinaryCode> protos;
+  protos.reserve(scaffolds);
+  for (std::size_t sc = 0; sc < scaffolds; ++sc) {
+    BinaryCode p(bits);
+    for (std::size_t b = 0; b < bits; ++b) {
+      if (rng.Bernoulli(0.15)) p.SetBit(b, true);
+    }
+    protos.push_back(p);
+  }
+  std::vector<BinaryCode> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    BinaryCode fp = protos[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(scaffolds) - 1))];
+    for (std::size_t b = 0; b < bits; ++b) {
+      if (fp.GetBit(b)) {
+        if (rng.Bernoulli(0.03)) fp.SetBit(b, false);
+      } else if (rng.Bernoulli(0.08)) {
+        fp.SetBit(b, true);
+      }
+    }
+    out.push_back(fp);
+  }
+  return out;
+}
+
+}  // namespace hamming::chem

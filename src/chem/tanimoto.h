@@ -1,0 +1,65 @@
+// Tanimoto-similarity search over chemical fingerprints, reduced to
+// Hamming-distance queries ([14] in the paper: "similarity search in
+// chemical information via the Tanimoto Similarity metric can be
+// transformed into a Hamming-distance query").
+//
+// For fingerprints a, b with popcounts |a|, |b| and c = |a AND b|,
+// T(a,b) = c / (|a| + |b| - c). T >= t implies two prunable facts:
+//   * popcount bound: |b| must lie in [t*|a|, |a|/t];
+//   able Hamming bound: ||a,b||_H = |a| + |b| - 2c
+//     <= (1-t)/(1+t) * (|a| + |b|).
+// The searcher therefore buckets fingerprints by popcount, keeps one
+// HA-Index per bucket, and answers a Tanimoto threshold query as a small
+// set of Hamming range queries followed by exact verification.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "index/dynamic_ha_index.h"
+
+namespace hamming::chem {
+
+/// \brief Exact Tanimoto similarity of two equal-length fingerprints
+/// (1.0 when both are empty, matching the chemistry convention).
+double TanimotoSimilarity(const BinaryCode& a, const BinaryCode& b);
+
+/// \brief The Hamming-distance bound implied by T(a,b) >= t for
+/// popcounts wa and wb.
+std::size_t TanimotoHammingBound(double t, std::size_t wa, std::size_t wb);
+
+/// \brief A Tanimoto-threshold search structure over fingerprints.
+class TanimotoSearcher {
+ public:
+  /// \brief Buckets `fingerprints` by popcount and indexes each bucket.
+  static Result<TanimotoSearcher> Build(
+      const std::vector<BinaryCode>& fingerprints,
+      DynamicHAIndexOptions index_opts = {});
+
+  /// \brief Ids of fingerprints with T(query, fp) >= threshold.
+  Result<std::vector<TupleId>> Search(const BinaryCode& query,
+                                      double threshold) const;
+
+  std::size_t size() const { return fingerprints_.size(); }
+  /// \brief Number of popcount buckets (and HA-Indexes) kept.
+  std::size_t num_buckets() const { return buckets_.size(); }
+
+ private:
+  TanimotoSearcher() = default;
+
+  std::vector<BinaryCode> fingerprints_;
+  // popcount -> HA-Index over the bucket's fingerprints (ids global).
+  std::map<std::size_t, DynamicHAIndex> buckets_;
+};
+
+/// \brief Synthetic MACCS-like fingerprints: molecules share scaffold
+/// bit patterns and differ in decoration bits, giving the clustered
+/// structure real compound libraries show.
+std::vector<BinaryCode> GenerateFingerprints(std::size_t n,
+                                             std::size_t bits = 166,
+                                             std::size_t scaffolds = 32,
+                                             uint64_t seed = 42);
+
+}  // namespace hamming::chem

@@ -1,0 +1,170 @@
+// Fixed-length binary similarity codes.
+//
+// A BinaryCode is the L-bit string a similarity hash function (hashing/)
+// produces for one data tuple; all Hamming-distance machinery in the
+// library operates on these. Codes up to 512 bits are stored inline (no
+// heap allocation) in eight 64-bit words.
+//
+// Bit-order convention: bit position 0 is the *leftmost* character of the
+// string form, matching the paper's notation (e.g. "001001010" has bit 0 ==
+// '0', bit 2 == '1'). Internally bit i lives in word i/64 at bit
+// (63 - i%64), so comparing the word arrays as big-endian numbers yields
+// the lexicographic order of the bit strings.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/serde.h"
+#include "common/status.h"
+
+namespace hamming {
+
+/// \brief A fixed-length binary code of up to kMaxBits bits.
+class BinaryCode {
+ public:
+  static constexpr std::size_t kMaxBits = 512;
+  static constexpr std::size_t kWords = kMaxBits / 64;
+
+  /// Creates an empty (zero-length) code.
+  BinaryCode() : nbits_(0) { words_.fill(0); }
+
+  /// Creates an all-zero code of the given length.
+  explicit BinaryCode(std::size_t nbits);
+
+  /// \brief Parses a code from a string of '0'/'1' characters; whitespace
+  /// is ignored (the paper writes codes as "001 001 010").
+  static Result<BinaryCode> FromString(std::string_view bits);
+
+  /// \brief Builds an nbits-length code from the low bits of `value`,
+  /// with the most significant of those bits at position 0.
+  ///
+  /// Requires nbits <= 64.
+  static Result<BinaryCode> FromUint64(uint64_t value, std::size_t nbits);
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  /// \brief Number of 64-bit words actually covering size() bits; words
+  /// beyond this are all-zero by invariant, so hot loops stop here.
+  std::size_t SignificantWords() const { return (nbits_ + 63) >> 6; }
+
+  /// \brief The bit at string position `pos` (0 == leftmost).
+  bool GetBit(std::size_t pos) const {
+    return (words_[pos >> 6] >> (63 - (pos & 63))) & 1;
+  }
+  /// \brief Sets the bit at string position `pos`.
+  void SetBit(std::size_t pos, bool value) {
+    uint64_t m = 1ull << (63 - (pos & 63));
+    if (value) {
+      words_[pos >> 6] |= m;
+    } else {
+      words_[pos >> 6] &= ~m;
+    }
+  }
+  /// \brief Flips the bit at string position `pos`.
+  void FlipBit(std::size_t pos) { words_[pos >> 6] ^= 1ull << (63 - (pos & 63)); }
+
+  /// \brief Number of set bits.
+  std::size_t PopCount() const {
+    std::size_t c = 0;
+    const std::size_t nw = SignificantWords();
+    for (std::size_t i = 0; i < nw; ++i) {
+      c += static_cast<std::size_t>(std::popcount(words_[i]));
+    }
+    return c;
+  }
+
+  /// \brief Hamming distance to another code of the same length.
+  std::size_t Distance(const BinaryCode& other) const {
+    std::size_t c = 0;
+    const std::size_t nw = SignificantWords();
+    for (std::size_t i = 0; i < nw; ++i) {
+      c += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+    }
+    return c;
+  }
+
+  /// \brief True iff Distance(other) <= h, with early termination.
+  bool WithinDistance(const BinaryCode& other, std::size_t h) const {
+    std::size_t c = 0;
+    const std::size_t nw = SignificantWords();
+    for (std::size_t i = 0; i < nw; ++i) {
+      c += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+      if (c > h) return false;
+    }
+    return true;
+  }
+
+  /// \brief Extracts bits [start, start+len) as a new code of length len.
+  BinaryCode Substring(std::size_t start, std::size_t len) const;
+
+  /// \brief Returns the substring packed into a uint64_t (len <= 64),
+  /// most significant bit first.
+  uint64_t SubstringAsUint64(std::size_t start, std::size_t len) const;
+
+  /// \brief Lexicographic comparison of the bit strings (lengths must
+  /// match); negative / zero / positive like memcmp.
+  int Compare(const BinaryCode& other) const {
+    const std::size_t nw = SignificantWords();
+    for (std::size_t i = 0; i < nw; ++i) {
+      if (words_[i] != other.words_[i]) {
+        return words_[i] < other.words_[i] ? -1 : 1;
+      }
+    }
+    return 0;
+  }
+
+  bool operator==(const BinaryCode& other) const {
+    return nbits_ == other.nbits_ && words_ == other.words_;
+  }
+  bool operator!=(const BinaryCode& other) const { return !(*this == other); }
+  bool operator<(const BinaryCode& other) const { return Compare(other) < 0; }
+
+  /// \brief Bitwise operators (lengths must match).
+  BinaryCode operator^(const BinaryCode& other) const;
+  BinaryCode operator&(const BinaryCode& other) const;
+  BinaryCode operator|(const BinaryCode& other) const;
+  /// \brief Bitwise complement restricted to the code's nbits.
+  BinaryCode Not() const;
+
+  /// \brief String of '0'/'1' characters.
+  std::string ToString() const;
+
+  /// \brief Stable 64-bit hash of the code contents.
+  uint64_t Hash() const;
+
+  /// \brief Serializes as nbits varint + ceil(nbits/8) raw bytes.
+  void Serialize(BufferWriter* w) const;
+  static Status Deserialize(BufferReader* r, BinaryCode* out);
+
+  /// \brief Heap-free footprint in bytes (for memory accounting we charge
+  /// only the bytes needed for nbits, as a packed on-disk code would use).
+  std::size_t PackedBytes() const { return (nbits_ + 7) / 8; }
+
+  const std::array<uint64_t, kWords>& words() const { return words_; }
+  std::array<uint64_t, kWords>& mutable_words() { return words_; }
+
+  /// \brief Zeroes any bits at positions >= size(). Callers that write
+  /// through mutable_words() must restore this invariant before using
+  /// equality, PopCount, or Hash.
+  void MaskTail();
+
+ private:
+
+  std::array<uint64_t, kWords> words_;
+  uint32_t nbits_;
+};
+
+/// \brief std::hash adapter so BinaryCode can key unordered containers.
+struct BinaryCodeHash {
+  std::size_t operator()(const BinaryCode& c) const {
+    return static_cast<std::size_t>(c.Hash());
+  }
+};
+
+}  // namespace hamming

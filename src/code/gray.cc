@@ -1,0 +1,61 @@
+#include "code/gray.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace hamming {
+
+BinaryCode GrayRank(const BinaryCode& code) {
+  // Per-word formulation of the prefix-XOR scan b[i] = g[0]^...^g[i].
+  // Within a word the classic g ^= g>>1 ^ g>>2 ... doubling trick applies;
+  // the parity of the previous words' last decoded bit carries across.
+  BinaryCode out(code.size());
+  auto& w = out.mutable_words();
+  const auto& g = code.words();
+  uint64_t carry = 0;  // all-ones if the previous decoded bit was 1
+  for (std::size_t i = 0; i < BinaryCode::kWords; ++i) {
+    uint64_t x = g[i];
+    x ^= x >> 1;
+    x ^= x >> 2;
+    x ^= x >> 4;
+    x ^= x >> 8;
+    x ^= x >> 16;
+    x ^= x >> 32;
+    w[i] = x ^ carry;
+    carry = (w[i] & 1) ? ~0ull : 0ull;
+  }
+  // The decoded tail repeats the last real bit (b[i] = b[i-1] when
+  // g[i] = 0), which would leave set bits past nbits; clear them.
+  out.MaskTail();
+  return out;
+}
+
+BinaryCode GrayEncode(const BinaryCode& rank) {
+  // g[0] = b[0]; g[i] = b[i-1] XOR b[i]  ==  b XOR (b >> 1) on the whole
+  // bit string, with the shift crossing word boundaries.
+  BinaryCode out(rank.size());
+  auto& w = out.mutable_words();
+  const auto& b = rank.words();
+  uint64_t prev_lsb = 0;
+  for (std::size_t i = 0; i < BinaryCode::kWords; ++i) {
+    uint64_t shifted = (b[i] >> 1) | (prev_lsb << 63);
+    w[i] = b[i] ^ shifted;
+    prev_lsb = b[i] & 1;
+  }
+  out.MaskTail();
+  return out;
+}
+
+void GraySortIds(const std::vector<BinaryCode>& codes,
+                 std::vector<uint32_t>* ids) {
+  std::vector<BinaryCode> ranks;
+  ranks.reserve(codes.size());
+  for (const auto& c : codes) ranks.push_back(GrayRank(c));
+  std::sort(ids->begin(), ids->end(), [&ranks](uint32_t a, uint32_t b) {
+    int cmp = ranks[a].Compare(ranks[b]);
+    if (cmp != 0) return cmp < 0;
+    return a < b;  // stable tie-break for determinism
+  });
+}
+
+}  // namespace hamming

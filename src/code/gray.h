@@ -1,0 +1,43 @@
+// Gray-code ordering of binary codes (Definition 5 / Proposition 2).
+//
+// The Dynamic HA-Index sorts codes "according to the Gray order": code U
+// precedes code V iff the integer whose reflected-Gray-code encoding equals
+// U is smaller than the one encoding V. Consecutive integers have Gray
+// encodings differing in exactly one bit, so Gray-sorted codes cluster
+// tuples whose codes share long common subsequences — the property H-Build
+// exploits when extracting FLSSeqs (Proposition 2) and the partitioner
+// exploits for locality-preserving range partitioning (Section 5.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "code/binary_code.h"
+
+namespace hamming {
+
+/// \brief Interprets `code` as a reflected Gray code and returns the
+/// integer it encodes, as a same-length binary code (MSB at position 0).
+///
+/// b[0] = g[0]; b[i] = b[i-1] XOR g[i]. Comparing ranks lexicographically
+/// is exactly comparing the decoded integers.
+BinaryCode GrayRank(const BinaryCode& code);
+
+/// \brief Inverse of GrayRank: Gray encoding of the integer in `rank`.
+BinaryCode GrayEncode(const BinaryCode& rank);
+
+/// \brief Comparator ordering codes by Gray rank (ascending).
+struct GrayLess {
+  bool operator()(const BinaryCode& a, const BinaryCode& b) const {
+    return GrayRank(a) < GrayRank(b);
+  }
+};
+
+/// \brief Sorts `ids` so that codes[ids[i]] is Gray-ordered ascending.
+///
+/// Ranks are materialized once (O(n) GrayRank calls) rather than decoded
+/// per comparison.
+void GraySortIds(const std::vector<BinaryCode>& codes,
+                 std::vector<uint32_t>* ids);
+
+}  // namespace hamming

@@ -1,0 +1,99 @@
+#include "code/masked_code.h"
+
+namespace hamming {
+
+MaskedCode MaskedCode::FromFullCode(const BinaryCode& code) {
+  MaskedCode out(code.size());
+  out.value_ = code;
+  out.mask_ = BinaryCode(code.size()).Not();
+  return out;
+}
+
+Result<MaskedCode> MaskedCode::FromPattern(std::string_view pattern) {
+  std::string value_bits, mask_bits;
+  for (char ch : pattern) {
+    if (ch == ' ' || ch == '\t' || ch == '_') continue;
+    switch (ch) {
+      case '0':
+        value_bits.push_back('0');
+        mask_bits.push_back('1');
+        break;
+      case '1':
+        value_bits.push_back('1');
+        mask_bits.push_back('1');
+        break;
+      case '.':
+      case '*':
+        value_bits.push_back('0');
+        mask_bits.push_back('0');
+        break;
+      default:
+        return Status::InvalidArgument("invalid character in pattern");
+    }
+  }
+  MaskedCode out;
+  HAMMING_ASSIGN_OR_RETURN(out.value_, BinaryCode::FromString(value_bits));
+  HAMMING_ASSIGN_OR_RETURN(out.mask_, BinaryCode::FromString(mask_bits));
+  return out;
+}
+
+MaskedCode MaskedCode::Agreement(const BinaryCode& a, const BinaryCode& b) {
+  MaskedCode out(a.size());
+  out.mask_ = (a ^ b).Not();
+  out.value_ = a & out.mask_;
+  return out;
+}
+
+MaskedCode MaskedCode::Agreement(const MaskedCode& a, const MaskedCode& b) {
+  MaskedCode out(a.size());
+  // Effective where both effective and values agree.
+  BinaryCode both = a.mask_ & b.mask_;
+  out.mask_ = both & (a.value_ ^ b.value_).Not();
+  out.value_ = a.value_ & out.mask_;
+  return out;
+}
+
+bool MaskedCode::CompatibleWith(const MaskedCode& other) const {
+  BinaryCode both = mask_ & other.mask_;
+  return ((value_ ^ other.value_) & both).PopCount() == 0;
+}
+
+MaskedCode MaskedCode::Residual(const MaskedCode& parent) const {
+  MaskedCode out(size());
+  out.mask_ = mask_ & parent.mask_.Not();
+  out.value_ = value_ & out.mask_;
+  return out;
+}
+
+MaskedCode MaskedCode::CombinedWith(const MaskedCode& other) const {
+  MaskedCode out(size());
+  out.mask_ = mask_ | other.mask_;
+  out.value_ = value_ | other.value_;
+  return out;
+}
+
+std::string MaskedCode::ToString() const {
+  std::string out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (!mask_.GetBit(i)) {
+      out.push_back('.');
+    } else {
+      out.push_back(value_.GetBit(i) ? '1' : '0');
+    }
+  }
+  return out;
+}
+
+void MaskedCode::Serialize(BufferWriter* w) const {
+  value_.Serialize(w);
+  mask_.Serialize(w);
+}
+
+Status MaskedCode::Deserialize(BufferReader* r, MaskedCode* out) {
+  HAMMING_RETURN_NOT_OK(BinaryCode::Deserialize(r, &out->value_));
+  HAMMING_RETURN_NOT_OK(BinaryCode::Deserialize(r, &out->mask_));
+  return Status::OK();
+}
+
+}  // namespace hamming

@@ -1,0 +1,118 @@
+// Masked binary codes: the FLSS / FLSSeq abstraction (Definitions 3-4).
+//
+// A MaskedCode is a pattern like ". . . 0 . 1 . 1 ." from the paper: a
+// value together with a mask of *effective* bit positions. It represents
+// the set of full codes that agree with `value` on every masked position.
+// Internal nodes of both HA-Index variants store MaskedCodes; the partial
+// Hamming distance between a query and a MaskedCode counts differing bits
+// at effective positions only, which is a lower bound on the full distance
+// to any represented code (the Hamming downward-closure property,
+// Proposition 1) and therefore a safe pruning test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "code/binary_code.h"
+#include "common/result.h"
+
+namespace hamming {
+
+/// \brief A fixed-length bit pattern with wildcard positions.
+class MaskedCode {
+ public:
+  MaskedCode() = default;
+
+  /// Creates an all-wildcard pattern of the given length.
+  explicit MaskedCode(std::size_t nbits)
+      : value_(nbits), mask_(nbits) {}
+
+  /// \brief A pattern whose every position is effective (mask all ones).
+  static MaskedCode FromFullCode(const BinaryCode& code);
+
+  /// \brief Parses the paper's dot notation, e.g. "..10.1..."; '.' is a
+  /// wildcard, '0'/'1' are effective bits; whitespace ignored.
+  static Result<MaskedCode> FromPattern(std::string_view pattern);
+
+  /// \brief The maximal pattern on which two codes agree: mask is the
+  /// complement of a XOR b, value carries the agreed bits.
+  static MaskedCode Agreement(const BinaryCode& a, const BinaryCode& b);
+
+  /// \brief The maximal pattern on which two masked codes agree: effective
+  /// where both are effective and their values coincide.
+  static MaskedCode Agreement(const MaskedCode& a, const MaskedCode& b);
+
+  std::size_t size() const { return value_.size(); }
+
+  /// \brief Number of effective (non-wildcard) positions.
+  std::size_t EffectiveBits() const { return mask_.PopCount(); }
+  bool AllWildcard() const { return EffectiveBits() == 0; }
+
+  /// \brief Partial Hamming distance: differing bits at effective
+  /// positions between `code` and the pattern.
+  std::size_t PartialDistance(const BinaryCode& code) const {
+    std::size_t c = 0;
+    const auto& v = value_.words();
+    const auto& m = mask_.words();
+    const auto& q = code.words();
+    const std::size_t nw = value_.SignificantWords();
+    for (std::size_t i = 0; i < nw; ++i) {
+      c += static_cast<std::size_t>(std::popcount((v[i] ^ q[i]) & m[i]));
+    }
+    return c;
+  }
+
+  /// \brief True iff `code` matches the pattern exactly on every
+  /// effective position (the paper's `bitmatch`).
+  bool Matches(const BinaryCode& code) const {
+    return PartialDistance(code) == 0;
+  }
+
+  /// \brief True iff `other`'s pattern is consistent with this one
+  /// wherever both are effective.
+  bool CompatibleWith(const MaskedCode& other) const;
+
+  /// \brief Restricts this pattern to positions NOT effective in `parent`
+  /// (the residual a child node stores below an internal node, keeping
+  /// root-to-leaf masks disjoint so path distances sum exactly).
+  MaskedCode Residual(const MaskedCode& parent) const;
+
+  /// \brief Union of two disjoint-or-consistent patterns.
+  MaskedCode CombinedWith(const MaskedCode& other) const;
+
+  const BinaryCode& value() const { return value_; }
+  const BinaryCode& mask() const { return mask_; }
+
+  bool operator==(const MaskedCode& other) const {
+    return value_ == other.value_ && mask_ == other.mask_;
+  }
+  bool operator!=(const MaskedCode& other) const { return !(*this == other); }
+
+  /// \brief Dot-notation rendering, e.g. "..10.1...".
+  std::string ToString() const;
+
+  /// \brief Stable hash over value and mask.
+  uint64_t Hash() const { return value_.Hash() * 31 + mask_.Hash(); }
+
+  void Serialize(BufferWriter* w) const;
+  static Status Deserialize(BufferReader* r, MaskedCode* out);
+
+  /// \brief Packed size for memory accounting: value bits + mask bits.
+  std::size_t PackedBytes() const {
+    return value_.PackedBytes() + mask_.PackedBytes();
+  }
+
+ private:
+  BinaryCode value_;  // effective bit values; zero at wildcard positions
+  BinaryCode mask_;   // 1 = effective position
+};
+
+/// \brief std::hash adapter.
+struct MaskedCodeHash {
+  std::size_t operator()(const MaskedCode& c) const {
+    return static_cast<std::size_t>(c.Hash());
+  }
+};
+
+}  // namespace hamming

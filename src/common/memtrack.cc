@@ -1,0 +1,32 @@
+#include "common/memtrack.h"
+
+#include <cstdio>
+
+namespace hamming {
+
+std::string FormatBytes(std::size_t bytes) {
+  char buf[64];
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  } else if (bytes < 1024ull * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", bytes / 1024.0);
+  } else if (bytes < 1024ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", bytes / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fGB",
+                  bytes / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+std::string MemoryBreakdown::ToString() const {
+  std::string out = FormatBytes(total());
+  out += " (internal ";
+  out += FormatBytes(internal_bytes);
+  out += " / leaf ";
+  out += FormatBytes(leaf_bytes);
+  out += ")";
+  return out;
+}
+
+}  // namespace hamming

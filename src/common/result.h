@@ -1,0 +1,67 @@
+// Result<T>: value-or-Status, modeled on arrow::Result.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace hamming {
+
+/// \brief Holds either a successfully computed T or the Status explaining
+/// why it could not be computed.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief The failure status, or OK if a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// \brief The held value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// \brief Assigns the value of a Result expression to `lhs`, returning the
+/// status to the caller on failure.
+#define HAMMING_ASSIGN_OR_RETURN(lhs, rexpr)       \
+  auto HAMMING_CONCAT_(result_, __LINE__) = (rexpr); \
+  if (!HAMMING_CONCAT_(result_, __LINE__).ok())      \
+    return HAMMING_CONCAT_(result_, __LINE__).status(); \
+  lhs = std::move(HAMMING_CONCAT_(result_, __LINE__)).ValueOrDie()
+
+#define HAMMING_CONCAT_IMPL_(a, b) a##b
+#define HAMMING_CONCAT_(a, b) HAMMING_CONCAT_IMPL_(a, b)
+
+}  // namespace hamming

@@ -1,0 +1,40 @@
+#include "common/rng.h"
+
+namespace hamming {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+uint64_t Rng::NextWord() { return engine_(); }
+
+std::vector<double> Rng::Dirichlet(std::size_t dim, double alpha) {
+  std::gamma_distribution<double> gamma(alpha, 1.0);
+  std::vector<double> out(dim);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    out[i] = gamma(engine_);
+    sum += out[i];
+  }
+  if (sum <= 0.0) sum = 1.0;
+  for (double& x : out) x /= sum;
+  return out;
+}
+
+}  // namespace hamming

@@ -1,0 +1,51 @@
+// Deterministic random number generation.
+//
+// Every randomized component in hamming-db (data generators, hash function
+// training, sampling, LSH) takes an explicit seed so experiments are
+// reproducible run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace hamming {
+
+/// \brief A seeded Mersenne-Twister wrapper with convenience samplers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// \brief Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi);
+  /// \brief Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi);
+  /// \brief Standard normal draw scaled to mean/stddev.
+  double Gaussian(double mean = 0.0, double stddev = 1.0);
+  /// \brief Bernoulli draw with probability p of true.
+  bool Bernoulli(double p);
+  /// \brief Uniform 64-bit word.
+  uint64_t NextWord();
+
+  /// \brief Samples from a symmetric Dirichlet(alpha) of given dimension.
+  ///
+  /// Used by the DBPedia-like topic-vector generator.
+  std::vector<double> Dirichlet(std::size_t dim, double alpha);
+
+  /// \brief Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j =
+          static_cast<std::size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace hamming

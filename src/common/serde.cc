@@ -1,0 +1,118 @@
+#include "common/serde.h"
+
+namespace hamming {
+
+void BufferWriter::PutFixed32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+}
+
+void BufferWriter::PutFixed64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+}
+
+void BufferWriter::PutVarint64(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void BufferWriter::PutVarint64Signed(int64_t v) {
+  uint64_t zz = (static_cast<uint64_t>(v) << 1) ^
+                static_cast<uint64_t>(v >> 63);
+  PutVarint64(zz);
+}
+
+void BufferWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64(bits);
+}
+
+void BufferWriter::PutBytes(const void* data, std::size_t len) {
+  PutVarint64(len);
+  PutRaw(data, len);
+}
+
+void BufferWriter::PutString(const std::string& s) {
+  PutBytes(s.data(), s.size());
+}
+
+void BufferWriter::PutRaw(const void* data, std::size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + len);
+}
+
+Status BufferReader::GetFixed32(uint32_t* out) {
+  if (remaining() < 4) return Status::IOError("truncated fixed32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+  *out = v;
+  return Status::OK();
+}
+
+Status BufferReader::GetFixed64(uint64_t* out) {
+  if (remaining() < 8) return Status::IOError("truncated fixed64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+  *out = v;
+  return Status::OK();
+}
+
+Status BufferReader::GetVarint64(uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (pos_ < len_) {
+    uint8_t b = data_[pos_++];
+    if (shift >= 64) return Status::IOError("varint overflow");
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *out = v;
+      return Status::OK();
+    }
+    shift += 7;
+  }
+  return Status::IOError("truncated varint");
+}
+
+Status BufferReader::GetVarint64Signed(int64_t* out) {
+  uint64_t zz;
+  HAMMING_RETURN_NOT_OK(GetVarint64(&zz));
+  *out = static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+  return Status::OK();
+}
+
+Status BufferReader::GetDouble(double* out) {
+  uint64_t bits;
+  HAMMING_RETURN_NOT_OK(GetFixed64(&bits));
+  std::memcpy(out, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status BufferReader::GetString(std::string* out) {
+  uint64_t len;
+  HAMMING_RETURN_NOT_OK(GetVarint64(&len));
+  if (remaining() < len) return Status::IOError("truncated string");
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status BufferReader::GetBytes(std::vector<uint8_t>* out) {
+  uint64_t len;
+  HAMMING_RETURN_NOT_OK(GetVarint64(&len));
+  if (remaining() < len) return Status::IOError("truncated bytes");
+  out->assign(data_ + pos_, data_ + pos_ + len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status BufferReader::GetRaw(void* out, std::size_t len) {
+  if (remaining() < len) return Status::IOError("truncated raw read");
+  std::memcpy(out, data_ + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+}  // namespace hamming

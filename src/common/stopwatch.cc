@@ -1,0 +1,21 @@
+#include "common/stopwatch.h"
+
+namespace hamming {
+
+Stopwatch::Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+void Stopwatch::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+int64_t Stopwatch::ElapsedNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+double Stopwatch::ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+
+double Stopwatch::ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+
+double Stopwatch::ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+}  // namespace hamming

@@ -1,0 +1,33 @@
+// Wall-clock timing utilities used by the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace hamming {
+
+/// \brief A simple steady-clock stopwatch.
+///
+/// Starts running on construction; Elapsed* may be called repeatedly,
+/// Restart resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  /// Resets the start point to now.
+  void Restart();
+
+  /// \brief Elapsed time since construction/Restart, in nanoseconds.
+  int64_t ElapsedNanos() const;
+  /// \brief Elapsed time in microseconds.
+  double ElapsedMicros() const;
+  /// \brief Elapsed time in milliseconds.
+  double ElapsedMillis() const;
+  /// \brief Elapsed time in seconds.
+  double ElapsedSeconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hamming

@@ -1,0 +1,52 @@
+// Fixed-size thread pool used by the MapReduce cluster simulator.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hamming {
+
+/// \brief A fixed-size pool of worker threads executing queued tasks.
+///
+/// Tasks are std::function<void()>; Submit returns a future that becomes
+/// ready when the task finishes. The destructor drains outstanding tasks.
+class ThreadPool {
+ public:
+  /// \param num_threads number of workers; 0 means hardware concurrency.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues a task for execution.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// \brief Blocks until every task submitted so far has completed.
+  void WaitIdle();
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// \brief Runs fn(i) for i in [0, n) across the pool and waits for all.
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace hamming

@@ -1,0 +1,161 @@
+#include "dataset/generators.h"
+
+#include <cmath>
+#include <vector>
+
+namespace hamming {
+
+const char* DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kNusWide:
+      return "NUS-WIDE";
+    case DatasetKind::kFlickr:
+      return "Flickr";
+    case DatasetKind::kDbpedia:
+      return "DBPedia";
+  }
+  return "Unknown";
+}
+
+std::size_t DatasetDimension(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kNusWide:
+      return 225;
+    case DatasetKind::kFlickr:
+      return 512;
+    case DatasetKind::kDbpedia:
+      return 250;
+  }
+  return 0;
+}
+
+namespace {
+
+// Zipf-skewed mixing weights: a few dominant clusters, a long tail.
+std::vector<double> ZipfWeights(std::size_t k, double exponent) {
+  std::vector<double> w(k);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    w[i] = 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    sum += w[i];
+  }
+  for (double& x : w) x /= sum;
+  return w;
+}
+
+std::size_t SampleCategorical(Rng* rng, const std::vector<double>& w) {
+  double u = rng->UniformReal(0.0, 1.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    acc += w[i];
+    if (u <= acc) return i;
+  }
+  return w.size() - 1;
+}
+
+FloatMatrix GenerateMixture(std::size_t n, std::size_t d,
+                            const GeneratorOptions& opts, double zipf_exp,
+                            bool uniform_weights, Rng* rng) {
+  // Cluster centers: per-dimension scales vary (color-moment channels and
+  // GIST bands have very different dynamic ranges in the real data).
+  Rng center_rng(opts.seed ^ 0x9e3779b97f4a7c15ull);
+  std::vector<double> dim_scale(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    dim_scale[j] = std::exp(center_rng.Gaussian(0.0, 0.6));
+  }
+  FloatMatrix centers(opts.num_clusters, d);
+  for (std::size_t c = 0; c < opts.num_clusters; ++c) {
+    for (std::size_t j = 0; j < d; ++j) {
+      centers.At(c, j) =
+          center_rng.Gaussian(0.0, opts.center_scale) * dim_scale[j];
+    }
+  }
+  // Dataset rows are Zipf-skewed over themes; query workloads sample
+  // themes uniformly (an arbitrary query image is not biased toward the
+  // collection's dominant themes).
+  std::vector<double> weights =
+      uniform_weights
+          ? std::vector<double>(opts.num_clusters, 1.0 / opts.num_clusters)
+          : ZipfWeights(opts.num_clusters, zipf_exp);
+  // Per-cluster spread is log-normal: real photo collections mix tight
+  // near-duplicate clumps (re-uploads, bursts) with loosely themed
+  // clusters, and both the bucket selectivity of the hash-table indexes
+  // and the FLSSeq sharing of the HA-Index depend on that mix.
+  std::vector<double> cluster_spread(opts.num_clusters);
+  for (double& s : cluster_spread) {
+    s = opts.cluster_spread * std::exp(center_rng.Gaussian(0.0, 0.8));
+  }
+
+  FloatMatrix out(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t c = SampleCategorical(rng, weights);
+    for (std::size_t j = 0; j < d; ++j) {
+      out.At(i, j) = centers.At(c, j) +
+                     rng->Gaussian(0.0, cluster_spread[c] * dim_scale[j]);
+    }
+  }
+  return out;
+}
+
+FloatMatrix GenerateTopicVectors(std::size_t n, std::size_t d,
+                                 const GeneratorOptions& opts, Rng* rng) {
+  // Prototype topic profiles; each document mixes a prototype's Dirichlet
+  // concentration so documents about the same subject share dominant
+  // topics — the clustering LDA exhibits on real DBPedia text.
+  Rng proto_rng(opts.seed ^ 0xc2b2ae3d27d4eb4full);
+  std::size_t num_protos = opts.num_clusters;
+  std::vector<std::vector<double>> protos(num_protos);
+  std::vector<double> weights = ZipfWeights(num_protos, 1.0);
+  for (auto& p : protos) p = proto_rng.Dirichlet(d, 0.05);
+
+  FloatMatrix out(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t c = SampleCategorical(rng, weights);
+    std::vector<double> doc = rng->Dirichlet(d, 0.02);
+    // Blend prototype (shared structure) with the per-document draw.
+    double sum = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      double v = 0.7 * protos[c][j] + 0.3 * doc[j];
+      out.At(i, j) = v;
+      sum += v;
+    }
+    for (std::size_t j = 0; j < d; ++j) out.At(i, j) /= sum;
+  }
+  return out;
+}
+
+FloatMatrix GenerateImpl(DatasetKind kind, std::size_t n,
+                         const GeneratorOptions& opts, uint64_t seed,
+                         bool uniform_weights) {
+  Rng rng(seed);
+  std::size_t d = DatasetDimension(kind);
+  switch (kind) {
+    case DatasetKind::kNusWide:
+      return GenerateMixture(n, d, opts, /*zipf_exp=*/0.8, uniform_weights,
+                             &rng);
+    case DatasetKind::kFlickr: {
+      GeneratorOptions o = opts;
+      o.num_clusters = opts.num_clusters * 2;  // richer visual vocabulary
+      return GenerateMixture(n, d, o, /*zipf_exp=*/1.1, uniform_weights,
+                             &rng);
+    }
+    case DatasetKind::kDbpedia:
+      return GenerateTopicVectors(n, d, opts, &rng);
+  }
+  return FloatMatrix();
+}
+
+}  // namespace
+
+FloatMatrix GenerateDataset(DatasetKind kind, std::size_t n,
+                            const GeneratorOptions& opts) {
+  return GenerateImpl(kind, n, opts, opts.seed, /*uniform_weights=*/false);
+}
+
+FloatMatrix GenerateQueries(DatasetKind kind, std::size_t n,
+                            const GeneratorOptions& opts) {
+  return GenerateImpl(kind, n, opts, opts.seed ^ 0xdeadbeefcafef00dull,
+                      /*uniform_weights=*/true);
+}
+
+}  // namespace hamming

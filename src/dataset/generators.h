@@ -1,0 +1,55 @@
+// Synthetic stand-ins for the paper's three real datasets.
+//
+// The paper evaluates on NUS-WIDE (269,648 images, 225-d block-wise color
+// moments), a 1M-image Flickr crawl (512-d GIST), and 1M DBPedia documents
+// (250 LDA topics). We cannot ship those corpora, so each generator
+// produces feature vectors with the statistical traits that matter to
+// Hamming search after hashing: clustered mass (images of similar scenes
+// map to nearby codes), per-dimension scale differences, and — for the
+// topic model — sparse simplex vectors. See DESIGN.md §1 for the
+// substitution argument.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "dataset/matrix.h"
+
+namespace hamming {
+
+/// \brief Which real dataset a generator mimics.
+enum class DatasetKind {
+  kNusWide,  // 225-d color moments, moderate clustering
+  kFlickr,   // 512-d GIST, heavier-tailed, more clusters
+  kDbpedia,  // 250-d LDA topic proportions, sparse simplex
+};
+
+const char* DatasetKindName(DatasetKind kind);
+
+/// \brief Dimensionality the paper reports for each dataset.
+std::size_t DatasetDimension(DatasetKind kind);
+
+/// \brief Parameters for the Gaussian-mixture feature generator.
+struct GeneratorOptions {
+  std::size_t num_clusters = 64;
+  double cluster_spread = 0.15;   // within-cluster stddev (relative)
+  double center_scale = 1.0;      // spread of cluster centers
+  uint64_t seed = 42;
+};
+
+/// \brief Generates `n` feature vectors mimicking `kind`.
+///
+/// NUS-WIDE/Flickr draw from a Gaussian mixture whose mixing weights are
+/// Zipf-skewed (real image collections are dominated by a few visual
+/// themes); DBPedia draws sparse Dirichlet topic vectors around a set of
+/// topic-profile prototypes.
+FloatMatrix GenerateDataset(DatasetKind kind, std::size_t n,
+                            const GeneratorOptions& opts = {});
+
+/// \brief Draws `n` query vectors from the same distribution (fresh seed
+/// offset so queries are not dataset rows).
+FloatMatrix GenerateQueries(DatasetKind kind, std::size_t n,
+                            const GeneratorOptions& opts = {});
+
+}  // namespace hamming

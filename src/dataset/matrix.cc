@@ -1,0 +1,54 @@
+#include "dataset/matrix.h"
+
+#include <cmath>
+
+namespace hamming {
+
+Status FloatMatrix::AppendRow(std::span<const double> row) {
+  if (rows_ == 0 && cols_ == 0) {
+    cols_ = row.size();
+  } else if (row.size() != cols_) {
+    return Status::InvalidArgument("row length does not match matrix width");
+  }
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+  return Status::OK();
+}
+
+FloatMatrix FloatMatrix::GatherRows(const std::vector<std::size_t>& ids) const {
+  FloatMatrix out(ids.size(), cols_);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    auto src = Row(ids[i]);
+    auto dst = out.MutableRow(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+std::vector<double> FloatMatrix::ColumnMeans() const {
+  std::vector<double> mean(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    auto row = Row(r);
+    for (std::size_t c = 0; c < cols_; ++c) mean[c] += row[c];
+  }
+  if (rows_ > 0) {
+    for (double& m : mean) m /= static_cast<double>(rows_);
+  }
+  return mean;
+}
+
+double FloatMatrix::SquaredL2(std::span<const double> a,
+                              std::span<const double> b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double FloatMatrix::L2(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(SquaredL2(a, b));
+}
+
+}  // namespace hamming

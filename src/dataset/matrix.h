@@ -1,0 +1,63 @@
+// Dense row-major float matrix: the container for high-dimensional
+// feature vectors (image descriptors, topic vectors) before hashing.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hamming {
+
+/// \brief A dense n x d row-major matrix of doubles; row i is tuple t_i's
+/// feature vector in R^d.
+class FloatMatrix {
+ public:
+  FloatMatrix() = default;
+  FloatMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0; }
+
+  double& At(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double At(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// \brief Read-only view of row r.
+  std::span<const double> Row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+  /// \brief Mutable view of row r.
+  std::span<double> MutableRow(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// \brief Appends a row; its length must equal cols() (or set cols on
+  /// the first append).
+  Status AppendRow(std::span<const double> row);
+
+  /// \brief Selects the given rows into a new matrix.
+  FloatMatrix GatherRows(const std::vector<std::size_t>& ids) const;
+
+  /// \brief Per-column mean of all rows.
+  std::vector<double> ColumnMeans() const;
+
+  /// \brief Squared Euclidean distance between rows of (possibly
+  /// different) matrices.
+  static double SquaredL2(std::span<const double> a, std::span<const double> b);
+  static double L2(std::span<const double> a, std::span<const double> b);
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace hamming

@@ -1,0 +1,55 @@
+#include "dataset/pivots.h"
+
+#include <algorithm>
+
+#include "code/gray.h"
+
+namespace hamming {
+
+GrayPivots GrayPivots::FromSample(const std::vector<BinaryCode>& sample,
+                                  std::size_t num_partitions) {
+  GrayPivots out;
+  out.num_partitions_ = std::max<std::size_t>(1, num_partitions);
+  if (out.num_partitions_ == 1 || sample.empty()) return out;
+
+  std::vector<BinaryCode> ranks;
+  ranks.reserve(sample.size());
+  for (const auto& c : sample) ranks.push_back(GrayRank(c));
+  std::sort(ranks.begin(), ranks.end());
+
+  out.pivot_ranks_.reserve(out.num_partitions_ - 1);
+  for (std::size_t m = 1; m < out.num_partitions_; ++m) {
+    std::size_t idx = m * ranks.size() / out.num_partitions_;
+    if (idx >= ranks.size()) idx = ranks.size() - 1;
+    out.pivot_ranks_.push_back(ranks[idx]);
+  }
+  return out;
+}
+
+std::size_t GrayPivots::PartitionOf(const BinaryCode& code) const {
+  if (pivot_ranks_.empty()) return 0;
+  BinaryCode rank = GrayRank(code);
+  // First pivot > rank; the code belongs to that pivot's partition.
+  auto it = std::upper_bound(pivot_ranks_.begin(), pivot_ranks_.end(), rank);
+  return static_cast<std::size_t>(it - pivot_ranks_.begin());
+}
+
+void GrayPivots::Serialize(BufferWriter* w) const {
+  w->PutVarint64(num_partitions_);
+  w->PutVarint64(pivot_ranks_.size());
+  for (const auto& p : pivot_ranks_) p.Serialize(w);
+}
+
+Status GrayPivots::Deserialize(BufferReader* r, GrayPivots* out) {
+  uint64_t np, k;
+  HAMMING_RETURN_NOT_OK(r->GetVarint64(&np));
+  HAMMING_RETURN_NOT_OK(r->GetVarint64(&k));
+  out->num_partitions_ = static_cast<std::size_t>(np);
+  out->pivot_ranks_.resize(k);
+  for (auto& p : out->pivot_ranks_) {
+    HAMMING_RETURN_NOT_OK(BinaryCode::Deserialize(r, &p));
+  }
+  return Status::OK();
+}
+
+}  // namespace hamming

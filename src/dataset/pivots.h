@@ -1,0 +1,42 @@
+// Gray-order pivot selection for load-balanced range partitioning
+// (Section 5.1).
+//
+// The MapReduce plans partition binary codes by Gray-order ranges so that
+// (a) each reducer receives ~the same number of tuples even under skew and
+// (b) codes that share FLSSeqs land in the same partition. Pivots are the
+// equi-depth quantiles of a sample's Gray ranks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "code/binary_code.h"
+
+namespace hamming {
+
+/// \brief Equi-depth partitioner over Gray-ordered binary codes.
+class GrayPivots {
+ public:
+  GrayPivots() = default;
+
+  /// \brief Selects num_partitions-1 pivot ranks as the equi-depth
+  /// quantiles of the sample's Gray ranks.
+  static GrayPivots FromSample(const std::vector<BinaryCode>& sample,
+                               std::size_t num_partitions);
+
+  /// \brief Partition id of a code: the range [pivot_{m}, pivot_{m+1})
+  /// its Gray rank falls into (binary search).
+  std::size_t PartitionOf(const BinaryCode& code) const;
+
+  std::size_t num_partitions() const { return num_partitions_; }
+  const std::vector<BinaryCode>& pivot_ranks() const { return pivot_ranks_; }
+
+  void Serialize(BufferWriter* w) const;
+  static Status Deserialize(BufferReader* r, GrayPivots* out);
+
+ private:
+  std::size_t num_partitions_ = 1;
+  std::vector<BinaryCode> pivot_ranks_;  // sorted Gray ranks, size P-1
+};
+
+}  // namespace hamming

@@ -1,0 +1,26 @@
+#include "dataset/sampling.h"
+
+namespace hamming {
+
+std::vector<std::size_t> ReservoirSampleIndices(std::size_t n, std::size_t k,
+                                                Rng* rng) {
+  std::vector<std::size_t> out;
+  if (k >= n) {
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = i;
+    return out;
+  }
+  out.reserve(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < k) {
+      out.push_back(i);
+    } else {
+      std::size_t j = static_cast<std::size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(i)));
+      if (j < k) out[j] = i;
+    }
+  }
+  return out;
+}
+
+}  // namespace hamming

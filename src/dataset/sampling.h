@@ -1,0 +1,47 @@
+// Reservoir sampling (Vitter [22]), used by the MapReduce preprocessing
+// phase to draw the sample that trains the hash function and selects
+// partition pivots.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hamming {
+
+/// \brief Draws a uniform sample of `k` indices from [0, n) in one pass
+/// (Algorithm R). Returns all indices when k >= n.
+std::vector<std::size_t> ReservoirSampleIndices(std::size_t n, std::size_t k,
+                                                Rng* rng);
+
+/// \brief Streaming reservoir over items of type T.
+template <typename T>
+class Reservoir {
+ public:
+  Reservoir(std::size_t capacity, Rng* rng)
+      : capacity_(capacity), rng_(rng) {}
+
+  /// \brief Offers one item to the reservoir.
+  void Offer(const T& item) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(item);
+    } else {
+      std::size_t j = static_cast<std::size_t>(
+          rng_->UniformInt(0, static_cast<int64_t>(seen_) - 1));
+      if (j < capacity_) sample_[j] = item;
+    }
+  }
+
+  const std::vector<T>& sample() const { return sample_; }
+  std::size_t seen() const { return seen_; }
+
+ private:
+  std::size_t capacity_;
+  Rng* rng_;
+  std::size_t seen_ = 0;
+  std::vector<T> sample_;
+};
+
+}  // namespace hamming

@@ -1,0 +1,65 @@
+#include "dataset/scale.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace hamming {
+
+FloatMatrix ScaleDataset(const FloatMatrix& base, std::size_t factor) {
+  const std::size_t n = base.rows();
+  const std::size_t d = base.cols();
+  FloatMatrix out(n * factor, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto src = base.Row(i);
+    auto dst = out.MutableRow(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  if (factor <= 1) return out;
+
+  // Per-dimension successor maps: sorted distinct values of the column,
+  // ordered (per the paper) by ascending frequency, then value. The
+  // "first value larger than t_j" lookup walks this ordering.
+  //
+  // We materialize, for each column, the sorted-by-(frequency,value) list
+  // and a value -> next-value map.
+  std::vector<std::map<double, double>> successor(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    std::map<double, std::size_t> freq;
+    for (std::size_t i = 0; i < n; ++i) ++freq[base.At(i, j)];
+    std::vector<std::pair<double, std::size_t>> vals(freq.begin(), freq.end());
+    std::sort(vals.begin(), vals.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second < b.second;
+                return a.first < b.first;
+              });
+    auto& succ = successor[j];
+    for (std::size_t k = 0; k < vals.size(); ++k) {
+      double next = (k + 1 < vals.size()) ? vals[k + 1].first : vals[k].first;
+      succ[vals[k].first] = next;
+    }
+  }
+
+  // Generation g derives from generation g-1.
+  for (std::size_t g = 1; g < factor; ++g) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t src_row = (g - 1) * n + i;
+      const std::size_t dst_row = g * n + i;
+      for (std::size_t j = 0; j < d; ++j) {
+        double v = out.At(src_row, j);
+        auto it = successor[j].find(v);
+        if (it != successor[j].end()) {
+          out.At(dst_row, j) = it->second;
+        } else {
+          // Derived value not present in the original column: take the
+          // first original value strictly larger, or keep v at the top.
+          auto up = successor[j].upper_bound(v);
+          out.At(dst_row, j) = up != successor[j].end() ? up->first : v;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace hamming

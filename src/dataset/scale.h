@@ -1,0 +1,22 @@
+// The paper's "×s" synthetic scale-up (Section 6).
+//
+// To grow a dataset while preserving its distribution, the paper sorts k
+// copies of the data, one per dimension, in ascending frequency order of
+// that dimension's values; for each original tuple t it emits a new tuple
+// whose j-th component is the next-larger value of t_j in the j-th sorted
+// copy (or t_j itself when t_j is the maximum). Repeating the derivation
+// s-1 times yields a dataset of s times the original size.
+#pragma once
+
+#include <cstddef>
+
+#include "dataset/matrix.h"
+
+namespace hamming {
+
+/// \brief Returns a dataset of size base.rows() * factor whose first
+/// base.rows() rows are `base` and whose remaining rows are derived by the
+/// paper's per-dimension successor scheme.
+FloatMatrix ScaleDataset(const FloatMatrix& base, std::size_t factor);
+
+}  // namespace hamming

@@ -1,0 +1,121 @@
+#include "hashing/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace hamming {
+
+FloatMatrix CovarianceMatrix(const FloatMatrix& data) {
+  const std::size_t n = data.rows();
+  const std::size_t d = data.cols();
+  std::vector<double> mean = data.ColumnMeans();
+  FloatMatrix cov(d, d);
+  if (n < 2) return cov;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = data.Row(i);
+    for (std::size_t a = 0; a < d; ++a) {
+      double da = row[a] - mean[a];
+      for (std::size_t b = a; b < d; ++b) {
+        cov.At(a, b) += da * (row[b] - mean[b]);
+      }
+    }
+  }
+  double denom = static_cast<double>(n - 1);
+  for (std::size_t a = 0; a < d; ++a) {
+    for (std::size_t b = a; b < d; ++b) {
+      double v = cov.At(a, b) / denom;
+      cov.At(a, b) = v;
+      cov.At(b, a) = v;
+    }
+  }
+  return cov;
+}
+
+Status JacobiEigenSymmetric(const FloatMatrix& a_in, EigenDecomposition* out,
+                            double tol, int max_sweeps) {
+  if (a_in.rows() != a_in.cols()) {
+    return Status::InvalidArgument("Jacobi requires a square matrix");
+  }
+  const std::size_t n = a_in.rows();
+  FloatMatrix a = a_in;          // working copy, driven to diagonal
+  FloatMatrix v(n, n);           // accumulated rotations, row r = e_r
+  for (std::size_t i = 0; i < n; ++i) v.At(i, i) = 1.0;
+
+  auto off_diag_norm = [&a, n]() {
+    double s = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) s += a.At(p, q) * a.At(p, q);
+    }
+    return std::sqrt(s);
+  };
+
+  // Relative convergence threshold: tiny rotations on a large-norm matrix
+  // buy nothing, so the cutoff scales with ||A||_F.
+  double fro = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    for (std::size_t q = 0; q < n; ++q) fro += a.At(p, q) * a.At(p, q);
+  }
+  const double threshold = std::max(tol * std::sqrt(fro), 1e-300);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (off_diag_norm() <= threshold) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double apq = a.At(p, q);
+        if (std::abs(apq) <= threshold / (static_cast<double>(n) + 1)) {
+          continue;
+        }
+        double app = a.At(p, p);
+        double aqq = a.At(q, q);
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        // Apply the rotation J(p,q,theta): A <- J^T A J.
+        for (std::size_t k = 0; k < n; ++k) {
+          double akp = a.At(k, p);
+          double akq = a.At(k, q);
+          a.At(k, p) = c * akp - s * akq;
+          a.At(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          double apk = a.At(p, k);
+          double aqk = a.At(q, k);
+          a.At(p, k) = c * apk - s * aqk;
+          a.At(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate eigenvectors: V <- V J, with V stored row-wise so
+        // row k picks up the column rotation.
+        for (std::size_t k = 0; k < n; ++k) {
+          double vkp = v.At(k, p);
+          double vkq = v.At(k, q);
+          v.At(k, p) = c * vkp - s * vkq;
+          v.At(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort by descending eigenvalue.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = a.At(i, i);
+  std::sort(order.begin(), order.end(),
+            [&diag](std::size_t x, std::size_t y) { return diag[x] > diag[y]; });
+
+  out->eigenvalues.resize(n);
+  out->eigenvectors = FloatMatrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    std::size_t src = order[j];
+    out->eigenvalues[j] = diag[src];
+    for (std::size_t k = 0; k < n; ++k) {
+      out->eigenvectors.At(j, k) = v.At(k, src);  // column src -> row j
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace hamming

@@ -1,0 +1,52 @@
+#include "hashing/simhash.h"
+
+namespace hamming {
+
+Result<std::unique_ptr<SimHash>> SimHash::Create(std::size_t input_dim,
+                                                 std::size_t code_bits,
+                                                 uint64_t seed) {
+  if (code_bits == 0 || code_bits > BinaryCode::kMaxBits) {
+    return Status::InvalidArgument("invalid code_bits");
+  }
+  if (input_dim == 0) {
+    return Status::InvalidArgument("input_dim must be positive");
+  }
+  auto h = std::unique_ptr<SimHash>(new SimHash());
+  h->code_bits_ = code_bits;
+  h->dim_ = input_dim;
+  h->hyperplanes_.resize(code_bits * input_dim);
+  Rng rng(seed);
+  for (double& v : h->hyperplanes_) v = rng.Gaussian();
+  return h;
+}
+
+BinaryCode SimHash::Hash(std::span<const double> vec) const {
+  BinaryCode code(code_bits_);
+  for (std::size_t b = 0; b < code_bits_; ++b) {
+    const double* w = hyperplanes_.data() + b * dim_;
+    double dot = 0.0;
+    for (std::size_t k = 0; k < dim_; ++k) dot += w[k] * vec[k];
+    if (dot >= 0.0) code.SetBit(b, true);
+  }
+  return code;
+}
+
+void SimHash::Serialize(BufferWriter* w) const {
+  w->PutVarint64(code_bits_);
+  w->PutVarint64(dim_);
+  for (double v : hyperplanes_) w->PutDouble(v);
+}
+
+Result<std::unique_ptr<SimHash>> SimHash::Deserialize(BufferReader* r) {
+  auto h = std::unique_ptr<SimHash>(new SimHash());
+  uint64_t bits, dim;
+  HAMMING_RETURN_NOT_OK(r->GetVarint64(&bits));
+  HAMMING_RETURN_NOT_OK(r->GetVarint64(&dim));
+  h->code_bits_ = bits;
+  h->dim_ = dim;
+  h->hyperplanes_.resize(bits * dim);
+  for (double& v : h->hyperplanes_) HAMMING_RETURN_NOT_OK(r->GetDouble(&v));
+  return h;
+}
+
+}  // namespace hamming

@@ -1,0 +1,41 @@
+// SimHash: random-hyperplane similarity hashing (Charikar [5]).
+//
+// The data-independent alternative to Spectral Hashing: bit b is the sign
+// of the projection onto a random Gaussian hyperplane. Used by the
+// near-duplicate-detection workloads the paper cites [4] and as an
+// ablation against the learned hash.
+#pragma once
+
+#include <memory>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "hashing/similarity_hash.h"
+
+namespace hamming {
+
+/// \brief Random-hyperplane hash; requires no training data, only the
+/// input dimensionality and a seed.
+class SimHash final : public SimilarityHash {
+ public:
+  static Result<std::unique_ptr<SimHash>> Create(std::size_t input_dim,
+                                                 std::size_t code_bits,
+                                                 uint64_t seed = 42);
+
+  std::size_t code_bits() const override { return code_bits_; }
+  std::size_t input_dim() const override { return dim_; }
+
+  BinaryCode Hash(std::span<const double> vec) const override;
+
+  void Serialize(BufferWriter* w) const override;
+  static Result<std::unique_ptr<SimHash>> Deserialize(BufferReader* r);
+
+ private:
+  SimHash() = default;
+
+  std::size_t code_bits_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<double> hyperplanes_;  // code_bits_ x dim_, row-major
+};
+
+}  // namespace hamming

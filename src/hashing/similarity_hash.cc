@@ -1,0 +1,14 @@
+#include "hashing/similarity_hash.h"
+
+namespace hamming {
+
+std::vector<BinaryCode> SimilarityHash::HashAll(const FloatMatrix& data) const {
+  std::vector<BinaryCode> out;
+  out.reserve(data.rows());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    out.push_back(Hash(data.Row(i)));
+  }
+  return out;
+}
+
+}  // namespace hamming

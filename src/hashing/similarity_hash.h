@@ -1,0 +1,41 @@
+// Similarity hash functions H : R^d -> {0,1}^L.
+//
+// The paper's pipeline (Section 1) maps each high-dimensional tuple to a
+// fixed-length binary code with a learned similarity hash; all Hamming
+// machinery then operates on the codes. We provide the paper's choice
+// (Spectral Hashing [2]) plus the data-independent SimHash [5] used by the
+// near-duplicate-detection literature it cites.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "code/binary_code.h"
+#include "common/result.h"
+#include "dataset/matrix.h"
+
+namespace hamming {
+
+/// \brief Abstract trained similarity hash function.
+class SimilarityHash {
+ public:
+  virtual ~SimilarityHash() = default;
+
+  /// \brief Code length L in bits.
+  virtual std::size_t code_bits() const = 0;
+  /// \brief Input dimensionality d.
+  virtual std::size_t input_dim() const = 0;
+
+  /// \brief Hashes one feature vector into its binary code.
+  virtual BinaryCode Hash(std::span<const double> vec) const = 0;
+
+  /// \brief Hashes every row of a matrix.
+  std::vector<BinaryCode> HashAll(const FloatMatrix& data) const;
+
+  /// \brief Serializes the trained model (for the MapReduce distributed
+  /// cache, which ships the model to every node).
+  virtual void Serialize(BufferWriter* w) const = 0;
+};
+
+}  // namespace hamming

@@ -1,0 +1,59 @@
+// Spectral Hashing (Weiss, Torralba, Fergus — NIPS'08), the hash function
+// the paper's experiments train (Section 6: "We choose the state-of-the-art
+// Spectral Hashing as the hash function").
+//
+// Training: PCA of a sample, a uniform-distribution fit on each principal
+// direction, and selection of the L analytical Laplacian eigenfunctions
+// with the smallest frequencies. Hashing: project, evaluate the selected
+// sinusoidal eigenfunctions, threshold at zero.
+#pragma once
+
+#include <memory>
+
+#include "common/result.h"
+#include "hashing/similarity_hash.h"
+
+namespace hamming {
+
+/// \brief Training options for Spectral Hashing.
+struct SpectralHashingOptions {
+  std::size_t code_bits = 32;
+  /// Modes considered per principal direction during eigenfunction
+  /// selection; the original code uses code_bits + 1.
+  std::size_t max_modes_per_direction = 0;  // 0 = code_bits + 1
+};
+
+/// \brief A trained Spectral Hashing model.
+class SpectralHashing final : public SimilarityHash {
+ public:
+  /// \brief Trains on a sample of the data distribution.
+  ///
+  /// Fails when the sample has fewer than two rows or when code_bits
+  /// exceeds BinaryCode::kMaxBits.
+  static Result<std::unique_ptr<SpectralHashing>> Train(
+      const FloatMatrix& sample, const SpectralHashingOptions& opts);
+
+  std::size_t code_bits() const override { return code_bits_; }
+  std::size_t input_dim() const override { return dim_; }
+
+  BinaryCode Hash(std::span<const double> vec) const override;
+
+  void Serialize(BufferWriter* w) const override;
+  static Result<std::unique_ptr<SpectralHashing>> Deserialize(BufferReader* r);
+
+ private:
+  SpectralHashing() = default;
+
+  std::size_t code_bits_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t num_pcs_ = 0;          // principal directions kept
+  std::vector<double> mean_;          // centering vector, size dim_
+  std::vector<double> projections_;   // num_pcs_ x dim_, row-major
+  std::vector<double> mn_;            // per-direction range minimum
+  std::vector<double> range_;         // per-direction range width
+  // Selected eigenfunctions: bit b uses direction dir_[b], mode mode_[b].
+  std::vector<uint32_t> dir_;
+  std::vector<uint32_t> mode_;
+};
+
+}  // namespace hamming

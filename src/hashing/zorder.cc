@@ -1,0 +1,79 @@
+#include "hashing/zorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hamming {
+
+Result<ZOrderEncoder> ZOrderEncoder::Create(std::size_t input_dim,
+                                            std::size_t dims_used,
+                                            std::size_t bits_per_dim,
+                                            uint64_t seed) {
+  if (input_dim == 0 || dims_used == 0 || bits_per_dim == 0) {
+    return Status::InvalidArgument("zorder dims must be positive");
+  }
+  if (dims_used * bits_per_dim > BinaryCode::kMaxBits) {
+    return Status::InvalidArgument("z-value longer than kMaxBits");
+  }
+  ZOrderEncoder enc;
+  enc.input_dim_ = input_dim;
+  enc.dims_used_ = dims_used;
+  enc.bits_per_dim_ = bits_per_dim;
+  enc.projection_.resize(dims_used * input_dim);
+  enc.shift_.resize(dims_used);
+  Rng rng(seed);
+  for (double& v : enc.projection_) v = rng.Gaussian();
+  for (double& v : enc.shift_) v = rng.UniformReal(0.0, 1.0);
+  enc.mn_.assign(dims_used, 0.0);
+  enc.range_.assign(dims_used, 1.0);
+  return enc;
+}
+
+void ZOrderEncoder::Fit(const FloatMatrix& sample) {
+  std::vector<double> mn(dims_used_, 1e300), mx(dims_used_, -1e300);
+  for (std::size_t i = 0; i < sample.rows(); ++i) {
+    auto row = sample.Row(i);
+    for (std::size_t j = 0; j < dims_used_; ++j) {
+      const double* w = projection_.data() + j * input_dim_;
+      double p = 0.0;
+      for (std::size_t k = 0; k < input_dim_; ++k) p += w[k] * row[k];
+      mn[j] = std::min(mn[j], p);
+      mx[j] = std::max(mx[j], p);
+    }
+  }
+  mn_ = mn;
+  range_.resize(dims_used_);
+  for (std::size_t j = 0; j < dims_used_; ++j) {
+    range_[j] = std::max(mx[j] - mn[j], 1e-12);
+  }
+}
+
+BinaryCode ZOrderEncoder::Encode(std::span<const double> vec) const {
+  const uint64_t levels = 1ull << bits_per_dim_;
+  std::vector<uint64_t> cell(dims_used_);
+  for (std::size_t j = 0; j < dims_used_; ++j) {
+    const double* w = projection_.data() + j * input_dim_;
+    double p = 0.0;
+    for (std::size_t k = 0; k < input_dim_; ++k) p += w[k] * vec[k];
+    // Normalize into [0,1), apply the LSB random shift modulo 1.
+    double x = (p - mn_[j]) / range_[j] + shift_[j];
+    x -= std::floor(x);
+    uint64_t q = static_cast<uint64_t>(x * static_cast<double>(levels));
+    if (q >= levels) q = levels - 1;
+    cell[j] = q;
+  }
+  // Interleave: output bit index b = level * dims_used_ + dim, taking the
+  // most significant quantized bit of every dimension first.
+  BinaryCode out(code_bits());
+  std::size_t pos = 0;
+  for (std::size_t level = 0; level < bits_per_dim_; ++level) {
+    for (std::size_t j = 0; j < dims_used_; ++j) {
+      bool bit = (cell[j] >> (bits_per_dim_ - 1 - level)) & 1;
+      if (bit) out.SetBit(pos, true);
+      ++pos;
+    }
+  }
+  return out;
+}
+
+}  // namespace hamming

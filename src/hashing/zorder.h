@@ -1,0 +1,50 @@
+// Z-order (Morton) encoding of high-dimensional vectors.
+//
+// The LSB-Tree baseline (Tao et al. [26], Table 5) maps each point to a
+// one-dimensional Z-value by interleaving the bits of its quantized,
+// randomly-shifted coordinates, then indexes the Z-values in a B-tree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "code/binary_code.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "dataset/matrix.h"
+
+namespace hamming {
+
+/// \brief Quantizes and bit-interleaves vectors into Z-values.
+class ZOrderEncoder {
+ public:
+  /// \param dims_used number of (leading) dimensions interleaved; high-d
+  ///   inputs are first reduced by random projection to this many dims.
+  /// \param bits_per_dim quantization resolution per dimension.
+  static Result<ZOrderEncoder> Create(std::size_t input_dim,
+                                      std::size_t dims_used,
+                                      std::size_t bits_per_dim,
+                                      uint64_t seed = 42);
+
+  /// \brief Fits quantization ranges on a sample (min/max per projected
+  /// dimension, with the random shift LSB-trees apply).
+  void Fit(const FloatMatrix& sample);
+
+  /// \brief Z-value of a vector: dims_used * bits_per_dim interleaved bits.
+  BinaryCode Encode(std::span<const double> vec) const;
+
+  std::size_t code_bits() const { return dims_used_ * bits_per_dim_; }
+
+ private:
+  ZOrderEncoder() = default;
+
+  std::size_t input_dim_ = 0;
+  std::size_t dims_used_ = 0;
+  std::size_t bits_per_dim_ = 0;
+  std::vector<double> projection_;  // dims_used x input_dim
+  std::vector<double> shift_;       // random shift per projected dim
+  std::vector<double> mn_, range_;  // fitted quantization box
+};
+
+}  // namespace hamming

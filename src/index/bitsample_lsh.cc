@@ -1,0 +1,126 @@
+#include "index/bitsample_lsh.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hamming {
+
+Status BitSampleLshIndex::EnsureLayout(const BinaryCode& code) {
+  if (tables_.empty()) {
+    if (opts_.num_tables == 0 || opts_.bits_per_table == 0 ||
+        opts_.bits_per_table > 64) {
+      return Status::InvalidArgument("invalid bit-sampling parameters");
+    }
+    code_bits_ = code.size();
+    if (code_bits_ == 0) {
+      return Status::InvalidArgument("empty code");
+    }
+    Rng rng(opts_.seed);
+    sampled_bits_.resize(opts_.num_tables);
+    for (auto& bits : sampled_bits_) {
+      bits.resize(opts_.bits_per_table);
+      for (auto& b : bits) {
+        b = static_cast<uint16_t>(
+            rng.UniformInt(0, static_cast<int64_t>(code_bits_) - 1));
+      }
+    }
+    tables_.assign(opts_.num_tables, {});
+  }
+  if (code.size() != code_bits_) {
+    return Status::InvalidArgument("code length mismatch");
+  }
+  return Status::OK();
+}
+
+uint64_t BitSampleLshIndex::KeyOf(std::size_t table,
+                                  const BinaryCode& code) const {
+  uint64_t key = 0;
+  for (uint16_t pos : sampled_bits_[table]) {
+    key = (key << 1) | static_cast<uint64_t>(code.GetBit(pos));
+  }
+  return key;
+}
+
+Status BitSampleLshIndex::Build(const std::vector<BinaryCode>& codes) {
+  tables_.clear();
+  sampled_bits_.clear();
+  stored_.clear();
+  code_bits_ = 0;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    HAMMING_RETURN_NOT_OK(Insert(static_cast<TupleId>(i), codes[i]));
+  }
+  return Status::OK();
+}
+
+Status BitSampleLshIndex::Insert(TupleId id, const BinaryCode& code) {
+  HAMMING_RETURN_NOT_OK(EnsureLayout(code));
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    tables_[t][KeyOf(t, code)].push_back({id, code});
+  }
+  stored_[id] = code;
+  return Status::OK();
+}
+
+Status BitSampleLshIndex::Delete(TupleId id, const BinaryCode& code) {
+  auto it = stored_.find(id);
+  if (it == stored_.end() || it->second != code) {
+    return Status::KeyError("tuple not found in bit-sampling index");
+  }
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    auto bucket_it = tables_[t].find(KeyOf(t, code));
+    if (bucket_it == tables_[t].end()) continue;
+    auto& bucket = bucket_it->second;
+    bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 bucket.end());
+    if (bucket.empty()) tables_[t].erase(bucket_it);
+  }
+  stored_.erase(it);
+  return Status::OK();
+}
+
+Result<std::vector<TupleId>> BitSampleLshIndex::Search(
+    const BinaryCode& query, std::size_t h) const {
+  if (stored_.empty()) return std::vector<TupleId>{};
+  if (query.size() != code_bits_) {
+    return Status::InvalidArgument("query length mismatch");
+  }
+  std::vector<TupleId> out;
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    auto bucket_it = tables_[t].find(KeyOf(t, query));
+    if (bucket_it == tables_[t].end()) continue;
+    for (const Entry& entry : bucket_it->second) {
+      if (entry.code.WithinDistance(query, h)) out.push_back(entry.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+double BitSampleLshIndex::CollisionProbability(std::size_t h) const {
+  if (code_bits_ == 0) return 0.0;
+  double p = 1.0 - static_cast<double>(h) / static_cast<double>(code_bits_);
+  return std::pow(p, static_cast<double>(opts_.bits_per_table));
+}
+
+MemoryBreakdown BitSampleLshIndex::Memory() const {
+  MemoryBreakdown mb;
+  std::size_t per_code = code_bits_ ? (code_bits_ + 7) / 8 : 0;
+  for (const auto& table : tables_) {
+    mb.internal_bytes += table.size() * (sizeof(uint64_t) + sizeof(void*));
+    for (const auto& [key, bucket] : table) {
+      (void)key;
+      mb.internal_bytes += bucket.size() * (sizeof(TupleId) + per_code);
+    }
+  }
+  mb.internal_bytes +=
+      sampled_bits_.size() * opts_.bits_per_table * sizeof(uint16_t);
+  for (const auto& [id, code] : stored_) {
+    (void)id;
+    mb.leaf_bytes += sizeof(TupleId) + code.PackedBytes();
+  }
+  return mb;
+}
+
+}  // namespace hamming

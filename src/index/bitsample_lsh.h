@@ -1,0 +1,60 @@
+// Bit-sampling LSH for Hamming space (Indyk & Motwani's original LSH
+// family; extension baseline, not benchmarked by the paper).
+//
+// Each of T tables keys tuples by the values of M randomly sampled bit
+// positions. Two codes within distance h collide in one table with
+// probability (1 - h/L)^M, so a handful of tables gives high recall for
+// small h. Approximate: never returns false positives (candidates are
+// verified), may miss true matches — the tests check the subset property
+// and measured recall.
+#pragma once
+
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "index/hamming_index.h"
+
+namespace hamming {
+
+/// \brief Options for the bit-sampling index.
+struct BitSampleLshOptions {
+  std::size_t num_tables = 8;
+  std::size_t bits_per_table = 12;
+  uint64_t seed = 42;
+};
+
+/// \brief Approximate Hamming index by sampled-bit hashing.
+class BitSampleLshIndex final : public HammingIndex {
+ public:
+  explicit BitSampleLshIndex(BitSampleLshOptions opts = {}) : opts_(opts) {}
+
+  std::string name() const override { return "BitSample-LSH"; }
+
+  Status Build(const std::vector<BinaryCode>& codes) override;
+  Result<std::vector<TupleId>> Search(const BinaryCode& query,
+                                      std::size_t h) const override;
+  Status Insert(TupleId id, const BinaryCode& code) override;
+  Status Delete(TupleId id, const BinaryCode& code) override;
+  std::size_t size() const override { return stored_.size(); }
+  MemoryBreakdown Memory() const override;
+
+  /// \brief Expected single-table collision probability for distance h.
+  double CollisionProbability(std::size_t h) const;
+
+ private:
+  struct Entry {
+    TupleId id;
+    BinaryCode code;
+  };
+
+  Status EnsureLayout(const BinaryCode& code);
+  uint64_t KeyOf(std::size_t table, const BinaryCode& code) const;
+
+  BitSampleLshOptions opts_;
+  std::size_t code_bits_ = 0;
+  std::vector<std::vector<uint16_t>> sampled_bits_;  // per table
+  std::vector<std::unordered_map<uint64_t, std::vector<Entry>>> tables_;
+  std::unordered_map<TupleId, BinaryCode> stored_;
+};
+
+}  // namespace hamming

@@ -1,0 +1,6 @@
+#include "index/hamming_index.h"
+
+// Interface-only translation unit; kept so the target owns the header for
+// build systems that require a .cc per module.
+
+namespace hamming {}

@@ -1,0 +1,80 @@
+// The common interface for every Hamming-select index in the library
+// (Section 3: h-select(tq, S) returns all tuples within Hamming distance h
+// of the query's binary code).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "code/binary_code.h"
+#include "common/memtrack.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hamming {
+
+/// \brief Identifier of a tuple within a dataset (its row number).
+using TupleId = uint32_t;
+
+/// \brief One Hamming-join result pair: (id in R, id in S).
+struct JoinPair {
+  TupleId r;
+  TupleId s;
+  bool operator==(const JoinPair& other) const {
+    return r == other.r && s == other.s;
+  }
+  bool operator<(const JoinPair& other) const {
+    if (r != other.r) return r < other.r;
+    return s < other.s;
+  }
+};
+
+/// \brief Abstract index over a collection of equal-length binary codes
+/// answering Hamming range queries.
+///
+/// Implementations: LinearScanIndex, MultiHashTableIndex, HEngineIndex,
+/// HmSearchIndex, RadixTreeIndex, StaticHAIndex, DynamicHAIndex.
+class HammingIndex {
+ public:
+  virtual ~HammingIndex() = default;
+
+  /// \brief Human-readable name used by the bench harnesses
+  /// ("DHA-Index", "MH-4", ...).
+  virtual std::string name() const = 0;
+
+  /// \brief Bulk-loads the index over codes[0..n); tuple i gets id i.
+  /// Replaces any previous contents.
+  virtual Status Build(const std::vector<BinaryCode>& codes) = 0;
+
+  /// \brief All tuple ids whose code is within Hamming distance h of
+  /// `query`. Order of ids in the result is unspecified.
+  virtual Result<std::vector<TupleId>> Search(const BinaryCode& query,
+                                              std::size_t h) const = 0;
+
+  /// \brief Inserts one (id, code) pair.
+  virtual Status Insert(TupleId id, const BinaryCode& code) = 0;
+
+  /// \brief Removes one (id, code) pair; KeyError if absent.
+  virtual Status Delete(TupleId id, const BinaryCode& code) = 0;
+
+  /// \brief Number of indexed tuples.
+  virtual std::size_t size() const = 0;
+
+  /// \brief Structural memory accounting for the Table 4 comparison.
+  virtual MemoryBreakdown Memory() const = 0;
+
+  /// \brief True if the index supports dynamic Insert/Delete (the static
+  /// HA-Index and signature indexes rebuild instead).
+  virtual bool SupportsDynamicUpdates() const { return true; }
+};
+
+/// \brief Sorts a search result for deterministic comparison in tests.
+inline std::vector<TupleId> Sorted(std::vector<TupleId> ids) {
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+}  // namespace hamming

@@ -1,0 +1,49 @@
+#include "index/linear_scan.h"
+
+namespace hamming {
+
+Status LinearScanIndex::Build(const std::vector<BinaryCode>& codes) {
+  codes_ = codes;
+  ids_.resize(codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    ids_[i] = static_cast<TupleId>(i);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<TupleId>> LinearScanIndex::Search(const BinaryCode& query,
+                                                     std::size_t h) const {
+  std::vector<TupleId> out;
+  for (std::size_t i = 0; i < codes_.size(); ++i) {
+    if (codes_[i].WithinDistance(query, h)) out.push_back(ids_[i]);
+  }
+  return out;
+}
+
+Status LinearScanIndex::Insert(TupleId id, const BinaryCode& code) {
+  codes_.push_back(code);
+  ids_.push_back(id);
+  return Status::OK();
+}
+
+Status LinearScanIndex::Delete(TupleId id, const BinaryCode& code) {
+  for (std::size_t i = 0; i < codes_.size(); ++i) {
+    if (ids_[i] == id && codes_[i] == code) {
+      codes_[i] = codes_.back();
+      ids_[i] = ids_.back();
+      codes_.pop_back();
+      ids_.pop_back();
+      return Status::OK();
+    }
+  }
+  return Status::KeyError("tuple not found in linear scan index");
+}
+
+MemoryBreakdown LinearScanIndex::Memory() const {
+  MemoryBreakdown mb;
+  for (const auto& c : codes_) mb.leaf_bytes += c.PackedBytes();
+  mb.leaf_bytes += ids_.size() * sizeof(TupleId);
+  return mb;
+}
+
+}  // namespace hamming

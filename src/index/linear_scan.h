@@ -1,0 +1,31 @@
+// Nested-Loops baseline (Section 3): a flat array of codes scanned with
+// XOR + popcount per query. O(n) reads and O(n) distance computations per
+// select; the quadratic-join strawman every other method is measured
+// against.
+#pragma once
+
+#include <unordered_map>
+
+#include "index/hamming_index.h"
+
+namespace hamming {
+
+/// \brief The naive scan index.
+class LinearScanIndex final : public HammingIndex {
+ public:
+  std::string name() const override { return "Nested-Loops"; }
+
+  Status Build(const std::vector<BinaryCode>& codes) override;
+  Result<std::vector<TupleId>> Search(const BinaryCode& query,
+                                      std::size_t h) const override;
+  Status Insert(TupleId id, const BinaryCode& code) override;
+  Status Delete(TupleId id, const BinaryCode& code) override;
+  std::size_t size() const override { return ids_.size(); }
+  MemoryBreakdown Memory() const override;
+
+ private:
+  std::vector<BinaryCode> codes_;
+  std::vector<TupleId> ids_;
+};
+
+}  // namespace hamming

@@ -1,0 +1,199 @@
+#include "index/static_ha_index.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace hamming {
+
+Status StaticHAIndex::EnsureLayout(const BinaryCode& code) {
+  if (code_bits_ == 0) {
+    if (opts_.segment_bits == 0 || opts_.segment_bits > 64) {
+      return Status::InvalidArgument("segment_bits must be in [1, 64]");
+    }
+    code_bits_ = code.size();
+    std::size_t num_levels =
+        (code_bits_ + opts_.segment_bits - 1) / opts_.segment_bits;
+    levels_.resize(num_levels);
+    for (std::size_t j = 0; j < num_levels; ++j) {
+      levels_[j].begin = j * opts_.segment_bits;
+      levels_[j].len =
+          std::min(opts_.segment_bits, code_bits_ - levels_[j].begin);
+    }
+  }
+  if (code.size() != code_bits_) {
+    return Status::InvalidArgument("code length mismatch");
+  }
+  return Status::OK();
+}
+
+uint32_t StaticHAIndex::InternNode(Level* level, uint64_t value) {
+  auto [it, inserted] = level->value_to_node.try_emplace(
+      value, static_cast<uint32_t>(level->node_values.size()));
+  if (inserted) {
+    level->node_values.push_back(value);
+    level->node_refcount.push_back(0);
+  }
+  ++level->node_refcount[it->second];
+  return it->second;
+}
+
+Status StaticHAIndex::Build(const std::vector<BinaryCode>& codes) {
+  code_bits_ = 0;
+  levels_.clear();
+  path_nodes_.clear();
+  paths_.clear();
+  id_to_row_.clear();
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    HAMMING_RETURN_NOT_OK(Insert(static_cast<TupleId>(i), codes[i]));
+  }
+  return Status::OK();
+}
+
+Status StaticHAIndex::Insert(TupleId id, const BinaryCode& code) {
+  HAMMING_RETURN_NOT_OK(EnsureLayout(code));
+  if (id_to_row_.count(id)) {
+    return Status::InvalidArgument("duplicate tuple id");
+  }
+  for (auto& level : levels_) {
+    uint64_t value = code.SubstringAsUint64(level.begin, level.len);
+    path_nodes_.push_back(InternNode(&level, value));
+  }
+  id_to_row_[id] = paths_.size();
+  paths_.push_back(id);
+  groups_stale_ = true;
+  return Status::OK();
+}
+
+void StaticHAIndex::RefreshGroups() const {
+  groups_.assign(levels_.empty() ? 0 : levels_[0].node_values.size(), {});
+  const std::size_t nl = levels_.size();
+  for (std::size_t row = 0; row < paths_.size(); ++row) {
+    groups_[path_nodes_[row * nl]].push_back(static_cast<uint32_t>(row));
+  }
+  groups_stale_ = false;
+}
+
+Status StaticHAIndex::Delete(TupleId id, const BinaryCode& code) {
+  auto it = id_to_row_.find(id);
+  if (it == id_to_row_.end()) {
+    return Status::KeyError("tuple not found in SHA index");
+  }
+  const std::size_t row = it->second;
+  const std::size_t nl = levels_.size();
+  // Verify the stored path matches `code` (H-Delete's bitmatch step).
+  for (std::size_t j = 0; j < nl; ++j) {
+    uint64_t value = code.SubstringAsUint64(levels_[j].begin, levels_[j].len);
+    uint32_t node = path_nodes_[row * nl + j];
+    if (levels_[j].node_values[node] != value) {
+      return Status::KeyError("code does not match stored tuple");
+    }
+  }
+  // Decrement node frequencies; drop nodes reaching zero from the value
+  // map (their slot stays to keep indices stable, mirroring the paper's
+  // "remove node if frequency is 0").
+  for (std::size_t j = 0; j < nl; ++j) {
+    uint32_t node = path_nodes_[row * nl + j];
+    if (--levels_[j].node_refcount[node] == 0) {
+      levels_[j].value_to_node.erase(levels_[j].node_values[node]);
+    }
+  }
+  // Swap-remove the path row.
+  const std::size_t last = paths_.size() - 1;
+  if (row != last) {
+    for (std::size_t j = 0; j < nl; ++j) {
+      path_nodes_[row * nl + j] = path_nodes_[last * nl + j];
+    }
+    paths_[row] = paths_[last];
+    id_to_row_[paths_[row]] = row;
+  }
+  path_nodes_.resize(last * nl);
+  paths_.pop_back();
+  id_to_row_.erase(it);
+  groups_stale_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<TupleId>> StaticHAIndex::Search(const BinaryCode& query,
+                                                   std::size_t h) const {
+  std::vector<TupleId> out;
+  if (paths_.empty()) return out;
+  if (query.size() != code_bits_) {
+    return Status::InvalidArgument("query length mismatch");
+  }
+  const std::size_t nl = levels_.size();
+
+  // Phase 1: one XOR+popcount per *distinct* segment node — the shared
+  // computation that distinguishes the HA-Index from per-tuple scans.
+  std::vector<std::vector<uint16_t>> node_dist(nl);
+  // Suffix-minimum of per-level best distances enables a tighter prune:
+  // if acc + min_rest[j] > h no path can qualify through level j.
+  std::vector<uint16_t> level_min(nl, 0);
+  for (std::size_t j = 0; j < nl; ++j) {
+    const Level& level = levels_[j];
+    uint64_t qseg = query.SubstringAsUint64(level.begin, level.len);
+    auto& dist = node_dist[j];
+    dist.resize(level.node_values.size());
+    uint16_t best = 0xffff;
+    for (std::size_t v = 0; v < level.node_values.size(); ++v) {
+      if (level.node_refcount[v] == 0) {
+        dist[v] = 0xffff;  // dead node; no live path references it
+        continue;
+      }
+      uint16_t d = static_cast<uint16_t>(
+          std::popcount(level.node_values[v] ^ qseg));
+      dist[v] = d;
+      best = std::min(best, d);
+    }
+    level_min[j] = best == 0xffff ? 0 : best;
+  }
+  std::vector<std::size_t> min_rest(nl + 1, 0);
+  for (std::size_t j = nl; j-- > 0;) {
+    min_rest[j] = min_rest[j + 1] + level_min[j];
+  }
+  if (min_rest[0] > h) return out;
+
+  // Phase 2: walk rows grouped by their shared level-0 node — one check
+  // discards a whole group (the node-sharing payoff) — then sum memoized
+  // distances along each surviving path with early abandonment.
+  if (groups_stale_) RefreshGroups();
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (groups_[g].empty()) continue;
+    std::size_t d0 = node_dist[0][g];
+    if (d0 + min_rest[1] > h) continue;  // prunes every path through g
+    for (uint32_t row : groups_[g]) {
+      const uint32_t* path = path_nodes_.data() + row * nl;
+      std::size_t acc = d0;
+      bool ok = true;
+      for (std::size_t j = 1; j < nl; ++j) {
+        acc += node_dist[j][path[j]];
+        if (acc + min_rest[j + 1] > h) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && acc <= h) out.push_back(paths_[row]);
+    }
+  }
+  return out;
+}
+
+std::size_t StaticHAIndex::NodeCount() const {
+  std::size_t count = 0;
+  for (const auto& level : levels_) count += level.value_to_node.size();
+  return count;
+}
+
+MemoryBreakdown StaticHAIndex::Memory() const {
+  MemoryBreakdown mb;
+  for (const auto& level : levels_) {
+    // Live shared nodes: packed segment value + frequency counter.
+    mb.internal_bytes +=
+        level.value_to_node.size() * ((level.len + 7) / 8 + sizeof(uint32_t));
+  }
+  // Leaf side: per tuple, one node reference per level plus the id.
+  mb.leaf_bytes += path_nodes_.size() * sizeof(uint32_t) +
+                   paths_.size() * sizeof(TupleId);
+  return mb;
+}
+
+}  // namespace hamming

@@ -1,0 +1,115 @@
+#include "index/yao_index.h"
+
+#include <algorithm>
+
+namespace hamming {
+
+Status YaoIndex::EnsureLayout(const BinaryCode& code) {
+  if (code_bits_ == 0) {
+    code_bits_ = code.size();
+    if (code_bits_ < 2) {
+      return Status::InvalidArgument("YaoIndex needs at least 2 bits");
+    }
+    split_ = code_bits_ / 2;
+    if (split_ > 64 || code_bits_ - split_ > 64) {
+      return Status::InvalidArgument(
+          "YaoIndex half keys are limited to 64 bits each");
+    }
+  }
+  if (code.size() != code_bits_) {
+    return Status::InvalidArgument("code length mismatch");
+  }
+  return Status::OK();
+}
+
+uint64_t YaoIndex::HalfKey(bool right, const BinaryCode& code) const {
+  return right ? code.SubstringAsUint64(split_, code_bits_ - split_)
+               : code.SubstringAsUint64(0, split_);
+}
+
+Status YaoIndex::Build(const std::vector<BinaryCode>& codes) {
+  left_.clear();
+  right_.clear();
+  stored_.clear();
+  code_bits_ = 0;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    HAMMING_RETURN_NOT_OK(Insert(static_cast<TupleId>(i), codes[i]));
+  }
+  return Status::OK();
+}
+
+Status YaoIndex::Insert(TupleId id, const BinaryCode& code) {
+  HAMMING_RETURN_NOT_OK(EnsureLayout(code));
+  left_[HalfKey(false, code)].push_back({id, code});
+  right_[HalfKey(true, code)].push_back({id, code});
+  stored_[id] = code;
+  return Status::OK();
+}
+
+Status YaoIndex::Delete(TupleId id, const BinaryCode& code) {
+  auto it = stored_.find(id);
+  if (it == stored_.end() || it->second != code) {
+    return Status::KeyError("tuple not found in Yao index");
+  }
+  auto drop = [id](std::unordered_map<uint64_t, std::vector<Entry>>* table,
+                   uint64_t key) {
+    auto bucket_it = table->find(key);
+    if (bucket_it == table->end()) return;
+    auto& bucket = bucket_it->second;
+    bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 bucket.end());
+    if (bucket.empty()) table->erase(bucket_it);
+  };
+  drop(&left_, HalfKey(false, code));
+  drop(&right_, HalfKey(true, code));
+  stored_.erase(it);
+  return Status::OK();
+}
+
+Result<std::vector<TupleId>> YaoIndex::Search(const BinaryCode& query,
+                                              std::size_t h) const {
+  if (stored_.empty()) return std::vector<TupleId>{};
+  if (query.size() != code_bits_) {
+    return Status::InvalidArgument("query length mismatch");
+  }
+  if (h > 1) {
+    return Status::InvalidArgument(
+        "YaoIndex supports Hamming thresholds 0 and 1 only");
+  }
+  std::vector<TupleId> out;
+  auto probe = [this, &out, &query, h](
+                   const std::unordered_map<uint64_t, std::vector<Entry>>&
+                       table,
+                   uint64_t key) {
+    auto it = table.find(key);
+    if (it == table.end()) return;
+    for (const Entry& e : it->second) {
+      if (e.code.WithinDistance(query, h)) out.push_back(e.id);
+    }
+  };
+  probe(left_, HalfKey(false, query));
+  probe(right_, HalfKey(true, query));
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+MemoryBreakdown YaoIndex::Memory() const {
+  MemoryBreakdown mb;
+  std::size_t per_code = code_bits_ ? (code_bits_ + 7) / 8 : 0;
+  for (const auto* table : {&left_, &right_}) {
+    mb.internal_bytes += table->size() * (sizeof(uint64_t) + sizeof(void*));
+    for (const auto& [key, bucket] : *table) {
+      (void)key;
+      mb.internal_bytes += bucket.size() * (sizeof(TupleId) + per_code);
+    }
+  }
+  for (const auto& [id, code] : stored_) {
+    (void)id;
+    mb.leaf_bytes += sizeof(TupleId) + code.PackedBytes();
+  }
+  return mb;
+}
+
+}  // namespace hamming

@@ -1,0 +1,48 @@
+// Greene/Parnas/Yao half-splitting index for h <= 1 ([7] in the paper:
+// "Yao's algorithm recursively cuts the query binary code and each binary
+// code in the dataset in half, and then finds exact matches in the
+// dataset for the left or the right half of the query binary code").
+//
+// At most one differing bit falls in one of the two halves, so the other
+// half matches exactly: the index keeps one hash table per half and a
+// query probes both, verifying each candidate. This is the classic small-
+// threshold design the Hamming literature (and the paper's Section 2)
+// starts from; thresholds above 1 are rejected.
+#pragma once
+
+#include <unordered_map>
+
+#include "index/hamming_index.h"
+
+namespace hamming {
+
+/// \brief Exact Hamming index for thresholds 0 and 1.
+class YaoIndex final : public HammingIndex {
+ public:
+  std::string name() const override { return "Yao-Halving"; }
+
+  Status Build(const std::vector<BinaryCode>& codes) override;
+  Result<std::vector<TupleId>> Search(const BinaryCode& query,
+                                      std::size_t h) const override;
+  Status Insert(TupleId id, const BinaryCode& code) override;
+  Status Delete(TupleId id, const BinaryCode& code) override;
+  std::size_t size() const override { return stored_.size(); }
+  MemoryBreakdown Memory() const override;
+
+ private:
+  struct Entry {
+    TupleId id;
+    BinaryCode code;
+  };
+
+  Status EnsureLayout(const BinaryCode& code);
+  uint64_t HalfKey(bool right, const BinaryCode& code) const;
+
+  std::size_t code_bits_ = 0;
+  std::size_t split_ = 0;  // left half = [0, split), right = [split, L)
+  std::unordered_map<uint64_t, std::vector<Entry>> left_;
+  std::unordered_map<uint64_t, std::vector<Entry>> right_;
+  std::unordered_map<TupleId, BinaryCode> stored_;
+};
+
+}  // namespace hamming

@@ -1,0 +1,41 @@
+#include "join/centralized_join.h"
+
+#include <algorithm>
+
+namespace hamming {
+
+std::vector<JoinPair> NestedLoopsJoin(const std::vector<BinaryCode>& r_codes,
+                                      const std::vector<BinaryCode>& s_codes,
+                                      std::size_t h) {
+  std::vector<JoinPair> out;
+  for (std::size_t i = 0; i < r_codes.size(); ++i) {
+    for (std::size_t j = 0; j < s_codes.size(); ++j) {
+      if (r_codes[i].WithinDistance(s_codes[j], h)) {
+        out.push_back({static_cast<TupleId>(i), static_cast<TupleId>(j)});
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::vector<JoinPair>> IndexProbeJoin(
+    HammingIndex* index, const std::vector<BinaryCode>& r_codes,
+    const std::vector<BinaryCode>& s_codes, std::size_t h) {
+  HAMMING_RETURN_NOT_OK(index->Build(r_codes));
+  std::vector<JoinPair> out;
+  for (std::size_t j = 0; j < s_codes.size(); ++j) {
+    HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> matches,
+                             index->Search(s_codes[j], h));
+    for (TupleId r : matches) {
+      out.push_back({r, static_cast<TupleId>(j)});
+    }
+  }
+  return out;
+}
+
+void NormalizePairs(std::vector<JoinPair>* pairs) {
+  std::sort(pairs->begin(), pairs->end());
+  pairs->erase(std::unique(pairs->begin(), pairs->end()), pairs->end());
+}
+
+}  // namespace hamming

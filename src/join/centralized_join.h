@@ -1,0 +1,33 @@
+// Centralized Hamming-join plans (Definition 2, Section 5 introduction).
+//
+// h-join(R, S) returns every pair (r, s), r in R, s in S, with
+// ||r, s||_h <= h. The nested-loops plan is the O(mn) strawman; the
+// index-probe plan builds a Hamming index on R and runs one H-Search per
+// tuple of S — the "straightforward approach" Section 5 starts from before
+// distributing it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "index/hamming_index.h"
+
+namespace hamming {
+
+/// \brief O(|R||S|) nested-loops Hamming join.
+std::vector<JoinPair> NestedLoopsJoin(const std::vector<BinaryCode>& r_codes,
+                                      const std::vector<BinaryCode>& s_codes,
+                                      std::size_t h);
+
+/// \brief Index-probe join: builds `index` over R, probes with each S
+/// tuple. The index object is supplied by the caller so every
+/// HammingIndex implementation can serve as the join engine.
+Result<std::vector<JoinPair>> IndexProbeJoin(
+    HammingIndex* index, const std::vector<BinaryCode>& r_codes,
+    const std::vector<BinaryCode>& s_codes, std::size_t h);
+
+/// \brief Sorts and deduplicates a pair list (for test comparison).
+void NormalizePairs(std::vector<JoinPair>* pairs);
+
+}  // namespace hamming

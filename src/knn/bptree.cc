@@ -1,0 +1,288 @@
+#include "knn/bptree.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace hamming {
+
+struct BPlusTree::NodeBase {
+  bool is_leaf;
+  InternalNode* parent = nullptr;
+  explicit NodeBase(bool leaf) : is_leaf(leaf) {}
+};
+
+struct BPlusTree::InternalNode : BPlusTree::NodeBase {
+  InternalNode() : NodeBase(false) {}
+  // children.size() == keys.size() + 1; subtree i holds keys < keys[i],
+  // subtree i+1 holds keys >= keys[i].
+  std::vector<BinaryCode> keys;
+  std::vector<NodeBase*> children;
+};
+
+struct BPlusTree::LeafNode : BPlusTree::NodeBase {
+  LeafNode() : NodeBase(true) {}
+  std::vector<BinaryCode> keys;
+  std::vector<uint32_t> values;
+  LeafNode* prev = nullptr;
+  LeafNode* next = nullptr;
+};
+
+BPlusTree::BPlusTree() { root_ = new LeafNode(); }
+
+BPlusTree::~BPlusTree() { FreeTree(root_); }
+
+BPlusTree::BPlusTree(BPlusTree&& other) noexcept
+    : root_(other.root_), size_(other.size_) {
+  other.root_ = new LeafNode();
+  other.size_ = 0;
+}
+
+BPlusTree& BPlusTree::operator=(BPlusTree&& other) noexcept {
+  if (this != &other) {
+    FreeTree(root_);
+    root_ = other.root_;
+    size_ = other.size_;
+    other.root_ = new LeafNode();
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void BPlusTree::FreeTree(NodeBase* n) {
+  if (n == nullptr) return;
+  if (!n->is_leaf) {
+    auto* in = static_cast<InternalNode*>(n);
+    for (NodeBase* c : in->children) FreeTree(c);
+    delete in;
+  } else {
+    delete static_cast<LeafNode*>(n);
+  }
+}
+
+BPlusTree::LeafNode* BPlusTree::FindLeaf(const BinaryCode& key) const {
+  NodeBase* n = root_;
+  while (!n->is_leaf) {
+    auto* in = static_cast<InternalNode*>(n);
+    std::size_t i =
+        std::upper_bound(in->keys.begin(), in->keys.end(), key) -
+        in->keys.begin();
+    n = in->children[i];
+  }
+  return static_cast<LeafNode*>(n);
+}
+
+void BPlusTree::Insert(const BinaryCode& key, uint32_t value) {
+  LeafNode* leaf = FindLeaf(key);
+  InsertIntoLeaf(leaf, key, value);
+  ++size_;
+  if (leaf->keys.size() > kFanout) SplitLeaf(leaf);
+}
+
+void BPlusTree::InsertIntoLeaf(LeafNode* leaf, const BinaryCode& key,
+                               uint32_t value) {
+  std::size_t pos =
+      std::upper_bound(leaf->keys.begin(), leaf->keys.end(), key) -
+      leaf->keys.begin();
+  leaf->keys.insert(leaf->keys.begin() + pos, key);
+  leaf->values.insert(leaf->values.begin() + pos, value);
+}
+
+void BPlusTree::SplitLeaf(LeafNode* leaf) {
+  auto* right = new LeafNode();
+  std::size_t mid = leaf->keys.size() / 2;
+  right->keys.assign(leaf->keys.begin() + mid, leaf->keys.end());
+  right->values.assign(leaf->values.begin() + mid, leaf->values.end());
+  leaf->keys.resize(mid);
+  leaf->values.resize(mid);
+  right->next = leaf->next;
+  if (right->next) right->next->prev = right;
+  right->prev = leaf;
+  leaf->next = right;
+  InsertIntoParent(leaf, right->keys.front(), right);
+}
+
+void BPlusTree::SplitInternal(InternalNode* node) {
+  std::size_t mid = node->keys.size() / 2;
+  BinaryCode sep = node->keys[mid];
+  auto* right = new InternalNode();
+  right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+  right->children.assign(node->children.begin() + mid + 1,
+                         node->children.end());
+  for (NodeBase* c : right->children) c->parent = right;
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  InsertIntoParent(node, sep, right);
+}
+
+void BPlusTree::InsertIntoParent(NodeBase* left, const BinaryCode& sep,
+                                 NodeBase* right) {
+  InternalNode* parent = left->parent;
+  if (parent == nullptr) {
+    auto* new_root = new InternalNode();
+    new_root->keys.push_back(sep);
+    new_root->children.push_back(left);
+    new_root->children.push_back(right);
+    left->parent = new_root;
+    right->parent = new_root;
+    root_ = new_root;
+    return;
+  }
+  std::size_t pos =
+      std::find(parent->children.begin(), parent->children.end(), left) -
+      parent->children.begin();
+  parent->keys.insert(parent->keys.begin() + pos, sep);
+  parent->children.insert(parent->children.begin() + pos + 1, right);
+  right->parent = parent;
+  if (parent->keys.size() > kFanout) SplitInternal(parent);
+}
+
+Status BPlusTree::Delete(const BinaryCode& key, uint32_t value) {
+  // Deletion without rebalancing: the LSB-Tree workload shrinks only via
+  // full rebuilds, so underflow merging is not load-bearing; emptied
+  // leaves stay linked until destruction.
+  for (Iterator it = SeekCeiling(key); it.Valid() && it.key() == key;
+       it.Next()) {
+    if (it.value() == value) {
+      it.leaf_->keys.erase(it.leaf_->keys.begin() + it.slot_);
+      it.leaf_->values.erase(it.leaf_->values.begin() + it.slot_);
+      --size_;
+      return Status::OK();
+    }
+  }
+  return Status::KeyError("key/value not found in B+-tree");
+}
+
+const BinaryCode& BPlusTree::Iterator::key() const { return leaf_->keys[slot_]; }
+uint32_t BPlusTree::Iterator::value() const { return leaf_->values[slot_]; }
+
+void BPlusTree::Iterator::Next() {
+  if (!Valid()) return;
+  ++slot_;
+  while (leaf_ != nullptr && slot_ >= leaf_->keys.size()) {
+    leaf_ = leaf_->next;
+    slot_ = 0;
+  }
+}
+
+void BPlusTree::Iterator::Prev() {
+  if (!Valid()) return;
+  if (slot_ > 0) {
+    --slot_;
+    return;
+  }
+  leaf_ = leaf_->prev;
+  while (leaf_ != nullptr && leaf_->keys.empty()) leaf_ = leaf_->prev;
+  if (leaf_ != nullptr) slot_ = leaf_->keys.size() - 1;
+}
+
+BPlusTree::Iterator BPlusTree::SeekCeiling(const BinaryCode& key) const {
+  // Descend toward the *leftmost* possible occurrence: duplicates equal
+  // to a separator key can sit at the tail of the left sibling after a
+  // split, so equality must branch left (lower_bound), unlike the insert
+  // path which appends duplicates on the right.
+  NodeBase* n = root_;
+  while (!n->is_leaf) {
+    auto* in = static_cast<InternalNode*>(n);
+    std::size_t i =
+        std::lower_bound(in->keys.begin(), in->keys.end(), key) -
+        in->keys.begin();
+    n = in->children[i];
+  }
+  LeafNode* leaf = static_cast<LeafNode*>(n);
+  Iterator it;
+  it.leaf_ = leaf;
+  it.slot_ = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key) -
+             leaf->keys.begin();
+  while (it.leaf_ != nullptr && it.slot_ >= it.leaf_->keys.size()) {
+    it.leaf_ = it.leaf_->next;
+    it.slot_ = 0;
+  }
+  return it;
+}
+
+BPlusTree::Iterator BPlusTree::Begin() const {
+  NodeBase* n = root_;
+  while (!n->is_leaf) n = static_cast<InternalNode*>(n)->children.front();
+  Iterator it;
+  it.leaf_ = static_cast<LeafNode*>(n);
+  it.slot_ = 0;
+  while (it.leaf_ != nullptr && it.slot_ >= it.leaf_->keys.size()) {
+    it.leaf_ = it.leaf_->next;
+    it.slot_ = 0;
+  }
+  return it;
+}
+
+BPlusTree::Iterator BPlusTree::Last() const {
+  NodeBase* n = root_;
+  while (!n->is_leaf) n = static_cast<InternalNode*>(n)->children.back();
+  Iterator it;
+  it.leaf_ = static_cast<LeafNode*>(n);
+  while (it.leaf_ != nullptr && it.leaf_->keys.empty()) {
+    it.leaf_ = it.leaf_->prev;
+  }
+  if (it.leaf_ != nullptr) it.slot_ = it.leaf_->keys.size() - 1;
+  return it;
+}
+
+std::size_t BPlusTree::height() const {
+  std::size_t h = 1;
+  NodeBase* n = root_;
+  while (!n->is_leaf) {
+    n = static_cast<InternalNode*>(n)->children.front();
+    ++h;
+  }
+  return h;
+}
+
+std::size_t BPlusTree::NodeBytes(const NodeBase* n) {
+  if (n->is_leaf) {
+    const auto* l = static_cast<const LeafNode*>(n);
+    std::size_t bytes = 2 * sizeof(void*);
+    for (const auto& k : l->keys) bytes += k.PackedBytes();
+    bytes += l->values.size() * sizeof(uint32_t);
+    return bytes;
+  }
+  const auto* in = static_cast<const InternalNode*>(n);
+  std::size_t bytes = in->children.size() * sizeof(void*);
+  for (const auto& k : in->keys) bytes += k.PackedBytes();
+  for (const NodeBase* c : in->children) bytes += NodeBytes(c);
+  return bytes;
+}
+
+std::size_t BPlusTree::MemoryBytes() const { return NodeBytes(root_); }
+
+Status BPlusTree::CheckNode(const NodeBase* n, std::size_t depth,
+                            std::size_t expected_depth) const {
+  if (n->is_leaf) {
+    if (depth != expected_depth) {
+      return Status::IndexError("leaves at unequal depth");
+    }
+    const auto* l = static_cast<const LeafNode*>(n);
+    if (!std::is_sorted(l->keys.begin(), l->keys.end())) {
+      return Status::IndexError("unsorted leaf keys");
+    }
+    if (l->keys.size() != l->values.size()) {
+      return Status::IndexError("leaf key/value size mismatch");
+    }
+    return Status::OK();
+  }
+  const auto* in = static_cast<const InternalNode*>(n);
+  if (in->children.size() != in->keys.size() + 1) {
+    return Status::IndexError("internal arity mismatch");
+  }
+  if (!std::is_sorted(in->keys.begin(), in->keys.end())) {
+    return Status::IndexError("unsorted internal keys");
+  }
+  for (const NodeBase* c : in->children) {
+    if (c->parent != n) return Status::IndexError("broken parent link");
+    HAMMING_RETURN_NOT_OK(CheckNode(c, depth + 1, expected_depth));
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::CheckInvariants() const {
+  return CheckNode(root_, 1, height());
+}
+
+}  // namespace hamming

@@ -1,0 +1,92 @@
+// In-memory B+-tree over binary-code keys.
+//
+// Substrate for the LSB-Tree baseline [26]: Z-values are indexed in a
+// B-tree and neighbourhood queries walk outward from the query's position
+// in key order. Keys are BinaryCodes compared lexicographically;
+// duplicate keys are allowed. Leaves are doubly linked for bidirectional
+// scans.
+#pragma once
+
+#include <memory>
+
+#include "code/binary_code.h"
+#include "common/status.h"
+
+namespace hamming {
+
+/// \brief B+-tree mapping BinaryCode keys to uint32 values.
+class BPlusTree {
+ public:
+  /// Maximum entries per node before a split.
+  static constexpr std::size_t kFanout = 64;
+
+  BPlusTree();
+  ~BPlusTree();
+  BPlusTree(BPlusTree&&) noexcept;
+  BPlusTree& operator=(BPlusTree&&) noexcept;
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// \brief Inserts a key/value pair (duplicates allowed).
+  void Insert(const BinaryCode& key, uint32_t value);
+
+  /// \brief Removes one pair matching (key, value); KeyError if absent.
+  Status Delete(const BinaryCode& key, uint32_t value);
+
+  std::size_t size() const { return size_; }
+  std::size_t height() const;
+  std::size_t MemoryBytes() const;
+
+ private:
+  struct NodeBase;
+  struct InternalNode;
+  struct LeafNode;
+
+ public:
+  /// \brief Position within the leaf chain.
+  class Iterator {
+   public:
+    /// \brief False once the iterator has walked off either end.
+    bool Valid() const { return leaf_ != nullptr; }
+    const BinaryCode& key() const;
+    uint32_t value() const;
+    /// Advances toward larger keys.
+    void Next();
+    /// Retreats toward smaller keys.
+    void Prev();
+
+   private:
+    friend class BPlusTree;
+    LeafNode* leaf_ = nullptr;
+    std::size_t slot_ = 0;
+  };
+
+  /// \brief Iterator at the first entry with key >= `key` (invalid when
+  /// every key is smaller).
+  Iterator SeekCeiling(const BinaryCode& key) const;
+  /// \brief Iterator at the first entry.
+  Iterator Begin() const;
+  /// \brief Iterator at the last entry (invalid when empty).
+  Iterator Last() const;
+
+  /// \brief Validates B+-tree invariants (sorted keys, balanced depth,
+  /// fanout bounds); used by the property tests.
+  Status CheckInvariants() const;
+
+ private:
+  void InsertIntoLeaf(LeafNode* leaf, const BinaryCode& key, uint32_t value);
+  LeafNode* FindLeaf(const BinaryCode& key) const;
+  void SplitLeaf(LeafNode* leaf);
+  void SplitInternal(InternalNode* node);
+  void InsertIntoParent(NodeBase* left, const BinaryCode& sep,
+                        NodeBase* right);
+  static void FreeTree(NodeBase* n);
+  static std::size_t NodeBytes(const NodeBase* n);
+  Status CheckNode(const NodeBase* n, std::size_t depth,
+                   std::size_t expected_depth) const;
+
+  NodeBase* root_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hamming

@@ -1,0 +1,105 @@
+#include "knn/e2lsh.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace hamming {
+
+Result<E2Lsh> E2Lsh::Build(const FloatMatrix& data, const E2LshOptions& opts) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  if (opts.num_tables == 0 || opts.hashes_per_table == 0) {
+    return Status::InvalidArgument("num_tables and hashes_per_table > 0");
+  }
+  E2Lsh lsh;
+  lsh.data_ = &data;
+  lsh.opts_ = opts;
+  const std::size_t d = data.cols();
+  const std::size_t tm = opts.num_tables * opts.hashes_per_table;
+  lsh.projections_.resize(tm * d);
+  lsh.offsets_.resize(tm);
+  Rng rng(opts.seed);
+  if (lsh.opts_.bucket_width <= 0.0) {
+    // Auto-tune: a per-hash width near half the median pairwise distance
+    // keeps near neighbours colliding while distant pairs split on at
+    // least one of the M hashes.
+    std::vector<double> dists;
+    const std::size_t pairs = std::min<std::size_t>(500, data.rows());
+    for (std::size_t p = 0; p < pairs; ++p) {
+      std::size_t i = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(data.rows()) - 1));
+      std::size_t j = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(data.rows()) - 1));
+      dists.push_back(FloatMatrix::L2(data.Row(i), data.Row(j)));
+    }
+    std::nth_element(dists.begin(), dists.begin() + dists.size() / 2,
+                     dists.end());
+    double median = dists[dists.size() / 2];
+    lsh.opts_.bucket_width = std::max(median * 1.5, 1e-9);
+  }
+  for (double& v : lsh.projections_) v = rng.Gaussian();
+  for (double& v : lsh.offsets_) {
+    v = rng.UniformReal(0.0, lsh.opts_.bucket_width);
+  }
+
+  lsh.tables_.resize(opts.num_tables);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    auto row = data.Row(i);
+    for (std::size_t t = 0; t < opts.num_tables; ++t) {
+      lsh.tables_[t][lsh.BucketKey(t, row)].push_back(
+          static_cast<uint32_t>(i));
+    }
+  }
+  return lsh;
+}
+
+uint64_t E2Lsh::BucketKey(std::size_t table,
+                          std::span<const double> vec) const {
+  const std::size_t d = data_->cols();
+  const std::size_t m = opts_.hashes_per_table;
+  uint64_t key = 14695981039346656037ull;
+  for (std::size_t j = 0; j < m; ++j) {
+    const std::size_t idx = table * m + j;
+    const double* a = projections_.data() + idx * d;
+    double dot = 0.0;
+    for (std::size_t c = 0; c < d; ++c) dot += a[c] * vec[c];
+    int64_t slot = static_cast<int64_t>(
+        std::floor((dot + offsets_[idx]) / opts_.bucket_width));
+    key ^= static_cast<uint64_t>(slot) + 0x9e3779b97f4a7c15ull + (key << 6) +
+           (key >> 2);
+  }
+  return key;
+}
+
+std::vector<Neighbor> E2Lsh::Search(std::span<const double> query,
+                                    std::size_t k) const {
+  std::unordered_set<uint32_t> candidates;
+  for (std::size_t t = 0; t < opts_.num_tables; ++t) {
+    auto it = tables_[t].find(BucketKey(t, query));
+    if (it == tables_[t].end()) continue;
+    candidates.insert(it->second.begin(), it->second.end());
+  }
+  std::vector<Neighbor> ranked;
+  ranked.reserve(candidates.size());
+  for (uint32_t id : candidates) {
+    ranked.push_back({id, FloatMatrix::L2(data_->Row(id), query)});
+  }
+  std::sort(ranked.begin(), ranked.end());
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+std::size_t E2Lsh::MemoryBytes() const {
+  std::size_t bytes =
+      projections_.size() * sizeof(double) + offsets_.size() * sizeof(double);
+  for (const auto& t : tables_) {
+    bytes += t.size() * (sizeof(uint64_t) + sizeof(void*));
+    for (const auto& [key, bucket] : t) {
+      (void)key;
+      bytes += bucket.size() * sizeof(uint32_t);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace hamming

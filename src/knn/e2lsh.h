@@ -1,0 +1,59 @@
+// E2LSH: p-stable locality-sensitive hashing for Euclidean space
+// (Andoni & Indyk [18]), the data-independent kNN baseline of Table 5.
+//
+// Each of T hash tables concatenates M hashes of the form
+// floor((a.v + b) / w) with Gaussian a and uniform b; a query probes its
+// bucket in every table and ranks the union of candidates by true
+// distance.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "dataset/matrix.h"
+#include "knn/exact_knn.h"
+
+namespace hamming {
+
+/// \brief E2LSH parameters.
+struct E2LshOptions {
+  std::size_t num_tables = 20;       // paper: "We use 20 hash tables"
+  std::size_t hashes_per_table = 8;  // M
+  /// Quantization width w; <= 0 auto-tunes from the data (a fraction of
+  /// the median pairwise distance, so bucket occupancy stays sane across
+  /// datasets with very different scales).
+  double bucket_width = 0.0;
+  uint64_t seed = 42;
+};
+
+/// \brief An E2LSH index over a dataset (kept by reference).
+class E2Lsh {
+ public:
+  /// \brief Builds the tables over every row of `data`.
+  static Result<E2Lsh> Build(const FloatMatrix& data,
+                             const E2LshOptions& opts);
+
+  /// \brief Approximate kNN: candidates from all probed buckets, ranked
+  /// by true distance.
+  std::vector<Neighbor> Search(std::span<const double> query,
+                               std::size_t k) const;
+
+  /// \brief Index memory in bytes (tables only; data is external).
+  std::size_t MemoryBytes() const;
+
+ private:
+  E2Lsh() = default;
+
+  uint64_t BucketKey(std::size_t table, std::span<const double> vec) const;
+
+  const FloatMatrix* data_ = nullptr;
+  E2LshOptions opts_;
+  // Per (table, hash): projection vector and offset.
+  std::vector<double> projections_;  // T * M * d
+  std::vector<double> offsets_;      // T * M
+  std::vector<std::unordered_map<uint64_t, std::vector<uint32_t>>> tables_;
+};
+
+}  // namespace hamming

@@ -1,0 +1,57 @@
+#include "knn/exact_knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+namespace hamming {
+
+std::vector<Neighbor> ExactKnn(const FloatMatrix& data,
+                               std::span<const double> query, std::size_t k) {
+  // Bounded max-heap of the best k seen so far.
+  std::priority_queue<Neighbor> heap;
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    double d2 = FloatMatrix::SquaredL2(data.Row(i), query);
+    if (heap.size() < k) {
+      heap.push({i, d2});
+    } else if (!heap.empty() && d2 < heap.top().distance) {
+      heap.pop();
+      heap.push({i, d2});
+    }
+  }
+  std::vector<Neighbor> out;
+  out.reserve(heap.size());
+  while (!heap.empty()) {
+    Neighbor n = heap.top();
+    heap.pop();
+    n.distance = std::sqrt(n.distance);
+    out.push_back(n);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::vector<Neighbor>> ExactKnnJoin(const FloatMatrix& outer,
+                                                const FloatMatrix& inner,
+                                                std::size_t k) {
+  std::vector<std::vector<Neighbor>> out(outer.rows());
+  for (std::size_t i = 0; i < outer.rows(); ++i) {
+    out[i] = ExactKnn(inner, outer.Row(i), k);
+  }
+  return out;
+}
+
+double RecallAtK(const std::vector<Neighbor>& exact,
+                 const std::vector<std::size_t>& approx_ids) {
+  if (exact.empty()) return 1.0;
+  std::unordered_set<std::size_t> truth;
+  for (const auto& n : exact) truth.insert(n.id);
+  std::size_t hit = 0;
+  for (std::size_t id : approx_ids) {
+    if (truth.count(id)) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(truth.size());
+}
+
+}  // namespace hamming

@@ -1,0 +1,38 @@
+// Exact k-nearest-neighbour search by linear scan in the original
+// d-dimensional space: the ground truth every approximate method in the
+// evaluation (Table 5, Figure 10b) is measured against.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dataset/matrix.h"
+
+namespace hamming {
+
+/// \brief One neighbour: row id and (Euclidean) distance.
+struct Neighbor {
+  std::size_t id;
+  double distance;
+  bool operator<(const Neighbor& other) const {
+    if (distance != other.distance) return distance < other.distance;
+    return id < other.id;
+  }
+};
+
+/// \brief The k nearest rows of `data` to `query` under L2, ascending.
+std::vector<Neighbor> ExactKnn(const FloatMatrix& data,
+                               std::span<const double> query, std::size_t k);
+
+/// \brief Exact kNN-join: for every row of `outer`, its k nearest rows of
+/// `inner`. Result[i] are outer row i's neighbours.
+std::vector<std::vector<Neighbor>> ExactKnnJoin(const FloatMatrix& outer,
+                                                const FloatMatrix& inner,
+                                                std::size_t k);
+
+/// \brief Recall of an approximate id set against the exact neighbours.
+double RecallAtK(const std::vector<Neighbor>& exact,
+                 const std::vector<std::size_t>& approx_ids);
+
+}  // namespace hamming

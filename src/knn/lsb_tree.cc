@@ -1,0 +1,76 @@
+#include "knn/lsb_tree.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hamming {
+
+Result<LsbForest> LsbForest::Build(const FloatMatrix& data,
+                                   const LsbTreeOptions& opts) {
+  if (data.empty()) return Status::InvalidArgument("empty dataset");
+  LsbForest forest;
+  forest.data_ = &data;
+  forest.opts_ = opts;
+  forest.encoders_.reserve(opts.num_trees);
+  forest.trees_.resize(opts.num_trees);
+  for (std::size_t t = 0; t < opts.num_trees; ++t) {
+    HAMMING_ASSIGN_OR_RETURN(
+        ZOrderEncoder enc,
+        ZOrderEncoder::Create(data.cols(), opts.dims_used, opts.bits_per_dim,
+                              opts.seed + t * 1000003ull));
+    enc.Fit(data);
+    for (std::size_t i = 0; i < data.rows(); ++i) {
+      forest.trees_[t].Insert(enc.Encode(data.Row(i)),
+                              static_cast<uint32_t>(i));
+    }
+    forest.encoders_.push_back(std::move(enc));
+  }
+  return forest;
+}
+
+std::vector<Neighbor> LsbForest::Search(std::span<const double> query,
+                                        std::size_t k) const {
+  std::unordered_set<uint32_t> candidates;
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    BinaryCode z = encoders_[t].Encode(query);
+    // Bidirectional expansion from the query's Z-position.
+    BPlusTree::Iterator fwd = trees_[t].SeekCeiling(z);
+    BPlusTree::Iterator bwd = fwd;
+    if (bwd.Valid()) {
+      bwd.Prev();
+    } else {
+      // Query larger than every key: backward scan starts at the end.
+      bwd = trees_[t].Last();
+    }
+    for (std::size_t taken = 0;
+         taken < opts_.candidates_per_tree && (fwd.Valid() || bwd.Valid());) {
+      if (fwd.Valid()) {
+        candidates.insert(fwd.value());
+        fwd.Next();
+        ++taken;
+      }
+      if (taken >= opts_.candidates_per_tree) break;
+      if (bwd.Valid()) {
+        candidates.insert(bwd.value());
+        bwd.Prev();
+        ++taken;
+      }
+    }
+  }
+  std::vector<Neighbor> ranked;
+  ranked.reserve(candidates.size());
+  for (uint32_t id : candidates) {
+    ranked.push_back({id, FloatMatrix::L2(data_->Row(id), query)});
+  }
+  std::sort(ranked.begin(), ranked.end());
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+std::size_t LsbForest::MemoryBytes() const {
+  std::size_t bytes = 0;
+  for (const auto& t : trees_) bytes += t.MemoryBytes();
+  return bytes;
+}
+
+}  // namespace hamming

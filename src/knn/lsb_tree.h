@@ -1,0 +1,49 @@
+// LSB-Tree (Tao, Yi, Sheng, Kalnis [26]): the Z-order + B-tree kNN
+// baseline of Table 5 ("LSB-Tree(25)" = a forest of 25 trees).
+//
+// Each tree applies its own randomly-shifted Z-order encoding and indexes
+// the resulting Z-values in a B+-tree. A query seeks its own Z-value in
+// every tree and expands bidirectionally along the leaf chain, collecting
+// the nearest Z-neighbours as candidates, which are then ranked by true
+// feature-space distance.
+#pragma once
+
+#include "common/result.h"
+#include "hashing/zorder.h"
+#include "knn/bptree.h"
+#include "knn/exact_knn.h"
+
+namespace hamming {
+
+/// \brief LSB-forest parameters.
+struct LsbTreeOptions {
+  std::size_t num_trees = 25;
+  std::size_t dims_used = 8;       // projected dims interleaved per tree
+  std::size_t bits_per_dim = 8;    // Z-value resolution
+  std::size_t candidates_per_tree = 64;  // leaf entries visited per probe
+  uint64_t seed = 42;
+};
+
+/// \brief A forest of Z-order B+-trees over a dataset (by reference).
+class LsbForest {
+ public:
+  static Result<LsbForest> Build(const FloatMatrix& data,
+                                 const LsbTreeOptions& opts);
+
+  /// \brief Approximate kNN via bidirectional leaf-chain expansion.
+  std::vector<Neighbor> Search(std::span<const double> query,
+                               std::size_t k) const;
+
+  std::size_t MemoryBytes() const;
+  std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  LsbForest() = default;
+
+  const FloatMatrix* data_ = nullptr;
+  LsbTreeOptions opts_;
+  std::vector<ZOrderEncoder> encoders_;
+  std::vector<BPlusTree> trees_;
+};
+
+}  // namespace hamming

@@ -1,0 +1,5 @@
+#include "mapreduce/counters.h"
+
+// Header-only implementation; translation unit anchors the module.
+
+namespace hamming::mr {}

@@ -1,0 +1,66 @@
+// Thread-safe job counters, Hadoop-style.
+//
+// The counters are the measurement instrument for Figure 7: every record
+// emitted by a mapper is serialized and its bytes charged to
+// kShuffleBytes, and every distributed-cache broadcast charges its
+// payload once per node, so "shuffle cost (GB)" is measured from the same
+// quantities a real Hadoop job would ship over the network.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace hamming::mr {
+
+/// \brief Well-known counter names.
+inline constexpr const char* kMapInputRecords = "MAP_INPUT_RECORDS";
+inline constexpr const char* kMapOutputRecords = "MAP_OUTPUT_RECORDS";
+inline constexpr const char* kShuffleBytes = "SHUFFLE_BYTES";
+inline constexpr const char* kReduceInputGroups = "REDUCE_INPUT_GROUPS";
+inline constexpr const char* kReduceOutputRecords = "REDUCE_OUTPUT_RECORDS";
+inline constexpr const char* kBroadcastBytes = "BROADCAST_BYTES";
+
+/// \brief A named bag of monotonically increasing counters.
+class Counters {
+ public:
+  Counters() = default;
+  Counters(const Counters& other) { *this = other; }
+  Counters& operator=(const Counters& other) {
+    if (this != &other) values_ = other.Snapshot();
+    return *this;
+  }
+
+  /// \brief Adds `delta` to the named counter.
+  void Add(const std::string& name, int64_t delta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_[name] += delta;
+  }
+
+  /// \brief Current value (0 if never touched).
+  int64_t Get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = values_.find(name);
+    return it == values_.end() ? 0 : it->second;
+  }
+
+  /// \brief Copy of all counters.
+  std::map<std::string, int64_t> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return values_;
+  }
+
+  /// \brief Adds every counter of `other` into this.
+  void Merge(const Counters& other) {
+    auto snap = other.Snapshot();
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, v] : snap) values_[name] += v;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> values_;
+};
+
+}  // namespace hamming::mr

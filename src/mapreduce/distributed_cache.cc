@@ -1,0 +1,33 @@
+#include "mapreduce/distributed_cache.h"
+
+#include "mapreduce/counters.h"
+
+namespace hamming::mr {
+
+void DistributedCache::Broadcast(const std::string& name,
+                                 std::vector<uint8_t> blob,
+                                 Counters* counters) {
+  if (counters != nullptr) {
+    counters->Add(kBroadcastBytes,
+                  static_cast<int64_t>(blob.size() * num_nodes_));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  blobs_[name] = std::move(blob);
+}
+
+Result<std::vector<uint8_t>> DistributedCache::Fetch(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blobs_.find(name);
+  if (it == blobs_.end()) {
+    return Status::KeyError("no cached blob named " + name);
+  }
+  return it->second;
+}
+
+void DistributedCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  blobs_.clear();
+}
+
+}  // namespace hamming::mr

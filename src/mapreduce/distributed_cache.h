@@ -1,0 +1,45 @@
+// Distributed cache: the side-channel MapReduce jobs use to ship small
+// read-only artifacts (the learned hash function, the pivot set, the
+// global HA-Index) to every worker before the map phase (Section 5.2:
+// "the selected pivots and the learned hash function are loaded into
+// memory in each mapper via distributed cache").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hamming::mr {
+
+class Counters;
+
+/// \brief Named read-only byte blobs broadcast to all nodes.
+///
+/// Broadcasting charges the blob size once per node to kBroadcastBytes —
+/// the cost Hadoop pays materializing cache files on every worker, which
+/// Section 5.4's analysis counts as |HA| * N.
+class DistributedCache {
+ public:
+  explicit DistributedCache(std::size_t num_nodes) : num_nodes_(num_nodes) {}
+
+  /// \brief Stores a blob and charges the broadcast cost.
+  void Broadcast(const std::string& name, std::vector<uint8_t> blob,
+                 Counters* counters);
+
+  /// \brief Fetches a blob by name.
+  Result<std::vector<uint8_t>> Fetch(const std::string& name) const;
+
+  void Clear();
+
+ private:
+  std::size_t num_nodes_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<uint8_t>> blobs_;
+};
+
+}  // namespace hamming::mr

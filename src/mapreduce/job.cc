@@ -1,0 +1,136 @@
+#include "mapreduce/job.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "common/stopwatch.h"
+
+namespace hamming::mr {
+
+std::size_t HashPartition(const std::vector<uint8_t>& key,
+                          std::size_t num_reducers) {
+  uint64_t h = 14695981039346656037ull;
+  for (uint8_t b : key) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return static_cast<std::size_t>(h % num_reducers);
+}
+
+std::vector<std::vector<Record>> SplitEvenly(std::vector<Record> records,
+                                             std::size_t num_splits) {
+  num_splits = std::max<std::size_t>(1, num_splits);
+  std::vector<std::vector<Record>> splits(num_splits);
+  const std::size_t n = records.size();
+  for (std::size_t s = 0; s < num_splits; ++s) {
+    std::size_t begin = s * n / num_splits;
+    std::size_t end = (s + 1) * n / num_splits;
+    splits[s].assign(std::make_move_iterator(records.begin() + begin),
+                     std::make_move_iterator(records.begin() + end));
+  }
+  return splits;
+}
+
+Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
+  if (!spec.map_fn) return Status::InvalidArgument("job has no map function");
+  if (spec.num_reducers == 0) {
+    return Status::InvalidArgument("num_reducers must be positive");
+  }
+  JobResult result;
+  Stopwatch total_watch;
+  PartitionFn partition =
+      spec.partition_fn ? spec.partition_fn : PartitionFn(HashPartition);
+
+  // ---- Map phase -------------------------------------------------------
+  Stopwatch map_watch;
+  const std::size_t num_maps = spec.input_splits.size();
+  // Per map task, per reducer: emitted records.
+  std::vector<std::vector<std::vector<Record>>> map_outputs(num_maps);
+  std::mutex error_mu;
+  Status first_error = Status::OK();
+
+  ParallelFor(cluster->pool(), num_maps, [&](std::size_t m) {
+    std::vector<std::vector<Record>> local(spec.num_reducers);
+    for (const Record& rec : spec.input_splits[m]) {
+      result.counters.Add(kMapInputRecords, 1);
+      Emitter emitter;
+      Status st = spec.map_fn(rec, &emitter);
+      if (!st.ok()) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (first_error.ok()) first_error = st;
+        return;
+      }
+      for (Record& out : emitter.records()) {
+        result.counters.Add(kMapOutputRecords, 1);
+        result.counters.Add(kShuffleBytes,
+                            static_cast<int64_t>(out.SerializedBytes()));
+        std::size_t p = partition(out.key, spec.num_reducers);
+        local[p].push_back(std::move(out));
+      }
+    }
+    map_outputs[m] = std::move(local);
+  });
+  if (!first_error.ok()) return first_error;
+  result.map_seconds = map_watch.ElapsedSeconds();
+
+  // ---- Shuffle phase: gather per reducer, sort by key ------------------
+  Stopwatch shuffle_watch;
+  std::vector<std::vector<Record>> reducer_inputs(spec.num_reducers);
+  for (auto& per_map : map_outputs) {
+    for (std::size_t r = 0; r < spec.num_reducers; ++r) {
+      auto& dst = reducer_inputs[r];
+      dst.insert(dst.end(), std::make_move_iterator(per_map[r].begin()),
+                 std::make_move_iterator(per_map[r].end()));
+    }
+  }
+  map_outputs.clear();
+  ParallelFor(cluster->pool(), spec.num_reducers, [&](std::size_t r) {
+    std::stable_sort(reducer_inputs[r].begin(), reducer_inputs[r].end(),
+                     [](const Record& a, const Record& b) {
+                       return a.key < b.key;
+                     });
+  });
+  result.shuffle_seconds = shuffle_watch.ElapsedSeconds();
+
+  // ---- Reduce phase ----------------------------------------------------
+  Stopwatch reduce_watch;
+  result.outputs.resize(spec.num_reducers);
+  if (!spec.reduce_fn) {
+    // Map-only job: partitioned map outputs are the result.
+    result.outputs = std::move(reducer_inputs);
+  } else {
+    ParallelFor(cluster->pool(), spec.num_reducers, [&](std::size_t r) {
+      auto& input = reducer_inputs[r];
+      Emitter emitter;
+      std::size_t i = 0;
+      while (i < input.size()) {
+        std::size_t j = i;
+        std::vector<std::vector<uint8_t>> values;
+        while (j < input.size() && input[j].key == input[i].key) {
+          values.push_back(std::move(input[j].value));
+          ++j;
+        }
+        result.counters.Add(kReduceInputGroups, 1);
+        Status st = spec.reduce_fn(input[i].key, values, &emitter);
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = st;
+          return;
+        }
+        i = j;
+      }
+      result.counters.Add(kReduceOutputRecords,
+                          static_cast<int64_t>(emitter.records().size()));
+      result.outputs[r] = std::move(emitter.records());
+    });
+    if (!first_error.ok()) return first_error;
+  }
+  result.reduce_seconds = reduce_watch.ElapsedSeconds();
+  result.total_seconds = total_watch.ElapsedSeconds();
+
+  cluster->cumulative_counters()->Merge(result.counters);
+  return result;
+}
+
+}  // namespace hamming::mr

@@ -1,0 +1,90 @@
+// The MapReduce job runner: map -> shuffle (partition + sort by key) ->
+// reduce, with per-task threading and per-record shuffle accounting.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "mapreduce/cluster.h"
+
+namespace hamming::mr {
+
+/// \brief A serialized key/value record, the unit crossing every phase.
+struct Record {
+  std::vector<uint8_t> key;
+  std::vector<uint8_t> value;
+
+  std::size_t SerializedBytes() const {
+    // Key + value payloads plus the two length prefixes Hadoop's
+    // sequence-file framing would add.
+    return key.size() + value.size() + 8;
+  }
+};
+
+/// \brief Collects the records a map or reduce call emits.
+class Emitter {
+ public:
+  void Emit(std::vector<uint8_t> key, std::vector<uint8_t> value) {
+    records_.push_back({std::move(key), std::move(value)});
+  }
+  std::vector<Record>& records() { return records_; }
+
+ private:
+  std::vector<Record> records_;
+};
+
+/// \brief User map function: one input record in, any records out.
+using MapFn = std::function<Status(const Record&, Emitter*)>;
+
+/// \brief User reduce function: a key and all its shuffled values.
+using ReduceFn = std::function<Status(
+    const std::vector<uint8_t>& key,
+    const std::vector<std::vector<uint8_t>>& values, Emitter*)>;
+
+/// \brief Key -> reducer routing; default hashes the key bytes.
+using PartitionFn =
+    std::function<std::size_t(const std::vector<uint8_t>& key,
+                              std::size_t num_reducers)>;
+
+/// \brief Hash partitioner (FNV over the key bytes).
+std::size_t HashPartition(const std::vector<uint8_t>& key,
+                          std::size_t num_reducers);
+
+/// \brief A job description.
+struct JobSpec {
+  std::string name;
+  /// One map task per split.
+  std::vector<std::vector<Record>> input_splits;
+  MapFn map_fn;
+  /// Null for a map-only job (map outputs become the job outputs,
+  /// partitioned but not grouped).
+  ReduceFn reduce_fn;
+  PartitionFn partition_fn;  // null = HashPartition
+  std::size_t num_reducers = 1;
+};
+
+/// \brief Everything a finished job reports.
+struct JobResult {
+  /// Reducer r's output records (map-only jobs: partition r's map output).
+  std::vector<std::vector<Record>> outputs;
+  Counters counters;
+  double map_seconds = 0.0;
+  double shuffle_seconds = 0.0;
+  double reduce_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// \brief Runs a job on the cluster. Map tasks and reduce tasks execute
+/// in parallel on the cluster's pool; the first task error aborts the
+/// job. The job's counters are merged into the cluster's cumulative set.
+Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster);
+
+/// \brief Convenience: splits `records` into `num_splits` near-equal
+/// contiguous splits.
+std::vector<std::vector<Record>> SplitEvenly(std::vector<Record> records,
+                                             std::size_t num_splits);
+
+}  // namespace hamming::mr

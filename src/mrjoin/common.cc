@@ -1,0 +1,103 @@
+#include "mrjoin/common.h"
+
+namespace hamming::mrjoin {
+
+std::vector<uint8_t> EncodeCodeTuple(const CodeTuple& t) {
+  BufferWriter w;
+  w.PutVarint64(static_cast<uint64_t>(t.table));
+  w.PutVarint64(t.id);
+  t.code.Serialize(&w);
+  return w.Release();
+}
+
+Result<CodeTuple> DecodeCodeTuple(const std::vector<uint8_t>& bytes) {
+  BufferReader r(bytes);
+  CodeTuple t;
+  uint64_t table, id;
+  HAMMING_RETURN_NOT_OK(r.GetVarint64(&table));
+  HAMMING_RETURN_NOT_OK(r.GetVarint64(&id));
+  HAMMING_RETURN_NOT_OK(BinaryCode::Deserialize(&r, &t.code));
+  t.table = static_cast<Table>(table);
+  t.id = static_cast<TupleId>(id);
+  return t;
+}
+
+std::vector<uint8_t> EncodeVectorTuple(const VectorTuple& t) {
+  BufferWriter w;
+  w.PutVarint64(static_cast<uint64_t>(t.table));
+  w.PutVarint64(t.id);
+  w.PutVarint64(t.vec.size());
+  for (double v : t.vec) w.PutDouble(v);
+  return w.Release();
+}
+
+Result<VectorTuple> DecodeVectorTuple(const std::vector<uint8_t>& bytes) {
+  BufferReader r(bytes);
+  VectorTuple t;
+  uint64_t table, id, n;
+  HAMMING_RETURN_NOT_OK(r.GetVarint64(&table));
+  HAMMING_RETURN_NOT_OK(r.GetVarint64(&id));
+  HAMMING_RETURN_NOT_OK(r.GetVarint64(&n));
+  t.table = static_cast<Table>(table);
+  t.id = static_cast<TupleId>(id);
+  t.vec.resize(n);
+  for (double& v : t.vec) HAMMING_RETURN_NOT_OK(r.GetDouble(&v));
+  return t;
+}
+
+std::vector<uint8_t> EncodeJoinPair(const JoinPair& p) {
+  BufferWriter w;
+  w.PutVarint64(p.r);
+  w.PutVarint64(p.s);
+  return w.Release();
+}
+
+Result<JoinPair> DecodeJoinPair(const std::vector<uint8_t>& bytes) {
+  BufferReader r(bytes);
+  uint64_t rid, sid;
+  HAMMING_RETURN_NOT_OK(r.GetVarint64(&rid));
+  HAMMING_RETURN_NOT_OK(r.GetVarint64(&sid));
+  return JoinPair{static_cast<TupleId>(rid), static_cast<TupleId>(sid)};
+}
+
+std::vector<uint8_t> PartitionKey(uint32_t partition) {
+  BufferWriter w;
+  w.PutFixed32(partition);
+  return w.Release();
+}
+
+Result<uint32_t> DecodePartitionKey(const std::vector<uint8_t>& key) {
+  BufferReader r(key);
+  uint32_t p;
+  HAMMING_RETURN_NOT_OK(r.GetFixed32(&p));
+  return p;
+}
+
+std::vector<mr::Record> MatrixToRecords(const FloatMatrix& data,
+                                        Table table) {
+  std::vector<mr::Record> out;
+  out.reserve(data.rows());
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    VectorTuple t;
+    t.table = table;
+    t.id = static_cast<TupleId>(i);
+    auto row = data.Row(i);
+    t.vec.assign(row.begin(), row.end());
+    out.push_back({{}, EncodeVectorTuple(t)});
+  }
+  return out;
+}
+
+Result<std::vector<JoinPair>> CollectJoinPairs(
+    const std::vector<std::vector<mr::Record>>& outputs) {
+  std::vector<JoinPair> pairs;
+  for (const auto& part : outputs) {
+    for (const auto& rec : part) {
+      HAMMING_ASSIGN_OR_RETURN(JoinPair p, DecodeJoinPair(rec.value));
+      pairs.push_back(p);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace hamming::mrjoin

@@ -1,0 +1,66 @@
+// Record codecs shared by the MapReduce join plans.
+//
+// Two record families cross the shuffle:
+//  * code records — (table tag, tuple id, binary code). The hash-based
+//    plans (PMH, MRHA) ship these; their size is independent of the data
+//    dimensionality, which is why Figure 7 shows them an order of
+//    magnitude below PGBJ.
+//  * vector records — (table tag, tuple id, full d-dimensional vector).
+//    PGBJ must ship these because it joins in the original metric space;
+//    its shuffle grows with d and with replication.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "code/binary_code.h"
+#include "common/result.h"
+#include "dataset/matrix.h"
+#include "join/centralized_join.h"
+#include "mapreduce/job.h"
+
+namespace hamming::mrjoin {
+
+/// \brief Which input table a record came from.
+enum class Table : uint8_t { kR = 0, kS = 1 };
+
+/// \brief A (table, id, code) payload.
+struct CodeTuple {
+  Table table;
+  TupleId id;
+  BinaryCode code;
+};
+
+/// \brief A (table, id, vector) payload.
+struct VectorTuple {
+  Table table;
+  TupleId id;
+  std::vector<double> vec;
+};
+
+/// \brief Encodes/decodes a CodeTuple into a record value.
+std::vector<uint8_t> EncodeCodeTuple(const CodeTuple& t);
+Result<CodeTuple> DecodeCodeTuple(const std::vector<uint8_t>& bytes);
+
+/// \brief Encodes/decodes a VectorTuple into a record value.
+std::vector<uint8_t> EncodeVectorTuple(const VectorTuple& t);
+Result<VectorTuple> DecodeVectorTuple(const std::vector<uint8_t>& bytes);
+
+/// \brief Encodes/decodes a join pair (r_id, s_id).
+std::vector<uint8_t> EncodeJoinPair(const JoinPair& p);
+Result<JoinPair> DecodeJoinPair(const std::vector<uint8_t>& bytes);
+
+/// \brief A fixed32 partition-id key (keeps keys tiny and orderable).
+std::vector<uint8_t> PartitionKey(uint32_t partition);
+Result<uint32_t> DecodePartitionKey(const std::vector<uint8_t>& key);
+
+/// \brief Wraps every row of a matrix into vector records of one table
+/// (key left empty; mappers key their own output).
+std::vector<mr::Record> MatrixToRecords(const FloatMatrix& data, Table table);
+
+/// \brief Flattens reducer outputs of join pairs into one list.
+Result<std::vector<JoinPair>> CollectJoinPairs(
+    const std::vector<std::vector<mr::Record>>& outputs);
+
+}  // namespace hamming::mrjoin

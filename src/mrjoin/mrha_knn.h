@@ -1,0 +1,44 @@
+// Approximate kNN-join via the MRHA machinery (Section 6.2's
+// "approximate kNN-join via similarity hashing").
+//
+// R kNN-join S: for every R tuple, its k nearest S tuples. The plan
+// reuses the MRHA pipeline with the roles flipped — the global HA-Index
+// is built over *S* (the probed side) and broadcast; reducers receive the
+// R partition and, per R tuple, run H-Search with an escalating threshold
+// until at least k candidates qualify (Section 2's kNN recipe), then rank
+// candidates by code distance and keep the k best.
+#pragma once
+
+#include "mrjoin/mrha.h"
+#include "mrjoin/pgbj.h"
+
+namespace hamming::mrjoin {
+
+/// \brief Plan configuration.
+struct MrhaKnnOptions {
+  std::size_t num_partitions = 16;
+  std::size_t code_bits = 32;
+  double sample_rate = 0.1;
+  std::size_t k = 50;
+  std::size_t initial_h = 2;
+  std::size_t h_step = 2;
+  DynamicHAIndexOptions index;
+  uint64_t seed = 42;
+  std::shared_ptr<const SpectralHashing> pretrained;
+};
+
+/// \brief Outcome: per R tuple, its approximate k nearest S ids (by code
+/// distance), plus the plan's data-movement accounting.
+struct MrhaKnnResult {
+  std::vector<KnnJoinRow> rows;  // sorted by r id
+  int64_t shuffle_bytes = 0;
+  int64_t broadcast_bytes = 0;
+};
+
+/// \brief Runs the approximate kNN-join of R against S.
+Result<MrhaKnnResult> RunMrhaKnnJoin(const FloatMatrix& r_data,
+                                     const FloatMatrix& s_data,
+                                     const MrhaKnnOptions& opts,
+                                     mr::Cluster* cluster);
+
+}  // namespace hamming::mrjoin

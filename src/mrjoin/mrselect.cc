@@ -1,0 +1,125 @@
+#include "mrjoin/mrselect.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "dataset/sampling.h"
+
+namespace hamming::mrjoin {
+
+Result<MrSelectResult> RunMrSelect(const FloatMatrix& data,
+                                   const FloatMatrix& queries,
+                                   const MrSelectOptions& opts,
+                                   mr::Cluster* cluster) {
+  if (data.empty() || queries.empty()) {
+    return Status::InvalidArgument("empty select input");
+  }
+  if (data.cols() != queries.cols()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  MrSelectResult result;
+  mr::Counters plan_counters;
+
+  // Preprocessing: sample, learn the hash, select pivots (Section 5.1).
+  Rng rng(opts.seed);
+  std::size_t sample_n = std::max<std::size_t>(
+      2, static_cast<std::size_t>(opts.sample_rate *
+                                  static_cast<double>(data.rows())));
+  auto sample_ids = ReservoirSampleIndices(data.rows(), sample_n, &rng);
+  FloatMatrix sample = data.GatherRows(sample_ids);
+  SpectralHashingOptions hash_opts;
+  hash_opts.code_bits = opts.code_bits;
+  HAMMING_ASSIGN_OR_RETURN(std::unique_ptr<SpectralHashing> hash,
+                           SpectralHashing::Train(sample, hash_opts));
+  GrayPivots pivots =
+      GrayPivots::FromSample(hash->HashAll(sample), opts.num_partitions);
+
+  // Broadcast hash + the query batch's codes.
+  {
+    BufferWriter w;
+    hash->Serialize(&w);
+    cluster->cache()->Broadcast("mrselect/hash", w.Release(),
+                                &plan_counters);
+  }
+  std::vector<BinaryCode> query_codes = hash->HashAll(queries);
+  {
+    BufferWriter w;
+    w.PutVarint64(query_codes.size());
+    for (const auto& q : query_codes) q.Serialize(&w);
+    cluster->cache()->Broadcast("mrselect/queries", w.Release(),
+                                &plan_counters);
+  }
+
+  // One MapReduce job: route data tuples by pivot range; each reducer
+  // H-Builds its local index and answers every broadcast query.
+  const SpectralHashing* hash_ptr = hash.get();
+  const GrayPivots* pivots_ptr = &pivots;
+  const std::vector<BinaryCode>* queries_ptr = &query_codes;
+  DynamicHAIndexOptions index_opts = opts.index;
+  const std::size_t h = opts.h;
+
+  mr::JobSpec job;
+  job.name = "mrselect";
+  job.num_reducers = opts.num_partitions;
+  job.input_splits = mr::SplitEvenly(MatrixToRecords(data, Table::kR),
+                                     cluster->total_slots());
+  job.map_fn = [hash_ptr, pivots_ptr](const mr::Record& rec,
+                                      mr::Emitter* out) -> Status {
+    HAMMING_ASSIGN_OR_RETURN(VectorTuple t, DecodeVectorTuple(rec.value));
+    CodeTuple ct{t.table, t.id, hash_ptr->Hash(t.vec)};
+    uint32_t part = static_cast<uint32_t>(pivots_ptr->PartitionOf(ct.code));
+    out->Emit(PartitionKey(part), EncodeCodeTuple(ct));
+    return Status::OK();
+  };
+  job.partition_fn = [](const std::vector<uint8_t>& key,
+                        std::size_t num_reducers) {
+    auto part = DecodePartitionKey(key);
+    return part.ok() ? static_cast<std::size_t>(*part) % num_reducers : 0u;
+  };
+  job.reduce_fn = [queries_ptr, index_opts, h](
+                      const std::vector<uint8_t>&,
+                      const std::vector<std::vector<uint8_t>>& values,
+                      mr::Emitter* out) -> Status {
+    std::vector<TupleId> ids;
+    std::vector<BinaryCode> codes;
+    ids.reserve(values.size());
+    codes.reserve(values.size());
+    for (const auto& v : values) {
+      HAMMING_ASSIGN_OR_RETURN(CodeTuple t, DecodeCodeTuple(v));
+      ids.push_back(t.id);
+      codes.push_back(t.code);
+    }
+    DynamicHAIndex local(index_opts);
+    HAMMING_RETURN_NOT_OK(local.BuildWithIds(ids, codes));
+    for (std::size_t q = 0; q < queries_ptr->size(); ++q) {
+      HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> matches,
+                               local.Search((*queries_ptr)[q], h));
+      for (TupleId id : matches) {
+        BufferWriter w;
+        w.PutVarint64(q);
+        w.PutVarint64(id);
+        out->Emit({}, w.Release());
+      }
+    }
+    return Status::OK();
+  };
+  HAMMING_ASSIGN_OR_RETURN(mr::JobResult job_result, RunJob(job, cluster));
+  plan_counters.Merge(job_result.counters);
+
+  result.matches.resize(queries.rows());
+  for (const auto& part : job_result.outputs) {
+    for (const auto& rec : part) {
+      BufferReader r(rec.value);
+      uint64_t q, id;
+      HAMMING_RETURN_NOT_OK(r.GetVarint64(&q));
+      HAMMING_RETURN_NOT_OK(r.GetVarint64(&id));
+      result.matches[q].push_back(static_cast<TupleId>(id));
+    }
+  }
+  for (auto& m : result.matches) std::sort(m.begin(), m.end());
+  result.shuffle_bytes = plan_counters.Get(mr::kShuffleBytes);
+  result.broadcast_bytes = plan_counters.Get(mr::kBroadcastBytes);
+  return result;
+}
+
+}  // namespace hamming::mrjoin

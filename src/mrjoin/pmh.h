@@ -1,0 +1,40 @@
+// PMH: parallel Hamming-join via MultiHashTable (Manku et al. [4]
+// distributed as the paper describes in Section 2: "extends the
+// sequential approach to MapReduce by broadcasting Table R into each
+// server, then applying a sequential algorithm between R and S").
+//
+// The whole R code table is broadcast to every node (the heavy shuffle
+// the paper criticizes), each reducer builds a k-table MultiHashTable
+// index over it and probes with its partition of S.
+#pragma once
+
+#include "hashing/spectral_hashing.h"
+#include "mrjoin/common.h"
+
+namespace hamming::mrjoin {
+
+/// \brief Plan configuration.
+struct PmhOptions {
+  std::size_t num_partitions = 16;
+  std::size_t code_bits = 32;
+  std::size_t num_tables = 10;  // PMH-10 in the evaluation
+  double sample_rate = 0.1;     // hash-training sample
+  std::size_t h = 3;
+  uint64_t seed = 42;
+  /// Optional pre-trained hash (see MrhaOptions::pretrained).
+  std::shared_ptr<const SpectralHashing> pretrained;
+};
+
+/// \brief Outcome of a PMH join run.
+struct PmhResult {
+  std::vector<JoinPair> pairs;
+  int64_t shuffle_bytes = 0;
+  int64_t broadcast_bytes = 0;
+};
+
+/// \brief Runs the broadcast-R MultiHashTable Hamming-join.
+Result<PmhResult> RunPmhJoin(const FloatMatrix& r_data,
+                             const FloatMatrix& s_data,
+                             const PmhOptions& opts, mr::Cluster* cluster);
+
+}  // namespace hamming::mrjoin

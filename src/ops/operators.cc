@@ -1,0 +1,175 @@
+#include "ops/operators.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "join/centralized_join.h"
+
+namespace hamming::ops {
+
+namespace {
+
+// Builds the configured index over a table's codes.
+Result<DynamicHAIndex> BuildIndex(const HammingTable& t,
+                                  const DynamicHAIndexOptions& opts) {
+  DynamicHAIndex index(opts);
+  HAMMING_RETURN_NOT_OK(index.Build(t.codes()));
+  return index;
+}
+
+}  // namespace
+
+Result<std::vector<TupleId>> HammingSelect(const HammingTable& s,
+                                           const BinaryCode& query,
+                                           std::size_t h,
+                                           const OperatorOptions& opts) {
+  if (opts.plan == JoinPlan::kNestedLoops) {
+    std::vector<TupleId> out;
+    const auto& codes = s.codes();
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      if (codes[i].WithinDistance(query, h)) {
+        out.push_back(static_cast<TupleId>(i));
+      }
+    }
+    return out;
+  }
+  HAMMING_ASSIGN_OR_RETURN(DynamicHAIndex index, BuildIndex(s, opts.index));
+  return index.Search(query, h);
+}
+
+Result<std::vector<std::vector<TupleId>>> HammingSelectBatch(
+    const HammingTable& s, const std::vector<BinaryCode>& queries,
+    std::size_t h, const OperatorOptions& opts) {
+  std::vector<std::vector<TupleId>> out(queries.size());
+  if (opts.plan == JoinPlan::kNestedLoops) {
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      HAMMING_ASSIGN_OR_RETURN(out[q],
+                               HammingSelect(s, queries[q], h, opts));
+    }
+    return out;
+  }
+  HAMMING_ASSIGN_OR_RETURN(DynamicHAIndex index, BuildIndex(s, opts.index));
+  if (opts.pool == nullptr) {
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      HAMMING_ASSIGN_OR_RETURN(out[q], index.Search(queries[q], h));
+    }
+    return out;
+  }
+  // Parallel probing: the index is immutable during the batch, so worker
+  // threads share it without synchronization.
+  std::mutex error_mu;
+  Status first_error = Status::OK();
+  ParallelFor(opts.pool, queries.size(), [&](std::size_t q) {
+    auto got = index.Search(queries[q], h);
+    if (got.ok()) {
+      out[q] = std::move(*got);
+    } else {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok()) first_error = got.status();
+    }
+  });
+  if (!first_error.ok()) return first_error;
+  return out;
+}
+
+Result<std::vector<JoinPair>> HammingJoin(const HammingTable& r,
+                                          const HammingTable& s,
+                                          std::size_t h,
+                                          const OperatorOptions& opts) {
+  if (!r.codes().empty() && !s.codes().empty() &&
+      r.code_bits() != s.code_bits()) {
+    return Status::InvalidArgument("joining tables of different code length");
+  }
+  switch (opts.plan) {
+    case JoinPlan::kNestedLoops:
+      return NestedLoopsJoin(r.codes(), s.codes(), h);
+    case JoinPlan::kIndexProbe: {
+      HAMMING_ASSIGN_OR_RETURN(DynamicHAIndex index,
+                               BuildIndex(r, opts.index));
+      std::vector<JoinPair> out;
+      const auto& s_codes = s.codes();
+      if (opts.pool == nullptr) {
+        for (std::size_t j = 0; j < s_codes.size(); ++j) {
+          HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> matches,
+                                   index.Search(s_codes[j], h));
+          for (TupleId rid : matches) {
+            out.push_back({rid, static_cast<TupleId>(j)});
+          }
+        }
+        return out;
+      }
+      std::vector<std::vector<JoinPair>> partial(s_codes.size());
+      std::mutex error_mu;
+      Status first_error = Status::OK();
+      ParallelFor(opts.pool, s_codes.size(), [&](std::size_t j) {
+        auto matches = index.Search(s_codes[j], h);
+        if (!matches.ok()) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (first_error.ok()) first_error = matches.status();
+          return;
+        }
+        for (TupleId rid : *matches) {
+          partial[j].push_back({rid, static_cast<TupleId>(j)});
+        }
+      });
+      if (!first_error.ok()) return first_error;
+      for (auto& p : partial) {
+        out.insert(out.end(), p.begin(), p.end());
+      }
+      return out;
+    }
+    case JoinPlan::kDualTree: {
+      HAMMING_ASSIGN_OR_RETURN(DynamicHAIndex r_index,
+                               BuildIndex(r, opts.index));
+      HAMMING_ASSIGN_OR_RETURN(DynamicHAIndex s_index,
+                               BuildIndex(s, opts.index));
+      return r_index.JoinWith(s_index, h);
+    }
+  }
+  return Status::InvalidArgument("unknown join plan");
+}
+
+Result<std::vector<TupleId>> SimilarityIntersect(const HammingTable& r,
+                                                 const HammingTable& s,
+                                                 std::size_t h,
+                                                 const OperatorOptions& opts) {
+  // Semi-join: index S once, probe with each R tuple, stop at the first
+  // match (existence is enough — no pair materialization).
+  if (opts.plan == JoinPlan::kNestedLoops) {
+    std::vector<TupleId> out;
+    for (std::size_t i = 0; i < r.codes().size(); ++i) {
+      for (const auto& sc : s.codes()) {
+        if (r.codes()[i].WithinDistance(sc, h)) {
+          out.push_back(static_cast<TupleId>(i));
+          break;
+        }
+      }
+    }
+    return out;
+  }
+  HAMMING_ASSIGN_OR_RETURN(DynamicHAIndex index, BuildIndex(s, opts.index));
+  std::vector<TupleId> out;
+  for (std::size_t i = 0; i < r.codes().size(); ++i) {
+    HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> matches,
+                             index.Search(r.codes()[i], h));
+    if (!matches.empty()) out.push_back(static_cast<TupleId>(i));
+  }
+  return out;
+}
+
+Result<std::vector<TupleId>> SimilarityDifference(
+    const HammingTable& r, const HammingTable& s, std::size_t h,
+    const OperatorOptions& opts) {
+  HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> in,
+                           SimilarityIntersect(r, s, h, opts));
+  std::vector<bool> present(r.size(), false);
+  for (TupleId id : in) present[id] = true;
+  std::vector<TupleId> out;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    if (!present[i]) out.push_back(static_cast<TupleId>(i));
+  }
+  return out;
+}
+
+}  // namespace hamming::ops

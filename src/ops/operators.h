@@ -1,0 +1,64 @@
+// Similarity-aware relational operators over HammingTables.
+//
+// Implements the operations the paper defines (h-select, Definition 1;
+// h-join, Definition 2) plus its stated future work: the similarity-aware
+// relational *intersection* operator of Al Marri et al. [27] — here the
+// Hamming semi-join / anti-join family: which tuples of R have (or lack) a
+// similar counterpart in S.
+#pragma once
+
+#include <memory>
+
+#include "common/threadpool.h"
+#include "index/dynamic_ha_index.h"
+#include "ops/table.h"
+
+namespace hamming::ops {
+
+/// \brief Which physical plan executes a join-shaped operator.
+enum class JoinPlan {
+  kNestedLoops,  // O(|R||S|) scan
+  kIndexProbe,   // HA-Index on R, H-Search per S tuple (Section 5 intro)
+  kDualTree,     // HA-Index on both sides, simultaneous traversal
+};
+
+/// \brief Options shared by the operators.
+struct OperatorOptions {
+  JoinPlan plan = JoinPlan::kIndexProbe;
+  DynamicHAIndexOptions index;
+  /// Thread pool for batched probes; null = single-threaded.
+  ThreadPool* pool = nullptr;
+};
+
+/// \brief h-select(tq, S): ids of S tuples within distance h of the query
+/// code (Definition 1).
+Result<std::vector<TupleId>> HammingSelect(const HammingTable& s,
+                                           const BinaryCode& query,
+                                           std::size_t h,
+                                           const OperatorOptions& opts = {});
+
+/// \brief Batched h-select: one result vector per query, executed in
+/// parallel when a pool is supplied.
+Result<std::vector<std::vector<TupleId>>> HammingSelectBatch(
+    const HammingTable& s, const std::vector<BinaryCode>& queries,
+    std::size_t h, const OperatorOptions& opts = {});
+
+/// \brief h-join(R, S) (Definition 2): all pairs within distance h.
+Result<std::vector<JoinPair>> HammingJoin(const HammingTable& r,
+                                          const HammingTable& s,
+                                          std::size_t h,
+                                          const OperatorOptions& opts = {});
+
+/// \brief Similarity-aware intersection [27]: ids of R tuples that have
+/// at least one S tuple within distance h (a Hamming semi-join).
+Result<std::vector<TupleId>> SimilarityIntersect(
+    const HammingTable& r, const HammingTable& s, std::size_t h,
+    const OperatorOptions& opts = {});
+
+/// \brief Similarity-aware difference: ids of R tuples with *no* S tuple
+/// within distance h (the anti-join complement of the intersection).
+Result<std::vector<TupleId>> SimilarityDifference(
+    const HammingTable& r, const HammingTable& s, std::size_t h,
+    const OperatorOptions& opts = {});
+
+}  // namespace hamming::ops

@@ -1,0 +1,112 @@
+#include "ops/planner.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace hamming::ops {
+
+TableStats TableStats::Collect(const HammingTable& table, std::size_t pairs,
+                               uint64_t seed) {
+  TableStats stats;
+  const auto& codes = table.codes();
+  stats.num_tuples_ = codes.size();
+  stats.code_bits_ = table.code_bits();
+  if (codes.empty()) return stats;
+
+  stats.cdf_.assign(stats.code_bits_ + 1, 0.0);
+  Rng rng(seed);
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const auto& a = codes[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(codes.size()) - 1))];
+    const auto& b = codes[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(codes.size()) - 1))];
+    stats.cdf_[a.Distance(b)] += 1.0;
+  }
+  // Histogram -> CDF.
+  double acc = 0.0;
+  for (double& v : stats.cdf_) {
+    acc += v;
+    v = acc / static_cast<double>(pairs);
+  }
+
+  // Distinct ratio from a hash-set over a sample.
+  std::size_t probe = std::min<std::size_t>(codes.size(), 4096);
+  std::unordered_set<uint64_t> distinct;
+  for (std::size_t i = 0; i < probe; ++i) {
+    distinct.insert(codes[i * codes.size() / probe].Hash());
+  }
+  stats.distinct_ratio_ = static_cast<double>(distinct.size()) /
+                          static_cast<double>(probe);
+  return stats;
+}
+
+double TableStats::EstimateSelectivity(std::size_t h) const {
+  if (cdf_.empty()) return 0.0;
+  return cdf_[std::min(h, cdf_.size() - 1)];
+}
+
+PlanChoice ChooseSelectPlan(const TableStats& stats, std::size_t num_queries,
+                            std::size_t h) {
+  PlanChoice choice;
+  choice.estimated_selectivity = stats.EstimateSelectivity(h);
+
+  // One H-Build costs ~ n log n; it amortizes over the batch. A scan
+  // costs n per query. With selectivity s the index still touches ~s*n
+  // leaves, so its per-query advantage shrinks as s -> 1.
+  const double n = static_cast<double>(stats.num_tuples());
+  const double q = static_cast<double>(num_queries);
+  const double s = choice.estimated_selectivity;
+  const double scan_cost = q * n;
+  // Index probe: build (~3n) + per query a pruned traversal, modeled as
+  // n * (0.1 + s) — pruning saves most of the scan at low selectivity,
+  // nothing at high selectivity.
+  const double index_cost = 3.0 * n + q * n * (0.1 + s);
+  if (index_cost < scan_cost) {
+    choice.plan = JoinPlan::kIndexProbe;
+    choice.reason = "batch amortizes H-Build; low selectivity favours "
+                    "pruned traversal";
+  } else {
+    choice.plan = JoinPlan::kNestedLoops;
+    choice.reason = "scan is cheaper: batch too small or Hamming ball too "
+                    "dense for pruning to pay";
+  }
+  return choice;
+}
+
+PlanChoice ChooseJoinPlan(const TableStats& r_stats,
+                          const TableStats& s_stats, std::size_t h) {
+  PlanChoice choice;
+  choice.estimated_selectivity =
+      std::max(r_stats.EstimateSelectivity(h), s_stats.EstimateSelectivity(h));
+  const double m = static_cast<double>(r_stats.num_tuples());
+  const double n = static_cast<double>(s_stats.num_tuples());
+  const double s = choice.estimated_selectivity;
+
+  if (s > 0.5) {
+    // Output is near-quadratic anyway; pair emission dominates and the
+    // scan has the smallest constant factor.
+    choice.plan = JoinPlan::kNestedLoops;
+    choice.reason = "join is non-selective; output cost dominates";
+    return choice;
+  }
+  // Dual-tree pruning compounds on both sides when codes are duplicated /
+  // clustered (low distinct ratio); per-tuple probing wins when one side
+  // is tiny.
+  const double smaller = std::min(m, n);
+  if (smaller < 512) {
+    choice.plan = JoinPlan::kIndexProbe;
+    choice.reason = "one side is small: index it, probe with the other";
+  } else if (r_stats.distinct_ratio() < 0.9 ||
+             s_stats.distinct_ratio() < 0.9) {
+    choice.plan = JoinPlan::kDualTree;
+    choice.reason = "both sides sizable and clustered: subtree-pair "
+                    "pruning pays on both sides";
+  } else {
+    choice.plan = JoinPlan::kDualTree;
+    choice.reason = "both sides sizable; dual traversal still avoids "
+                    "per-tuple descent";
+  }
+  return choice;
+}
+
+}  // namespace hamming::ops

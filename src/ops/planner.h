@@ -1,0 +1,63 @@
+// Cost-based physical plan selection for Hamming operators.
+//
+// The right index depends on the workload: a flat XOR scan wins on small
+// or very-high-selectivity inputs, Manku tables win on dispersed codes
+// with selective buckets, the HA-Index wins on clustered codes and large
+// batches. The planner estimates the result selectivity of a Hamming ball
+// from a sampled distance histogram and picks a plan with a simple cost
+// model — the kind of decision a downstream system would otherwise
+// hard-code.
+#pragma once
+
+#include <array>
+
+#include "common/rng.h"
+#include "ops/operators.h"
+
+namespace hamming::ops {
+
+/// \brief Distribution statistics collected from a table's codes.
+class TableStats {
+ public:
+  /// \brief Samples `pairs` random code pairs and builds the pairwise
+  /// distance histogram, plus a distinct-code estimate.
+  static TableStats Collect(const HammingTable& table,
+                            std::size_t pairs = 2000, uint64_t seed = 42);
+
+  /// \brief Estimated fraction of tuples within distance h of a random
+  /// query drawn from the same distribution.
+  double EstimateSelectivity(std::size_t h) const;
+
+  /// \brief Estimated number of distinct codes / total (1.0 = all
+  /// distinct, small = heavy duplication ⇒ strong HA-Index sharing).
+  double distinct_ratio() const { return distinct_ratio_; }
+
+  std::size_t code_bits() const { return code_bits_; }
+  std::size_t num_tuples() const { return num_tuples_; }
+
+ private:
+  std::size_t code_bits_ = 0;
+  std::size_t num_tuples_ = 0;
+  double distinct_ratio_ = 1.0;
+  // cdf_[d] = fraction of sampled pairs with distance <= d.
+  std::vector<double> cdf_;
+};
+
+/// \brief The planner's verdict with its reasoning, for EXPLAIN-style
+/// introspection.
+struct PlanChoice {
+  JoinPlan plan;
+  double estimated_selectivity = 0.0;
+  std::string reason;
+};
+
+/// \brief Chooses a plan for a batch of `num_queries` selects at
+/// threshold h against a table with the given stats.
+PlanChoice ChooseSelectPlan(const TableStats& stats, std::size_t num_queries,
+                            std::size_t h);
+
+/// \brief Chooses a plan for h-join(R, S).
+PlanChoice ChooseJoinPlan(const TableStats& r_stats,
+                          const TableStats& s_stats, std::size_t h);
+
+}  // namespace hamming::ops

@@ -1,0 +1,129 @@
+#include "storage/file_io.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include "common/serde.h"
+
+namespace hamming::storage {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x48444246;  // "HDBF"
+constexpr uint32_t kFormatVersion = 1;
+
+// Table-driven CRC-32; the table is built once.
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const uint8_t* data, std::size_t len) {
+  const auto& table = CrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status WriteContainer(const std::string& path, PayloadKind kind,
+                      const std::vector<uint8_t>& payload) {
+  BufferWriter header;
+  header.PutFixed32(kMagic);
+  header.PutFixed32(kFormatVersion);
+  header.PutFixed32(static_cast<uint32_t>(kind));
+  header.PutFixed64(payload.size());
+
+  // CRC covers header + payload.
+  uint32_t crc = Crc32(header.buffer().data(), header.size());
+  // Chain the payload into the same CRC by recomputing over the
+  // concatenation (simple and allocation-free enough at these sizes).
+  std::vector<uint8_t> all(header.buffer());
+  all.insert(all.end(), payload.begin(), payload.end());
+  crc = Crc32(all.data(), all.size());
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + tmp + " for writing");
+  }
+  bool ok = std::fwrite(all.data(), 1, all.size(), f) == all.size();
+  uint8_t crc_bytes[4];
+  for (int i = 0; i < 4; ++i) {
+    crc_bytes[i] = static_cast<uint8_t>((crc >> (8 * i)) & 0xFF);
+  }
+  ok = ok && std::fwrite(crc_bytes, 1, 4, f) == 4;
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadContainer(const std::string& path,
+                                           PayloadKind expected_kind) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 24) {  // header (20) + crc (4)
+    std::fclose(f);
+    return Status::IOError(path + " is too short to be a container file");
+  }
+  std::vector<uint8_t> bytes(static_cast<std::size_t>(size));
+  bool ok = std::fread(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  if (!ok) return Status::IOError("short read from " + path);
+
+  const std::size_t body_len = bytes.size() - 4;
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(bytes[body_len + i]) << (8 * i);
+  }
+  if (Crc32(bytes.data(), body_len) != stored_crc) {
+    return Status::IOError(path + " failed checksum verification");
+  }
+
+  BufferReader r(bytes.data(), body_len);
+  uint32_t magic, version, kind;
+  uint64_t payload_len;
+  HAMMING_RETURN_NOT_OK(r.GetFixed32(&magic));
+  HAMMING_RETURN_NOT_OK(r.GetFixed32(&version));
+  HAMMING_RETURN_NOT_OK(r.GetFixed32(&kind));
+  HAMMING_RETURN_NOT_OK(r.GetFixed64(&payload_len));
+  if (magic != kMagic) return Status::IOError(path + " has bad magic");
+  if (version != kFormatVersion) {
+    return Status::IOError(path + " has unsupported format version");
+  }
+  if (kind != static_cast<uint32_t>(expected_kind)) {
+    return Status::IOError(path + " holds a different payload kind");
+  }
+  if (payload_len != r.remaining()) {
+    return Status::IOError(path + " payload length mismatch");
+  }
+  std::vector<uint8_t> payload(r.remaining());
+  HAMMING_RETURN_NOT_OK(r.GetRaw(payload.data(), payload.size()));
+  return payload;
+}
+
+}  // namespace hamming::storage

@@ -1,0 +1,42 @@
+// Checksummed on-disk persistence for indexes and tables.
+//
+// A production deployment builds the HA-Index once and reopens it across
+// process restarts (the paper keeps it "in memory for fast query
+// processing"; real services also need it on disk). The container format
+// is a fixed header — magic, format version, payload kind, payload length
+// — followed by the payload bytes and a CRC-32 of everything before it,
+// so truncation and bit-rot surface as IOError instead of garbage
+// results.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hamming::storage {
+
+/// \brief What a container file holds.
+enum class PayloadKind : uint32_t {
+  kDynamicHAIndex = 1,
+  kHammingTable = 2,
+  kGeneric = 100,
+};
+
+/// \brief CRC-32 (IEEE 802.3 polynomial, reflected) of a byte range.
+uint32_t Crc32(const uint8_t* data, std::size_t len);
+
+/// \brief Writes a checksummed container file (atomically via a temp file
+/// + rename so readers never observe a half-written file).
+Status WriteContainer(const std::string& path, PayloadKind kind,
+                      const std::vector<uint8_t>& payload);
+
+/// \brief Reads and verifies a container file; fails with IOError on
+/// missing file, bad magic, version or kind mismatch, truncation, or
+/// checksum failure.
+Result<std::vector<uint8_t>> ReadContainer(const std::string& path,
+                                           PayloadKind expected_kind);
+
+}  // namespace hamming::storage

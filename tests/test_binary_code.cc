@@ -1,0 +1,209 @@
+#include "code/binary_code.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hamming {
+namespace {
+
+TEST(BinaryCode, ParsesAndPrints) {
+  auto code = BinaryCode::FromString("101100010");
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(code->size(), 9u);
+  EXPECT_EQ(code->ToString(), "101100010");
+}
+
+TEST(BinaryCode, IgnoresWhitespaceInParse) {
+  auto code = BinaryCode::FromString("001 001 010");
+  ASSERT_TRUE(code.ok());
+  EXPECT_EQ(code->ToString(), "001001010");
+}
+
+TEST(BinaryCode, RejectsInvalidCharacters) {
+  EXPECT_TRUE(BinaryCode::FromString("01x").status().IsInvalidArgument());
+}
+
+TEST(BinaryCode, RejectsOverlongInput) {
+  std::string bits(513, '1');
+  EXPECT_TRUE(BinaryCode::FromString(bits).status().IsOutOfRange());
+}
+
+TEST(BinaryCode, BitAccessors) {
+  auto code = BinaryCode::FromString("1010").ValueOrDie();
+  EXPECT_TRUE(code.GetBit(0));
+  EXPECT_FALSE(code.GetBit(1));
+  EXPECT_TRUE(code.GetBit(2));
+  EXPECT_FALSE(code.GetBit(3));
+  code.SetBit(1, true);
+  EXPECT_EQ(code.ToString(), "1110");
+  code.FlipBit(0);
+  EXPECT_EQ(code.ToString(), "0110");
+}
+
+TEST(BinaryCode, PaperExampleDistance) {
+  // Example 1: tq = "101100010", h = 3 selects {t0, t3, t4, t6}.
+  auto tq = BinaryCode::FromString("101100010").ValueOrDie();
+  const char* table_s[] = {"001001010", "001011101", "011001100",
+                           "101001010", "101110110", "101011101",
+                           "101101010", "111001100"};
+  std::vector<int> qualifying;
+  for (int i = 0; i < 8; ++i) {
+    auto t = BinaryCode::FromString(table_s[i]).ValueOrDie();
+    if (t.Distance(tq) <= 3) qualifying.push_back(i);
+  }
+  EXPECT_EQ(qualifying, (std::vector<int>{0, 3, 4, 6}));
+}
+
+TEST(BinaryCode, DistanceIsSymmetricAndZeroOnSelf) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    BinaryCode a(64), b(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+      a.SetBit(i, rng.Bernoulli(0.5));
+      b.SetBit(i, rng.Bernoulli(0.5));
+    }
+    EXPECT_EQ(a.Distance(a), 0u);
+    EXPECT_EQ(a.Distance(b), b.Distance(a));
+  }
+}
+
+TEST(BinaryCode, DistanceTriangleInequality) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    BinaryCode a(96), b(96), c(96);
+    for (std::size_t i = 0; i < 96; ++i) {
+      a.SetBit(i, rng.Bernoulli(0.5));
+      b.SetBit(i, rng.Bernoulli(0.5));
+      c.SetBit(i, rng.Bernoulli(0.5));
+    }
+    EXPECT_LE(a.Distance(c), a.Distance(b) + b.Distance(c));
+  }
+}
+
+TEST(BinaryCode, WithinDistanceMatchesDistance) {
+  Rng rng(13);
+  for (int trial = 0; trial < 100; ++trial) {
+    BinaryCode a(128), b(128);
+    for (std::size_t i = 0; i < 128; ++i) {
+      a.SetBit(i, rng.Bernoulli(0.5));
+      b.SetBit(i, rng.Bernoulli(0.5));
+    }
+    std::size_t d = a.Distance(b);
+    EXPECT_TRUE(a.WithinDistance(b, d));
+    if (d > 0) {
+      EXPECT_FALSE(a.WithinDistance(b, d - 1));
+    }
+  }
+}
+
+TEST(BinaryCode, PopCount) {
+  EXPECT_EQ(BinaryCode::FromString("0000").ValueOrDie().PopCount(), 0u);
+  EXPECT_EQ(BinaryCode::FromString("1111").ValueOrDie().PopCount(), 4u);
+  EXPECT_EQ(BinaryCode::FromString("1010101").ValueOrDie().PopCount(), 4u);
+}
+
+TEST(BinaryCode, SubstringExtraction) {
+  auto code = BinaryCode::FromString("110010110").ValueOrDie();
+  EXPECT_EQ(code.Substring(0, 3).ToString(), "110");
+  EXPECT_EQ(code.Substring(3, 3).ToString(), "010");
+  EXPECT_EQ(code.Substring(6, 3).ToString(), "110");
+  EXPECT_EQ(code.Substring(0, 9).ToString(), "110010110");
+}
+
+TEST(BinaryCode, SubstringCrossesWordBoundary) {
+  BinaryCode code(128);
+  code.SetBit(62, true);
+  code.SetBit(63, true);
+  code.SetBit(64, true);
+  EXPECT_EQ(code.Substring(62, 4).ToString(), "1110");
+}
+
+TEST(BinaryCode, SubstringAsUint64) {
+  auto code = BinaryCode::FromString("10110").ValueOrDie();
+  EXPECT_EQ(code.SubstringAsUint64(0, 5), 0b10110u);
+  EXPECT_EQ(code.SubstringAsUint64(1, 3), 0b011u);
+  EXPECT_EQ(code.SubstringAsUint64(4, 1), 0b0u);
+}
+
+TEST(BinaryCode, FromUint64RoundTrip) {
+  auto code = BinaryCode::FromUint64(0b1011, 6).ValueOrDie();
+  EXPECT_EQ(code.ToString(), "001011");
+  EXPECT_EQ(code.SubstringAsUint64(0, 6), 0b1011u);
+  EXPECT_TRUE(BinaryCode::FromUint64(1, 65).status().IsInvalidArgument());
+}
+
+TEST(BinaryCode, LexicographicCompare) {
+  auto a = BinaryCode::FromString("0101").ValueOrDie();
+  auto b = BinaryCode::FromString("0110").ValueOrDie();
+  EXPECT_LT(a.Compare(b), 0);
+  EXPECT_GT(b.Compare(a), 0);
+  EXPECT_EQ(a.Compare(a), 0);
+  EXPECT_TRUE(a < b);
+}
+
+TEST(BinaryCode, BitwiseOperators) {
+  auto a = BinaryCode::FromString("1100").ValueOrDie();
+  auto b = BinaryCode::FromString("1010").ValueOrDie();
+  EXPECT_EQ((a ^ b).ToString(), "0110");
+  EXPECT_EQ((a & b).ToString(), "1000");
+  EXPECT_EQ((a | b).ToString(), "1110");
+  EXPECT_EQ(a.Not().ToString(), "0011");
+}
+
+TEST(BinaryCode, NotMasksTail) {
+  // Complement must not set bits beyond the logical length.
+  auto a = BinaryCode::FromString("101").ValueOrDie();
+  auto n = a.Not();
+  EXPECT_EQ(n.ToString(), "010");
+  EXPECT_EQ(n.PopCount(), 1u);
+}
+
+TEST(BinaryCode, HashDistinguishesLengths) {
+  auto a = BinaryCode::FromString("00").ValueOrDie();
+  auto b = BinaryCode::FromString("000").ValueOrDie();
+  EXPECT_NE(a.Hash(), b.Hash());
+  EXPECT_NE(a, b);
+}
+
+TEST(BinaryCode, SerializationRoundTrip) {
+  Rng rng(17);
+  for (std::size_t bits : {1u, 7u, 8u, 9u, 63u, 64u, 65u, 200u, 512u}) {
+    BinaryCode code(bits);
+    for (std::size_t i = 0; i < bits; ++i) {
+      code.SetBit(i, rng.Bernoulli(0.5));
+    }
+    BufferWriter w;
+    code.Serialize(&w);
+    BufferReader r(w.buffer());
+    BinaryCode back;
+    ASSERT_TRUE(BinaryCode::Deserialize(&r, &back).ok());
+    EXPECT_EQ(code, back) << "bits=" << bits;
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(BinaryCode, DeserializeRejectsTruncated) {
+  BufferWriter w;
+  BinaryCode code(64);
+  code.SetBit(0, true);
+  code.Serialize(&w);
+  auto buf = w.buffer();
+  buf.resize(buf.size() - 2);
+  BufferReader r(buf);
+  BinaryCode back;
+  EXPECT_TRUE(BinaryCode::Deserialize(&r, &back).IsIOError());
+}
+
+TEST(BinaryCode, MaxLengthSupported) {
+  std::string bits(512, '0');
+  bits[0] = '1';
+  bits[511] = '1';
+  auto code = BinaryCode::FromString(bits).ValueOrDie();
+  EXPECT_EQ(code.size(), 512u);
+  EXPECT_EQ(code.PopCount(), 2u);
+  EXPECT_TRUE(code.GetBit(511));
+}
+
+}  // namespace
+}  // namespace hamming

@@ -1,0 +1,176 @@
+#include "knn/bptree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "test_util.h"
+
+namespace hamming {
+namespace {
+
+using testutil::RandomCodes;
+
+BinaryCode Key(uint64_t v) {
+  return BinaryCode::FromUint64(v, 32).ValueOrDie();
+}
+
+TEST(BPlusTree, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_FALSE(tree.Begin().Valid());
+  EXPECT_FALSE(tree.SeekCeiling(Key(5)).Valid());
+  EXPECT_FALSE(tree.Last().Valid());
+}
+
+TEST(BPlusTree, InsertAndIterateInOrder) {
+  BPlusTree tree;
+  for (uint64_t v : {5u, 1u, 9u, 3u, 7u}) {
+    tree.Insert(Key(v), static_cast<uint32_t>(v));
+  }
+  EXPECT_EQ(tree.size(), 5u);
+  std::vector<uint32_t> order;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    order.push_back(it.value());
+  }
+  EXPECT_EQ(order, (std::vector<uint32_t>{1, 3, 5, 7, 9}));
+}
+
+TEST(BPlusTree, SeekCeilingSemantics) {
+  BPlusTree tree;
+  for (uint64_t v : {10u, 20u, 30u}) {
+    tree.Insert(Key(v), static_cast<uint32_t>(v));
+  }
+  EXPECT_EQ(tree.SeekCeiling(Key(10)).value(), 10u);
+  EXPECT_EQ(tree.SeekCeiling(Key(15)).value(), 20u);
+  EXPECT_EQ(tree.SeekCeiling(Key(30)).value(), 30u);
+  EXPECT_FALSE(tree.SeekCeiling(Key(31)).Valid());
+  EXPECT_EQ(tree.SeekCeiling(Key(0)).value(), 10u);
+}
+
+TEST(BPlusTree, BidirectionalIteration) {
+  BPlusTree tree;
+  for (uint64_t v = 0; v < 500; ++v) {
+    tree.Insert(Key(v), static_cast<uint32_t>(v));
+  }
+  auto it = tree.SeekCeiling(Key(250));
+  it.Prev();
+  EXPECT_EQ(it.value(), 249u);
+  it.Prev();
+  EXPECT_EQ(it.value(), 248u);
+  it.Next();
+  it.Next();
+  EXPECT_EQ(it.value(), 250u);
+  // Walk off the front.
+  auto front = tree.Begin();
+  front.Prev();
+  EXPECT_FALSE(front.Valid());
+  // Last entry.
+  EXPECT_EQ(tree.Last().value(), 499u);
+}
+
+TEST(BPlusTree, SplitsKeepInvariants) {
+  BPlusTree tree;
+  for (uint64_t v = 0; v < 5000; ++v) {
+    tree.Insert(Key(v * 2654435761u % 100000), static_cast<uint32_t>(v));
+  }
+  EXPECT_EQ(tree.size(), 5000u);
+  EXPECT_GT(tree.height(), 1u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  // In-order iteration must be sorted.
+  BinaryCode prev;
+  bool first = true;
+  std::size_t count = 0;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    if (!first) {
+      EXPECT_LE(prev.Compare(it.key()), 0);
+    }
+    prev = it.key();
+    first = false;
+    ++count;
+  }
+  EXPECT_EQ(count, 5000u);
+}
+
+TEST(BPlusTree, DuplicateKeysSupported) {
+  BPlusTree tree;
+  for (uint32_t i = 0; i < 10; ++i) tree.Insert(Key(42), i);
+  std::size_t seen = 0;
+  for (auto it = tree.SeekCeiling(Key(42)); it.Valid() && it.key() == Key(42);
+       it.Next()) {
+    ++seen;
+  }
+  EXPECT_EQ(seen, 10u);
+}
+
+TEST(BPlusTree, DeleteSpecificValue) {
+  BPlusTree tree;
+  tree.Insert(Key(7), 1);
+  tree.Insert(Key(7), 2);
+  tree.Insert(Key(9), 3);
+  ASSERT_TRUE(tree.Delete(Key(7), 2).ok());
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_TRUE(tree.Delete(Key(7), 2).IsKeyError());
+  EXPECT_TRUE(tree.Delete(Key(100), 1).IsKeyError());
+  ASSERT_TRUE(tree.Delete(Key(7), 1).ok());
+  EXPECT_EQ(tree.SeekCeiling(Key(0)).value(), 3u);
+}
+
+TEST(BPlusTree, RandomizedAgainstStdMultimap) {
+  BPlusTree tree;
+  std::multimap<std::string, uint32_t> model;
+  Rng rng(77);
+  for (int op = 0; op < 4000; ++op) {
+    uint64_t raw = static_cast<uint64_t>(rng.UniformInt(0, 300));
+    BinaryCode key = Key(raw);
+    uint32_t value = static_cast<uint32_t>(rng.UniformInt(0, 10));
+    if (rng.Bernoulli(0.7) || model.empty()) {
+      tree.Insert(key, value);
+      model.emplace(key.ToString(), value);
+    } else {
+      bool model_has = false;
+      for (auto [it, end] = model.equal_range(key.ToString()); it != end;
+           ++it) {
+        if (it->second == value) {
+          model_has = true;
+          model.erase(it);
+          break;
+        }
+      }
+      Status st = tree.Delete(key, value);
+      EXPECT_EQ(st.ok(), model_has) << "op " << op;
+    }
+  }
+  EXPECT_EQ(tree.size(), model.size());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  // Full in-order comparison.
+  auto mit = model.begin();
+  for (auto it = tree.Begin(); it.Valid(); it.Next(), ++mit) {
+    ASSERT_NE(mit, model.end());
+    EXPECT_EQ(it.key().ToString(), mit->first);
+  }
+  EXPECT_EQ(mit, model.end());
+}
+
+TEST(BPlusTree, MoveSemantics) {
+  BPlusTree tree;
+  for (uint64_t v = 0; v < 100; ++v) {
+    tree.Insert(Key(v), static_cast<uint32_t>(v));
+  }
+  BPlusTree moved = std::move(tree);
+  EXPECT_EQ(moved.size(), 100u);
+  EXPECT_EQ(tree.size(), 0u);  // NOLINT(bugprone-use-after-move): reset state
+  tree.Insert(Key(1), 1);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTree, MemoryGrowsWithContent) {
+  BPlusTree small, big;
+  for (uint64_t v = 0; v < 10; ++v) small.Insert(Key(v), 0);
+  for (uint64_t v = 0; v < 1000; ++v) big.Insert(Key(v), 0);
+  EXPECT_GT(big.MemoryBytes(), small.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace hamming

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "code/gray.h"
+#include "dataset/generators.h"
+#include "dataset/matrix.h"
+#include "dataset/pivots.h"
+#include "dataset/sampling.h"
+#include "dataset/scale.h"
+#include "test_util.h"
+
+namespace hamming {
+namespace {
+
+TEST(FloatMatrix, BasicAccessors) {
+  FloatMatrix m(3, 2);
+  m.At(0, 0) = 1.0;
+  m.At(2, 1) = -4.5;
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m.Row(2)[1], -4.5);
+  EXPECT_EQ(m.Row(0)[0], 1.0);
+  EXPECT_EQ(m.Row(1)[0], 0.0);
+}
+
+TEST(FloatMatrix, AppendRowChecksWidth) {
+  FloatMatrix m;
+  std::vector<double> r1{1.0, 2.0};
+  std::vector<double> r2{3.0};
+  ASSERT_TRUE(m.AppendRow(r1).ok());
+  EXPECT_TRUE(m.AppendRow(r2).IsInvalidArgument());
+  EXPECT_EQ(m.rows(), 1u);
+}
+
+TEST(FloatMatrix, GatherRows) {
+  FloatMatrix m(4, 1);
+  for (std::size_t i = 0; i < 4; ++i) m.At(i, 0) = static_cast<double>(i);
+  auto g = m.GatherRows({3, 1});
+  EXPECT_EQ(g.rows(), 2u);
+  EXPECT_EQ(g.At(0, 0), 3.0);
+  EXPECT_EQ(g.At(1, 0), 1.0);
+}
+
+TEST(FloatMatrix, ColumnMeansAndDistances) {
+  FloatMatrix m(2, 2);
+  m.At(0, 0) = 1.0;
+  m.At(0, 1) = 2.0;
+  m.At(1, 0) = 3.0;
+  m.At(1, 1) = 6.0;
+  auto mean = m.ColumnMeans();
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 4.0);
+  EXPECT_DOUBLE_EQ(FloatMatrix::SquaredL2(m.Row(0), m.Row(1)), 4.0 + 16.0);
+  EXPECT_DOUBLE_EQ(FloatMatrix::L2(m.Row(0), m.Row(1)), std::sqrt(20.0));
+}
+
+TEST(Generators, DimensionsMatchPaper) {
+  EXPECT_EQ(DatasetDimension(DatasetKind::kNusWide), 225u);
+  EXPECT_EQ(DatasetDimension(DatasetKind::kFlickr), 512u);
+  EXPECT_EQ(DatasetDimension(DatasetKind::kDbpedia), 250u);
+}
+
+TEST(Generators, ShapesAndDeterminism) {
+  for (auto kind : {DatasetKind::kNusWide, DatasetKind::kFlickr,
+                    DatasetKind::kDbpedia}) {
+    auto a = GenerateDataset(kind, 50);
+    auto b = GenerateDataset(kind, 50);
+    EXPECT_EQ(a.rows(), 50u);
+    EXPECT_EQ(a.cols(), DatasetDimension(kind));
+    EXPECT_EQ(a.data(), b.data()) << "same seed must reproduce";
+  }
+}
+
+TEST(Generators, QueriesDifferFromDataset) {
+  auto data = GenerateDataset(DatasetKind::kNusWide, 20);
+  auto queries = GenerateQueries(DatasetKind::kNusWide, 20);
+  EXPECT_NE(data.data(), queries.data());
+}
+
+TEST(Generators, DbpediaRowsAreSimplexVectors) {
+  auto data = GenerateDataset(DatasetKind::kDbpedia, 30);
+  for (std::size_t i = 0; i < data.rows(); ++i) {
+    double sum = 0.0;
+    for (double v : data.Row(i)) {
+      EXPECT_GE(v, 0.0);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Generators, MixtureIsClustered) {
+  // Within-cluster spread must be visible: nearest-neighbour distances
+  // should be much smaller than the average pairwise distance.
+  auto data = GenerateDataset(DatasetKind::kNusWide, 200);
+  double nn_sum = 0.0, all_sum = 0.0;
+  std::size_t all_cnt = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    double best = 1e300;
+    for (std::size_t j = 0; j < data.rows(); ++j) {
+      if (i == j) continue;
+      double d = FloatMatrix::SquaredL2(data.Row(i), data.Row(j));
+      best = std::min(best, d);
+      all_sum += d;
+      ++all_cnt;
+    }
+    nn_sum += best;
+  }
+  EXPECT_LT(nn_sum / 100.0, 0.3 * all_sum / static_cast<double>(all_cnt));
+}
+
+TEST(Scale, GrowsByFactorAndKeepsBasePrefix) {
+  auto base = GenerateDataset(DatasetKind::kNusWide, 40);
+  auto scaled = ScaleDataset(base, 5);
+  EXPECT_EQ(scaled.rows(), 200u);
+  for (std::size_t i = 0; i < base.rows(); ++i) {
+    for (std::size_t j = 0; j < base.cols(); ++j) {
+      EXPECT_EQ(scaled.At(i, j), base.At(i, j));
+    }
+  }
+}
+
+TEST(Scale, FactorOneIsIdentity) {
+  auto base = GenerateDataset(DatasetKind::kDbpedia, 10);
+  auto scaled = ScaleDataset(base, 1);
+  EXPECT_EQ(scaled.rows(), base.rows());
+  EXPECT_EQ(scaled.data(), base.data());
+}
+
+TEST(Scale, DerivedValuesComeFromOriginalColumns) {
+  // Every value in a scaled copy must exist in the original column's
+  // value set (the successor scheme never invents values).
+  auto base = GenerateDataset(DatasetKind::kNusWide, 25);
+  auto scaled = ScaleDataset(base, 3);
+  for (std::size_t j = 0; j < base.cols(); ++j) {
+    std::set<double> pool;
+    for (std::size_t i = 0; i < base.rows(); ++i) pool.insert(base.At(i, j));
+    for (std::size_t i = base.rows(); i < scaled.rows(); ++i) {
+      EXPECT_TRUE(pool.count(scaled.At(i, j)))
+          << "row " << i << " col " << j;
+    }
+  }
+}
+
+TEST(Sampling, ReservoirSizeAndRange) {
+  Rng rng(3);
+  auto s = ReservoirSampleIndices(1000, 100, &rng);
+  EXPECT_EQ(s.size(), 100u);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 100u) << "sample must not repeat indices";
+  for (std::size_t idx : s) EXPECT_LT(idx, 1000u);
+}
+
+TEST(Sampling, SmallPopulationReturnsAll) {
+  Rng rng(3);
+  auto s = ReservoirSampleIndices(5, 100, &rng);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(Sampling, ReservoirIsApproximatelyUniform) {
+  // Each of 100 items should land in a 20-slot reservoir ~200 times over
+  // 1000 trials; allow generous slack.
+  std::vector<int> hits(100, 0);
+  Rng rng(17);
+  for (int trial = 0; trial < 1000; ++trial) {
+    auto s = ReservoirSampleIndices(100, 20, &rng);
+    for (std::size_t idx : s) ++hits[idx];
+  }
+  for (int h : hits) {
+    EXPECT_GT(h, 120);
+    EXPECT_LT(h, 290);
+  }
+}
+
+TEST(Sampling, StreamingReservoir) {
+  Rng rng(21);
+  Reservoir<int> res(10, &rng);
+  for (int i = 0; i < 1000; ++i) res.Offer(i);
+  EXPECT_EQ(res.sample().size(), 10u);
+  EXPECT_EQ(res.seen(), 1000u);
+}
+
+TEST(Pivots, EquiDepthPartitioning) {
+  auto codes = testutil::RandomCodes(2000, 32, /*seed=*/5, /*clusters=*/8);
+  GrayPivots pivots = GrayPivots::FromSample(codes, 8);
+  EXPECT_EQ(pivots.num_partitions(), 8u);
+  std::vector<std::size_t> counts(8, 0);
+  for (const auto& c : codes) {
+    std::size_t p = pivots.PartitionOf(c);
+    ASSERT_LT(p, 8u);
+    ++counts[p];
+  }
+  // Pivots are exact quantiles of this very sample: balance within 2x.
+  for (std::size_t p = 0; p < 8; ++p) {
+    EXPECT_GT(counts[p], 2000u / 16) << "partition " << p << " starved";
+    EXPECT_LT(counts[p], 2000u / 2) << "partition " << p << " overloaded";
+  }
+}
+
+TEST(Pivots, SinglePartitionTakesEverything) {
+  auto codes = testutil::RandomCodes(50, 16);
+  GrayPivots pivots = GrayPivots::FromSample(codes, 1);
+  for (const auto& c : codes) EXPECT_EQ(pivots.PartitionOf(c), 0u);
+}
+
+TEST(Pivots, PartitionRespectsGrayOrder) {
+  // A code Gray-less than another must land in the same or an earlier
+  // partition.
+  auto codes = testutil::RandomCodes(500, 32, /*seed=*/9);
+  GrayPivots pivots = GrayPivots::FromSample(codes, 6);
+  for (std::size_t i = 1; i < codes.size(); ++i) {
+    const auto& a = codes[i - 1];
+    const auto& b = codes[i];
+    if (GrayRank(a) < GrayRank(b)) {
+      EXPECT_LE(pivots.PartitionOf(a), pivots.PartitionOf(b));
+    }
+  }
+}
+
+TEST(Pivots, SerializationRoundTrip) {
+  auto codes = testutil::RandomCodes(100, 32, /*seed=*/13);
+  GrayPivots pivots = GrayPivots::FromSample(codes, 4);
+  BufferWriter w;
+  pivots.Serialize(&w);
+  BufferReader r(w.buffer());
+  GrayPivots back;
+  ASSERT_TRUE(GrayPivots::Deserialize(&r, &back).ok());
+  EXPECT_EQ(back.num_partitions(), pivots.num_partitions());
+  for (const auto& c : codes) {
+    EXPECT_EQ(back.PartitionOf(c), pivots.PartitionOf(c));
+  }
+}
+
+}  // namespace
+}  // namespace hamming

@@ -1,0 +1,207 @@
+// Tests for the extension modules: bit-sampling LSH and the distributed
+// Hamming-select plan.
+#include <gtest/gtest.h>
+
+#include "dataset/generators.h"
+#include "dataset/sampling.h"
+#include "index/bitsample_lsh.h"
+#include "index/linear_scan.h"
+#include "mrjoin/mrha_knn.h"
+#include "mrjoin/mrselect.h"
+#include "test_util.h"
+
+namespace hamming {
+namespace {
+
+using testutil::RandomCodes;
+
+TEST(BitSampleLsh, NeverReturnsFalsePositives) {
+  auto codes = RandomCodes(500, 32, /*seed=*/3, /*clusters=*/8);
+  BitSampleLshIndex index;
+  ASSERT_TRUE(index.Build(codes).ok());
+  LinearScanIndex truth;
+  ASSERT_TRUE(truth.Build(codes).ok());
+  auto queries = RandomCodes(20, 32, /*seed=*/4, /*clusters=*/8);
+  for (const auto& q : queries) {
+    auto got = Sorted(*index.Search(q, 3));
+    auto expect = Sorted(*truth.Search(q, 3));
+    EXPECT_TRUE(std::includes(expect.begin(), expect.end(), got.begin(),
+                              got.end()));
+  }
+}
+
+TEST(BitSampleLsh, ExactMatchAlwaysFound) {
+  // h=0 collides in every table (all sampled bits equal), so recall at
+  // distance 0 is 1.
+  auto codes = RandomCodes(300, 32, /*seed=*/5, /*clusters=*/8);
+  BitSampleLshIndex index;
+  ASSERT_TRUE(index.Build(codes).ok());
+  for (std::size_t i = 0; i < codes.size(); i += 17) {
+    auto got = index.Search(codes[i], 0).ValueOrDie();
+    bool found = false;
+    for (TupleId id : got) {
+      if (id == i) found = true;
+    }
+    EXPECT_TRUE(found) << i;
+  }
+}
+
+TEST(BitSampleLsh, RecallIsReasonableAtSmallH) {
+  auto codes = RandomCodes(1000, 32, /*seed=*/7, /*clusters=*/16);
+  BitSampleLshOptions opts;
+  opts.num_tables = 16;
+  opts.bits_per_table = 10;
+  BitSampleLshIndex index(opts);
+  ASSERT_TRUE(index.Build(codes).ok());
+  LinearScanIndex truth;
+  ASSERT_TRUE(truth.Build(codes).ok());
+  std::size_t got_total = 0, expect_total = 0;
+  // Queries: dataset members with one flipped bit (guaranteed h<=2
+  // neighbourhoods).
+  Rng qrng(8);
+  std::vector<BinaryCode> queries;
+  for (int i = 0; i < 30; ++i) {
+    BinaryCode q = codes[static_cast<std::size_t>(qrng.UniformInt(0, 999))];
+    q.FlipBit(static_cast<std::size_t>(qrng.UniformInt(0, 31)));
+    queries.push_back(q);
+  }
+  for (const auto& q : queries) {
+    got_total += index.Search(q, 2).ValueOrDie().size();
+    expect_total += truth.Search(q, 2).ValueOrDie().size();
+  }
+  ASSERT_GT(expect_total, 0u);
+  double recall = static_cast<double>(got_total) /
+                  static_cast<double>(expect_total);
+  // Theory: per-table collision prob (1 - 2/32)^10 = 0.52; with 16
+  // tables overall recall should approach 1.
+  EXPECT_GT(recall, 0.9);
+  EXPECT_GT(index.CollisionProbability(2), 0.4);
+}
+
+TEST(BitSampleLsh, DynamicUpdates) {
+  BitSampleLshIndex index;
+  auto codes = RandomCodes(50, 32, /*seed=*/9);
+  ASSERT_TRUE(index.Build(codes).ok());
+  ASSERT_TRUE(index.Delete(10, codes[10]).ok());
+  EXPECT_TRUE(index.Delete(10, codes[10]).IsKeyError());
+  auto got = index.Search(codes[10], 0).ValueOrDie();
+  for (TupleId id : got) EXPECT_NE(id, 10u);
+  ASSERT_TRUE(index.Insert(10, codes[10]).ok());
+  EXPECT_EQ(index.size(), 50u);
+  EXPECT_GT(index.Memory().total(), 0u);
+}
+
+TEST(BitSampleLsh, Validation) {
+  BitSampleLshOptions bad;
+  bad.bits_per_table = 0;
+  BitSampleLshIndex index(bad);
+  EXPECT_FALSE(index.Build(RandomCodes(5, 32)).ok());
+}
+
+TEST(MrSelect, MatchesCentralizedSelect) {
+  FloatMatrix data = GenerateDataset(DatasetKind::kNusWide, 500,
+                                     {.num_clusters = 8, .seed = 2});
+  FloatMatrix queries = GenerateQueries(DatasetKind::kNusWide, 10,
+                                        {.num_clusters = 8, .seed = 2});
+  mr::Cluster cluster({4, 2, 4});
+  mrjoin::MrSelectOptions opts;
+  opts.num_partitions = 4;
+  opts.h = 3;
+  auto result = mrjoin::RunMrSelect(data, queries, opts, &cluster);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->matches.size(), queries.rows());
+  EXPECT_GT(result->shuffle_bytes, 0);
+  EXPECT_GT(result->broadcast_bytes, 0);
+
+  // Centralized truth with an identically trained pipeline.
+  Rng rng(opts.seed);
+  std::size_t sample_n = std::max<std::size_t>(
+      2, static_cast<std::size_t>(opts.sample_rate * data.rows()));
+  auto ids = ReservoirSampleIndices(data.rows(), sample_n, &rng);
+  auto sample = data.GatherRows(ids);
+  SpectralHashingOptions hopts;
+  hopts.code_bits = opts.code_bits;
+  auto hash = SpectralHashing::Train(sample, hopts).ValueOrDie();
+  auto codes = hash->HashAll(data);
+  auto qcodes = hash->HashAll(queries);
+  LinearScanIndex truth;
+  ASSERT_TRUE(truth.Build(codes).ok());
+  for (std::size_t q = 0; q < qcodes.size(); ++q) {
+    EXPECT_EQ(result->matches[q], Sorted(*truth.Search(qcodes[q], opts.h)))
+        << "query " << q;
+  }
+}
+
+TEST(MrhaKnnJoin, ReturnsKGoodNeighborsPerTuple) {
+  FloatMatrix r = GenerateDataset(DatasetKind::kNusWide, 150,
+                                  {.num_clusters = 8, .seed = 3});
+  FloatMatrix s = GenerateDataset(DatasetKind::kNusWide, 400,
+                                  {.num_clusters = 8, .seed = 3});
+  mr::Cluster cluster({4, 2, 4});
+  mrjoin::MrhaKnnOptions opts;
+  opts.num_partitions = 4;
+  opts.k = 5;
+  auto result = mrjoin::RunMrhaKnnJoin(r, s, opts, &cluster);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->rows.size(), r.rows());
+  EXPECT_GT(result->broadcast_bytes, 0);
+
+  // Every row has k neighbours (escalation guarantees it while S has
+  // enough tuples), and they approximate the code-space kNN well: check
+  // that neighbours are within the code distance of the true kth code
+  // neighbour for a sample of rows.
+  for (const auto& row : result->rows) {
+    EXPECT_EQ(row.neighbors.size(), opts.k) << "r=" << row.r;
+  }
+}
+
+TEST(MrhaKnnJoin, MatchesCentralizedCodeSpaceKnn) {
+  FloatMatrix r = GenerateDataset(DatasetKind::kNusWide, 80,
+                                  {.num_clusters = 4, .seed = 5});
+  FloatMatrix s = GenerateDataset(DatasetKind::kNusWide, 200,
+                                  {.num_clusters = 4, .seed = 5});
+  // Pre-train a shared hash so the centralized truth is identical.
+  SpectralHashingOptions hopts;
+  hopts.code_bits = 32;
+  std::shared_ptr<const SpectralHashing> hash(
+      SpectralHashing::Train(s, hopts).ValueOrDie().release());
+
+  mr::Cluster cluster({4, 2, 4});
+  mrjoin::MrhaKnnOptions opts;
+  opts.num_partitions = 4;
+  opts.k = 3;
+  opts.pretrained = hash;
+  auto result = mrjoin::RunMrhaKnnJoin(r, s, opts, &cluster).ValueOrDie();
+
+  // Centralized: rank S by code distance per R tuple.
+  auto r_codes = hash->HashAll(r);
+  auto s_codes = hash->HashAll(s);
+  for (const auto& row : result.rows) {
+    // The plan's kth neighbour distance must equal the true kth smallest
+    // code distance (the id sets can differ on ties).
+    std::vector<std::size_t> dists;
+    for (const auto& sc : s_codes) {
+      dists.push_back(r_codes[row.r].Distance(sc));
+    }
+    std::sort(dists.begin(), dists.end());
+    ASSERT_EQ(row.neighbors.size(), 3u);
+    std::size_t got_worst = 0;
+    for (TupleId sid : row.neighbors) {
+      got_worst =
+          std::max(got_worst, r_codes[row.r].Distance(s_codes[sid]));
+    }
+    EXPECT_EQ(got_worst, dists[2]) << "r=" << row.r;
+  }
+}
+
+TEST(MrSelect, Validation) {
+  mr::Cluster cluster({2, 2, 2});
+  mrjoin::MrSelectOptions opts;
+  FloatMatrix data(10, 5), queries(2, 7);
+  EXPECT_FALSE(
+      mrjoin::RunMrSelect(FloatMatrix(), queries, opts, &cluster).ok());
+  EXPECT_FALSE(mrjoin::RunMrSelect(data, queries, opts, &cluster).ok());
+}
+
+}  // namespace
+}  // namespace hamming

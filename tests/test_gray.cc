@@ -1,0 +1,155 @@
+#include "code/gray.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace hamming {
+namespace {
+
+TEST(Gray, EncodeDecodeRoundTripSmall) {
+  // All 3-bit values: gray(0..7) = 000,001,011,010,110,111,101,100.
+  const char* expected[] = {"000", "001", "011", "010",
+                            "110", "111", "101", "100"};
+  for (uint64_t v = 0; v < 8; ++v) {
+    auto rank = BinaryCode::FromUint64(v, 3).ValueOrDie();
+    BinaryCode gray = GrayEncode(rank);
+    EXPECT_EQ(gray.ToString(), expected[v]) << "v=" << v;
+    EXPECT_EQ(GrayRank(gray), rank);
+  }
+}
+
+TEST(Gray, RoundTripRandomWide) {
+  Rng rng(23);
+  for (std::size_t bits : {5u, 32u, 64u, 65u, 130u, 512u}) {
+    for (int trial = 0; trial < 30; ++trial) {
+      BinaryCode code(bits);
+      for (std::size_t i = 0; i < bits; ++i) {
+        code.SetBit(i, rng.Bernoulli(0.5));
+      }
+      EXPECT_EQ(GrayEncode(GrayRank(code)), code) << "bits=" << bits;
+      EXPECT_EQ(GrayRank(GrayEncode(code)), code) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(Gray, ConsecutiveRanksDifferByOneBit) {
+  // Definition 5: consecutive codes in Gray order differ in exactly one
+  // bit. Check across a word boundary too.
+  for (std::size_t bits : {8u, 64u, 66u}) {
+    BinaryCode prev;
+    for (uint64_t v = 0; v < 300; ++v) {
+      auto rank = BinaryCode::FromUint64(v, std::min<std::size_t>(bits, 64))
+                      .ValueOrDie();
+      // Widen to `bits` by prefixing zeros.
+      BinaryCode wide(bits);
+      for (std::size_t i = 0; i < rank.size(); ++i) {
+        wide.SetBit(bits - rank.size() + i, rank.GetBit(i));
+      }
+      BinaryCode gray = GrayEncode(wide);
+      if (v > 0) {
+        EXPECT_EQ(gray.Distance(prev), 1u) << "v=" << v << " bits=" << bits;
+      }
+      prev = gray;
+    }
+  }
+}
+
+TEST(Gray, RankOrderMatchesIntegerOrder) {
+  // Sorting 6-bit codes by Gray rank must equal sorting by decoded value.
+  std::vector<BinaryCode> codes;
+  for (uint64_t v = 0; v < 64; ++v) {
+    codes.push_back(GrayEncode(BinaryCode::FromUint64(v, 6).ValueOrDie()));
+  }
+  Rng rng(5);
+  rng.Shuffle(&codes);
+  std::sort(codes.begin(), codes.end(), GrayLess());
+  for (uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(GrayRank(codes[v]),
+              BinaryCode::FromUint64(v, 6).ValueOrDie());
+  }
+}
+
+TEST(Gray, SortIdsProducesGrayOrder) {
+  Rng rng(31);
+  std::vector<BinaryCode> codes;
+  for (int i = 0; i < 200; ++i) {
+    BinaryCode c(32);
+    for (std::size_t b = 0; b < 32; ++b) c.SetBit(b, rng.Bernoulli(0.5));
+    codes.push_back(c);
+  }
+  std::vector<uint32_t> ids(codes.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  GraySortIds(codes, &ids);
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    EXPECT_LE(GrayRank(codes[ids[i - 1]]).Compare(GrayRank(codes[ids[i]])), 0);
+  }
+}
+
+TEST(Gray, SortedNeighborsShareMoreBitsThanRandomPairs) {
+  // Proposition 2 (clustering): on clustered code distributions — the
+  // kind similarity hashing produces — the average Hamming distance
+  // between Gray-adjacent codes is well below the random-pair average.
+  Rng rng(37);
+  std::vector<BinaryCode> centers;
+  for (int c = 0; c < 12; ++c) {
+    BinaryCode center(32);
+    for (std::size_t b = 0; b < 32; ++b) center.SetBit(b, rng.Bernoulli(0.5));
+    centers.push_back(center);
+  }
+  std::vector<BinaryCode> codes;
+  for (int i = 0; i < 500; ++i) {
+    BinaryCode c = centers[static_cast<std::size_t>(rng.UniformInt(0, 11))];
+    for (int f = 0; f < 3; ++f) {
+      if (rng.Bernoulli(0.7)) {
+        c.FlipBit(static_cast<std::size_t>(rng.UniformInt(0, 31)));
+      }
+    }
+    codes.push_back(c);
+  }
+  std::vector<uint32_t> ids(codes.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  GraySortIds(codes, &ids);
+  double adjacent = 0.0;
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    adjacent += static_cast<double>(codes[ids[i - 1]].Distance(codes[ids[i]]));
+  }
+  adjacent /= static_cast<double>(ids.size() - 1);
+  double random = 0.0;
+  for (std::size_t i = 0; i < 499; ++i) {
+    std::size_t a = static_cast<std::size_t>(rng.UniformInt(0, 499));
+    std::size_t b = static_cast<std::size_t>(rng.UniformInt(0, 499));
+    random += static_cast<double>(codes[a].Distance(codes[b]));
+  }
+  random /= 499.0;
+  EXPECT_LT(adjacent, random * 0.75)
+      << "adjacent=" << adjacent << " random=" << random;
+}
+
+TEST(Gray, PaperSortExample) {
+  // Section 4.4: Table 2's tuples sorted by Gray order (descending in the
+  // paper's wording) group t0 with t1, t2 with t7, t3 with t5 as
+  // neighbours. We verify the clustering pairs are adjacent under our
+  // ascending order (adjacency is direction-invariant).
+  const char* rows[] = {"001001010", "001011101", "011001100", "101001010",
+                        "101110110", "101011101", "101101010", "111001100"};
+  std::vector<BinaryCode> codes;
+  for (const char* r : rows) {
+    codes.push_back(BinaryCode::FromString(r).ValueOrDie());
+  }
+  std::vector<uint32_t> ids(codes.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  GraySortIds(codes, &ids);
+  auto position = [&ids](uint32_t id) {
+    return std::find(ids.begin(), ids.end(), id) - ids.begin();
+  };
+  // t0/t1 and t2/t7 must be adjacent after Gray sorting.
+  EXPECT_EQ(std::abs(position(0) - position(1)), 1);
+  EXPECT_EQ(std::abs(position(2) - position(7)), 1);
+}
+
+}  // namespace
+}  // namespace hamming

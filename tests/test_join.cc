@@ -1,0 +1,74 @@
+#include "join/centralized_join.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hamming {
+namespace {
+
+TEST(CentralizedJoin, PaperExampleJoin) {
+  // Example 1: h-join(R, S) with h = 3 gives
+  // {(r0,t0),(r0,t3),(r0,t4),(r0,t6),(r1,t0),(r1,t3),(r1,t4),(r1,t6),
+  //  (r2,t3)}.
+  auto s = testutil::PaperTableS();
+  auto r = testutil::PaperTableR();
+  auto pairs = NestedLoopsJoin(r, s, 3);
+  NormalizePairs(&pairs);
+  std::vector<JoinPair> expected{{0, 0}, {0, 3}, {0, 4}, {0, 6}, {1, 0},
+                                 {1, 3}, {1, 4}, {1, 6}, {2, 3}};
+  EXPECT_EQ(pairs, expected);
+}
+
+TEST(CentralizedJoin, JoinIsSymmetric) {
+  // Footnote 1: h-join(R,S) = h-join(S,R) up to pair orientation.
+  auto s = testutil::RandomCodes(80, 32, /*seed=*/2, /*clusters=*/6);
+  auto r = testutil::RandomCodes(60, 32, /*seed=*/3, /*clusters=*/6);
+  auto rs = NestedLoopsJoin(r, s, 4);
+  auto sr = NestedLoopsJoin(s, r, 4);
+  std::vector<JoinPair> flipped;
+  for (const auto& p : sr) flipped.push_back({p.s, p.r});
+  NormalizePairs(&rs);
+  NormalizePairs(&flipped);
+  EXPECT_EQ(rs, flipped);
+}
+
+TEST(CentralizedJoin, IndexProbeMatchesNestedLoopsForEveryIndex) {
+  auto s = testutil::RandomCodes(120, 32, /*seed=*/21, /*clusters=*/8);
+  auto r = testutil::RandomCodes(90, 32, /*seed=*/22, /*clusters=*/8);
+  auto expected = NestedLoopsJoin(r, s, 3);
+  NormalizePairs(&expected);
+  for (const auto& name : testutil::AllIndexNames()) {
+    auto index = testutil::MakeIndex(name);
+    auto got = IndexProbeJoin(index.get(), r, s, 3);
+    ASSERT_TRUE(got.ok()) << name;
+    NormalizePairs(&*got);
+    EXPECT_EQ(*got, expected) << name;
+  }
+}
+
+TEST(CentralizedJoin, EmptyInputs) {
+  auto r = testutil::RandomCodes(10, 32);
+  EXPECT_TRUE(NestedLoopsJoin({}, r, 3).empty());
+  EXPECT_TRUE(NestedLoopsJoin(r, {}, 3).empty());
+}
+
+TEST(CentralizedJoin, SelfJoinContainsDiagonal) {
+  auto r = testutil::RandomCodes(40, 32, /*seed=*/8);
+  auto pairs = NestedLoopsJoin(r, r, 0);
+  // Every tuple joins with itself at h = 0.
+  std::size_t diagonal = 0;
+  for (const auto& p : pairs) {
+    if (p.r == p.s) ++diagonal;
+  }
+  EXPECT_EQ(diagonal, 40u);
+}
+
+TEST(CentralizedJoin, NormalizeDeduplicates) {
+  std::vector<JoinPair> pairs{{1, 2}, {1, 2}, {0, 5}};
+  NormalizePairs(&pairs);
+  EXPECT_EQ(pairs, (std::vector<JoinPair>{{0, 5}, {1, 2}}));
+}
+
+}  // namespace
+}  // namespace hamming

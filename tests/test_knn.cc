@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "dataset/generators.h"
+#include "hashing/spectral_hashing.h"
+#include "index/dynamic_ha_index.h"
+#include "knn/e2lsh.h"
+#include "knn/exact_knn.h"
+#include "knn/hamming_knn.h"
+#include "knn/lsb_tree.h"
+
+namespace hamming {
+namespace {
+
+class KnnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = GenerateDataset(DatasetKind::kNusWide, 500);
+    queries_ = GenerateQueries(DatasetKind::kNusWide, 10);
+  }
+  FloatMatrix data_;
+  FloatMatrix queries_;
+};
+
+TEST_F(KnnTest, ExactKnnBasics) {
+  auto nn = ExactKnn(data_, data_.Row(0), 5);
+  ASSERT_EQ(nn.size(), 5u);
+  EXPECT_EQ(nn[0].id, 0u);  // the point itself
+  EXPECT_NEAR(nn[0].distance, 0.0, 1e-12);
+  for (std::size_t i = 1; i < nn.size(); ++i) {
+    EXPECT_LE(nn[i - 1].distance, nn[i].distance);
+  }
+}
+
+TEST_F(KnnTest, ExactKnnMatchesBruteForce) {
+  auto q = queries_.Row(0);
+  auto nn = ExactKnn(data_, q, 3);
+  // Brute-force the true nearest.
+  double best = 1e300;
+  std::size_t best_id = 0;
+  for (std::size_t i = 0; i < data_.rows(); ++i) {
+    double d = FloatMatrix::L2(data_.Row(i), q);
+    if (d < best) {
+      best = d;
+      best_id = i;
+    }
+  }
+  EXPECT_EQ(nn[0].id, best_id);
+  EXPECT_NEAR(nn[0].distance, best, 1e-9);
+}
+
+TEST_F(KnnTest, ExactKnnClampsToDatasetSize) {
+  FloatMatrix tiny(2, data_.cols());
+  auto nn = ExactKnn(tiny, data_.Row(0), 10);
+  EXPECT_EQ(nn.size(), 2u);
+}
+
+TEST_F(KnnTest, RecallComputation) {
+  std::vector<Neighbor> exact{{1, 0.1}, {2, 0.2}, {3, 0.3}, {4, 0.4}};
+  EXPECT_DOUBLE_EQ(RecallAtK(exact, {1, 2, 3, 4}), 1.0);
+  EXPECT_DOUBLE_EQ(RecallAtK(exact, {1, 2}), 0.5);
+  EXPECT_DOUBLE_EQ(RecallAtK(exact, {9, 8}), 0.0);
+  EXPECT_DOUBLE_EQ(RecallAtK({}, {1}), 1.0);
+}
+
+TEST_F(KnnTest, ExactKnnJoinShape) {
+  FloatMatrix outer = data_.GatherRows({0, 1, 2});
+  auto rows = ExactKnnJoin(outer, data_, 4);
+  ASSERT_EQ(rows.size(), 3u);
+  for (const auto& r : rows) EXPECT_EQ(r.size(), 4u);
+  EXPECT_EQ(rows[0][0].id, 0u);
+}
+
+TEST_F(KnnTest, HammingKnnFindsGoodNeighbors) {
+  SpectralHashingOptions hopts;
+  hopts.code_bits = 32;
+  auto hash = SpectralHashing::Train(data_, hopts).ValueOrDie();
+  auto codes = hash->HashAll(data_);
+  DynamicHAIndex index;
+  ASSERT_TRUE(index.Build(codes).ok());
+  HammingKnnSearcher searcher(&index, hash.get(), &data_);
+
+  double recall = 0.0;
+  for (std::size_t qi = 0; qi < queries_.rows(); ++qi) {
+    auto approx = searcher.Search(queries_.Row(qi), 10);
+    ASSERT_TRUE(approx.ok());
+    ASSERT_EQ(approx->size(), 10u);
+    auto exact = ExactKnn(data_, queries_.Row(qi), 10);
+    std::vector<std::size_t> ids;
+    for (const auto& n : *approx) ids.push_back(n.id);
+    recall += RecallAtK(exact, ids);
+  }
+  recall /= static_cast<double>(queries_.rows());
+  // Approximate, but must be far better than random (10/500 = 0.02).
+  EXPECT_GT(recall, 0.4) << "hamming kNN recall too low";
+}
+
+TEST_F(KnnTest, HammingKnnEscalatesThreshold) {
+  // With a tiny initial h and an exotic query, escalation must still
+  // produce k results (up to dataset size).
+  SpectralHashingOptions hopts;
+  hopts.code_bits = 32;
+  auto hash = SpectralHashing::Train(data_, hopts).ValueOrDie();
+  auto codes = hash->HashAll(data_);
+  DynamicHAIndex index;
+  ASSERT_TRUE(index.Build(codes).ok());
+  HammingKnnOptions kopts;
+  kopts.initial_h = 0;
+  kopts.h_step = 1;
+  HammingKnnSearcher searcher(&index, hash.get(), &data_, kopts);
+  std::vector<double> weird(data_.cols(), 1e6);
+  auto got = searcher.Search(weird, 5);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 5u);
+}
+
+TEST_F(KnnTest, E2LshValidationAndRecall) {
+  E2LshOptions opts;
+  EXPECT_FALSE(E2Lsh::Build(FloatMatrix(), opts).ok());
+
+  opts.num_tables = 16;
+  opts.hashes_per_table = 4;
+  opts.bucket_width = 16.0;
+  auto lsh = E2Lsh::Build(data_, opts).ValueOrDie();
+  EXPECT_GT(lsh.MemoryBytes(), 0u);
+
+  double recall = 0.0;
+  for (std::size_t qi = 0; qi < queries_.rows(); ++qi) {
+    auto approx = lsh.Search(queries_.Row(qi), 10);
+    auto exact = ExactKnn(data_, queries_.Row(qi), 10);
+    std::vector<std::size_t> ids;
+    for (const auto& n : approx) ids.push_back(n.id);
+    recall += RecallAtK(exact, ids);
+  }
+  recall /= static_cast<double>(queries_.rows());
+  EXPECT_GT(recall, 0.2) << "E2LSH recall implausibly low";
+}
+
+TEST_F(KnnTest, LsbForestRecall) {
+  LsbTreeOptions opts;
+  opts.num_trees = 10;
+  opts.candidates_per_tree = 32;
+  auto forest = LsbForest::Build(data_, opts).ValueOrDie();
+  EXPECT_EQ(forest.num_trees(), 10u);
+  EXPECT_GT(forest.MemoryBytes(), 0u);
+
+  double recall = 0.0;
+  for (std::size_t qi = 0; qi < queries_.rows(); ++qi) {
+    auto approx = forest.Search(queries_.Row(qi), 10);
+    auto exact = ExactKnn(data_, queries_.Row(qi), 10);
+    std::vector<std::size_t> ids;
+    for (const auto& n : approx) ids.push_back(n.id);
+    recall += RecallAtK(exact, ids);
+  }
+  recall /= static_cast<double>(queries_.rows());
+  EXPECT_GT(recall, 0.3) << "LSB forest recall implausibly low";
+}
+
+TEST_F(KnnTest, LsbForestRejectsEmptyData) {
+  LsbTreeOptions opts;
+  EXPECT_FALSE(LsbForest::Build(FloatMatrix(), opts).ok());
+}
+
+}  // namespace
+}  // namespace hamming

@@ -1,0 +1,169 @@
+#include "code/masked_code.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hamming {
+namespace {
+
+TEST(MaskedCode, ParsesDotNotation) {
+  auto p = MaskedCode::FromPattern("..10.1...").ValueOrDie();
+  EXPECT_EQ(p.ToString(), "..10.1...");
+  EXPECT_EQ(p.size(), 9u);
+  EXPECT_EQ(p.EffectiveBits(), 3u);
+}
+
+TEST(MaskedCode, RejectsBadCharacters) {
+  EXPECT_TRUE(MaskedCode::FromPattern("01x.").status().IsInvalidArgument());
+}
+
+TEST(MaskedCode, FlssFromPaperDefinition3) {
+  // "....0101." is an FLSS of t0's code "001101010" in the Definition 3
+  // example (contiguous positions 4..7 fixed).
+  auto t0 = BinaryCode::FromString("001101010").ValueOrDie();
+  auto flss = MaskedCode::FromPattern("....0101.").ValueOrDie();
+  EXPECT_TRUE(flss.Matches(t0));
+  // "101......" is stated NOT to be an FLSS of t0.
+  auto not_flss = MaskedCode::FromPattern("101......").ValueOrDie();
+  EXPECT_FALSE(not_flss.Matches(t0));
+}
+
+TEST(MaskedCode, FlsseqFromPaperDefinition4) {
+  // "...0.1.1." is an FLSSeq of t0 = "001001010"; distance to t0 itself
+  // is 0 on the effective positions by Definition 4.
+  auto t0 = BinaryCode::FromString("001001010").ValueOrDie();
+  auto seq = MaskedCode::FromPattern("...0.1.1.").ValueOrDie();
+  EXPECT_EQ(seq.PartialDistance(t0), 0u);
+  EXPECT_TRUE(seq.Matches(t0));
+}
+
+TEST(MaskedCode, PartialDistanceCountsOnlyEffectiveBits) {
+  auto p = MaskedCode::FromPattern("1.0.1").ValueOrDie();
+  auto a = BinaryCode::FromString("00001").ValueOrDie();  // differs at 0
+  EXPECT_EQ(p.PartialDistance(a), 1u);
+  auto b = BinaryCode::FromString("01110").ValueOrDie();  // differs at 0,2,4
+  EXPECT_EQ(p.PartialDistance(b), 3u);
+  auto c = BinaryCode::FromString("11011").ValueOrDie();  // matches 0,2,4
+  EXPECT_EQ(p.PartialDistance(c), 0u);
+}
+
+TEST(MaskedCode, PartialDistanceIsLowerBound) {
+  // Proposition 1 (downward closure): pattern distance never exceeds the
+  // full Hamming distance of any code matching the rest arbitrarily.
+  Rng rng(41);
+  for (int trial = 0; trial < 200; ++trial) {
+    BinaryCode base(48), query(48);
+    for (std::size_t i = 0; i < 48; ++i) {
+      base.SetBit(i, rng.Bernoulli(0.5));
+      query.SetBit(i, rng.Bernoulli(0.5));
+    }
+    // Restrict base to a random subset of positions and compare.
+    std::string s;
+    for (std::size_t i = 0; i < 48; ++i) {
+      s.push_back(rng.Bernoulli(0.4) ? (base.GetBit(i) ? '1' : '0') : '.');
+    }
+    auto restricted = MaskedCode::FromPattern(s).ValueOrDie();
+    EXPECT_LE(restricted.PartialDistance(query), base.Distance(query));
+  }
+}
+
+TEST(MaskedCode, AgreementOfTwoCodes) {
+  auto a = BinaryCode::FromString("001001010").ValueOrDie();  // t0
+  auto b = BinaryCode::FromString("001011101").ValueOrDie();  // t1
+  MaskedCode agr = MaskedCode::Agreement(a, b);
+  // Positions where t0 and t1 agree: 0,1,2,3,5 -> pattern "0010.1..."
+  // bit5: t0=1, t1=1 agree; bit4: 0 vs 1 differ.
+  EXPECT_TRUE(agr.Matches(a));
+  EXPECT_TRUE(agr.Matches(b));
+  EXPECT_EQ(agr.EffectiveBits(), 9u - a.Distance(b));
+}
+
+TEST(MaskedCode, AgreementOfMaskedCodes) {
+  auto p1 = MaskedCode::FromPattern("10..1").ValueOrDie();
+  auto p2 = MaskedCode::FromPattern("1.0.0").ValueOrDie();
+  MaskedCode agr = MaskedCode::Agreement(p1, p2);
+  // Both effective & equal only at position 0.
+  EXPECT_EQ(agr.ToString(), "1....");
+}
+
+TEST(MaskedCode, AgreementIsCommutativeAndIdempotent) {
+  Rng rng(43);
+  for (int trial = 0; trial < 100; ++trial) {
+    BinaryCode a(32), b(32);
+    for (std::size_t i = 0; i < 32; ++i) {
+      a.SetBit(i, rng.Bernoulli(0.5));
+      b.SetBit(i, rng.Bernoulli(0.5));
+    }
+    auto ma = MaskedCode::FromFullCode(a);
+    auto mb = MaskedCode::FromFullCode(b);
+    EXPECT_EQ(MaskedCode::Agreement(ma, mb), MaskedCode::Agreement(mb, ma));
+    EXPECT_EQ(MaskedCode::Agreement(ma, ma), ma);
+  }
+}
+
+TEST(MaskedCode, ResidualRemovesParentPositions) {
+  auto child = MaskedCode::FromPattern("0010.1...").ValueOrDie();
+  auto parent = MaskedCode::FromPattern("001......").ValueOrDie();
+  MaskedCode residual = child.Residual(parent);
+  EXPECT_EQ(residual.ToString(), "...0.1...");
+  // Residual and parent partition the child's effective positions.
+  EXPECT_EQ(residual.EffectiveBits() + parent.EffectiveBits(),
+            child.EffectiveBits());
+}
+
+TEST(MaskedCode, ResidualPlusParentDistanceEqualsChildDistance) {
+  Rng rng(47);
+  for (int trial = 0; trial < 200; ++trial) {
+    BinaryCode base(40), query(40);
+    for (std::size_t i = 0; i < 40; ++i) {
+      base.SetBit(i, rng.Bernoulli(0.5));
+      query.SetBit(i, rng.Bernoulli(0.5));
+    }
+    MaskedCode child = MaskedCode::FromFullCode(base);
+    // Parent = child restricted to a random subset.
+    std::string s;
+    for (std::size_t i = 0; i < 40; ++i) {
+      s.push_back(rng.Bernoulli(0.5) ? (base.GetBit(i) ? '1' : '0') : '.');
+    }
+    auto parent = MaskedCode::FromPattern(s).ValueOrDie();
+    MaskedCode residual = child.Residual(parent);
+    EXPECT_EQ(parent.PartialDistance(query) + residual.PartialDistance(query),
+              child.PartialDistance(query));
+  }
+}
+
+TEST(MaskedCode, CombinedWithMergesPatterns) {
+  auto a = MaskedCode::FromPattern("10...").ValueOrDie();
+  auto b = MaskedCode::FromPattern("...01").ValueOrDie();
+  EXPECT_EQ(a.CombinedWith(b).ToString(), "10.01");
+}
+
+TEST(MaskedCode, CompatibleWith) {
+  auto a = MaskedCode::FromPattern("10..").ValueOrDie();
+  auto b = MaskedCode::FromPattern("1.1.").ValueOrDie();
+  auto c = MaskedCode::FromPattern("0...").ValueOrDie();
+  EXPECT_TRUE(a.CompatibleWith(b));
+  EXPECT_FALSE(a.CompatibleWith(c));
+}
+
+TEST(MaskedCode, SerializationRoundTrip) {
+  auto p = MaskedCode::FromPattern("..10.1...").ValueOrDie();
+  BufferWriter w;
+  p.Serialize(&w);
+  BufferReader r(w.buffer());
+  MaskedCode back;
+  ASSERT_TRUE(MaskedCode::Deserialize(&r, &back).ok());
+  EXPECT_EQ(p, back);
+}
+
+TEST(MaskedCode, AllWildcard) {
+  MaskedCode p(16);
+  EXPECT_TRUE(p.AllWildcard());
+  EXPECT_EQ(p.EffectiveBits(), 0u);
+  auto q = MaskedCode::FromPattern("....1...").ValueOrDie();
+  EXPECT_FALSE(q.AllWildcard());
+}
+
+}  // namespace
+}  // namespace hamming

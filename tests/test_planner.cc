@@ -1,0 +1,115 @@
+#include "ops/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "join/centralized_join.h"
+#include "test_util.h"
+
+namespace hamming::ops {
+namespace {
+
+HammingTable MakeTable(std::size_t n, std::size_t clusters,
+                       std::size_t flip_bits = 4, uint64_t seed = 3) {
+  return HammingTable::FromCodes(
+             testutil::RandomCodes(n, 32, seed, clusters, flip_bits))
+      .ValueOrDie();
+}
+
+TEST(TableStats, SelectivityIsMonotoneInH) {
+  auto table = MakeTable(2000, 8);
+  auto stats = TableStats::Collect(table);
+  double prev = 0.0;
+  for (std::size_t h = 0; h <= 32; ++h) {
+    double s = stats.EstimateSelectivity(h);
+    EXPECT_GE(s, prev);
+    EXPECT_LE(s, 1.0);
+    prev = s;
+  }
+  EXPECT_NEAR(stats.EstimateSelectivity(32), 1.0, 1e-9);
+}
+
+TEST(TableStats, ClusteredDataHasHigherSmallHSelectivity) {
+  auto clustered = TableStats::Collect(MakeTable(2000, 4, 2));
+  auto dispersed = TableStats::Collect(MakeTable(2000, 1));
+  EXPECT_GT(clustered.EstimateSelectivity(4),
+            dispersed.EstimateSelectivity(4));
+}
+
+TEST(TableStats, DistinctRatioDetectsDuplication) {
+  // 2000 tuples drawn from only 4 centers with <=1 flip: few distinct.
+  auto dup = TableStats::Collect(MakeTable(2000, 4, 1));
+  auto uniq = TableStats::Collect(MakeTable(2000, 1));
+  EXPECT_LT(dup.distinct_ratio(), 0.2);
+  EXPECT_GT(uniq.distinct_ratio(), 0.9);
+}
+
+TEST(TableStats, EmptyTable) {
+  auto table = HammingTable::FromCodes({}).ValueOrDie();
+  auto stats = TableStats::Collect(table);
+  EXPECT_EQ(stats.num_tuples(), 0u);
+  EXPECT_EQ(stats.EstimateSelectivity(3), 0.0);
+}
+
+TEST(Planner, SingleQueryPrefersScan) {
+  auto stats = TableStats::Collect(MakeTable(5000, 8));
+  auto choice = ChooseSelectPlan(stats, /*num_queries=*/1, /*h=*/3);
+  EXPECT_EQ(choice.plan, JoinPlan::kNestedLoops);
+  EXPECT_FALSE(choice.reason.empty());
+}
+
+TEST(Planner, LargeBatchPrefersIndex) {
+  auto stats = TableStats::Collect(MakeTable(5000, 8));
+  auto choice = ChooseSelectPlan(stats, /*num_queries=*/1000, /*h=*/3);
+  EXPECT_EQ(choice.plan, JoinPlan::kIndexProbe);
+}
+
+TEST(Planner, DenseBallFallsBackToScan) {
+  // h = 32 covers everything: selectivity 1, index pruning buys nothing.
+  auto stats = TableStats::Collect(MakeTable(5000, 8));
+  auto choice = ChooseSelectPlan(stats, /*num_queries=*/1000, /*h=*/32);
+  EXPECT_EQ(choice.plan, JoinPlan::kNestedLoops);
+  EXPECT_NEAR(choice.estimated_selectivity, 1.0, 1e-9);
+}
+
+TEST(Planner, JoinOfClusteredSidesPrefersDualTree) {
+  auto r = TableStats::Collect(MakeTable(4000, 8, 3));
+  auto s = TableStats::Collect(MakeTable(4000, 8, 3, /*seed=*/7));
+  auto choice = ChooseJoinPlan(r, s, 3);
+  EXPECT_EQ(choice.plan, JoinPlan::kDualTree);
+}
+
+TEST(Planner, JoinWithTinySidePrefersProbe) {
+  auto r = TableStats::Collect(MakeTable(100, 4));
+  auto s = TableStats::Collect(MakeTable(4000, 8));
+  auto choice = ChooseJoinPlan(r, s, 3);
+  EXPECT_EQ(choice.plan, JoinPlan::kIndexProbe);
+}
+
+TEST(Planner, ChosenPlansExecuteAndAgree) {
+  // End-to-end: whatever the planner picks must produce the exact result.
+  auto r = MakeTable(600, 8, 3, /*seed=*/11);
+  auto s = MakeTable(900, 8, 3, /*seed=*/12);
+  auto r_stats = TableStats::Collect(r);
+  auto s_stats = TableStats::Collect(s);
+  auto choice = ChooseJoinPlan(r_stats, s_stats, 3);
+  OperatorOptions opts;
+  opts.plan = choice.plan;
+  auto chosen = HammingJoin(r, s, 3, opts).ValueOrDie();
+  OperatorOptions nested;
+  nested.plan = JoinPlan::kNestedLoops;
+  auto truth = HammingJoin(r, s, 3, nested).ValueOrDie();
+  NormalizePairs(&chosen);
+  NormalizePairs(&truth);
+  EXPECT_EQ(chosen, truth);
+}
+
+TEST(Planner, NonSelectiveJoinPrefersScan) {
+  auto r = TableStats::Collect(MakeTable(2000, 4, 1));
+  auto s = TableStats::Collect(MakeTable(2000, 4, 1));
+  // Same 4 centers, tiny perturbation: at h = 32 everything joins.
+  auto choice = ChooseJoinPlan(r, s, 32);
+  EXPECT_EQ(choice.plan, JoinPlan::kNestedLoops);
+}
+
+}  // namespace
+}  // namespace hamming::ops

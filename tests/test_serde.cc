@@ -1,0 +1,145 @@
+#include "common/serde.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace hamming {
+namespace {
+
+TEST(Serde, FixedWidthRoundTrip) {
+  BufferWriter w;
+  w.PutFixed32(0xdeadbeef);
+  w.PutFixed64(0x0123456789abcdefull);
+  BufferReader r(w.buffer());
+  uint32_t a;
+  uint64_t b;
+  ASSERT_TRUE(r.GetFixed32(&a).ok());
+  ASSERT_TRUE(r.GetFixed64(&b).ok());
+  EXPECT_EQ(a, 0xdeadbeefu);
+  EXPECT_EQ(b, 0x0123456789abcdefull);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Serde, VarintBoundaries) {
+  BufferWriter w;
+  const uint64_t values[] = {0, 1, 127, 128, 16383, 16384,
+                             0xffffffffull, ~0ull};
+  for (uint64_t v : values) w.PutVarint64(v);
+  BufferReader r(w.buffer());
+  for (uint64_t v : values) {
+    uint64_t got;
+    ASSERT_TRUE(r.GetVarint64(&got).ok());
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(Serde, VarintSizes) {
+  BufferWriter w;
+  w.PutVarint64(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.Clear();
+  w.PutVarint64(128);
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(Serde, SignedZigzag) {
+  BufferWriter w;
+  const int64_t values[] = {0, -1, 1, -64, 63, -1000000,
+                            INT64_MIN, INT64_MAX};
+  for (int64_t v : values) w.PutVarint64Signed(v);
+  BufferReader r(w.buffer());
+  for (int64_t v : values) {
+    int64_t got;
+    ASSERT_TRUE(r.GetVarint64Signed(&got).ok());
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(Serde, DoubleRoundTrip) {
+  BufferWriter w;
+  const double values[] = {0.0, -0.0, 1.5, -3.25e108, 1e-300};
+  for (double v : values) w.PutDouble(v);
+  BufferReader r(w.buffer());
+  for (double v : values) {
+    double got;
+    ASSERT_TRUE(r.GetDouble(&got).ok());
+    EXPECT_EQ(got, v);
+  }
+}
+
+TEST(Serde, StringAndBytes) {
+  BufferWriter w;
+  w.PutString("hello");
+  w.PutString("");
+  std::vector<uint8_t> blob{1, 2, 3, 255};
+  w.PutBytes(blob.data(), blob.size());
+  BufferReader r(w.buffer());
+  std::string s1, s2;
+  std::vector<uint8_t> back;
+  ASSERT_TRUE(r.GetString(&s1).ok());
+  ASSERT_TRUE(r.GetString(&s2).ok());
+  ASSERT_TRUE(r.GetBytes(&back).ok());
+  EXPECT_EQ(s1, "hello");
+  EXPECT_EQ(s2, "");
+  EXPECT_EQ(back, blob);
+}
+
+TEST(Serde, TruncatedReadsFailCleanly) {
+  BufferWriter w;
+  w.PutFixed64(42);
+  BufferReader r(w.buffer().data(), 3);
+  uint64_t v;
+  EXPECT_TRUE(r.GetFixed64(&v).IsIOError());
+
+  BufferWriter w2;
+  w2.PutString("long string payload");
+  BufferReader r2(w2.buffer().data(), 4);
+  std::string s;
+  EXPECT_TRUE(r2.GetString(&s).IsIOError());
+}
+
+TEST(Serde, UnterminatedVarintFails) {
+  std::vector<uint8_t> bad{0x80, 0x80, 0x80};
+  BufferReader r(bad);
+  uint64_t v;
+  EXPECT_TRUE(r.GetVarint64(&v).IsIOError());
+}
+
+TEST(Serde, OverlongVarintFails) {
+  std::vector<uint8_t> bad(11, 0x80);
+  bad.push_back(0x01);
+  BufferReader r(bad);
+  uint64_t v;
+  EXPECT_TRUE(r.GetVarint64(&v).IsIOError());
+}
+
+TEST(Serde, RandomizedMixedRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    BufferWriter w;
+    std::vector<uint64_t> ints;
+    std::vector<double> doubles;
+    for (int i = 0; i < 50; ++i) {
+      uint64_t v = rng.NextWord() >> (rng.UniformInt(0, 63));
+      double d = rng.Gaussian();
+      ints.push_back(v);
+      doubles.push_back(d);
+      w.PutVarint64(v);
+      w.PutDouble(d);
+    }
+    BufferReader r(w.buffer());
+    for (int i = 0; i < 50; ++i) {
+      uint64_t v;
+      double d;
+      ASSERT_TRUE(r.GetVarint64(&v).ok());
+      ASSERT_TRUE(r.GetDouble(&d).ok());
+      EXPECT_EQ(v, ints[i]);
+      EXPECT_EQ(d, doubles[i]);
+    }
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+}  // namespace
+}  // namespace hamming

@@ -1,0 +1,86 @@
+#include "common/threadpool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/stopwatch.h"
+
+namespace hamming {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.Submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIdleDrainsQueue) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(200);
+  ParallelFor(&pool, 200, [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, TasksActuallyRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  ParallelFor(&pool, 16, [&](std::size_t) {
+    int now = ++concurrent;
+    int expected = peak.load();
+    while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+    }
+    Stopwatch w;
+    while (w.ElapsedMillis() < 5) {
+    }
+    --concurrent;
+  });
+  EXPECT_GT(peak.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrainsOutstandingWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, ZeroThreadsDefaultsToHardware) {
+  ThreadPool pool(0);
+  EXPECT_GT(pool.num_threads(), 0u);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch w;
+  while (w.ElapsedMillis() < 2) {
+  }
+  EXPECT_GE(w.ElapsedNanos(), 2000000);
+  EXPECT_GE(w.ElapsedMicros(), 2000.0);
+  EXPECT_GE(w.ElapsedSeconds(), 0.002);
+  w.Restart();
+  EXPECT_LT(w.ElapsedMillis(), 2.0);
+}
+
+}  // namespace
+}  // namespace hamming
