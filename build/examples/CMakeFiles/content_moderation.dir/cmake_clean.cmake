@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/content_moderation.dir/content_moderation.cpp.o"
+  "CMakeFiles/content_moderation.dir/content_moderation.cpp.o.d"
+  "content_moderation"
+  "content_moderation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_moderation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

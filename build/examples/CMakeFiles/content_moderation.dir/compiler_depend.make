@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for content_moderation.
+# This may be replaced when dependencies are built.

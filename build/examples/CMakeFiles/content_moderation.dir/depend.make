@@ -1,0 +1,2 @@
+# Empty dependencies file for content_moderation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doc_neardup_join.dir/doc_neardup_join.cpp.o"
+  "CMakeFiles/doc_neardup_join.dir/doc_neardup_join.cpp.o.d"
+  "doc_neardup_join"
+  "doc_neardup_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doc_neardup_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hammingdb_cli.dir/hammingdb_cli.cpp.o"
+  "CMakeFiles/hammingdb_cli.dir/hammingdb_cli.cpp.o.d"
+  "hammingdb_cli"
+  "hammingdb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hammingdb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

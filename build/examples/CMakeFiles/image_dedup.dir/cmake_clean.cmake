@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_dedup.dir/image_dedup.cpp.o"
+  "CMakeFiles/image_dedup.dir/image_dedup.cpp.o.d"
+  "image_dedup"
+  "image_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_image_search.dir/knn_image_search.cpp.o"
+  "CMakeFiles/knn_image_search.dir/knn_image_search.cpp.o.d"
+  "knn_image_search"
+  "knn_image_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_image_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for knn_image_search.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_search.dir/molecule_search.cpp.o"
+  "CMakeFiles/molecule_search.dir/molecule_search.cpp.o.d"
+  "molecule_search"
+  "molecule_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

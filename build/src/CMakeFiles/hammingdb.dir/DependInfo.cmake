@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chem/tanimoto.cc" "src/CMakeFiles/hammingdb.dir/chem/tanimoto.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/chem/tanimoto.cc.o.d"
+  "/root/repo/src/code/binary_code.cc" "src/CMakeFiles/hammingdb.dir/code/binary_code.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/code/binary_code.cc.o.d"
+  "/root/repo/src/code/gray.cc" "src/CMakeFiles/hammingdb.dir/code/gray.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/code/gray.cc.o.d"
+  "/root/repo/src/code/masked_code.cc" "src/CMakeFiles/hammingdb.dir/code/masked_code.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/code/masked_code.cc.o.d"
+  "/root/repo/src/common/memtrack.cc" "src/CMakeFiles/hammingdb.dir/common/memtrack.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/common/memtrack.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/hammingdb.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/serde.cc" "src/CMakeFiles/hammingdb.dir/common/serde.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/common/serde.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/hammingdb.dir/common/status.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/common/status.cc.o.d"
+  "/root/repo/src/common/stopwatch.cc" "src/CMakeFiles/hammingdb.dir/common/stopwatch.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/common/stopwatch.cc.o.d"
+  "/root/repo/src/common/threadpool.cc" "src/CMakeFiles/hammingdb.dir/common/threadpool.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/common/threadpool.cc.o.d"
+  "/root/repo/src/dataset/generators.cc" "src/CMakeFiles/hammingdb.dir/dataset/generators.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/dataset/generators.cc.o.d"
+  "/root/repo/src/dataset/matrix.cc" "src/CMakeFiles/hammingdb.dir/dataset/matrix.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/dataset/matrix.cc.o.d"
+  "/root/repo/src/dataset/pivots.cc" "src/CMakeFiles/hammingdb.dir/dataset/pivots.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/dataset/pivots.cc.o.d"
+  "/root/repo/src/dataset/sampling.cc" "src/CMakeFiles/hammingdb.dir/dataset/sampling.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/dataset/sampling.cc.o.d"
+  "/root/repo/src/dataset/scale.cc" "src/CMakeFiles/hammingdb.dir/dataset/scale.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/dataset/scale.cc.o.d"
+  "/root/repo/src/hashing/eigen.cc" "src/CMakeFiles/hammingdb.dir/hashing/eigen.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/hashing/eigen.cc.o.d"
+  "/root/repo/src/hashing/simhash.cc" "src/CMakeFiles/hammingdb.dir/hashing/simhash.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/hashing/simhash.cc.o.d"
+  "/root/repo/src/hashing/similarity_hash.cc" "src/CMakeFiles/hammingdb.dir/hashing/similarity_hash.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/hashing/similarity_hash.cc.o.d"
+  "/root/repo/src/hashing/spectral_hashing.cc" "src/CMakeFiles/hammingdb.dir/hashing/spectral_hashing.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/hashing/spectral_hashing.cc.o.d"
+  "/root/repo/src/hashing/zorder.cc" "src/CMakeFiles/hammingdb.dir/hashing/zorder.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/hashing/zorder.cc.o.d"
+  "/root/repo/src/index/bitsample_lsh.cc" "src/CMakeFiles/hammingdb.dir/index/bitsample_lsh.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/index/bitsample_lsh.cc.o.d"
+  "/root/repo/src/index/dynamic_ha_index.cc" "src/CMakeFiles/hammingdb.dir/index/dynamic_ha_index.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/index/dynamic_ha_index.cc.o.d"
+  "/root/repo/src/index/hamming_index.cc" "src/CMakeFiles/hammingdb.dir/index/hamming_index.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/index/hamming_index.cc.o.d"
+  "/root/repo/src/index/hengine.cc" "src/CMakeFiles/hammingdb.dir/index/hengine.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/index/hengine.cc.o.d"
+  "/root/repo/src/index/hmsearch.cc" "src/CMakeFiles/hammingdb.dir/index/hmsearch.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/index/hmsearch.cc.o.d"
+  "/root/repo/src/index/linear_scan.cc" "src/CMakeFiles/hammingdb.dir/index/linear_scan.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/index/linear_scan.cc.o.d"
+  "/root/repo/src/index/multi_hash_table.cc" "src/CMakeFiles/hammingdb.dir/index/multi_hash_table.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/index/multi_hash_table.cc.o.d"
+  "/root/repo/src/index/radix_tree.cc" "src/CMakeFiles/hammingdb.dir/index/radix_tree.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/index/radix_tree.cc.o.d"
+  "/root/repo/src/index/static_ha_index.cc" "src/CMakeFiles/hammingdb.dir/index/static_ha_index.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/index/static_ha_index.cc.o.d"
+  "/root/repo/src/index/yao_index.cc" "src/CMakeFiles/hammingdb.dir/index/yao_index.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/index/yao_index.cc.o.d"
+  "/root/repo/src/join/centralized_join.cc" "src/CMakeFiles/hammingdb.dir/join/centralized_join.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/join/centralized_join.cc.o.d"
+  "/root/repo/src/knn/bptree.cc" "src/CMakeFiles/hammingdb.dir/knn/bptree.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/knn/bptree.cc.o.d"
+  "/root/repo/src/knn/e2lsh.cc" "src/CMakeFiles/hammingdb.dir/knn/e2lsh.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/knn/e2lsh.cc.o.d"
+  "/root/repo/src/knn/exact_knn.cc" "src/CMakeFiles/hammingdb.dir/knn/exact_knn.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/knn/exact_knn.cc.o.d"
+  "/root/repo/src/knn/hamming_knn.cc" "src/CMakeFiles/hammingdb.dir/knn/hamming_knn.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/knn/hamming_knn.cc.o.d"
+  "/root/repo/src/knn/lsb_tree.cc" "src/CMakeFiles/hammingdb.dir/knn/lsb_tree.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/knn/lsb_tree.cc.o.d"
+  "/root/repo/src/mapreduce/cluster.cc" "src/CMakeFiles/hammingdb.dir/mapreduce/cluster.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/mapreduce/cluster.cc.o.d"
+  "/root/repo/src/mapreduce/counters.cc" "src/CMakeFiles/hammingdb.dir/mapreduce/counters.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/mapreduce/counters.cc.o.d"
+  "/root/repo/src/mapreduce/distributed_cache.cc" "src/CMakeFiles/hammingdb.dir/mapreduce/distributed_cache.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/mapreduce/distributed_cache.cc.o.d"
+  "/root/repo/src/mapreduce/job.cc" "src/CMakeFiles/hammingdb.dir/mapreduce/job.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/mapreduce/job.cc.o.d"
+  "/root/repo/src/mrjoin/common.cc" "src/CMakeFiles/hammingdb.dir/mrjoin/common.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/mrjoin/common.cc.o.d"
+  "/root/repo/src/mrjoin/mrha.cc" "src/CMakeFiles/hammingdb.dir/mrjoin/mrha.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/mrjoin/mrha.cc.o.d"
+  "/root/repo/src/mrjoin/mrha_knn.cc" "src/CMakeFiles/hammingdb.dir/mrjoin/mrha_knn.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/mrjoin/mrha_knn.cc.o.d"
+  "/root/repo/src/mrjoin/mrselect.cc" "src/CMakeFiles/hammingdb.dir/mrjoin/mrselect.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/mrjoin/mrselect.cc.o.d"
+  "/root/repo/src/mrjoin/pgbj.cc" "src/CMakeFiles/hammingdb.dir/mrjoin/pgbj.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/mrjoin/pgbj.cc.o.d"
+  "/root/repo/src/mrjoin/pmh.cc" "src/CMakeFiles/hammingdb.dir/mrjoin/pmh.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/mrjoin/pmh.cc.o.d"
+  "/root/repo/src/ops/operators.cc" "src/CMakeFiles/hammingdb.dir/ops/operators.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/ops/operators.cc.o.d"
+  "/root/repo/src/ops/planner.cc" "src/CMakeFiles/hammingdb.dir/ops/planner.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/ops/planner.cc.o.d"
+  "/root/repo/src/ops/table.cc" "src/CMakeFiles/hammingdb.dir/ops/table.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/ops/table.cc.o.d"
+  "/root/repo/src/storage/file_io.cc" "src/CMakeFiles/hammingdb.dir/storage/file_io.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/storage/file_io.cc.o.d"
+  "/root/repo/src/storage/persist.cc" "src/CMakeFiles/hammingdb.dir/storage/persist.cc.o" "gcc" "src/CMakeFiles/hammingdb.dir/storage/persist.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_binary_code.cc" "tests/CMakeFiles/hamming_tests.dir/test_binary_code.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_binary_code.cc.o.d"
+  "/root/repo/tests/test_bptree.cc" "tests/CMakeFiles/hamming_tests.dir/test_bptree.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_bptree.cc.o.d"
+  "/root/repo/tests/test_chem.cc" "tests/CMakeFiles/hamming_tests.dir/test_chem.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_chem.cc.o.d"
+  "/root/repo/tests/test_concurrency.cc" "tests/CMakeFiles/hamming_tests.dir/test_concurrency.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_concurrency.cc.o.d"
+  "/root/repo/tests/test_dataset.cc" "tests/CMakeFiles/hamming_tests.dir/test_dataset.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_dataset.cc.o.d"
+  "/root/repo/tests/test_dynamic_ha.cc" "tests/CMakeFiles/hamming_tests.dir/test_dynamic_ha.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_dynamic_ha.cc.o.d"
+  "/root/repo/tests/test_extensions.cc" "tests/CMakeFiles/hamming_tests.dir/test_extensions.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_extensions.cc.o.d"
+  "/root/repo/tests/test_gray.cc" "tests/CMakeFiles/hamming_tests.dir/test_gray.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_gray.cc.o.d"
+  "/root/repo/tests/test_hashing.cc" "tests/CMakeFiles/hamming_tests.dir/test_hashing.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_hashing.cc.o.d"
+  "/root/repo/tests/test_indexes.cc" "tests/CMakeFiles/hamming_tests.dir/test_indexes.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_indexes.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/hamming_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_join.cc" "tests/CMakeFiles/hamming_tests.dir/test_join.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_join.cc.o.d"
+  "/root/repo/tests/test_knn.cc" "tests/CMakeFiles/hamming_tests.dir/test_knn.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_knn.cc.o.d"
+  "/root/repo/tests/test_mapreduce.cc" "tests/CMakeFiles/hamming_tests.dir/test_mapreduce.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_mapreduce.cc.o.d"
+  "/root/repo/tests/test_masked_code.cc" "tests/CMakeFiles/hamming_tests.dir/test_masked_code.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_masked_code.cc.o.d"
+  "/root/repo/tests/test_misc.cc" "tests/CMakeFiles/hamming_tests.dir/test_misc.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_misc.cc.o.d"
+  "/root/repo/tests/test_mrjoin.cc" "tests/CMakeFiles/hamming_tests.dir/test_mrjoin.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_mrjoin.cc.o.d"
+  "/root/repo/tests/test_ops.cc" "tests/CMakeFiles/hamming_tests.dir/test_ops.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_ops.cc.o.d"
+  "/root/repo/tests/test_planner.cc" "tests/CMakeFiles/hamming_tests.dir/test_planner.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_planner.cc.o.d"
+  "/root/repo/tests/test_radix_tree.cc" "tests/CMakeFiles/hamming_tests.dir/test_radix_tree.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_radix_tree.cc.o.d"
+  "/root/repo/tests/test_serde.cc" "tests/CMakeFiles/hamming_tests.dir/test_serde.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_serde.cc.o.d"
+  "/root/repo/tests/test_static_ha.cc" "tests/CMakeFiles/hamming_tests.dir/test_static_ha.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_static_ha.cc.o.d"
+  "/root/repo/tests/test_status.cc" "tests/CMakeFiles/hamming_tests.dir/test_status.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_status.cc.o.d"
+  "/root/repo/tests/test_storage.cc" "tests/CMakeFiles/hamming_tests.dir/test_storage.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_storage.cc.o.d"
+  "/root/repo/tests/test_threadpool.cc" "tests/CMakeFiles/hamming_tests.dir/test_threadpool.cc.o" "gcc" "tests/CMakeFiles/hamming_tests.dir/test_threadpool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hammingdb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
