@@ -1,17 +1,34 @@
 // Google-benchmark microbenchmarks of the primitives the paper's cost
 // model is built on: XOR+popcount distance, Gray rank, masked partial
-// distance, and H-Search across index implementations.
+// distance, batched kernel scans, and H-Search across index
+// implementations.
+//
+// The custom main() additionally times the batched kernels against the
+// scalar BinaryCode loop and a map-heavy MapReduce job under both
+// counter modes (per-record contended vs per-task batched), and writes
+// the results to BENCH_micro.json. Pass --json_only to skip the
+// google-benchmark suite, --json_out=PATH to redirect the file.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
 
 #include "code/gray.h"
 #include "code/masked_code.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "index/dynamic_ha_index.h"
 #include "index/hengine.h"
 #include "index/linear_scan.h"
 #include "index/multi_hash_table.h"
 #include "index/radix_tree.h"
 #include "index/static_ha_index.h"
+#include "kernels/code_store.h"
+#include "kernels/hamming_kernels.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
 
 namespace hamming {
 namespace {
@@ -71,6 +88,51 @@ void BM_MaskedPartialDistance(benchmark::State& state) {
 }
 BENCHMARK(BM_MaskedPartialDistance);
 
+// ---- Batched kernel benchmarks (ns/code = time / items) -----------------
+
+void BM_KernelScalarScan(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  auto codes = MakeCodes(4096, bits, 16);
+  auto query = MakeCodes(1, bits, 1)[0];
+  std::vector<uint32_t> dists(codes.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      dists[i] = static_cast<uint32_t>(codes[i].Distance(query));
+    }
+    benchmark::DoNotOptimize(dists.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(codes.size()));
+}
+BENCHMARK(BM_KernelScalarScan)->Arg(64)->Arg(128)->Arg(225)->Arg(512);
+
+void BM_KernelBatchDistance(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  auto codes = MakeCodes(4096, bits, 16);
+  auto store = kernels::CodeStore::FromCodes(codes).ValueOrDie();
+  auto query = MakeCodes(1, bits, 1)[0];
+  std::vector<uint32_t> dists(store.size());
+  for (auto _ : state) {
+    kernels::BatchDistance(query, store, dists.data());
+    benchmark::DoNotOptimize(dists.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(store.size()));
+}
+BENCHMARK(BM_KernelBatchDistance)->Arg(64)->Arg(128)->Arg(225)->Arg(512);
+
+void BM_KernelBatchKnn(benchmark::State& state) {
+  auto codes = MakeCodes(65536, 64, 64);
+  auto store = kernels::CodeStore::FromCodes(codes).ValueOrDie();
+  auto query = MakeCodes(1, 64, 1)[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::BatchKnn(query, store, 10));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(store.size()));
+}
+BENCHMARK(BM_KernelBatchKnn);
+
 template <typename MakeIndex>
 void SearchBench(benchmark::State& state, MakeIndex make) {
   auto codes = MakeCodes(static_cast<std::size_t>(state.range(0)), 32, 32);
@@ -123,7 +185,191 @@ void BM_DhaBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_DhaBuild)->Arg(10000)->Unit(benchmark::kMillisecond);
 
+// ---- BENCH_micro.json emitter -------------------------------------------
+
+// Times `pass` (which processes `items` codes/records) repeatedly until
+// ~0.15 s of wall clock, returning ns per item.
+double TimeNsPerItem(const std::function<void()>& pass, std::size_t items) {
+  Stopwatch warm;
+  pass();
+  double once = warm.ElapsedSeconds();
+  int reps = static_cast<int>(0.15 / std::max(once, 1e-6)) + 1;
+  Stopwatch watch;
+  for (int r = 0; r < reps; ++r) pass();
+  double secs = watch.ElapsedSeconds();
+  return secs * 1e9 / (static_cast<double>(reps) * static_cast<double>(items));
+}
+
+struct KernelRow {
+  std::size_t bits;
+  std::size_t n;
+  double scalar_ns_per_code;
+  double batched_ns_per_code;
+};
+
+KernelRow MeasureKernel(std::size_t bits) {
+  const std::size_t n = 65536;
+  auto codes = MakeCodes(n, bits, 64);
+  auto store = kernels::CodeStore::FromCodes(codes).ValueOrDie();
+  auto query = MakeCodes(1, bits, 1)[0];
+  std::vector<uint32_t> dists(n);
+  KernelRow row{bits, n, 0, 0};
+  row.scalar_ns_per_code = TimeNsPerItem(
+      [&] {
+        for (std::size_t i = 0; i < n; ++i) {
+          dists[i] = static_cast<uint32_t>(codes[i].Distance(query));
+        }
+        benchmark::DoNotOptimize(dists.data());
+      },
+      n);
+  row.batched_ns_per_code = TimeNsPerItem(
+      [&] {
+        kernels::BatchDistance(query, store, dists.data());
+        benchmark::DoNotOptimize(dists.data());
+      },
+      n);
+  return row;
+}
+
+struct MapJobRow {
+  std::size_t records = 0;
+  std::size_t shuffle_records = 0;
+  double legacy_map_seconds = 0;
+  double batched_map_seconds = 0;
+  double legacy_shuffle_seconds = 0;
+  double batched_shuffle_seconds = 0;
+  bool counters_identical = false;
+};
+
+MapJobRow MeasureMapJob() {
+  // A map-heavy job: trivial identity mapper over many small records, so
+  // per-record runner overhead (the counter accounting) dominates.
+  const std::size_t kRecords = 200000;
+  Rng rng(9);
+  std::vector<mr::Record> records(kRecords);
+  for (auto& rec : records) {
+    rec.key.resize(8);
+    for (auto& b : rec.key) b = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  mr::JobSpec spec;
+  spec.name = "bench-map-heavy";
+  spec.input_splits = mr::SplitEvenly(std::move(records), 16);
+  spec.map_fn = [](const mr::Record& rec, mr::Emitter* emitter) {
+    emitter->Emit(rec.key, rec.value);
+    return Status::OK();
+  };
+  spec.num_reducers = 4;
+
+  MapJobRow row;
+  row.records = kRecords;
+  row.shuffle_records = kRecords;
+  mr::Counters legacy_counters, batched_counters;
+  // Alternate modes, keep each mode's best of three (first runs warm the
+  // allocator and page cache).
+  for (int round = 0; round < 3; ++round) {
+    for (bool legacy : {true, false}) {
+      mr::Cluster cluster;
+      spec.legacy_contended_counters = legacy;
+      auto result = mr::RunJob(spec, &cluster);
+      if (!result.ok()) continue;
+      double& map_best =
+          legacy ? row.legacy_map_seconds : row.batched_map_seconds;
+      double& shuffle_best =
+          legacy ? row.legacy_shuffle_seconds : row.batched_shuffle_seconds;
+      if (map_best == 0 || result->map_seconds < map_best) {
+        map_best = result->map_seconds;
+      }
+      if (shuffle_best == 0 || result->shuffle_seconds < shuffle_best) {
+        shuffle_best = result->shuffle_seconds;
+      }
+      (legacy ? legacy_counters : batched_counters) = result->counters;
+    }
+  }
+  row.counters_identical =
+      legacy_counters.Snapshot() == batched_counters.Snapshot();
+  return row;
+}
+
+int EmitJson(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"backend\": \"%s\",\n",
+               kernels::BackendName(kernels::ActiveBackend()));
+  std::fprintf(f, "  \"kernels\": [\n");
+  const std::size_t kBits[] = {64, 128, 225, 512};
+  for (std::size_t i = 0; i < 4; ++i) {
+    KernelRow row = MeasureKernel(kBits[i]);
+    double speedup = row.scalar_ns_per_code / row.batched_ns_per_code;
+    std::fprintf(f,
+                 "    {\"bits\": %zu, \"codes\": %zu, "
+                 "\"scalar_ns_per_code\": %.3f, "
+                 "\"batched_ns_per_code\": %.3f, "
+                 "\"batched_codes_per_sec\": %.3e, "
+                 "\"speedup\": %.2f}%s\n",
+                 row.bits, row.n, row.scalar_ns_per_code,
+                 row.batched_ns_per_code, 1e9 / row.batched_ns_per_code,
+                 speedup, i + 1 < 4 ? "," : "");
+    std::fprintf(stderr, "kernel %3zu-bit: scalar %.2f ns/code, batched "
+                 "%.2f ns/code (%.2fx)\n",
+                 row.bits, row.scalar_ns_per_code, row.batched_ns_per_code,
+                 speedup);
+  }
+  std::fprintf(f, "  ],\n");
+  MapJobRow job = MeasureMapJob();
+  double map_speedup = job.legacy_map_seconds / job.batched_map_seconds;
+  std::fprintf(
+      f,
+      "  \"map_job\": {\"records\": %zu, "
+      "\"legacy_map_seconds\": %.4f, \"batched_map_seconds\": %.4f, "
+      "\"legacy_map_records_per_sec\": %.3e, "
+      "\"batched_map_records_per_sec\": %.3e, "
+      "\"map_speedup\": %.2f, "
+      "\"legacy_shuffle_records_per_sec\": %.3e, "
+      "\"batched_shuffle_records_per_sec\": %.3e, "
+      "\"counter_totals_identical\": %s}\n",
+      job.records, job.legacy_map_seconds, job.batched_map_seconds,
+      job.records / job.legacy_map_seconds,
+      job.records / job.batched_map_seconds, map_speedup,
+      job.shuffle_records / job.legacy_shuffle_seconds,
+      job.shuffle_records / job.batched_shuffle_seconds,
+      job.counters_identical ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::fprintf(stderr,
+               "map-heavy job: legacy %.3fs, batched %.3fs (%.2fx), "
+               "counters identical: %s\n-> %s\n",
+               job.legacy_map_seconds, job.batched_map_seconds, map_speedup,
+               job.counters_identical ? "yes" : "NO", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace hamming
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_out = "BENCH_micro.json";
+  bool json_only = false;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json_only") == 0) {
+      json_only = true;
+    } else if (std::strncmp(argv[i], "--json_out=", 11) == 0) {
+      json_out = argv[i] + 11;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int rc = hamming::EmitJson(json_out);
+  if (rc != 0 || json_only) return rc;
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

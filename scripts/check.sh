@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full verification: the tier-1 suite in Release, plus the kernel
+# differential tests under AddressSanitizer+UBSan in Debug (the batched
+# kernels do unaligned loads and tail handling worth checking hard).
+#
+# Usage: scripts/check.sh [--skip-asan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_ASAN=0
+[[ "${1:-}" == "--skip-asan" ]] && SKIP_ASAN=1
+
+echo "==> tier-1: configure + build + ctest (build/)"
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "$SKIP_ASAN" == "1" ]]; then
+  echo "==> skipping sanitizer pass (--skip-asan)"
+  exit 0
+fi
+
+echo "==> sanitizers: Debug + ASan/UBSan kernel differential (build-asan/)"
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DHAMMING_SANITIZE=ON \
+  >/dev/null
+cmake --build build-asan -j --target hamming_tests
+./build-asan/tests/hamming_tests \
+  --gtest_filter='CodeStore.*:Kernels.*:LocalCounters.*'
+
+echo "==> all checks passed"

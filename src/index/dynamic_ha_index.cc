@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "code/gray.h"
+#include "kernels/hamming_kernels.h"
 
 namespace hamming {
 
@@ -28,6 +29,7 @@ Status DynamicHAIndex::BuildWithIds(const std::vector<TupleId>& ids,
   nodes_.clear();
   roots_.clear();
   buffer_.clear();
+  buffer_store_.Clear();
   num_tuples_ = 0;
   code_bits_ = codes.empty() ? 0 : codes[0].size();
 
@@ -159,6 +161,7 @@ Status DynamicHAIndex::Insert(TupleId id, const BinaryCode& code) {
     return Status::InvalidArgument("code length mismatch");
   }
   buffer_.emplace_back(id, code);
+  HAMMING_RETURN_NOT_OK(buffer_store_.Append(code));
   ++num_tuples_;
   if (buffer_.size() >= opts_.insert_flush_threshold) FlushBuffer();
   return Status::OK();
@@ -172,6 +175,7 @@ void DynamicHAIndex::FlushBuffer() {
   group_vec.reserve(groups.size());
   for (auto& [code, ids] : groups) group_vec.emplace_back(code, std::move(ids));
   buffer_.clear();
+  buffer_store_.Clear();
   BuildForest(std::move(group_vec));
 }
 
@@ -210,6 +214,7 @@ Status DynamicHAIndex::Delete(TupleId id, const BinaryCode& code) {
     if (buffer_[i].first == id && buffer_[i].second == code) {
       buffer_[i] = buffer_.back();
       buffer_.pop_back();
+      buffer_store_.SwapRemove(i);
       --num_tuples_;
       return Status::OK();
     }
@@ -271,11 +276,11 @@ Result<std::vector<TupleId>> DynamicHAIndex::Search(const BinaryCode& query,
       if (d <= h) queue.emplace_back(c, static_cast<uint32_t>(d));
     }
   }
-  // The insert buffer is scanned linearly (it is bounded by the flush
-  // threshold).
-  for (const auto& [id, code] : buffer_) {
-    if (code.WithinDistance(query, h)) out.push_back(id);
-  }
+  // The insert buffer (bounded by the flush threshold) is scanned with
+  // one batched kernel pass over its word-stride mirror.
+  std::vector<uint32_t> slots;
+  kernels::BatchWithinDistance(query, buffer_store_, h, &slots);
+  for (uint32_t slot : slots) out.push_back(buffer_[slot].first);
   return out;
 }
 
@@ -308,9 +313,10 @@ DynamicHAIndex::SearchWithDistances(const BinaryCode& query,
       if (d <= h) queue.emplace_back(c, static_cast<uint32_t>(d));
     }
   }
-  for (const auto& [id, code] : buffer_) {
-    std::size_t d = code.Distance(query);
-    if (d <= h) out.emplace_back(id, static_cast<uint32_t>(d));
+  std::vector<uint32_t> dists;
+  kernels::BatchDistance(query, buffer_store_, &dists);
+  for (std::size_t i = 0; i < dists.size(); ++i) {
+    if (dists[i] <= h) out.emplace_back(buffer_[i].first, dists[i]);
   }
   return out;
 }
@@ -340,10 +346,9 @@ Result<std::vector<BinaryCode>> DynamicHAIndex::SearchCodes(
       if (d <= h) queue.emplace_back(c, static_cast<uint32_t>(d));
     }
   }
-  for (const auto& [id, code] : buffer_) {
-    (void)id;
-    if (code.WithinDistance(query, h)) out.push_back(code);
-  }
+  std::vector<uint32_t> slots;
+  kernels::BatchWithinDistance(query, buffer_store_, h, &slots);
+  for (uint32_t slot : slots) out.push_back(buffer_[slot].second);
   return out;
 }
 
@@ -515,6 +520,10 @@ Status DynamicHAIndex::MergeFrom(const DynamicHAIndex& other) {
     }
   }
   buffer_.insert(buffer_.end(), other.buffer_.begin(), other.buffer_.end());
+  for (const auto& [id, code] : other.buffer_) {
+    (void)id;
+    HAMMING_RETURN_NOT_OK(buffer_store_.Append(code));
+  }
   num_tuples_ += other.num_tuples_;
   return Status::OK();
 }
@@ -652,6 +661,9 @@ Result<DynamicHAIndex> DynamicHAIndex::Deserialize(BufferReader* r) {
     HAMMING_RETURN_NOT_OK(r->GetVarint64(&v));
     id = static_cast<TupleId>(v);
     HAMMING_RETURN_NOT_OK(BinaryCode::Deserialize(r, &code));
+    if (!idx.buffer_store_.Append(code).ok()) {
+      return Status::IOError("corrupt buffer code length");
+    }
   }
   // Structural validation: every reference must stay inside the node
   // array so a corrupt payload cannot crash later traversals.

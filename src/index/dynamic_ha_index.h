@@ -31,6 +31,7 @@
 
 #include "code/masked_code.h"
 #include "index/hamming_index.h"
+#include "kernels/code_store.h"
 
 namespace hamming {
 
@@ -157,8 +158,11 @@ class DynamicHAIndex final : public HammingIndex {
   std::size_t num_tuples_ = 0;
   std::vector<Node> nodes_;
   std::vector<uint32_t> roots_;
-  // Insert buffer (Section 4.5).
+  // Insert buffer (Section 4.5). buffer_store_ mirrors the buffered codes
+  // in word-stride form so the per-query buffer scan runs through the
+  // batched kernels instead of one WithinDistance call per code.
   std::vector<std::pair<TupleId, BinaryCode>> buffer_;
+  kernels::CodeStore buffer_store_;
 };
 
 }  // namespace hamming

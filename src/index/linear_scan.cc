@@ -1,9 +1,11 @@
 #include "index/linear_scan.h"
 
+#include "kernels/hamming_kernels.h"
+
 namespace hamming {
 
 Status LinearScanIndex::Build(const std::vector<BinaryCode>& codes) {
-  codes_ = codes;
+  HAMMING_ASSIGN_OR_RETURN(codes_, kernels::CodeStore::FromCodes(codes));
   ids_.resize(codes.size());
   for (std::size_t i = 0; i < codes.size(); ++i) {
     ids_[i] = static_cast<TupleId>(i);
@@ -13,25 +15,36 @@ Status LinearScanIndex::Build(const std::vector<BinaryCode>& codes) {
 
 Result<std::vector<TupleId>> LinearScanIndex::Search(const BinaryCode& query,
                                                      std::size_t h) const {
+  std::vector<uint32_t> slots;
+  kernels::BatchWithinDistance(query, codes_, h, &slots);
   std::vector<TupleId> out;
-  for (std::size_t i = 0; i < codes_.size(); ++i) {
-    if (codes_[i].WithinDistance(query, h)) out.push_back(ids_[i]);
+  out.reserve(slots.size());
+  for (uint32_t slot : slots) out.push_back(ids_[slot]);
+  return out;
+}
+
+std::vector<std::pair<TupleId, uint32_t>> LinearScanIndex::Knn(
+    const BinaryCode& query, std::size_t k) const {
+  auto nearest = kernels::BatchKnn(query, codes_, k);
+  std::vector<std::pair<TupleId, uint32_t>> out;
+  out.reserve(nearest.size());
+  for (const auto& [slot, dist] : nearest) {
+    out.emplace_back(ids_[slot], dist);
   }
   return out;
 }
 
 Status LinearScanIndex::Insert(TupleId id, const BinaryCode& code) {
-  codes_.push_back(code);
+  HAMMING_RETURN_NOT_OK(codes_.Append(code));
   ids_.push_back(id);
   return Status::OK();
 }
 
 Status LinearScanIndex::Delete(TupleId id, const BinaryCode& code) {
-  for (std::size_t i = 0; i < codes_.size(); ++i) {
-    if (ids_[i] == id && codes_[i] == code) {
-      codes_[i] = codes_.back();
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == id && codes_.Matches(i, code)) {
+      codes_.SwapRemove(i);
       ids_[i] = ids_.back();
-      codes_.pop_back();
       ids_.pop_back();
       return Status::OK();
     }
@@ -41,7 +54,7 @@ Status LinearScanIndex::Delete(TupleId id, const BinaryCode& code) {
 
 MemoryBreakdown LinearScanIndex::Memory() const {
   MemoryBreakdown mb;
-  for (const auto& c : codes_) mb.leaf_bytes += c.PackedBytes();
+  mb.leaf_bytes += codes_.PackedBytes();
   mb.leaf_bytes += ids_.size() * sizeof(TupleId);
   return mb;
 }

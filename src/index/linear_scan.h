@@ -1,12 +1,13 @@
 // Nested-Loops baseline (Section 3): a flat array of codes scanned with
 // XOR + popcount per query. O(n) reads and O(n) distance computations per
 // select; the quadratic-join strawman every other method is measured
-// against.
+// against. Codes live in a word-stride CodeStore so the scan runs through
+// the batched kernels (kernels/hamming_kernels.h) instead of one
+// BinaryCode call per code.
 #pragma once
 
-#include <unordered_map>
-
 #include "index/hamming_index.h"
+#include "kernels/code_store.h"
 
 namespace hamming {
 
@@ -23,8 +24,14 @@ class LinearScanIndex final : public HammingIndex {
   std::size_t size() const override { return ids_.size(); }
   MemoryBreakdown Memory() const override;
 
+  /// \brief Exact k nearest stored tuples by Hamming distance, as
+  /// (id, distance) ascending — a full batched scan with a bounded
+  /// top-k heap (kernels::BatchKnn).
+  std::vector<std::pair<TupleId, uint32_t>> Knn(const BinaryCode& query,
+                                                std::size_t k) const;
+
  private:
-  std::vector<BinaryCode> codes_;
+  kernels::CodeStore codes_;
   std::vector<TupleId> ids_;
 };
 

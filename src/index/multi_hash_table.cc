@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "kernels/hamming_kernels.h"
+
 namespace hamming {
 
 namespace {
@@ -114,7 +116,9 @@ Status MultiHashTableIndex::Build(const std::vector<BinaryCode>& codes) {
 Status MultiHashTableIndex::Insert(TupleId id, const BinaryCode& code) {
   HAMMING_RETURN_NOT_OK(EnsureLayout(code));
   for (std::size_t t = 0; t < combos_.size(); ++t) {
-    tables_[t][KeyOf(combos_[t], code)].push_back({id, code});
+    Bucket& bucket = tables_[t][KeyOf(combos_[t], code)];
+    bucket.ids.push_back(id);
+    HAMMING_RETURN_NOT_OK(bucket.codes.Append(code));
   }
   stored_[id] = code;
   return Status::OK();
@@ -128,11 +132,14 @@ Status MultiHashTableIndex::Delete(TupleId id, const BinaryCode& code) {
   for (std::size_t t = 0; t < combos_.size(); ++t) {
     auto bucket_it = tables_[t].find(KeyOf(combos_[t], code));
     if (bucket_it == tables_[t].end()) continue;
-    auto& bucket = bucket_it->second;
-    bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
-                                [id](const Entry& e) { return e.id == id; }),
-                 bucket.end());
-    if (bucket.empty()) tables_[t].erase(bucket_it);
+    Bucket& bucket = bucket_it->second;
+    for (std::size_t i = bucket.ids.size(); i-- > 0;) {
+      if (bucket.ids[i] != id) continue;
+      bucket.codes.SwapRemove(i);
+      bucket.ids[i] = bucket.ids.back();
+      bucket.ids.pop_back();
+    }
+    if (bucket.ids.empty()) tables_[t].erase(bucket_it);
   }
   stored_.erase(it);
   return Status::OK();
@@ -147,12 +154,14 @@ Result<std::vector<TupleId>> MultiHashTableIndex::Search(
   std::vector<TupleId> out;
   // A tuple can match in several tables; verifying twice is cheaper than
   // a per-candidate visited set, so duplicates are dropped at the end.
+  std::vector<uint32_t> slots;
   for (std::size_t t = 0; t < combos_.size(); ++t) {
     auto bucket_it = tables_[t].find(KeyOf(combos_[t], query));
     if (bucket_it == tables_[t].end()) continue;
-    for (const Entry& entry : bucket_it->second) {
-      if (entry.code.WithinDistance(query, h)) out.push_back(entry.id);
-    }
+    const Bucket& bucket = bucket_it->second;
+    slots.clear();  // BatchWithinDistance appends
+    kernels::BatchWithinDistance(query, bucket.codes, h, &slots);
+    for (uint32_t slot : slots) out.push_back(bucket.ids[slot]);
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
@@ -168,10 +177,10 @@ void MultiHashTableIndex::Serialize(BufferWriter* w) const {
     w->PutVarint64(table.size());
     for (const auto& [key, bucket] : table) {
       w->PutVarint64(key);
-      w->PutVarint64(bucket.size());
-      for (const Entry& entry : bucket) {
-        w->PutVarint64(entry.id);
-        entry.code.Serialize(w);
+      w->PutVarint64(bucket.ids.size());
+      for (std::size_t i = 0; i < bucket.ids.size(); ++i) {
+        w->PutVarint64(bucket.ids[i]);
+        bucket.codes.Get(i).Serialize(w);
       }
     }
   }
@@ -208,7 +217,9 @@ Result<MultiHashTableIndex> MultiHashTableIndex::Deserialize(
           HAMMING_RETURN_NOT_OK(index.EnsureLayout(code));
           layout_ready = true;
         }
-        index.tables_[t][key].push_back({static_cast<TupleId>(id), code});
+        Bucket& bucket = index.tables_[t][key];
+        bucket.ids.push_back(static_cast<TupleId>(id));
+        HAMMING_RETURN_NOT_OK(bucket.codes.Append(code));
       }
     }
   }
@@ -232,7 +243,7 @@ MemoryBreakdown MultiHashTableIndex::Memory() const {
     mb.internal_bytes += table.size() * (sizeof(uint64_t) + sizeof(void*));
     for (const auto& [key, bucket] : table) {
       (void)key;
-      mb.internal_bytes += bucket.size() * (sizeof(TupleId) + per_code);
+      mb.internal_bytes += bucket.ids.size() * (sizeof(TupleId) + per_code);
     }
   }
   for (const auto& [id, code] : stored_) {

@@ -19,6 +19,7 @@
 #include <unordered_map>
 
 #include "index/hamming_index.h"
+#include "kernels/code_store.h"
 
 namespace hamming {
 
@@ -58,9 +59,12 @@ class MultiHashTableIndex final : public HammingIndex {
   static Result<MultiHashTableIndex> Deserialize(BufferReader* r);
 
  private:
-  struct Entry {
-    TupleId id;
-    BinaryCode code;
+  /// One hash bucket: parallel id / word-stride code arrays, so bucket
+  /// verification is a single batched kernel pass instead of a scalar
+  /// WithinDistance per replicated fingerprint.
+  struct Bucket {
+    std::vector<TupleId> ids;
+    kernels::CodeStore codes;
   };
 
   /// Lays out blocks/combinations on first use; validates key width.
@@ -76,7 +80,7 @@ class MultiHashTableIndex final : public HammingIndex {
   std::size_t num_blocks_ = 0;
   std::size_t code_bits_ = 0;
   std::vector<std::vector<uint8_t>> combos_;  // kept blocks per table
-  std::vector<std::unordered_map<uint64_t, std::vector<Entry>>> tables_;
+  std::vector<std::unordered_map<uint64_t, Bucket>> tables_;
   std::unordered_map<TupleId, BinaryCode> stored_;  // Delete verification
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 
+#include "kernels/hamming_kernels.h"
+
 namespace hamming {
 
 Status StaticHAIndex::EnsureLayout(const BinaryCode& code) {
@@ -133,16 +135,17 @@ Result<std::vector<TupleId>> StaticHAIndex::Search(const BinaryCode& query,
     uint64_t qseg = query.SubstringAsUint64(level.begin, level.len);
     auto& dist = node_dist[j];
     dist.resize(level.node_values.size());
+    // Batched XOR+popcount across the level's distinct segment values
+    // (node_values is a flat uint64 array — exactly one kernel lane).
+    kernels::BatchXorPopcount(qseg, level.node_values.data(),
+                              level.node_values.size(), dist.data());
     uint16_t best = 0xffff;
     for (std::size_t v = 0; v < level.node_values.size(); ++v) {
       if (level.node_refcount[v] == 0) {
         dist[v] = 0xffff;  // dead node; no live path references it
         continue;
       }
-      uint16_t d = static_cast<uint16_t>(
-          std::popcount(level.node_values[v] ^ qseg));
-      dist[v] = d;
-      best = std::min(best, d);
+      best = std::min(best, dist[v]);
     }
     level_min[j] = best == 0xffff ? 0 : best;
   }

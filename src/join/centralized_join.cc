@@ -2,12 +2,32 @@
 
 #include <algorithm>
 
+#include "kernels/code_store.h"
+#include "kernels/hamming_kernels.h"
+
 namespace hamming {
 
 std::vector<JoinPair> NestedLoopsJoin(const std::vector<BinaryCode>& r_codes,
                                       const std::vector<BinaryCode>& s_codes,
                                       std::size_t h) {
   std::vector<JoinPair> out;
+  if (r_codes.empty() || s_codes.empty()) return out;
+  // Pack the inner side once; each outer tuple then verifies the whole
+  // inner relation with one batched kernel pass. Mixed-length inputs
+  // (which can't share a store) fall back to the scalar pairwise loop.
+  auto store = kernels::CodeStore::FromCodes(s_codes);
+  if (store.ok()) {
+    std::vector<uint32_t> slots;
+    for (std::size_t i = 0; i < r_codes.size(); ++i) {
+      if (r_codes[i].size() != store->bits()) continue;
+      slots.clear();  // BatchWithinDistance appends
+      kernels::BatchWithinDistance(r_codes[i], *store, h, &slots);
+      for (uint32_t j : slots) {
+        out.push_back({static_cast<TupleId>(i), static_cast<TupleId>(j)});
+      }
+    }
+    return out;
+  }
   for (std::size_t i = 0; i < r_codes.size(); ++i) {
     for (std::size_t j = 0; j < s_codes.size(); ++j) {
       if (r_codes[i].WithinDistance(s_codes[j], h)) {

@@ -1,0 +1,205 @@
+#include "kernels/hamming_kernels.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+
+namespace hamming::kernels {
+
+// Range kernels defined by the AVX2 translation unit (compiled with
+// -mavx2 when the toolchain supports it; see src/CMakeLists.txt).
+#if defined(HAMMING_HAVE_AVX2_TU)
+namespace detail {
+void BatchDistanceRangeAvx2(const CodeStore& store, const uint64_t* qwords,
+                            std::size_t base, std::size_t len, uint32_t* out);
+void BatchXorPopcountAvx2(uint64_t query_word, const uint64_t* values,
+                          std::size_t n, uint16_t* out);
+}  // namespace detail
+#endif
+
+namespace {
+
+// ---- Portable range kernels ---------------------------------------------
+
+// out[i] = distance(query, code base+i) for i in [0, len). Blocks of 8
+// codes keep eight accumulators live while one query word streams
+// against eight contiguous lane words — the form GCC keeps in registers.
+void BatchDistanceRangePortable(const CodeStore& store, const uint64_t* qwords,
+                                std::size_t base, std::size_t len,
+                                uint32_t* out) {
+  const std::size_t nw = store.words();
+  if (nw == 1) {
+    const uint64_t q0 = qwords[0];
+    const uint64_t* lane = store.Lane(0) + base;
+    for (std::size_t i = 0; i < len; ++i) {
+      out[i] = static_cast<uint32_t>(std::popcount(lane[i] ^ q0));
+    }
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint32_t acc[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+    for (std::size_t w = 0; w < nw; ++w) {
+      const uint64_t q = qwords[w];
+      const uint64_t* lane = store.Lane(w) + base + i;
+      for (std::size_t j = 0; j < 8; ++j) {
+        acc[j] += static_cast<uint32_t>(std::popcount(lane[j] ^ q));
+      }
+    }
+    std::copy_n(acc, 8, out + i);
+  }
+  for (; i < len; ++i) {
+    uint32_t d = 0;
+    for (std::size_t w = 0; w < nw; ++w) {
+      d += static_cast<uint32_t>(std::popcount(store.Lane(w)[base + i] ^
+                                               qwords[w]));
+    }
+    out[i] = d;
+  }
+}
+
+void BatchXorPopcountPortable(uint64_t query_word, const uint64_t* values,
+                              std::size_t n, uint16_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint16_t>(std::popcount(values[i] ^ query_word));
+  }
+}
+
+// ---- Dispatch -----------------------------------------------------------
+
+std::atomic<Backend> g_backend = [] {
+#if defined(HAMMING_HAVE_AVX2_TU)
+  if (Avx2Supported()) return Backend::kAvx2;
+#endif
+  return Backend::kPortable;
+}();
+
+void BatchDistanceRange(const CodeStore& store, const uint64_t* qwords,
+                        std::size_t base, std::size_t len, uint32_t* out) {
+  if (len == 0) return;
+  if (store.words() == 0) {
+    std::fill_n(out, len, 0u);
+    return;
+  }
+#if defined(HAMMING_HAVE_AVX2_TU)
+  if (g_backend.load(std::memory_order_relaxed) == Backend::kAvx2) {
+    detail::BatchDistanceRangeAvx2(store, qwords, base, len, out);
+    return;
+  }
+#endif
+  BatchDistanceRangePortable(store, qwords, base, len, out);
+}
+
+// Tile size for the scratch-buffered scans: 1024 distances = 4 KB on the
+// stack, small enough to stay L1-resident alongside the lanes.
+constexpr std::size_t kTile = 1024;
+
+}  // namespace
+
+bool Avx2Supported() {
+#if defined(HAMMING_HAVE_AVX2_TU) && defined(__x86_64__)
+  // Explicit init: this is reachable from namespace-scope initializers
+  // (g_backend), which may run before GCC's own cpu-model constructor.
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+Backend ActiveBackend() { return g_backend.load(std::memory_order_relaxed); }
+
+void SetBackend(Backend backend) {
+  if (backend == Backend::kAvx2 && !Avx2Supported()) {
+    backend = Backend::kPortable;
+  }
+  g_backend.store(backend, std::memory_order_relaxed);
+}
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kPortable:
+      return "portable";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+void BatchDistance(const BinaryCode& query, const CodeStore& store,
+                   uint32_t* out) {
+  BatchDistanceRange(store, query.words().data(), 0, store.size(), out);
+}
+
+void BatchDistance(const BinaryCode& query, const CodeStore& store,
+                   std::vector<uint32_t>* out) {
+  out->resize(store.size());
+  BatchDistance(query, store, out->data());
+}
+
+void BatchWithinDistance(const BinaryCode& query, const CodeStore& store,
+                         std::size_t h, std::vector<uint32_t>* out_slots) {
+  const std::size_t n = store.size();
+  const uint32_t h32 = h > 0xffffffffull ? 0xffffffffu
+                                         : static_cast<uint32_t>(h);
+  uint32_t dists[kTile];
+  for (std::size_t base = 0; base < n; base += kTile) {
+    const std::size_t len = std::min(kTile, n - base);
+    BatchDistanceRange(store, query.words().data(), base, len, dists);
+    for (std::size_t i = 0; i < len; ++i) {
+      if (dists[i] <= h32) {
+        out_slots->push_back(static_cast<uint32_t>(base + i));
+      }
+    }
+  }
+}
+
+void BatchXorPopcount(uint64_t query_word, const uint64_t* values,
+                      std::size_t n, uint16_t* out) {
+#if defined(HAMMING_HAVE_AVX2_TU)
+  if (g_backend.load(std::memory_order_relaxed) == Backend::kAvx2) {
+    detail::BatchXorPopcountAvx2(query_word, values, n, out);
+    return;
+  }
+#endif
+  BatchXorPopcountPortable(query_word, values, n, out);
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> BatchKnn(const BinaryCode& query,
+                                                    const CodeStore& store,
+                                                    std::size_t k) {
+  std::vector<std::pair<uint32_t, uint32_t>> heap;  // (distance, slot) max-heap
+  if (k == 0) return heap;
+  heap.reserve(std::min(k, store.size()) + 1);
+  auto cmp = [](const std::pair<uint32_t, uint32_t>& a,
+                const std::pair<uint32_t, uint32_t>& b) {
+    // Max-heap on (distance, slot): the root is the worst kept neighbour,
+    // with the larger slot losing ties so the final set is deterministic.
+    return a.first != b.first ? a.first < b.first : a.second < b.second;
+  };
+  const std::size_t n = store.size();
+  uint32_t dists[kTile];
+  for (std::size_t base = 0; base < n; base += kTile) {
+    const std::size_t len = std::min(kTile, n - base);
+    BatchDistanceRange(store, query.words().data(), base, len, dists);
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::pair<uint32_t, uint32_t> cand{
+          dists[i], static_cast<uint32_t>(base + i)};
+      if (heap.size() < k) {
+        heap.push_back(cand);
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      } else if (cmp(cand, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), cmp);
+        heap.back() = cand;
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      }
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), cmp);
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  out.reserve(heap.size());
+  for (const auto& [d, slot] : heap) out.emplace_back(slot, d);
+  return out;
+}
+
+}  // namespace hamming::kernels

@@ -14,9 +14,18 @@
 #include "common/result.h"
 #include "hashing/similarity_hash.h"
 #include "index/hamming_index.h"
+#include "kernels/code_store.h"
 #include "knn/exact_knn.h"
 
 namespace hamming {
+
+/// \brief Exact k nearest codes to `query` in Hamming space: a batched
+/// linear scan feeding a bounded top-k heap (kernels::BatchKnn), so
+/// memory stays O(k). Pairs are (slot, distance), ascending by
+/// (distance, slot) — the deterministic ground truth the hash-based kNN
+/// plans are measured against.
+std::vector<std::pair<TupleId, uint32_t>> ExactHammingKnn(
+    const kernels::CodeStore& codes, const BinaryCode& query, std::size_t k);
 
 /// \brief Options for the escalating Hamming kNN search.
 struct HammingKnnOptions {

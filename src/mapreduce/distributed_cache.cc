@@ -8,7 +8,7 @@ void DistributedCache::Broadcast(const std::string& name,
                                  std::vector<uint8_t> blob,
                                  Counters* counters) {
   if (counters != nullptr) {
-    counters->Add(kBroadcastBytes,
+    counters->Add(CounterId::kBroadcastBytes,
                   static_cast<int64_t>(blob.size() * num_nodes_));
   }
   std::lock_guard<std::mutex> lock(mu_);

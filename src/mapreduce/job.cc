@@ -50,11 +50,25 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
   std::mutex error_mu;
   Status first_error = Status::OK();
 
+  // Each task counts into an unsynchronized LocalCounters merged into the
+  // job's shared set once per task; the legacy knob keeps the old
+  // lock-per-record pattern alive for the bench comparison.
+  const bool legacy_counters = spec.legacy_contended_counters;
+
   ParallelFor(cluster->pool(), num_maps, [&](std::size_t m) {
     std::vector<std::vector<Record>> local(spec.num_reducers);
+    LocalCounters counts;
+    auto count = [&](CounterId id, int64_t delta) {
+      if (legacy_counters) {
+        result.counters.Add(CounterName(id), delta);
+      } else {
+        counts.Add(id, delta);
+      }
+    };
+    Emitter emitter;  // reused across records; keeps its capacity
     for (const Record& rec : spec.input_splits[m]) {
-      result.counters.Add(kMapInputRecords, 1);
-      Emitter emitter;
+      count(CounterId::kMapInputRecords, 1);
+      emitter.records().clear();
       Status st = spec.map_fn(rec, &emitter);
       if (!st.ok()) {
         std::lock_guard<std::mutex> lock(error_mu);
@@ -62,35 +76,39 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
         return;
       }
       for (Record& out : emitter.records()) {
-        result.counters.Add(kMapOutputRecords, 1);
-        result.counters.Add(kShuffleBytes,
-                            static_cast<int64_t>(out.SerializedBytes()));
+        count(CounterId::kMapOutputRecords, 1);
+        count(CounterId::kShuffleBytes,
+              static_cast<int64_t>(out.SerializedBytes()));
         std::size_t p = partition(out.key, spec.num_reducers);
         local[p].push_back(std::move(out));
       }
     }
+    if (!legacy_counters) result.counters.MergeLocal(counts);
     map_outputs[m] = std::move(local);
   });
   if (!first_error.ok()) return first_error;
   result.map_seconds = map_watch.ElapsedSeconds();
 
   // ---- Shuffle phase: gather per reducer, sort by key ------------------
+  // Reducer r's gather touches only slot r of every map output, so the
+  // per-reducer concatenate+sort chains run in parallel.
   Stopwatch shuffle_watch;
   std::vector<std::vector<Record>> reducer_inputs(spec.num_reducers);
-  for (auto& per_map : map_outputs) {
-    for (std::size_t r = 0; r < spec.num_reducers; ++r) {
-      auto& dst = reducer_inputs[r];
+  ParallelFor(cluster->pool(), spec.num_reducers, [&](std::size_t r) {
+    auto& dst = reducer_inputs[r];
+    std::size_t total = 0;
+    for (const auto& per_map : map_outputs) total += per_map[r].size();
+    dst.reserve(total);
+    for (auto& per_map : map_outputs) {
       dst.insert(dst.end(), std::make_move_iterator(per_map[r].begin()),
                  std::make_move_iterator(per_map[r].end()));
     }
-  }
-  map_outputs.clear();
-  ParallelFor(cluster->pool(), spec.num_reducers, [&](std::size_t r) {
-    std::stable_sort(reducer_inputs[r].begin(), reducer_inputs[r].end(),
+    std::stable_sort(dst.begin(), dst.end(),
                      [](const Record& a, const Record& b) {
                        return a.key < b.key;
                      });
   });
+  map_outputs.clear();
   result.shuffle_seconds = shuffle_watch.ElapsedSeconds();
 
   // ---- Reduce phase ----------------------------------------------------
@@ -103,6 +121,7 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
     ParallelFor(cluster->pool(), spec.num_reducers, [&](std::size_t r) {
       auto& input = reducer_inputs[r];
       Emitter emitter;
+      LocalCounters counts;
       std::size_t i = 0;
       while (i < input.size()) {
         std::size_t j = i;
@@ -111,7 +130,11 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
           values.push_back(std::move(input[j].value));
           ++j;
         }
-        result.counters.Add(kReduceInputGroups, 1);
+        if (legacy_counters) {
+          result.counters.Add(kReduceInputGroups, 1);
+        } else {
+          counts.Add(CounterId::kReduceInputGroups, 1);
+        }
         Status st = spec.reduce_fn(input[i].key, values, &emitter);
         if (!st.ok()) {
           std::lock_guard<std::mutex> lock(error_mu);
@@ -120,8 +143,14 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
         }
         i = j;
       }
-      result.counters.Add(kReduceOutputRecords,
-                          static_cast<int64_t>(emitter.records().size()));
+      if (legacy_counters) {
+        result.counters.Add(kReduceOutputRecords,
+                            static_cast<int64_t>(emitter.records().size()));
+      } else {
+        counts.Add(CounterId::kReduceOutputRecords,
+                   static_cast<int64_t>(emitter.records().size()));
+        result.counters.MergeLocal(counts);
+      }
       result.outputs[r] = std::move(emitter.records());
     });
     if (!first_error.ok()) return first_error;

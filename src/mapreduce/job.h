@@ -64,6 +64,11 @@ struct JobSpec {
   ReduceFn reduce_fn;
   PartitionFn partition_fn;  // null = HashPartition
   std::size_t num_reducers = 1;
+  /// Benchmark knob: when true, tasks charge each record straight to the
+  /// job's shared (mutex-protected) Counters — the contended pattern the
+  /// per-task LocalCounters batching replaced. Totals are identical
+  /// either way; bench_micro measures the difference.
+  bool legacy_contended_counters = false;
 };
 
 /// \brief Everything a finished job reports.

@@ -5,6 +5,8 @@
 #include <mutex>
 
 #include "join/centralized_join.h"
+#include "kernels/code_store.h"
+#include "kernels/hamming_kernels.h"
 
 namespace hamming::ops {
 
@@ -18,6 +20,15 @@ Result<DynamicHAIndex> BuildIndex(const HammingTable& t,
   return index;
 }
 
+// Full-table selection through the batched kernels; slot i is tuple id i.
+Result<std::vector<TupleId>> ScanSelect(const kernels::CodeStore& store,
+                                        const BinaryCode& query,
+                                        std::size_t h) {
+  std::vector<uint32_t> slots;
+  kernels::BatchWithinDistance(query, store, h, &slots);
+  return std::vector<TupleId>(slots.begin(), slots.end());
+}
+
 }  // namespace
 
 Result<std::vector<TupleId>> HammingSelect(const HammingTable& s,
@@ -25,14 +36,9 @@ Result<std::vector<TupleId>> HammingSelect(const HammingTable& s,
                                            std::size_t h,
                                            const OperatorOptions& opts) {
   if (opts.plan == JoinPlan::kNestedLoops) {
-    std::vector<TupleId> out;
-    const auto& codes = s.codes();
-    for (std::size_t i = 0; i < codes.size(); ++i) {
-      if (codes[i].WithinDistance(query, h)) {
-        out.push_back(static_cast<TupleId>(i));
-      }
-    }
-    return out;
+    HAMMING_ASSIGN_OR_RETURN(kernels::CodeStore store,
+                             kernels::CodeStore::FromCodes(s.codes()));
+    return ScanSelect(store, query, h);
   }
   HAMMING_ASSIGN_OR_RETURN(DynamicHAIndex index, BuildIndex(s, opts.index));
   return index.Search(query, h);
@@ -43,9 +49,11 @@ Result<std::vector<std::vector<TupleId>>> HammingSelectBatch(
     std::size_t h, const OperatorOptions& opts) {
   std::vector<std::vector<TupleId>> out(queries.size());
   if (opts.plan == JoinPlan::kNestedLoops) {
+    // Pack once, scan per query — the pack cost amortizes over the batch.
+    HAMMING_ASSIGN_OR_RETURN(kernels::CodeStore store,
+                             kernels::CodeStore::FromCodes(s.codes()));
     for (std::size_t q = 0; q < queries.size(); ++q) {
-      HAMMING_ASSIGN_OR_RETURN(out[q],
-                               HammingSelect(s, queries[q], h, opts));
+      HAMMING_ASSIGN_OR_RETURN(out[q], ScanSelect(store, queries[q], h));
     }
     return out;
   }

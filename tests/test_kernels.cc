@@ -1,0 +1,254 @@
+// Differential tests for the batched Hamming kernels: every routine must
+// agree bit-for-bit with a loop of scalar BinaryCode calls, under both
+// the portable and (when available) AVX2 backends.
+#include "kernels/hamming_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "kernels/code_store.h"
+#include "mapreduce/counters.h"
+#include "test_util.h"
+
+namespace hamming::kernels {
+namespace {
+
+using testutil::RandomCodes;
+
+// Word counts straddling every boundary the kernels branch on.
+const std::size_t kLengths[] = {1, 63, 64, 65, 225, 511, 512};
+
+std::vector<Backend> BackendsUnderTest() {
+  std::vector<Backend> out = {Backend::kPortable};
+  if (Avx2Supported()) out.push_back(Backend::kAvx2);
+  return out;
+}
+
+// Pins a backend for one scope, restoring the previous one on exit.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend b) : prev_(ActiveBackend()) { SetBackend(b); }
+  ~ScopedBackend() { SetBackend(prev_); }
+
+ private:
+  Backend prev_;
+};
+
+TEST(CodeStore, RoundTripsCodes) {
+  for (std::size_t bits : kLengths) {
+    auto codes = RandomCodes(9, bits, /*seed=*/bits);
+    auto store = CodeStore::FromCodes(codes);
+    ASSERT_TRUE(store.ok());
+    ASSERT_EQ(store->size(), codes.size());
+    EXPECT_EQ(store->bits(), bits);
+    for (std::size_t i = 0; i < codes.size(); ++i) {
+      EXPECT_EQ(store->Get(i), codes[i]) << "bits=" << bits << " i=" << i;
+      EXPECT_TRUE(store->Matches(i, codes[i]));
+      EXPECT_FALSE(store->Matches(i, codes[(i + 1) % codes.size()]) &&
+                   codes[i] != codes[(i + 1) % codes.size()]);
+    }
+  }
+}
+
+TEST(CodeStore, RejectsMixedLengths) {
+  std::vector<BinaryCode> codes = {BinaryCode(64), BinaryCode(65)};
+  EXPECT_FALSE(CodeStore::FromCodes(codes).ok());
+  CodeStore store;
+  ASSERT_TRUE(store.Append(BinaryCode(64)).ok());
+  EXPECT_FALSE(store.Append(BinaryCode(65)).ok());
+}
+
+TEST(CodeStore, PadLanesStayZeroAcrossAppendAndSwapRemove) {
+  auto codes = RandomCodes(13, 225, /*seed=*/7);
+  CodeStore store;
+  for (const auto& c : codes) ASSERT_TRUE(store.Append(c).ok());
+  auto check_pads = [&] {
+    for (std::size_t w = 0; w < store.words(); ++w) {
+      const uint64_t* lane = store.Lane(w);
+      for (std::size_t i = store.size(); i < store.stride(); ++i) {
+        ASSERT_EQ(lane[i], 0u) << "lane " << w << " pad slot " << i;
+      }
+    }
+  };
+  check_pads();
+  // Swap-removing from the middle must re-zero the vacated last slot.
+  while (store.size() > 1) {
+    store.SwapRemove(store.size() / 2);
+    check_pads();
+  }
+}
+
+TEST(CodeStore, SwapRemoveKeepsRemainingCodes) {
+  auto codes = RandomCodes(10, 64, /*seed=*/11);
+  auto store = CodeStore::FromCodes(codes).ValueOrDie();
+  store.SwapRemove(3);  // last code moves into slot 3
+  ASSERT_EQ(store.size(), 9u);
+  EXPECT_EQ(store.Get(3), codes[9]);
+  for (std::size_t i = 0; i < 9; ++i) {
+    if (i == 3) continue;
+    EXPECT_EQ(store.Get(i), codes[i]);
+  }
+}
+
+TEST(Kernels, BatchDistanceMatchesScalarAcrossLengthsAndSizes) {
+  for (Backend backend : BackendsUnderTest()) {
+    ScopedBackend pin(backend);
+    for (std::size_t bits : kLengths) {
+      // Store sizes 0..9 cross the 8-code block boundary of both paths.
+      for (std::size_t n = 0; n <= 9; ++n) {
+        auto codes = RandomCodes(n, bits, /*seed=*/1000 + bits + n);
+        auto store = CodeStore::FromCodes(codes).ValueOrDie();
+        auto query = RandomCodes(1, bits, /*seed=*/2000 + bits + n)[0];
+        std::vector<uint32_t> dists;
+        BatchDistance(query, store, &dists);
+        ASSERT_EQ(dists.size(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(dists[i], codes[i].Distance(query))
+              << BackendName(backend) << " bits=" << bits << " n=" << n
+              << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, BatchWithinDistanceMatchesScalar) {
+  for (Backend backend : BackendsUnderTest()) {
+    ScopedBackend pin(backend);
+    for (std::size_t bits : kLengths) {
+      auto codes = RandomCodes(200, bits, /*seed=*/bits, /*clusters=*/8);
+      auto store = CodeStore::FromCodes(codes).ValueOrDie();
+      auto query = RandomCodes(1, bits, /*seed=*/5 + bits)[0];
+      for (std::size_t h : {0ul, 1ul, 3ul, bits / 4, bits}) {
+        std::vector<uint32_t> slots;
+        BatchWithinDistance(query, store, h, &slots);
+        std::vector<uint32_t> expected;
+        for (std::size_t i = 0; i < codes.size(); ++i) {
+          if (codes[i].WithinDistance(query, h)) {
+            expected.push_back(static_cast<uint32_t>(i));
+          }
+        }
+        EXPECT_EQ(slots, expected)
+            << BackendName(backend) << " bits=" << bits << " h=" << h;
+      }
+    }
+  }
+}
+
+TEST(Kernels, BatchXorPopcountMatchesScalar) {
+  Rng rng(99);
+  // Sizes crossing the AVX2 4-word block boundary.
+  for (std::size_t n : {0ul, 1ul, 3ul, 4ul, 5ul, 17ul, 1000ul}) {
+    std::vector<uint64_t> values(n);
+    for (auto& v : values) v = rng.NextWord();
+    const uint64_t q = rng.NextWord();
+    for (Backend backend : BackendsUnderTest()) {
+      ScopedBackend pin(backend);
+      std::vector<uint16_t> out(n, 0xabcd);
+      BatchXorPopcount(q, values.data(), n, out.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(out[i], std::popcount(values[i] ^ q))
+            << BackendName(backend) << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Kernels, BatchKnnMatchesSortedScalarDistances) {
+  for (Backend backend : BackendsUnderTest()) {
+    ScopedBackend pin(backend);
+    for (std::size_t bits : {64ul, 225ul}) {
+      auto codes = RandomCodes(500, bits, /*seed=*/3 * bits, /*clusters=*/4);
+      auto store = CodeStore::FromCodes(codes).ValueOrDie();
+      auto query = RandomCodes(1, bits, /*seed=*/17 + bits)[0];
+      for (std::size_t k : {0ul, 1ul, 10ul, 500ul, 600ul}) {
+        auto got = BatchKnn(query, store, k);
+        // Reference: all (distance, slot) pairs sorted, truncated to k.
+        std::vector<std::pair<uint32_t, uint32_t>> ref;
+        for (std::size_t i = 0; i < codes.size(); ++i) {
+          ref.emplace_back(static_cast<uint32_t>(codes[i].Distance(query)),
+                           static_cast<uint32_t>(i));
+        }
+        std::sort(ref.begin(), ref.end());
+        ref.resize(std::min(k, ref.size()));
+        ASSERT_EQ(got.size(), ref.size())
+            << BackendName(backend) << " bits=" << bits << " k=" << k;
+        for (std::size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].first, ref[i].second) << "rank " << i;
+          EXPECT_EQ(got[i].second, ref[i].first) << "rank " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, FuzzPortableAndActiveBackendsAgree) {
+  // 10k-code pass per length: the two implementations (and the scalar
+  // reference, spot-checked) must produce identical distance arrays.
+  for (std::size_t bits : {64ul, 225ul, 512ul}) {
+    auto codes = RandomCodes(10000, bits, /*seed=*/bits * 31, /*clusters=*/32);
+    auto store = CodeStore::FromCodes(codes).ValueOrDie();
+    auto query = RandomCodes(1, bits, /*seed=*/bits * 7)[0];
+    std::vector<uint32_t> portable;
+    {
+      ScopedBackend pin(Backend::kPortable);
+      BatchDistance(query, store, &portable);
+    }
+    for (Backend backend : BackendsUnderTest()) {
+      ScopedBackend pin(backend);
+      std::vector<uint32_t> got;
+      BatchDistance(query, store, &got);
+      ASSERT_EQ(got, portable) << BackendName(backend) << " bits=" << bits;
+    }
+    // Spot-check the scalar reference on a sample (full loop is O(n) too
+    // but the point here is agreement, not another full differential).
+    for (std::size_t i = 0; i < codes.size(); i += 997) {
+      EXPECT_EQ(portable[i], codes[i].Distance(query)) << "i=" << i;
+    }
+  }
+}
+
+TEST(LocalCounters, MergeLocalMatchesPerRecordAdds) {
+  // The batched counter path must produce totals byte-identical to the
+  // contended per-record pattern it replaced.
+  mr::Counters direct;
+  mr::Counters batched;
+  mr::LocalCounters local_a;
+  mr::LocalCounters local_b;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t delta = rng.UniformInt(0, 100);
+    direct.Add(mr::kMapInputRecords, delta);
+    (i % 2 ? local_a : local_b).Add(mr::CounterId::kMapInputRecords, delta);
+    if (i % 3 == 0) {
+      direct.Add("CUSTOM", 1);
+      (i % 2 ? local_a : local_b).Add("CUSTOM", 1);
+    }
+  }
+  direct.Add(mr::kShuffleBytes, 0);  // touched with zero total
+  local_a.Add(mr::CounterId::kShuffleBytes, 0);
+  batched.MergeLocal(local_a);
+  batched.MergeLocal(local_b);
+  EXPECT_EQ(batched.Snapshot(), direct.Snapshot());
+  EXPECT_EQ(batched.Get(mr::kMapInputRecords),
+            direct.Get(mr::kMapInputRecords));
+  EXPECT_EQ(batched.Get("CUSTOM"), direct.Get("CUSTOM"));
+}
+
+TEST(LocalCounters, InternsWellKnownNames) {
+  mr::LocalCounters local;
+  local.Add(mr::kReduceInputGroups, 3);  // by name
+  local.Add(mr::CounterId::kReduceInputGroups, 4);  // by id
+  EXPECT_EQ(local.Get(mr::CounterId::kReduceInputGroups), 7);
+  mr::Counters counters;
+  counters.MergeLocal(local);
+  EXPECT_EQ(counters.Get(mr::kReduceInputGroups), 7);
+  auto snap = counters.Snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap.begin()->first, mr::kReduceInputGroups);
+}
+
+}  // namespace
+}  // namespace hamming::kernels
