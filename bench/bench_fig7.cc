@@ -45,6 +45,13 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
               "PMH-10(MB)", "MRHA-A(MB)", "MRHA-B(MB)");
   std::printf("%s\n", Separator());
 
+  // One MRJoinOptions base configures every plan: partitions, threshold
+  // h, seed and mr::ExecutionOptions are set once and sliced into each
+  // plan's derived options struct. PGBJ keeps its constructor's lower
+  // sample_rate default, so only the partition count is copied there.
+  MRJoinOptions shared;
+  shared.num_partitions = 16;
+
   for (std::size_t f : factors) {
     FloatMatrix data = ScaleDataset(base, f);
     ShuffleRow row{f, 0, 0, 0, 0};
@@ -52,7 +59,7 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
     {
       mr::Cluster cluster({16, 4, 0});
       PgbjOptions opts;
-      opts.num_partitions = 16;
+      opts.num_partitions = shared.num_partitions;
       opts.k = knn_k;
       auto r = RunPgbjJoin(data, data, opts, &cluster);
       if (r.ok()) row.pgbj_mb = Mb(r->shuffle_bytes + r->broadcast_bytes);
@@ -60,7 +67,7 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
     {
       mr::Cluster cluster({16, 4, 0});
       PmhOptions opts;
-      opts.num_partitions = 16;
+      static_cast<MRJoinOptions&>(opts) = shared;
       opts.num_tables = 10;
       opts.pretrained = hash;
       auto r = RunPmhJoin(data, data, opts, &cluster);
@@ -69,7 +76,7 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
     {
       mr::Cluster cluster({16, 4, 0});
       MrhaOptions opts;
-      opts.num_partitions = 16;
+      static_cast<MRJoinOptions&>(opts) = shared;
       opts.option = MrhaOption::kA;
       opts.pretrained = hash;
       auto r = RunMrhaJoin(data, data, opts, &cluster);
@@ -78,7 +85,7 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
     {
       mr::Cluster cluster({16, 4, 0});
       MrhaOptions opts;
-      opts.num_partitions = 16;
+      static_cast<MRJoinOptions&>(opts) = shared;
       opts.option = MrhaOption::kB;
       opts.pretrained = hash;
       auto r = RunMrhaJoin(data, data, opts, &cluster);

@@ -48,13 +48,18 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
               "PMH-10(s)", "MRHA-A(s)", "MRHA-B(s)");
   std::printf("%s\n", Separator());
 
+  // Shared plan configuration via the MRJoinOptions base, as in
+  // bench_fig7; PGBJ keeps its constructor's lower sample_rate default.
+  MRJoinOptions shared;
+  shared.num_partitions = 16;
+
   for (std::size_t f : factors) {
     FloatMatrix data = ScaleDataset(base, f);
     double pgbj_s = 0, pmh_s = 0, a_s = 0, b_s = 0;
     {
       mr::Cluster cluster({16, 4, 0});
       PgbjOptions opts;
-      opts.num_partitions = 16;
+      opts.num_partitions = shared.num_partitions;
       opts.k = knn_k;
       Stopwatch w;
       auto r = RunPgbjJoin(data, data, opts, &cluster);
@@ -66,7 +71,7 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
     {
       mr::Cluster cluster({16, 4, 0});
       PmhOptions opts;
-      opts.num_partitions = 16;
+      static_cast<MRJoinOptions&>(opts) = shared;
       opts.num_tables = 10;
       opts.pretrained = hash;
       Stopwatch w;
@@ -79,7 +84,7 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
     {
       mr::Cluster cluster({16, 4, 0});
       MrhaOptions opts;
-      opts.num_partitions = 16;
+      static_cast<MRJoinOptions&>(opts) = shared;
       opts.option = MrhaOption::kA;
       opts.pretrained = hash;
       Stopwatch w;
@@ -92,7 +97,7 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
     {
       mr::Cluster cluster({16, 4, 0});
       MrhaOptions opts;
-      opts.num_partitions = 16;
+      static_cast<MRJoinOptions&>(opts) = shared;
       opts.option = MrhaOption::kB;
       opts.pretrained = hash;
       Stopwatch w;

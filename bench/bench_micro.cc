@@ -258,7 +258,7 @@ MapJobRow MeasureMapJob() {
     emitter->Emit(rec.key, rec.value);
     return Status::OK();
   };
-  spec.num_reducers = 4;
+  spec.options.num_reducers = 4;
 
   MapJobRow row;
   row.records = kRecords;
@@ -269,7 +269,7 @@ MapJobRow MeasureMapJob() {
   for (int round = 0; round < 3; ++round) {
     for (bool legacy : {true, false}) {
       mr::Cluster cluster;
-      spec.legacy_contended_counters = legacy;
+      spec.options.legacy_contended_counters = legacy;
       auto result = mr::RunJob(spec, &cluster);
       if (!result.ok()) continue;
       double& map_best =

@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
 # Full verification: the tier-1 suite in Release, plus the kernel
 # differential tests under AddressSanitizer+UBSan in Debug (the batched
-# kernels do unaligned loads and tail handling worth checking hard).
+# kernels do unaligned loads and tail handling worth checking hard), plus
+# the MapReduce attempt/speculation layer under ThreadSanitizer (backup
+# attempts, cancel tokens, and the commit race are cross-thread protocols).
 #
-# Usage: scripts/check.sh [--skip-asan]
+# Usage: scripts/check.sh [--skip-asan] [--skip-tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_ASAN=0
-[[ "${1:-}" == "--skip-asan" ]] && SKIP_ASAN=1
+SKIP_TSAN=0
+for arg in "$@"; do
+  [[ "$arg" == "--skip-asan" ]] && SKIP_ASAN=1
+  [[ "$arg" == "--skip-tsan" ]] && SKIP_TSAN=1
+done
 
 echo "==> tier-1: configure + build + ctest (build/)"
 cmake -B build -S . >/dev/null
@@ -16,15 +22,25 @@ cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
 if [[ "$SKIP_ASAN" == "1" ]]; then
-  echo "==> skipping sanitizer pass (--skip-asan)"
-  exit 0
+  echo "==> skipping ASan pass (--skip-asan)"
+else
+  echo "==> sanitizers: Debug + ASan/UBSan kernel differential (build-asan/)"
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DHAMMING_SANITIZE=ON \
+    >/dev/null
+  cmake --build build-asan -j --target hamming_tests
+  ./build-asan/tests/hamming_tests \
+    --gtest_filter='CodeStore.*:Kernels.*:LocalCounters.*'
 fi
 
-echo "==> sanitizers: Debug + ASan/UBSan kernel differential (build-asan/)"
-cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=Debug -DHAMMING_SANITIZE=ON \
-  >/dev/null
-cmake --build build-asan -j --target hamming_tests
-./build-asan/tests/hamming_tests \
-  --gtest_filter='CodeStore.*:Kernels.*:LocalCounters.*'
+if [[ "$SKIP_TSAN" == "1" ]]; then
+  echo "==> skipping TSan pass (--skip-tsan)"
+else
+  echo "==> sanitizers: Debug + TSan over the MapReduce runtime (build-tsan/)"
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DHAMMING_TSAN=ON \
+    >/dev/null
+  cmake --build build-tsan -j --target hamming_tests
+  ./build-tsan/tests/hamming_tests --gtest_filter=\
+'MapReduce*:FaultTolerance*:PlanFaultTolerance*:CancelToken*:ThreadPool*:Concurrency*'
+fi
 
 echo "==> all checks passed"

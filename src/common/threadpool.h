@@ -1,6 +1,9 @@
-// Fixed-size thread pool used by the MapReduce cluster simulator.
+// Fixed-size thread pool used by the MapReduce cluster simulator, plus
+// the cooperative cancellation primitive its tasks use.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -11,6 +14,48 @@
 #include <vector>
 
 namespace hamming {
+
+/// \brief Cooperative cancellation flag shared between a running task and
+/// whoever may want to stop it (e.g. the MapReduce runner cancelling the
+/// losing attempt of a speculated task).
+///
+/// The task polls cancelled() between units of work and sleeps through
+/// SleepFor so a Cancel wakes it immediately; Cancel may be called from
+/// any thread, any number of times.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// \brief Requests cancellation and wakes any SleepFor in progress.
+  void Cancel() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      cancelled_.store(true, std::memory_order_release);
+    }
+    cv_.notify_all();
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// \brief Cancellable sleep: blocks for `seconds` or until Cancel.
+  /// Returns false if the token was cancelled before the time elapsed.
+  bool SleepFor(double seconds) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock,
+                 std::chrono::duration<double>(seconds),
+                 [this] { return cancelled_.load(std::memory_order_acquire); });
+    return !cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::atomic<bool> cancelled_{false};
+};
 
 /// \brief A fixed-size pool of worker threads executing queued tasks.
 ///

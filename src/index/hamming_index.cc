@@ -1,6 +1,33 @@
 #include "index/hamming_index.h"
 
-// Interface-only translation unit; kept so the target owns the header for
-// build systems that require a .cc per module.
+#include <unordered_set>
 
-namespace hamming {}
+namespace hamming {
+
+Result<std::vector<std::pair<TupleId, uint32_t>>> HammingIndex::Knn(
+    const BinaryCode& query, std::size_t k) const {
+  std::vector<std::pair<TupleId, uint32_t>> out;
+  if (k == 0 || size() == 0) return out;
+  const std::size_t target = std::min(k, size());
+  // Radius expansion: Search(h) is a superset of Search(h-1), so an id's
+  // first-seen radius is its exact Hamming distance from the query.
+  std::unordered_set<TupleId> seen;
+  for (std::size_t h = 0; h <= query.size(); ++h) {
+    HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> ids, Search(query, h));
+    for (TupleId id : ids) {
+      if (seen.insert(id).second) {
+        out.emplace_back(id, static_cast<uint32_t>(h));
+      }
+    }
+    if (out.size() >= target) break;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace hamming

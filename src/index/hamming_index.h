@@ -54,6 +54,21 @@ class HammingIndex {
   virtual Result<std::vector<TupleId>> Search(const BinaryCode& query,
                                               std::size_t h) const = 0;
 
+  /// \brief The k stored tuples nearest to `query` by Hamming distance,
+  /// as (id, distance) sorted by ascending distance (order among equal
+  /// distances is unspecified). Fewer than k pairs when size() < k.
+  ///
+  /// The default expands the search radius — Search(h) for h = 0, 1, ...
+  /// until k ids have been seen; because Search(h) contains Search(h-1),
+  /// the radius at which an id first appears is its exact distance. It
+  /// is exact wherever Search is complete at arbitrary h (indexes with a
+  /// bounded supported radius, e.g. MultiHashTableIndex, inherit that
+  /// bound: candidates beyond it are missed or Search's error surfaces).
+  /// Implementations with a cheaper native path override it
+  /// (LinearScanIndex runs one batched scan with a bounded top-k heap).
+  virtual Result<std::vector<std::pair<TupleId, uint32_t>>> Knn(
+      const BinaryCode& query, std::size_t k) const;
+
   /// \brief Inserts one (id, code) pair.
   virtual Status Insert(TupleId id, const BinaryCode& code) = 0;
 

@@ -23,7 +23,7 @@ Result<std::vector<TupleId>> LinearScanIndex::Search(const BinaryCode& query,
   return out;
 }
 
-std::vector<std::pair<TupleId, uint32_t>> LinearScanIndex::Knn(
+Result<std::vector<std::pair<TupleId, uint32_t>>> LinearScanIndex::Knn(
     const BinaryCode& query, std::size_t k) const {
   auto nearest = kernels::BatchKnn(query, codes_, k);
   std::vector<std::pair<TupleId, uint32_t>> out;

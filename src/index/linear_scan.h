@@ -26,9 +26,10 @@ class LinearScanIndex final : public HammingIndex {
 
   /// \brief Exact k nearest stored tuples by Hamming distance, as
   /// (id, distance) ascending — a full batched scan with a bounded
-  /// top-k heap (kernels::BatchKnn).
-  std::vector<std::pair<TupleId, uint32_t>> Knn(const BinaryCode& query,
-                                                std::size_t k) const;
+  /// top-k heap (kernels::BatchKnn) instead of the base class's
+  /// radius-expanding Search loop.
+  Result<std::vector<std::pair<TupleId, uint32_t>>> Knn(
+      const BinaryCode& query, std::size_t k) const override;
 
  private:
   kernels::CodeStore codes_;

@@ -1,0 +1,152 @@
+#include "mapreduce/execution.h"
+
+#include <cstdio>
+
+namespace hamming::mr {
+
+namespace {
+
+// SplitMix64: decision = pure hash of (seed, kind, task, attempt), so the
+// fault schedule is independent of thread scheduling and reproducible.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+double UnitReal(uint64_t word) {
+  // 53 uniform mantissa bits -> [0, 1).
+  return static_cast<double>(word >> 11) * 0x1.0p-53;
+}
+
+uint64_t DecisionWord(uint64_t seed, TaskKind kind, std::size_t task,
+                      int attempt, uint64_t stream) {
+  uint64_t x = seed;
+  x = Mix64(x ^ (static_cast<uint64_t>(kind) + 1));
+  x = Mix64(x ^ static_cast<uint64_t>(task));
+  x = Mix64(x ^ static_cast<uint64_t>(static_cast<int64_t>(attempt)));
+  return Mix64(x ^ stream);
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+const char* TaskKindName(TaskKind kind) {
+  return kind == TaskKind::kMap ? "map" : "reduce";
+}
+
+const char* JobEventTypeName(JobEventType type) {
+  switch (type) {
+    case JobEventType::kAttemptStart: return "attempt_start";
+    case JobEventType::kAttemptFinish: return "attempt_finish";
+    case JobEventType::kAttemptFail: return "attempt_fail";
+    case JobEventType::kAttemptKill: return "attempt_kill";
+    case JobEventType::kAttemptSpeculate: return "attempt_speculate";
+    case JobEventType::kPhaseStart: return "phase_start";
+    case JobEventType::kPhaseFinish: return "phase_finish";
+  }
+  return "unknown";
+}
+
+FaultDecision RandomFaultInjector::OnAttempt(TaskKind kind, std::size_t task,
+                                             int attempt) const {
+  FaultDecision d;
+  if (opts_.failure_probability > 0.0 &&
+      UnitReal(DecisionWord(opts_.seed, kind, task, attempt, 1)) <
+          opts_.failure_probability) {
+    d.fail = true;
+  }
+  if (opts_.straggler_probability > 0.0 &&
+      UnitReal(DecisionWord(opts_.seed, kind, task, attempt, 2)) <
+          opts_.straggler_probability) {
+    d.delay_seconds = opts_.straggler_delay_seconds;
+  }
+  return d;
+}
+
+FaultDecision TargetedFaultInjector::OnAttempt(TaskKind kind,
+                                               std::size_t task,
+                                               int attempt) const {
+  FaultDecision d;
+  for (const TargetedFault& f : faults_) {
+    if (f.kind != kind || f.task != task) continue;
+    if (attempt < f.fail_first_attempts) d.fail = true;
+    if (attempt == 0 && f.delay_seconds > 0.0) {
+      d.delay_seconds = f.delay_seconds;
+    }
+  }
+  return d;
+}
+
+int64_t JobEventTrace::Count(JobEventType type) const {
+  int64_t n = 0;
+  for (const JobEvent& e : events_) {
+    if (e.type == type) ++n;
+  }
+  return n;
+}
+
+AttemptStats JobEventTrace::Stats() const {
+  AttemptStats s;
+  s.started = Count(JobEventType::kAttemptStart);
+  s.finished = Count(JobEventType::kAttemptFinish);
+  s.failed = Count(JobEventType::kAttemptFail);
+  s.killed = Count(JobEventType::kAttemptKill);
+  s.speculated = Count(JobEventType::kAttemptSpeculate);
+  return s;
+}
+
+std::string JobEventTrace::ToJson() const {
+  std::string out = "[";
+  char buf[64];
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const JobEvent& e = events_[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"type\": ";
+    AppendJsonString(&out, JobEventTypeName(e.type));
+    if (e.task != kNoTask) {
+      out += ", \"kind\": ";
+      AppendJsonString(&out, TaskKindName(e.kind));
+      std::snprintf(buf, sizeof(buf), ", \"task\": %zu, \"attempt\": %d",
+                    e.task, e.attempt);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), ", \"t\": %.6f", e.time_seconds);
+    out += buf;
+    if (e.duration_seconds > 0.0) {
+      std::snprintf(buf, sizeof(buf), ", \"duration\": %.6f",
+                    e.duration_seconds);
+      out += buf;
+    }
+    if (!e.detail.empty()) {
+      out += ", \"detail\": ";
+      AppendJsonString(&out, e.detail);
+    }
+    out += "}";
+  }
+  out += "\n]";
+  return out;
+}
+
+}  // namespace hamming::mr

@@ -1,8 +1,12 @@
 #include "mapreduce/job.h"
 
 #include <algorithm>
-#include <atomic>
+#include <chrono>
+#include <memory>
 #include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
 
 #include "common/stopwatch.h"
 
@@ -32,69 +36,415 @@ std::vector<std::vector<Record>> SplitEvenly(std::vector<Record> records,
   return splits;
 }
 
+namespace {
+
+// Effective execution options: the deprecated flat JobSpec fields forward
+// into (and override) spec.options for one release, then disappear.
+ExecutionOptions ResolveOptions(const JobSpec& spec) {
+  ExecutionOptions opts = spec.options;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  if (spec.num_reducers != JobSpec::kUnsetNumReducers) {
+    opts.num_reducers = spec.num_reducers;
+  }
+  if (spec.partition_fn) opts.partition_fn = spec.partition_fn;
+  if (spec.legacy_contended_counters) opts.legacy_contended_counters = true;
+#pragma GCC diagnostic pop
+  if (!opts.partition_fn) opts.partition_fn = PartitionFn(HashPartition);
+  // Per-record shared counting cannot be un-charged when an attempt is
+  // discarded, so any attempt-layer feature forces buffered counting.
+  if (opts.max_attempts > 1 || opts.speculation.enabled ||
+      opts.fault != nullptr) {
+    opts.legacy_contended_counters = false;
+  }
+  return opts;
+}
+
+// Serializes trace appends and observer callbacks, timestamping every
+// event against the job clock.
+class EventLog {
+ public:
+  EventLog(JobEventTrace* trace, JobObserver* observer,
+           const Stopwatch* clock)
+      : trace_(trace), observer_(observer), clock_(clock) {}
+
+  void Attempt(JobEventType type, TaskKind kind, std::size_t task,
+               int attempt, double duration = 0.0, std::string detail = {}) {
+    JobEvent e;
+    e.type = type;
+    e.kind = kind;
+    e.task = task;
+    e.attempt = attempt;
+    e.time_seconds = clock_->ElapsedSeconds();
+    e.duration_seconds = duration;
+    e.detail = std::move(detail);
+    Push(std::move(e));
+  }
+
+  void Phase(JobEventType type, const char* phase, double duration = 0.0) {
+    JobEvent e;
+    e.type = type;
+    e.task = kNoTask;
+    e.attempt = -1;
+    e.time_seconds = clock_->ElapsedSeconds();
+    e.duration_seconds = duration;
+    e.detail = phase;
+    Push(std::move(e));
+  }
+
+ private:
+  void Push(JobEvent e) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (observer_ != nullptr) observer_->OnEvent(e);
+    trace_->Append(std::move(e));
+  }
+
+  std::mutex mu_;
+  JobEventTrace* trace_;
+  JobObserver* observer_;
+  const Stopwatch* clock_;
+};
+
+// Everything one attempt produced. Buffered privately and committed only
+// if the attempt wins, so failed/cancelled attempts leave no trace in the
+// job's outputs or counters.
+struct AttemptOutput {
+  std::vector<std::vector<Record>> map_partitions;  // map attempts
+  std::vector<Record> reduce_records;               // reduce attempts
+  LocalCounters counts;
+};
+
+// The body of one attempt: fills `out`, polls `token` between records.
+using AttemptFn = std::function<Status(std::size_t task, int attempt,
+                                       CancelToken* token,
+                                       AttemptOutput* out)>;
+// Moves the winning attempt's output into the phase result. Called at
+// most once per task, guarded by the task's committed flag.
+using CommitFn = std::function<void(std::size_t task, AttemptOutput* out)>;
+
+// Runs one phase's tasks through the attempt layer: a retry budget of
+// max_attempts per task, an optional speculation monitor that launches
+// one backup attempt per straggling task, and cooperative cancellation
+// of racing attempts. The first task to exhaust its budget decides the
+// phase's error.
+class PhaseRunner {
+ public:
+  PhaseRunner(ThreadPool* pool, TaskKind kind, std::size_t num_tasks,
+              const ExecutionOptions& opts, EventLog* events)
+      : pool_(pool),
+        kind_(kind),
+        opts_(opts),
+        events_(events),
+        tasks_(num_tasks) {}
+
+  Status Run(const AttemptFn& attempt_fn, const CommitFn& commit_fn) {
+    std::thread monitor;
+    if (opts_.speculation.enabled) {
+      monitor = std::thread(
+          [this, &attempt_fn, &commit_fn] { MonitorLoop(attempt_fn, commit_fn); });
+    }
+    ParallelFor(pool_, tasks_.size(), [&](std::size_t task) {
+      Coordinator(task, attempt_fn, commit_fn);
+    });
+    if (monitor.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(watch_mu_);
+        monitor_stop_ = true;
+      }
+      watch_cv_.notify_all();
+      monitor.join();
+    }
+    // Backup attempts that lost their race may still be running; the
+    // phase's state is only safe to tear down once they have drained.
+    // The monitor is stopped, so no new ones appear.
+    std::vector<std::thread> pending;
+    {
+      std::lock_guard<std::mutex> lock(backups_mu_);
+      pending.swap(backups_);
+    }
+    for (auto& t : pending) t.join();
+
+    for (std::size_t t = 0; t < tasks_.size(); ++t) {
+      std::lock_guard<std::mutex> lock(tasks_[t].mu);
+      if (tasks_[t].failed) return tasks_[t].first_error;
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct TaskState {
+    std::mutex mu;
+    bool committed = false;
+    bool failed = false;  // attempt budget exhausted
+    int next_attempt = 0;
+    std::size_t failures = 0;
+    bool has_first_error = false;
+    Status first_error;
+    bool speculated = false;  // at most one backup per task
+    std::unordered_map<int, std::shared_ptr<CancelToken>> live;
+  };
+
+  enum class Outcome { kCommitted, kLost, kRetry, kPermanentFailure };
+
+  Outcome RunOneAttempt(std::size_t task, bool speculative,
+                        const AttemptFn& attempt_fn,
+                        const CommitFn& commit_fn) {
+    TaskState& st = tasks_[task];
+    auto token = std::make_shared<CancelToken>();
+    int attempt;
+    {
+      std::lock_guard<std::mutex> lock(st.mu);
+      if (st.committed) return Outcome::kLost;
+      if (st.failed) return Outcome::kPermanentFailure;
+      attempt = st.next_attempt++;
+      st.live.emplace(attempt, token);
+    }
+    events_->Attempt(JobEventType::kAttemptStart, kind_, task, attempt, 0.0,
+                     speculative ? "speculative" : "");
+    if (opts_.speculation.enabled && !speculative) StartWatch(task);
+
+    Stopwatch watch;
+    AttemptOutput out;
+    Status status = attempt_fn(task, attempt, token.get(), &out);
+    const double duration = watch.ElapsedSeconds();
+
+    if (opts_.speculation.enabled && !speculative) StopWatch(task);
+
+    std::unique_lock<std::mutex> lock(st.mu);
+    st.live.erase(attempt);
+    if (st.committed) {
+      lock.unlock();
+      events_->Attempt(JobEventType::kAttemptKill, kind_, task, attempt,
+                       duration, "task already committed");
+      return Outcome::kLost;
+    }
+    if (status.ok() && !token->cancelled()) {
+      st.committed = true;
+      for (auto& [id, other] : st.live) other->Cancel();
+      lock.unlock();
+      commit_fn(task, &out);
+      events_->Attempt(JobEventType::kAttemptFinish, kind_, task, attempt,
+                       duration);
+      return Outcome::kCommitted;
+    }
+    if (token->cancelled()) {
+      lock.unlock();
+      events_->Attempt(JobEventType::kAttemptKill, kind_, task, attempt,
+                       duration, "cancelled");
+      return Outcome::kLost;
+    }
+    // A real failure (injected or user error): charge the budget.
+    ++st.failures;
+    if (!st.has_first_error) {
+      st.has_first_error = true;
+      st.first_error = status;
+    }
+    const bool permanent = st.failures >= opts_.max_attempts;
+    if (permanent) {
+      st.failed = true;
+      for (auto& [id, other] : st.live) other->Cancel();
+    }
+    lock.unlock();
+    events_->Attempt(JobEventType::kAttemptFail, kind_, task, attempt,
+                     duration, status.ToString());
+    return permanent ? Outcome::kPermanentFailure : Outcome::kRetry;
+  }
+
+  // One coordinator per task runs on the pool (as one pool task) and
+  // retries failures inline; backups run as separate pool tasks.
+  void Coordinator(std::size_t task, const AttemptFn& attempt_fn,
+                   const CommitFn& commit_fn) {
+    for (;;) {
+      switch (RunOneAttempt(task, /*speculative=*/false, attempt_fn,
+                            commit_fn)) {
+        case Outcome::kRetry:
+          continue;
+        case Outcome::kCommitted:
+        case Outcome::kLost:
+        case Outcome::kPermanentFailure:
+          return;
+      }
+    }
+  }
+
+  void StartWatch(std::size_t task) {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    watches_[task] = std::chrono::steady_clock::now();
+  }
+
+  void StopWatch(std::size_t task) {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    watches_.erase(task);
+  }
+
+  // The speculation monitor: wakes a few times per threshold interval,
+  // finds primary attempts that have been running longer than the
+  // slowness threshold, and launches one backup attempt for each such
+  // task. Lock order is watch_mu_ -> task.mu (attempt code never takes
+  // them nested the other way).
+  void MonitorLoop(const AttemptFn& attempt_fn, const CommitFn& commit_fn) {
+    const double threshold = opts_.speculation.slow_attempt_seconds;
+    const auto interval =
+        std::chrono::duration<double>(std::max(threshold / 4.0, 0.0005));
+    std::unique_lock<std::mutex> lock(watch_mu_);
+    while (!monitor_stop_) {
+      watch_cv_.wait_for(lock, interval);
+      if (monitor_stop_) break;
+      const auto now = std::chrono::steady_clock::now();
+      for (auto it = watches_.begin(); it != watches_.end();) {
+        const double elapsed =
+            std::chrono::duration<double>(now - it->second).count();
+        if (elapsed < threshold) {
+          ++it;
+          continue;
+        }
+        const std::size_t task = it->first;
+        it = watches_.erase(it);
+        TaskState& st = tasks_[task];
+        bool launch = false;
+        {
+          std::lock_guard<std::mutex> tl(st.mu);
+          if (!st.committed && !st.failed && !st.speculated) {
+            st.speculated = true;
+            launch = true;
+          }
+        }
+        if (!launch) continue;
+        events_->Attempt(JobEventType::kAttemptSpeculate, kind_, task, -1,
+                         elapsed, "slow attempt");
+        // The backup runs on its own thread, not the phase's pool: the
+        // pool is saturated with the phase's primary attempts, so a
+        // queued backup would only run after the straggler it is meant
+        // to overtake. This models Hadoop launching the backup on a
+        // *different* node's free slot. Bounded: one backup per task.
+        std::thread backup([this, task, &attempt_fn, &commit_fn] {
+          RunOneAttempt(task, /*speculative=*/true, attempt_fn, commit_fn);
+        });
+        std::lock_guard<std::mutex> bl(backups_mu_);
+        backups_.push_back(std::move(backup));
+      }
+    }
+  }
+
+  ThreadPool* pool_;
+  TaskKind kind_;
+  const ExecutionOptions& opts_;
+  EventLog* events_;
+  std::vector<TaskState> tasks_;
+
+  std::mutex watch_mu_;
+  std::condition_variable watch_cv_;
+  bool monitor_stop_ = false;
+  std::unordered_map<std::size_t, std::chrono::steady_clock::time_point>
+      watches_;
+
+  std::mutex backups_mu_;
+  std::vector<std::thread> backups_;
+};
+
+Status CancelledStatus(TaskKind kind) {
+  return Status::ExecutionError(std::string(TaskKindName(kind)) +
+                                " attempt cancelled");
+}
+
+std::string InjectedFaultMessage(TaskKind kind, std::size_t task,
+                                 int attempt) {
+  return std::string("injected fault: ") + TaskKindName(kind) + " task " +
+         std::to_string(task) + " attempt " + std::to_string(attempt);
+}
+
+}  // namespace
+
 Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
   if (!spec.map_fn) return Status::InvalidArgument("job has no map function");
-  if (spec.num_reducers == 0) {
+  const ExecutionOptions opts = ResolveOptions(spec);
+  if (opts.num_reducers == 0) {
     return Status::InvalidArgument("num_reducers must be positive");
+  }
+  if (opts.max_attempts == 0) {
+    return Status::InvalidArgument("max_attempts must be positive");
   }
   JobResult result;
   Stopwatch total_watch;
-  PartitionFn partition =
-      spec.partition_fn ? spec.partition_fn : PartitionFn(HashPartition);
+  EventLog events(&result.trace, opts.observer, &total_watch);
+  const PartitionFn& partition = opts.partition_fn;
+  const bool legacy_counters = opts.legacy_contended_counters;
+  const FaultInjector* fault = opts.fault.get();
 
   // ---- Map phase -------------------------------------------------------
   Stopwatch map_watch;
+  events.Phase(JobEventType::kPhaseStart, "map");
   const std::size_t num_maps = spec.input_splits.size();
-  // Per map task, per reducer: emitted records.
+  // Per map task, per reducer: emitted records (winning attempt only).
   std::vector<std::vector<std::vector<Record>>> map_outputs(num_maps);
-  std::mutex error_mu;
-  Status first_error = Status::OK();
 
-  // Each task counts into an unsynchronized LocalCounters merged into the
-  // job's shared set once per task; the legacy knob keeps the old
-  // lock-per-record pattern alive for the bench comparison.
-  const bool legacy_counters = spec.legacy_contended_counters;
-
-  ParallelFor(cluster->pool(), num_maps, [&](std::size_t m) {
-    std::vector<std::vector<Record>> local(spec.num_reducers);
-    LocalCounters counts;
+  AttemptFn map_attempt = [&](std::size_t m, int attempt, CancelToken* token,
+                              AttemptOutput* out) -> Status {
+    const FaultDecision fd =
+        fault ? fault->OnAttempt(TaskKind::kMap, m, attempt)
+              : FaultDecision{};
+    if (fd.delay_seconds > 0.0 && !token->SleepFor(fd.delay_seconds)) {
+      return CancelledStatus(TaskKind::kMap);
+    }
+    const auto& split = spec.input_splits[m];
+    // Injected failures fire midway, after the attempt has buffered
+    // emissions and counters that the runner must then discard.
+    const std::size_t fail_after =
+        fd.fail ? split.size() / 2 : static_cast<std::size_t>(-1);
+    out->map_partitions.assign(opts.num_reducers, {});
     auto count = [&](CounterId id, int64_t delta) {
       if (legacy_counters) {
         result.counters.Add(CounterName(id), delta);
       } else {
-        counts.Add(id, delta);
+        out->counts.Add(id, delta);
       }
     };
     Emitter emitter;  // reused across records; keeps its capacity
-    for (const Record& rec : spec.input_splits[m]) {
+    std::size_t processed = 0;
+    for (const Record& rec : split) {
+      if (token->cancelled()) return CancelledStatus(TaskKind::kMap);
+      if (processed == fail_after) {
+        return Status::ExecutionError(
+            InjectedFaultMessage(TaskKind::kMap, m, attempt));
+      }
       count(CounterId::kMapInputRecords, 1);
       emitter.records().clear();
-      Status st = spec.map_fn(rec, &emitter);
-      if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(error_mu);
-        if (first_error.ok()) first_error = st;
-        return;
-      }
-      for (Record& out : emitter.records()) {
+      HAMMING_RETURN_NOT_OK(spec.map_fn(rec, &emitter));
+      for (Record& o : emitter.records()) {
         count(CounterId::kMapOutputRecords, 1);
         count(CounterId::kShuffleBytes,
-              static_cast<int64_t>(out.SerializedBytes()));
-        std::size_t p = partition(out.key, spec.num_reducers);
-        local[p].push_back(std::move(out));
+              static_cast<int64_t>(o.SerializedBytes()));
+        std::size_t p = partition(o.key, opts.num_reducers);
+        out->map_partitions[p].push_back(std::move(o));
       }
+      ++processed;
     }
-    if (!legacy_counters) result.counters.MergeLocal(counts);
-    map_outputs[m] = std::move(local);
-  });
-  if (!first_error.ok()) return first_error;
-  result.map_seconds = map_watch.ElapsedSeconds();
+    if (fd.fail && split.empty()) {
+      return Status::ExecutionError(
+          InjectedFaultMessage(TaskKind::kMap, m, attempt));
+    }
+    return Status::OK();
+  };
+  CommitFn map_commit = [&](std::size_t m, AttemptOutput* out) {
+    map_outputs[m] = std::move(out->map_partitions);
+    if (!legacy_counters) result.counters.MergeLocal(out->counts);
+  };
+  {
+    PhaseRunner runner(cluster->pool(), TaskKind::kMap, num_maps, opts,
+                       &events);
+    Status st = runner.Run(map_attempt, map_commit);
+    result.map_seconds = map_watch.ElapsedSeconds();
+    events.Phase(JobEventType::kPhaseFinish, "map", result.map_seconds);
+    if (!st.ok()) return st;
+  }
 
   // ---- Shuffle phase: gather per reducer, sort by key ------------------
   // Reducer r's gather touches only slot r of every map output, so the
   // per-reducer concatenate+sort chains run in parallel.
   Stopwatch shuffle_watch;
-  std::vector<std::vector<Record>> reducer_inputs(spec.num_reducers);
-  ParallelFor(cluster->pool(), spec.num_reducers, [&](std::size_t r) {
+  events.Phase(JobEventType::kPhaseStart, "shuffle");
+  std::vector<std::vector<Record>> reducer_inputs(opts.num_reducers);
+  ParallelFor(cluster->pool(), opts.num_reducers, [&](std::size_t r) {
     auto& dst = reducer_inputs[r];
     std::size_t total = 0;
     for (const auto& per_map : map_outputs) total += per_map[r].size();
@@ -110,52 +460,82 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
   });
   map_outputs.clear();
   result.shuffle_seconds = shuffle_watch.ElapsedSeconds();
+  events.Phase(JobEventType::kPhaseFinish, "shuffle", result.shuffle_seconds);
 
   // ---- Reduce phase ----------------------------------------------------
   Stopwatch reduce_watch;
-  result.outputs.resize(spec.num_reducers);
+  events.Phase(JobEventType::kPhaseStart, "reduce");
+  result.outputs.resize(opts.num_reducers);
   if (!spec.reduce_fn) {
     // Map-only job: partitioned map outputs are the result.
     result.outputs = std::move(reducer_inputs);
   } else {
-    ParallelFor(cluster->pool(), spec.num_reducers, [&](std::size_t r) {
+    // An attempt may be re-run, so reduce input values are copied per
+    // attempt when the attempt layer is active; the single-attempt fast
+    // path moves them out as before.
+    const bool destructive = opts.max_attempts == 1 &&
+                             !opts.speculation.enabled && fault == nullptr;
+    AttemptFn reduce_attempt = [&](std::size_t r, int attempt,
+                                   CancelToken* token,
+                                   AttemptOutput* out) -> Status {
+      const FaultDecision fd =
+          fault ? fault->OnAttempt(TaskKind::kReduce, r, attempt)
+                : FaultDecision{};
+      if (fd.delay_seconds > 0.0 && !token->SleepFor(fd.delay_seconds)) {
+        return CancelledStatus(TaskKind::kReduce);
+      }
       auto& input = reducer_inputs[r];
+      const std::size_t fail_after =
+          fd.fail ? input.size() / 2 : static_cast<std::size_t>(-1);
+      auto count = [&](CounterId id, int64_t delta) {
+        if (legacy_counters) {
+          result.counters.Add(CounterName(id), delta);
+        } else {
+          out->counts.Add(id, delta);
+        }
+      };
       Emitter emitter;
-      LocalCounters counts;
       std::size_t i = 0;
       while (i < input.size()) {
+        if (token->cancelled()) return CancelledStatus(TaskKind::kReduce);
+        if (i >= fail_after) {
+          return Status::ExecutionError(
+              InjectedFaultMessage(TaskKind::kReduce, r, attempt));
+        }
         std::size_t j = i;
         std::vector<std::vector<uint8_t>> values;
         while (j < input.size() && input[j].key == input[i].key) {
-          values.push_back(std::move(input[j].value));
+          if (destructive) {
+            values.push_back(std::move(input[j].value));
+          } else {
+            values.push_back(input[j].value);
+          }
           ++j;
         }
-        if (legacy_counters) {
-          result.counters.Add(kReduceInputGroups, 1);
-        } else {
-          counts.Add(CounterId::kReduceInputGroups, 1);
-        }
-        Status st = spec.reduce_fn(input[i].key, values, &emitter);
-        if (!st.ok()) {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (first_error.ok()) first_error = st;
-          return;
-        }
+        count(CounterId::kReduceInputGroups, 1);
+        HAMMING_RETURN_NOT_OK(spec.reduce_fn(input[i].key, values, &emitter));
         i = j;
       }
-      if (legacy_counters) {
-        result.counters.Add(kReduceOutputRecords,
-                            static_cast<int64_t>(emitter.records().size()));
-      } else {
-        counts.Add(CounterId::kReduceOutputRecords,
-                   static_cast<int64_t>(emitter.records().size()));
-        result.counters.MergeLocal(counts);
+      if (fd.fail && input.empty()) {
+        return Status::ExecutionError(
+            InjectedFaultMessage(TaskKind::kReduce, r, attempt));
       }
-      result.outputs[r] = std::move(emitter.records());
-    });
-    if (!first_error.ok()) return first_error;
+      count(CounterId::kReduceOutputRecords,
+            static_cast<int64_t>(emitter.records().size()));
+      out->reduce_records = std::move(emitter.records());
+      return Status::OK();
+    };
+    CommitFn reduce_commit = [&](std::size_t r, AttemptOutput* out) {
+      result.outputs[r] = std::move(out->reduce_records);
+      if (!legacy_counters) result.counters.MergeLocal(out->counts);
+    };
+    PhaseRunner runner(cluster->pool(), TaskKind::kReduce, opts.num_reducers,
+                       opts, &events);
+    Status st = runner.Run(reduce_attempt, reduce_commit);
+    if (!st.ok()) return st;
   }
   result.reduce_seconds = reduce_watch.ElapsedSeconds();
+  events.Phase(JobEventType::kPhaseFinish, "reduce", result.reduce_seconds);
   result.total_seconds = total_watch.ElapsedSeconds();
 
   cluster->cumulative_counters()->Merge(result.counters);

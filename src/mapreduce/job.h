@@ -1,5 +1,7 @@
 // The MapReduce job runner: map -> shuffle (partition + sort by key) ->
-// reduce, with per-task threading and per-record shuffle accounting.
+// reduce, with per-task threading, per-record shuffle accounting, and a
+// fault-tolerant task-attempt layer (retries, fault injection,
+// speculative execution — see mapreduce/execution.h).
 #pragma once
 
 #include <functional>
@@ -9,6 +11,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "mapreduce/cluster.h"
+#include "mapreduce/execution.h"
 
 namespace hamming::mr {
 
@@ -25,6 +28,10 @@ struct Record {
 };
 
 /// \brief Collects the records a map or reduce call emits.
+///
+/// Emitters are attempt-local: a task attempt buffers everything it
+/// emits and only the winning attempt's buffer is committed, which is
+/// what makes re-execution and speculation side-effect-free.
 class Emitter {
  public:
   void Emit(std::vector<uint8_t> key, std::vector<uint8_t> value) {
@@ -37,23 +44,26 @@ class Emitter {
 };
 
 /// \brief User map function: one input record in, any records out.
+///
+/// Must be deterministic (a pure function of the record): a failed or
+/// speculated task re-runs it against the same input and the attempt
+/// layer guarantees byte-identical job output only if re-execution
+/// reproduces the same emissions. Components that need randomness must
+/// derive it from the record contents, not from shared mutable state.
 using MapFn = std::function<Status(const Record&, Emitter*)>;
 
 /// \brief User reduce function: a key and all its shuffled values.
+/// Determinism requirements are the same as MapFn's.
 using ReduceFn = std::function<Status(
     const std::vector<uint8_t>& key,
     const std::vector<std::vector<uint8_t>>& values, Emitter*)>;
-
-/// \brief Key -> reducer routing; default hashes the key bytes.
-using PartitionFn =
-    std::function<std::size_t(const std::vector<uint8_t>& key,
-                              std::size_t num_reducers)>;
 
 /// \brief Hash partitioner (FNV over the key bytes).
 std::size_t HashPartition(const std::vector<uint8_t>& key,
                           std::size_t num_reducers);
 
-/// \brief A job description.
+/// \brief A job description: what to compute (name, inputs, user
+/// functions) plus how to execute it (`options`).
 struct JobSpec {
   std::string name;
   /// One map task per split.
@@ -62,13 +72,38 @@ struct JobSpec {
   /// Null for a map-only job (map outputs become the job outputs,
   /// partitioned but not grouped).
   ReduceFn reduce_fn;
-  PartitionFn partition_fn;  // null = HashPartition
-  std::size_t num_reducers = 1;
-  /// Benchmark knob: when true, tasks charge each record straight to the
-  /// job's shared (mutex-protected) Counters — the contended pattern the
-  /// per-task LocalCounters batching replaced. Totals are identical
-  /// either way; bench_micro measures the difference.
+  /// Execution knobs: reducers, partitioner, attempts, speculation,
+  /// fault injection, observer.
+  ExecutionOptions options;
+
+  // ---- Deprecated flat fields (one-PR grace period) -------------------
+  // These forward into `options` when RunJob resolves the spec: a value
+  // different from the marker default below overrides its options.*
+  // counterpart, so code that still assigns spec.num_reducers = 4 keeps
+  // working (with a deprecation warning) for one release.
+  [[deprecated("set options.partition_fn instead")]]
+  PartitionFn partition_fn;
+  [[deprecated("set options.num_reducers instead")]]
+  std::size_t num_reducers = kUnsetNumReducers;
+  [[deprecated("set options.legacy_contended_counters instead")]]
   bool legacy_contended_counters = false;
+
+  /// Marker for "num_reducers not set the deprecated way".
+  static constexpr std::size_t kUnsetNumReducers =
+      static_cast<std::size_t>(-1);
+
+  // The special members touch the deprecated fields; defaulting them
+  // inside a suppression region keeps copying/moving a JobSpec silent
+  // while direct assignments to the deprecated fields still warn.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  JobSpec() = default;
+  JobSpec(const JobSpec&) = default;
+  JobSpec(JobSpec&&) = default;
+  JobSpec& operator=(const JobSpec&) = default;
+  JobSpec& operator=(JobSpec&&) = default;
+  ~JobSpec() = default;
+#pragma GCC diagnostic pop
 };
 
 /// \brief Everything a finished job reports.
@@ -76,6 +111,9 @@ struct JobResult {
   /// Reducer r's output records (map-only jobs: partition r's map output).
   std::vector<std::vector<Record>> outputs;
   Counters counters;
+  /// The job's event trace: one timestamped entry per attempt
+  /// start/finish/fail/kill/speculate and per phase boundary.
+  JobEventTrace trace;
   double map_seconds = 0.0;
   double shuffle_seconds = 0.0;
   double reduce_seconds = 0.0;
@@ -83,8 +121,11 @@ struct JobResult {
 };
 
 /// \brief Runs a job on the cluster. Map tasks and reduce tasks execute
-/// in parallel on the cluster's pool; the first task error aborts the
-/// job. The job's counters are merged into the cluster's cumulative set.
+/// in parallel on the cluster's pool; each task gets up to
+/// options.max_attempts attempts and the job aborts with the first
+/// error of the first task that exhausts its budget. The job's counters
+/// are merged into the cluster's cumulative set; only winning attempts
+/// charge counters, so totals are byte-identical to a failure-free run.
 Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster);
 
 /// \brief Convenience: splits `records` into `num_splits` near-equal

@@ -2,6 +2,21 @@
 
 namespace hamming::mrjoin {
 
+mr::ExecutionOptions PlanJobOptions(const MRJoinOptions& opts,
+                                    mr::PartitionFn partition_fn) {
+  mr::ExecutionOptions exec = opts.exec;
+  exec.num_reducers = opts.num_partitions;
+  exec.partition_fn = std::move(partition_fn);
+  return exec;
+}
+
+mr::PartitionFn PartitionKeyRouter() {
+  return [](const std::vector<uint8_t>& key, std::size_t num_reducers) {
+    auto part = DecodePartitionKey(key);
+    return part.ok() ? static_cast<std::size_t>(*part) % num_reducers : 0u;
+  };
+}
+
 std::vector<uint8_t> EncodeCodeTuple(const CodeTuple& t) {
   BufferWriter w;
   w.PutVarint64(static_cast<uint64_t>(t.table));

@@ -22,6 +22,37 @@
 
 namespace hamming::mrjoin {
 
+/// \brief Knobs every MapReduce join/select plan shares.
+///
+/// Each plan's options struct inherits this base, so the partition count,
+/// the Hamming threshold and the per-job execution options (attempts,
+/// speculation, fault injection, event tracing) are spelled identically
+/// across MRHA, PGBJ, PMH, MR-Select and the kNN variant. Fields a plan
+/// does not use (PGBJ joins in the original metric space, so `code_bits`
+/// and `h` are ignored there) simply stay at their defaults.
+struct MRJoinOptions {
+  std::size_t num_partitions = 16;  ///< reducers per MapReduce job
+  std::size_t code_bits = 32;       ///< binary code length L
+  std::size_t h = 3;                ///< Hamming join/select threshold
+  double sample_rate = 0.1;         ///< driver-side sampling fraction
+  uint64_t seed = 42;
+  /// Execution options forwarded into every JobSpec the plan runs. The
+  /// plan overwrites `exec.num_reducers` (from num_partitions) and
+  /// `exec.partition_fn` per job; the attempt/speculation/fault/observer
+  /// fields pass through untouched.
+  mr::ExecutionOptions exec;
+};
+
+/// \brief Execution options for one of a plan's jobs: the shared `exec`
+/// block with the plan's reducer count and this job's partitioner
+/// plugged in.
+mr::ExecutionOptions PlanJobOptions(const MRJoinOptions& opts,
+                                    mr::PartitionFn partition_fn);
+
+/// \brief The partitioner every plan's partition-keyed jobs share: keys
+/// are fixed32 PartitionKey ids, routed id % num_reducers.
+mr::PartitionFn PartitionKeyRouter();
+
 /// \brief Which input table a record came from.
 enum class Table : uint8_t { kR = 0, kS = 1 };
 

@@ -93,7 +93,8 @@ Result<MrhaResult> RunMrhaJoin(const FloatMatrix& r_data,
 
   mr::JobSpec build_job;
   build_job.name = "mrha-build";
-  build_job.num_reducers = opts.num_partitions;
+  // Keys are partition ids; route each to its own reducer.
+  build_job.options = PlanJobOptions(opts, PartitionKeyRouter());
   build_job.input_splits =
       mr::SplitEvenly(MatrixToRecords(r_data, Table::kR),
                       cluster->total_slots());
@@ -108,12 +109,6 @@ Result<MrhaResult> RunMrhaJoin(const FloatMatrix& r_data,
         static_cast<uint32_t>(pivots_ptr->PartitionOf(ct.code));
     out->Emit(PartitionKey(part), EncodeCodeTuple(ct));
     return Status::OK();
-  };
-  // Keys are partition ids; route each to its own reducer.
-  build_job.partition_fn = [](const std::vector<uint8_t>& key,
-                              std::size_t num_reducers) {
-    auto part = DecodePartitionKey(key);
-    return part.ok() ? static_cast<std::size_t>(*part) % num_reducers : 0u;
   };
   DynamicHAIndexOptions index_opts = opts.index;
   index_opts.store_tuple_ids = !leafless;
@@ -163,7 +158,7 @@ Result<MrhaResult> RunMrhaJoin(const FloatMatrix& r_data,
 
   mr::JobSpec join_job;
   join_job.name = "mrha-join";
-  join_job.num_reducers = opts.num_partitions;
+  join_job.options = PlanJobOptions(opts, PartitionKeyRouter());
   join_job.input_splits = mr::SplitEvenly(
       MatrixToRecords(s_data, Table::kS), cluster->total_slots());
   join_job.map_fn = [hash_ptr, pivots_ptr](const mr::Record& rec,
@@ -175,7 +170,6 @@ Result<MrhaResult> RunMrhaJoin(const FloatMatrix& r_data,
     out->Emit(PartitionKey(part), EncodeCodeTuple(ct));
     return Status::OK();
   };
-  join_job.partition_fn = build_job.partition_fn;
 
   if (opts.option == MrhaOption::kA) {
     // Reducers H-Search the broadcast index and emit (r, s) directly.
@@ -226,7 +220,8 @@ Result<MrhaResult> RunMrhaJoin(const FloatMatrix& r_data,
     // on the key.
     mr::JobSpec post_job;
     post_job.name = "mrha-postjoin";
-    post_job.num_reducers = opts.num_partitions;
+    // Keys are serialized codes; the default hash partitioner routes them.
+    post_job.options = PlanJobOptions(opts, nullptr);
     post_job.input_splits = mr::SplitEvenly(
         MatrixToRecords(r_data, Table::kR), cluster->total_slots());
     // Qualifying (code, s) records from the join job feed extra splits.

@@ -30,15 +30,11 @@ namespace hamming::mrjoin {
 /// \brief Which phase-3 variant to run (Section 5.3).
 enum class MrhaOption { kA, kB };
 
-/// \brief Plan configuration.
-struct MrhaOptions {
-  std::size_t num_partitions = 16;   // N
-  std::size_t code_bits = 32;        // L
-  double sample_rate = 0.1;          // preprocessing sample fraction
-  std::size_t h = 3;                 // join threshold
+/// \brief Plan configuration (num_partitions/code_bits/h/sample_rate/
+/// seed and the per-job execution options come from MRJoinOptions).
+struct MrhaOptions : MRJoinOptions {
   MrhaOption option = MrhaOption::kA;
-  DynamicHAIndexOptions index;       // H-Build tuning
-  uint64_t seed = 42;
+  DynamicHAIndexOptions index;  // H-Build tuning
   /// Optional pre-trained hash. The paper re-learns the hash only "when
   /// a certain amount of the new data is updated" (Section 6.2.3), so
   /// repeated joins amortize training; when set, the sampling and

@@ -70,7 +70,7 @@ Result<MrhaKnnResult> RunMrhaKnnJoin(const FloatMatrix& r_data,
 
   mr::JobSpec job;
   job.name = "mrha-knn-join";
-  job.num_reducers = opts.num_partitions;
+  job.options = PlanJobOptions(opts, PartitionKeyRouter());
   job.input_splits = mr::SplitEvenly(MatrixToRecords(r_data, Table::kR),
                                      cluster->total_slots());
   job.map_fn = [hash_ptr, num_partitions](const mr::Record& rec,
@@ -80,11 +80,6 @@ Result<MrhaKnnResult> RunMrhaKnnJoin(const FloatMatrix& r_data,
     uint32_t part = static_cast<uint32_t>(ct.code.Hash() % num_partitions);
     out->Emit(PartitionKey(part), EncodeCodeTuple(ct));
     return Status::OK();
-  };
-  job.partition_fn = [](const std::vector<uint8_t>& key,
-                        std::size_t num_reducers) {
-    auto part = DecodePartitionKey(key);
-    return part.ok() ? static_cast<std::size_t>(*part) % num_reducers : 0u;
   };
   job.reduce_fn = [index_ptr, k, initial_h, h_step, code_bits](
                       const std::vector<uint8_t>&,

@@ -14,16 +14,14 @@
 
 namespace hamming::mrjoin {
 
-/// \brief Plan configuration.
-struct MrhaKnnOptions {
-  std::size_t num_partitions = 16;
-  std::size_t code_bits = 32;
-  double sample_rate = 0.1;
+/// \brief Plan configuration (shared knobs come from MRJoinOptions; the
+/// kNN search escalates from initial_h by h_step, so the inherited fixed
+/// threshold `h` is unused).
+struct MrhaKnnOptions : MRJoinOptions {
   std::size_t k = 50;
   std::size_t initial_h = 2;
   std::size_t h_step = 2;
   DynamicHAIndexOptions index;
-  uint64_t seed = 42;
   std::shared_ptr<const SpectralHashing> pretrained;
 };
 

@@ -60,7 +60,7 @@ Result<MrSelectResult> RunMrSelect(const FloatMatrix& data,
 
   mr::JobSpec job;
   job.name = "mrselect";
-  job.num_reducers = opts.num_partitions;
+  job.options = PlanJobOptions(opts, PartitionKeyRouter());
   job.input_splits = mr::SplitEvenly(MatrixToRecords(data, Table::kR),
                                      cluster->total_slots());
   job.map_fn = [hash_ptr, pivots_ptr](const mr::Record& rec,
@@ -70,11 +70,6 @@ Result<MrSelectResult> RunMrSelect(const FloatMatrix& data,
     uint32_t part = static_cast<uint32_t>(pivots_ptr->PartitionOf(ct.code));
     out->Emit(PartitionKey(part), EncodeCodeTuple(ct));
     return Status::OK();
-  };
-  job.partition_fn = [](const std::vector<uint8_t>& key,
-                        std::size_t num_reducers) {
-    auto part = DecodePartitionKey(key);
-    return part.ok() ? static_cast<std::size_t>(*part) % num_reducers : 0u;
   };
   job.reduce_fn = [queries_ptr, index_opts, h](
                       const std::vector<uint8_t>&,

@@ -17,14 +17,9 @@
 
 namespace hamming::mrjoin {
 
-/// \brief Plan configuration.
-struct MrSelectOptions {
-  std::size_t num_partitions = 16;
-  std::size_t code_bits = 32;
-  double sample_rate = 0.1;
-  std::size_t h = 3;
+/// \brief Plan configuration (shared knobs come from MRJoinOptions).
+struct MrSelectOptions : MRJoinOptions {
   DynamicHAIndexOptions index;
-  uint64_t seed = 42;
 };
 
 /// \brief Outcome: per query, the ids of qualifying dataset tuples.

@@ -90,7 +90,8 @@ Result<PgbjResult> RunPgbjJoin(const FloatMatrix& r_data,
 
   mr::JobSpec job;
   job.name = "pgbj-join";
-  job.num_reducers = num_pivots;
+  job.options = PlanJobOptions(opts, PartitionKeyRouter());
+  job.options.num_reducers = num_pivots;
   auto records = MatrixToRecords(r_data, Table::kR);
   auto s_records = MatrixToRecords(s_data, Table::kS);
   records.insert(records.end(), std::make_move_iterator(s_records.begin()),
@@ -115,11 +116,6 @@ Result<PgbjResult> RunPgbjJoin(const FloatMatrix& r_data,
       }
     }
     return Status::OK();
-  };
-  job.partition_fn = [](const std::vector<uint8_t>& key,
-                        std::size_t num_reducers) {
-    auto part = DecodePartitionKey(key);
-    return part.ok() ? static_cast<std::size_t>(*part) % num_reducers : 0u;
   };
   job.reduce_fn = [k](const std::vector<uint8_t>&,
                       const std::vector<std::vector<uint8_t>>& values,

@@ -19,15 +19,15 @@
 
 namespace hamming::mrjoin {
 
-/// \brief Plan configuration.
-struct PgbjOptions {
-  std::size_t num_partitions = 16;  // number of pivots / Voronoi cells
+/// \brief Plan configuration. Inherits MRJoinOptions (num_partitions is
+/// the number of pivots / Voronoi cells; PGBJ joins in the original
+/// metric space, so the inherited code_bits/h are unused).
+struct PgbjOptions : MRJoinOptions {
+  PgbjOptions() { sample_rate = 0.05; }  // pivot/theta estimation sample
   std::size_t k = 50;
-  double sample_rate = 0.05;        // pivot/theta estimation sample
   /// Multiplier on the sampled kNN-distance estimate; larger = more
   /// replication = higher recall (2.0 reaches ~exact on our workloads).
   double theta_slack = 2.0;
-  uint64_t seed = 42;
 };
 
 /// \brief One kNN-join result: r tuple and its neighbour ids in S.

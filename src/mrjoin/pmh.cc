@@ -68,7 +68,7 @@ Result<PmhResult> RunPmhJoin(const FloatMatrix& r_data,
 
   mr::JobSpec job;
   job.name = "pmh-join";
-  job.num_reducers = opts.num_partitions;
+  job.options = PlanJobOptions(opts, PartitionKeyRouter());
   job.input_splits = mr::SplitEvenly(MatrixToRecords(s_data, Table::kS),
                                      cluster->total_slots());
   const std::size_t num_partitions = opts.num_partitions;
@@ -81,11 +81,6 @@ Result<PmhResult> RunPmhJoin(const FloatMatrix& r_data,
     uint32_t part = static_cast<uint32_t>(ct.code.Hash() % num_partitions);
     out->Emit(PartitionKey(part), EncodeCodeTuple(ct));
     return Status::OK();
-  };
-  job.partition_fn = [](const std::vector<uint8_t>& key,
-                        std::size_t num_reducers) {
-    auto part = DecodePartitionKey(key);
-    return part.ok() ? static_cast<std::size_t>(*part) % num_reducers : 0u;
   };
   job.reduce_fn = [r_index_ptr, h](
                       const std::vector<uint8_t>&,

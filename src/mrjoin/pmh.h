@@ -13,14 +13,10 @@
 
 namespace hamming::mrjoin {
 
-/// \brief Plan configuration.
-struct PmhOptions {
-  std::size_t num_partitions = 16;
-  std::size_t code_bits = 32;
+/// \brief Plan configuration (shared knobs come from MRJoinOptions; the
+/// inherited sample_rate is the hash-training sample).
+struct PmhOptions : MRJoinOptions {
   std::size_t num_tables = 10;  // PMH-10 in the evaluation
-  double sample_rate = 0.1;     // hash-training sample
-  std::size_t h = 3;
-  uint64_t seed = 42;
   /// Optional pre-trained hash (see MrhaOptions::pretrained).
   std::shared_ptr<const SpectralHashing> pretrained;
 };

@@ -251,5 +251,62 @@ TEST(Indexes, HEngineRejectsThresholdAboveHmax) {
   EXPECT_FALSE(index.Search(codes[0], 5).ok());
 }
 
+// ---------------------------------------------------------------------------
+// Knn on the base interface: the default radius-expanding implementation
+// (Search(h) for growing h; first-seen radius = exact distance) must
+// agree with LinearScanIndex's batched-kernel override.
+// ---------------------------------------------------------------------------
+
+TEST(IndexKnn, DefaultRadiusExpansionMatchesBatchedScan) {
+  const std::size_t kK = 9;
+  auto codes = RandomCodes(400, 64, /*seed=*/77, /*clusters=*/8);
+  LinearScanIndex scan;
+  ASSERT_TRUE(scan.Build(codes).ok());
+  auto dha = MakeIndex("dha");  // inherits the default Knn
+  ASSERT_TRUE(dha->Build(codes).ok());
+
+  auto queries = RandomCodes(10, 64, /*seed=*/5, /*clusters=*/8);
+  queries.push_back(codes[3]);  // guaranteed distance-0 hit
+  for (const auto& q : queries) {
+    auto exact = scan.Knn(q, kK);
+    auto via_search = dha->Knn(q, kK);
+    ASSERT_TRUE(exact.ok()) << exact.status();
+    ASSERT_TRUE(via_search.ok()) << via_search.status();
+    ASSERT_EQ(exact->size(), kK);
+    ASSERT_EQ(via_search->size(), kK);
+    for (std::size_t i = 0; i < kK; ++i) {
+      // Same distance profile; ties may order differently, so check the
+      // reported distance is each id's true distance.
+      EXPECT_EQ((*exact)[i].second, (*via_search)[i].second) << "rank " << i;
+      const auto& [id, dist] = (*via_search)[i];
+      EXPECT_EQ(codes[id].Distance(q), dist);
+    }
+  }
+}
+
+TEST(IndexKnn, HandlesSmallAndEmptyCases) {
+  auto codes = RandomCodes(5, 32, /*seed=*/11);
+  for (const char* name : {"linear", "dha"}) {
+    auto index = MakeIndex(name);
+    ASSERT_TRUE(index->Build(codes).ok());
+    // k larger than the index: everything comes back, ascending distance.
+    auto all = index->Knn(codes[0], 50);
+    ASSERT_TRUE(all.ok()) << name;
+    EXPECT_EQ(all->size(), codes.size()) << name;
+    for (std::size_t i = 1; i < all->size(); ++i) {
+      EXPECT_LE((*all)[i - 1].second, (*all)[i].second) << name;
+    }
+    // k = 0 and empty index return empty results.
+    auto none = index->Knn(codes[0], 0);
+    ASSERT_TRUE(none.ok()) << name;
+    EXPECT_TRUE(none->empty()) << name;
+    auto empty = MakeIndex(name);
+    ASSERT_TRUE(empty->Build({}).ok());
+    auto from_empty = empty->Knn(codes[0], 3);
+    ASSERT_TRUE(from_empty.ok()) << name;
+    EXPECT_TRUE(from_empty->empty()) << name;
+  }
+}
+
 }  // namespace
 }  // namespace hamming

@@ -21,7 +21,7 @@ TEST(MapReduce, WordCount) {
   Cluster cluster({/*num_nodes=*/4, /*slots_per_node=*/2, /*num_threads=*/4});
   JobSpec spec;
   spec.name = "wordcount";
-  spec.num_reducers = 3;
+  spec.options.num_reducers = 3;
   std::vector<Record> docs;
   docs.push_back({{}, Bytes("the quick brown fox")});
   docs.push_back({{}, Bytes("the lazy dog")});
@@ -65,7 +65,7 @@ TEST(MapReduce, ShuffleBytesMatchRecordSizes) {
   Cluster cluster({2, 2, 2});
   JobSpec spec;
   spec.name = "bytes";
-  spec.num_reducers = 1;
+  spec.options.num_reducers = 1;
   spec.input_splits = {{{{}, Bytes("x")}}};
   spec.map_fn = [](const Record&, Emitter* out) -> Status {
     out->Emit(Bytes("key"), Bytes("value"));  // 3 + 5 + 8 framing = 16
@@ -85,7 +85,7 @@ TEST(MapReduce, GroupsAllValuesOfAKey) {
   Cluster cluster({2, 2, 2});
   JobSpec spec;
   spec.name = "grouping";
-  spec.num_reducers = 4;
+  spec.options.num_reducers = 4;
   std::vector<Record> input;
   for (int i = 0; i < 100; ++i) {
     input.push_back({{}, Bytes(std::to_string(i))});
@@ -113,7 +113,7 @@ TEST(MapReduce, CustomPartitionerRoutesKeys) {
   Cluster cluster({2, 2, 2});
   JobSpec spec;
   spec.name = "routing";
-  spec.num_reducers = 2;
+  spec.options.num_reducers = 2;
   std::vector<Record> input;
   for (int i = 0; i < 10; ++i) input.push_back({{}, Bytes("x")});
   spec.input_splits = SplitEvenly(std::move(input), 3);
@@ -122,7 +122,7 @@ TEST(MapReduce, CustomPartitionerRoutesKeys) {
     out->Emit(Bytes("odd"), Bytes("1"));
     return Status::OK();
   };
-  spec.partition_fn = [](const std::vector<uint8_t>& key, std::size_t) {
+  spec.options.partition_fn = [](const std::vector<uint8_t>& key, std::size_t) {
     return Str(key) == "even" ? 0u : 1u;
   };
   spec.reduce_fn = [](const std::vector<uint8_t>& key,
@@ -143,7 +143,7 @@ TEST(MapReduce, MapOnlyJob) {
   Cluster cluster({2, 2, 2});
   JobSpec spec;
   spec.name = "map-only";
-  spec.num_reducers = 2;
+  spec.options.num_reducers = 2;
   spec.input_splits = {{{{}, Bytes("a")}, {{}, Bytes("b")}}};
   spec.map_fn = [](const Record& rec, Emitter* out) -> Status {
     out->Emit(rec.value, rec.value);
@@ -159,7 +159,7 @@ TEST(MapReduce, MapErrorAbortsJob) {
   Cluster cluster({2, 2, 2});
   JobSpec spec;
   spec.name = "map-error";
-  spec.num_reducers = 1;
+  spec.options.num_reducers = 1;
   spec.input_splits = {{{{}, Bytes("boom")}}};
   spec.map_fn = [](const Record&, Emitter*) -> Status {
     return Status::ExecutionError("mapper exploded");
@@ -176,7 +176,7 @@ TEST(MapReduce, ReduceErrorAbortsJob) {
   Cluster cluster({2, 2, 2});
   JobSpec spec;
   spec.name = "reduce-error";
-  spec.num_reducers = 1;
+  spec.options.num_reducers = 1;
   spec.input_splits = {{{{}, Bytes("x")}}};
   spec.map_fn = [](const Record& rec, Emitter* out) -> Status {
     out->Emit(rec.value, rec.value);
@@ -193,13 +193,13 @@ TEST(MapReduce, ReduceErrorAbortsJob) {
 TEST(MapReduce, ValidationErrors) {
   Cluster cluster({2, 2, 2});
   JobSpec spec;
-  spec.num_reducers = 0;
+  spec.options.num_reducers = 0;
   spec.map_fn = [](const Record&, Emitter*) -> Status {
     return Status::OK();
   };
   EXPECT_FALSE(RunJob(spec, &cluster).ok());
   JobSpec no_map;
-  no_map.num_reducers = 1;
+  no_map.options.num_reducers = 1;
   EXPECT_FALSE(RunJob(no_map, &cluster).ok());
 }
 
@@ -207,7 +207,7 @@ TEST(MapReduce, CumulativeCountersAccumulateAcrossJobs) {
   Cluster cluster({2, 2, 2});
   JobSpec spec;
   spec.name = "twice";
-  spec.num_reducers = 1;
+  spec.options.num_reducers = 1;
   spec.input_splits = {{{{}, Bytes("x")}}};
   spec.map_fn = [](const Record& rec, Emitter* out) -> Status {
     out->Emit(rec.value, rec.value);
