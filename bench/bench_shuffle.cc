@@ -1,0 +1,141 @@
+// External-shuffle sweep: shuffle memory budget x dataset size x
+// combiner on/off over a synthetic aggregation job, measuring wall
+// clock, spill counts, spilled bytes, and merge fan-in, and asserting
+// the outputs stay byte-identical to the unlimited-budget in-memory
+// run at every point (the invariant DESIGN.md 4.10 argues).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+
+namespace hamming::bench {
+namespace {
+
+using mr::Record;
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+// An aggregation job shaped like the shuffle-heavy stages of the join
+// plans: n records spread over num_keys grouping keys, 16-byte values,
+// reducers summing group sizes. The key space is wide enough that
+// map-side combining pays but never collapses the shuffle entirely.
+mr::JobSpec AggregationJob(std::size_t n, std::size_t num_keys,
+                           bool with_combiner) {
+  mr::JobSpec spec;
+  spec.name = "shuffle-aggregate";
+  std::vector<Record> input;
+  input.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Deterministic scatter of records over keys.
+    std::size_t key = (i * 2654435761u) % num_keys;
+    input.push_back({{}, Bytes("key-" + std::to_string(key))});
+  }
+  spec.input_splits = mr::SplitEvenly(std::move(input), 16);
+  spec.map_fn = [](const Record& rec, mr::Emitter* out) -> Status {
+    out->Emit(rec.value, Bytes("0000000000000001"));  // 16-byte payload
+    return Status::OK();
+  };
+  auto sum = [](const std::vector<uint8_t>& key,
+                const std::vector<std::vector<uint8_t>>& values,
+                mr::Emitter* out) -> Status {
+    uint64_t total = 0;
+    for (const auto& v : values) {
+      total += std::stoull(std::string(v.begin(), v.end()));
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llu",
+                  static_cast<unsigned long long>(total));
+    out->Emit(key, Bytes(buf));
+    return Status::OK();
+  };
+  spec.reduce_fn = sum;
+  if (with_combiner) spec.combine_fn = sum;
+  spec.options.num_reducers = 8;
+  return spec;
+}
+
+bool SameOutputs(const std::vector<std::vector<Record>>& a,
+                 const std::vector<std::vector<Record>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t p = 0; p < a.size(); ++p) {
+    if (a[p].size() != b[p].size()) return false;
+    for (std::size_t i = 0; i < a[p].size(); ++i) {
+      if (a[p][i].key != b[p][i].key || a[p][i].value != b[p][i].value) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Sweep(std::size_t n) {
+  const std::size_t num_keys = n / 8;
+  struct Budget {
+    const char* name;
+    std::size_t bytes;
+  };
+  const Budget budgets[] = {
+      {"unlimited", mr::kUnlimitedShuffleMemory},
+      {"1MiB", std::size_t{1} << 20},
+      {"256KiB", std::size_t{256} << 10},
+      {"64KiB", std::size_t{64} << 10},
+  };
+  for (bool combiner : {false, true}) {
+    std::printf("n=%zu keys=%zu combiner=%s\n", n, num_keys,
+                combiner ? "on" : "off");
+    std::printf("  %-10s %9s %8s %12s %8s %8s %10s\n", "budget", "wall(s)",
+                "spills", "spilled(MiB)", "fan-in", "passes", "identical");
+    std::printf("  %s\n", Separator());
+    std::vector<std::vector<Record>> baseline;
+    for (const Budget& budget : budgets) {
+      mr::Cluster cluster({16, 4, 0});
+      mr::JobSpec spec = AggregationJob(n, num_keys, combiner);
+      spec.options.shuffle_memory_bytes = budget.bytes;
+      Stopwatch watch;
+      auto result = RunJob(spec, &cluster);
+      const double seconds = watch.ElapsedSeconds();
+      if (!result.ok()) {
+        std::printf("  %-10s FAILED: %s\n", budget.name,
+                    result.status().ToString().c_str());
+        continue;
+      }
+      if (baseline.empty()) baseline = result->outputs;
+      const int64_t spills = result->counters.Get(mr::kShuffleSpills);
+      const double spilled_mib =
+          static_cast<double>(
+              result->counters.Get(mr::kShuffleSpilledBytes)) /
+          (1024.0 * 1024.0);
+      const int64_t fanin = result->counters.Get(mr::kShuffleMergeFanIn);
+      const int64_t passes =
+          result->trace.Count(mr::JobEventType::kMergePass);
+      const bool identical = SameOutputs(baseline, result->outputs);
+      std::printf("  %-10s %9.3f %8lld %12.2f %8lld %8lld %10s\n",
+                  budget.name, seconds, static_cast<long long>(spills),
+                  spilled_mib, static_cast<long long>(fanin),
+                  static_cast<long long>(passes),
+                  identical ? "yes" : "NO -- DIVERGED");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace hamming::bench
+
+int main(int argc, char** argv) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  auto args = hamming::bench::BenchArgs::Parse(argc, argv);
+  std::printf("=== External shuffle sweep: budget x size x combiner "
+              "(scale %.2f) ===\n", args.scale);
+  std::printf("16 map splits, 8 reducers, 16-byte values; outputs checked "
+              "against the unlimited-budget in-memory run\n\n");
+  for (std::size_t n : {args.Scaled(50000), args.Scaled(200000)}) {
+    hamming::bench::Sweep(n);
+  }
+  return 0;
+}

@@ -5,6 +5,11 @@
 # the MapReduce attempt/speculation layer under ThreadSanitizer (backup
 # attempts, cancel tokens, and the commit race are cross-thread protocols).
 #
+# Each sanitizer also re-runs the MapReduce and fault-tolerance suites
+# with HAMMING_SHUFFLE_BUDGET=65536, which forces every job through the
+# external shuffle's spill/merge paths (file I/O, CRC framing, streaming
+# merge) under a tight 64 KiB memory budget.
+#
 # Usage: scripts/check.sh [--skip-asan] [--skip-tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,6 +35,9 @@ else
   cmake --build build-asan -j --target hamming_tests
   ./build-asan/tests/hamming_tests \
     --gtest_filter='CodeStore.*:Kernels.*:LocalCounters.*'
+  echo "==> ASan: MapReduce + external shuffle under a 64 KiB budget"
+  HAMMING_SHUFFLE_BUDGET=65536 ./build-asan/tests/hamming_tests \
+    --gtest_filter='MapReduce*:FaultTolerance*:PlanFaultTolerance*:Shuffle*'
 fi
 
 if [[ "$SKIP_TSAN" == "1" ]]; then
@@ -41,6 +49,9 @@ else
   cmake --build build-tsan -j --target hamming_tests
   ./build-tsan/tests/hamming_tests --gtest_filter=\
 'MapReduce*:FaultTolerance*:PlanFaultTolerance*:CancelToken*:ThreadPool*:Concurrency*'
+  echo "==> TSan: MapReduce + external shuffle under a 64 KiB budget"
+  HAMMING_SHUFFLE_BUDGET=65536 ./build-tsan/tests/hamming_tests --gtest_filter=\
+'MapReduce*:FaultTolerance*:PlanFaultTolerance*:Shuffle*'
 fi
 
 echo "==> all checks passed"

@@ -66,8 +66,18 @@ Status BufferReader::GetVarint64(uint64_t* out) {
   while (pos_ < len_) {
     uint8_t b = data_[pos_++];
     if (shift >= 64) return Status::IOError("varint overflow");
+    // The 10th byte (shift 63) contributes only its low bit; any higher
+    // payload bit would be shifted past bit 63 and silently dropped, so a
+    // buffer carrying one decodes to the wrong value unless rejected here.
+    if (shift == 63 && (b & 0x7e) != 0) {
+      return Status::IOError("varint overflow");
+    }
     v |= static_cast<uint64_t>(b & 0x7f) << shift;
     if ((b & 0x80) == 0) {
+      // A terminating zero byte after a continuation is an overlong
+      // (non-canonical) encoding; the writer never produces one, so
+      // treat it as corruption rather than decode it.
+      if (b == 0 && shift > 0) return Status::IOError("overlong varint");
       *out = v;
       return Status::OK();
     }

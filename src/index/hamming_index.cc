@@ -8,18 +8,24 @@ Result<std::vector<std::pair<TupleId, uint32_t>>> HammingIndex::Knn(
     const BinaryCode& query, std::size_t k) const {
   std::vector<std::pair<TupleId, uint32_t>> out;
   if (k == 0 || size() == 0) return out;
+  // k >= size() degenerates to "every tuple with its distance": target
+  // caps at size() so the expansion stops the moment all tuples have
+  // been seen instead of probing the remaining radii.
   const std::size_t target = std::min(k, size());
   // Radius expansion: Search(h) is a superset of Search(h-1), so an id's
-  // first-seen radius is its exact Hamming distance from the query.
+  // first-seen radius is its exact Hamming distance from the query. The
+  // loop is bounded by the code width — no two L-bit codes are farther
+  // than L apart — so an index whose Search is incomplete at large radii
+  // can under-fill the result but can never drive the loop past h = L.
+  const std::size_t max_radius = query.size();
   std::unordered_set<TupleId> seen;
-  for (std::size_t h = 0; h <= query.size(); ++h) {
+  for (std::size_t h = 0; h <= max_radius && out.size() < target; ++h) {
     HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> ids, Search(query, h));
     for (TupleId id : ids) {
       if (seen.insert(id).second) {
         out.emplace_back(id, static_cast<uint32_t>(h));
       }
     }
-    if (out.size() >= target) break;
   }
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) {

@@ -5,8 +5,10 @@ namespace hamming::mr {
 namespace {
 
 constexpr std::array<const char*, kNumCounterIds> kCounterNames = {
-    kMapInputRecords,  kMapOutputRecords,    kShuffleBytes,
-    kReduceInputGroups, kReduceOutputRecords, kBroadcastBytes,
+    kMapInputRecords,     kMapOutputRecords,  kShuffleBytes,
+    kReduceInputGroups,   kReduceOutputRecords, kBroadcastBytes,
+    kShuffleSpills,       kShuffleSpilledBytes, kShuffleMergeFanIn,
+    kCombineInputRecords, kCombineOutputRecords,
 };
 
 }  // namespace

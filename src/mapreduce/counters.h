@@ -30,6 +30,16 @@ inline constexpr const char* kShuffleBytes = "SHUFFLE_BYTES";
 inline constexpr const char* kReduceInputGroups = "REDUCE_INPUT_GROUPS";
 inline constexpr const char* kReduceOutputRecords = "REDUCE_OUTPUT_RECORDS";
 inline constexpr const char* kBroadcastBytes = "BROADCAST_BYTES";
+// Physical external-shuffle counters (mapreduce/shuffle.h). Unlike the
+// logical counters above, these vary with ExecutionOptions::
+// shuffle_memory_bytes: an unlimited budget never spills, a tiny one
+// spills often — but they stay byte-identical between a clean run and a
+// faulty run at the same budget, because only winning attempts charge.
+inline constexpr const char* kShuffleSpills = "SHUFFLE_SPILLS";
+inline constexpr const char* kShuffleSpilledBytes = "SHUFFLE_SPILLED_BYTES";
+inline constexpr const char* kShuffleMergeFanIn = "SHUFFLE_MERGE_FAN_IN";
+inline constexpr const char* kCombineInputRecords = "COMBINE_INPUT_RECORDS";
+inline constexpr const char* kCombineOutputRecords = "COMBINE_OUTPUT_RECORDS";
 
 /// \brief Dense slots for the well-known counters; hot-path Add calls
 /// index an array instead of probing a string map.
@@ -40,9 +50,14 @@ enum class CounterId : uint8_t {
   kReduceInputGroups,
   kReduceOutputRecords,
   kBroadcastBytes,
+  kShuffleSpills,
+  kShuffleSpilledBytes,
+  kShuffleMergeFanIn,
+  kCombineInputRecords,
+  kCombineOutputRecords,
 };
 
-inline constexpr std::size_t kNumCounterIds = 6;
+inline constexpr std::size_t kNumCounterIds = 11;
 
 /// \brief The well-known name of an interned counter id.
 const char* CounterName(CounterId id);

@@ -65,6 +65,8 @@ const char* JobEventTypeName(JobEventType type) {
     case JobEventType::kAttemptSpeculate: return "attempt_speculate";
     case JobEventType::kPhaseStart: return "phase_start";
     case JobEventType::kPhaseFinish: return "phase_finish";
+    case JobEventType::kSpill: return "spill";
+    case JobEventType::kMergePass: return "merge_pass";
   }
   return "unknown";
 }

@@ -124,6 +124,8 @@ enum class JobEventType : uint8_t {
   kAttemptSpeculate,  // a backup attempt was launched for this task
   kPhaseStart,
   kPhaseFinish,
+  kSpill,      // a map/merge attempt wrote a sorted run to disk
+  kMergePass,  // a reduce attempt's shuffle merge opened (detail: fan-in)
 };
 
 /// \brief Human-readable event-type name ("attempt_start", ...).
@@ -188,6 +190,11 @@ class JobObserver {
   virtual void OnEvent(const JobEvent& event) = 0;
 };
 
+/// \brief Marker for "no shuffle memory budget": the runtime keeps the
+/// all-in-memory shuffle fast path.
+inline constexpr std::size_t kUnlimitedShuffleMemory =
+    static_cast<std::size_t>(-1);
+
 /// \brief Everything that controls how a job executes.
 struct ExecutionOptions {
   std::size_t num_reducers = 1;
@@ -207,6 +214,28 @@ struct ExecutionOptions {
   std::shared_ptr<const FaultInjector> fault;
   /// Optional event subscriber (non-owning; must outlive RunJob).
   JobObserver* observer = nullptr;
+
+  // ---- External shuffle (mapreduce/shuffle.h) --------------------------
+  /// Per-task shuffle memory budget in bytes. With a finite budget a map
+  /// task buffers at most this many serialized record bytes before
+  /// sorting the buffer and spilling it to disk as one run per reducer
+  /// partition, and each reducer's input is streamed through a k-way
+  /// merge of those runs instead of being materialized. The default,
+  /// kUnlimitedShuffleMemory, keeps the all-in-memory fast path. Job
+  /// outputs and the logical counters are byte-identical whatever the
+  /// budget. The HAMMING_SHUFFLE_BUDGET environment variable overrides
+  /// the default for jobs that did not set a budget explicitly (the
+  /// sanitizer sweep in scripts/check.sh uses it to push every test
+  /// through the spill/merge paths).
+  std::size_t shuffle_memory_bytes = kUnlimitedShuffleMemory;
+  /// Maximum number of sorted runs one merge pass consumes. A reducer
+  /// facing more spill segments than this first runs intermediate merge
+  /// passes (re-applying the job's combiner, if any) until the final
+  /// streaming merge is within the fan-in cap. Must be >= 2.
+  std::size_t shuffle_max_merge_fanin = 16;
+  /// Directory for spill files; "" uses the system temp directory. Each
+  /// job creates (and on completion removes) a private subdirectory.
+  std::string shuffle_dir;
 };
 
 }  // namespace hamming::mr

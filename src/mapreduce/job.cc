@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -9,6 +10,7 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "mapreduce/shuffle.h"
 
 namespace hamming::mr {
 
@@ -38,24 +40,33 @@ std::vector<std::vector<Record>> SplitEvenly(std::vector<Record> records,
 
 namespace {
 
-// Effective execution options: the deprecated flat JobSpec fields forward
-// into (and override) spec.options for one release, then disappear.
+// HAMMING_SHUFFLE_BUDGET (bytes) overrides the shuffle memory budget for
+// jobs that did not set one explicitly; scripts/check.sh uses it to push
+// every test through the spill/merge paths. Parsed once per process.
+std::size_t EnvShuffleBudget() {
+  static const std::size_t parsed = [] {
+    const char* env = std::getenv("HAMMING_SHUFFLE_BUDGET");
+    if (env == nullptr || *env == '\0') return kUnlimitedShuffleMemory;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || v == 0) return kUnlimitedShuffleMemory;
+    return static_cast<std::size_t>(v);
+  }();
+  return parsed;
+}
+
+// Effective execution options for one run.
 ExecutionOptions ResolveOptions(const JobSpec& spec) {
   ExecutionOptions opts = spec.options;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  if (spec.num_reducers != JobSpec::kUnsetNumReducers) {
-    opts.num_reducers = spec.num_reducers;
-  }
-  if (spec.partition_fn) opts.partition_fn = spec.partition_fn;
-  if (spec.legacy_contended_counters) opts.legacy_contended_counters = true;
-#pragma GCC diagnostic pop
   if (!opts.partition_fn) opts.partition_fn = PartitionFn(HashPartition);
   // Per-record shared counting cannot be un-charged when an attempt is
   // discarded, so any attempt-layer feature forces buffered counting.
   if (opts.max_attempts > 1 || opts.speculation.enabled ||
       opts.fault != nullptr) {
     opts.legacy_contended_counters = false;
+  }
+  if (opts.shuffle_memory_bytes == kUnlimitedShuffleMemory) {
+    opts.shuffle_memory_bytes = EnvShuffleBudget();
   }
   return opts;
 }
@@ -109,7 +120,8 @@ class EventLog {
 // if the attempt wins, so failed/cancelled attempts leave no trace in the
 // job's outputs or counters.
 struct AttemptOutput {
-  std::vector<std::vector<Record>> map_partitions;  // map attempts
+  std::vector<std::vector<Record>> map_partitions;  // map attempts (in-memory)
+  std::vector<SpillFileRef> spills;                 // map attempts (external)
   std::vector<Record> reduce_records;               // reduce attempts
   LocalCounters counts;
 };
@@ -355,6 +367,16 @@ std::string InjectedFaultMessage(TaskKind kind, std::size_t task,
 
 }  // namespace
 
+// Removes the job's private spill directory when RunJob leaves scope,
+// whatever path it leaves by. Declared before any SpillFileRef holder so
+// the files themselves (deleted by their handles) go first.
+struct SpillDirGuard {
+  std::string dir;
+  ~SpillDirGuard() {
+    if (!dir.empty()) RemoveJobSpillDir(dir);
+  }
+};
+
 Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
   if (!spec.map_fn) return Status::InvalidArgument("job has no map function");
   const ExecutionOptions opts = ResolveOptions(spec);
@@ -363,6 +385,17 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
   }
   if (opts.max_attempts == 0) {
     return Status::InvalidArgument("max_attempts must be positive");
+  }
+  if (opts.shuffle_max_merge_fanin < 2) {
+    return Status::InvalidArgument("shuffle_max_merge_fanin must be >= 2");
+  }
+  // A finite budget switches the shuffle to its external (spill-to-disk)
+  // mode; outputs and logical counters are byte-identical either way.
+  const bool external = opts.shuffle_memory_bytes != kUnlimitedShuffleMemory;
+  SpillDirGuard spill_dir;
+  if (external) {
+    HAMMING_ASSIGN_OR_RETURN(spill_dir.dir,
+                             CreateJobSpillDir(opts.shuffle_dir));
   }
   JobResult result;
   Stopwatch total_watch;
@@ -375,8 +408,10 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
   Stopwatch map_watch;
   events.Phase(JobEventType::kPhaseStart, "map");
   const std::size_t num_maps = spec.input_splits.size();
-  // Per map task, per reducer: emitted records (winning attempt only).
+  // Per map task (winning attempt only): either buffered partitions
+  // (in-memory mode) or the task's spill files (external mode).
   std::vector<std::vector<std::vector<Record>>> map_outputs(num_maps);
+  std::vector<std::vector<SpillFileRef>> map_spills(num_maps);
 
   AttemptFn map_attempt = [&](std::size_t m, int attempt, CancelToken* token,
                               AttemptOutput* out) -> Status {
@@ -388,10 +423,10 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
     }
     const auto& split = spec.input_splits[m];
     // Injected failures fire midway, after the attempt has buffered
-    // emissions and counters that the runner must then discard.
+    // emissions and counters (and, externally, written spill files) that
+    // the runner must then discard.
     const std::size_t fail_after =
         fd.fail ? split.size() / 2 : static_cast<std::size_t>(-1);
-    out->map_partitions.assign(opts.num_reducers, {});
     auto count = [&](CounterId id, int64_t delta) {
       if (legacy_counters) {
         result.counters.Add(CounterName(id), delta);
@@ -399,6 +434,27 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
         out->counts.Add(id, delta);
       }
     };
+    std::unique_ptr<ShuffleWriter> writer;
+    if (external) {
+      ShuffleWriterOptions wopts;
+      wopts.num_partitions = opts.num_reducers;
+      wopts.memory_budget_bytes = opts.shuffle_memory_bytes;
+      wopts.dir = spill_dir.dir;
+      // Attempt-unique stem: racing attempts of one task never share
+      // spill files.
+      wopts.file_stem = "m" + std::to_string(m) + "-a" + std::to_string(attempt);
+      wopts.combine_fn = spec.combine_fn;
+      writer = std::make_unique<ShuffleWriter>(
+          std::move(wopts), [&events, m, attempt](uint64_t bytes,
+                                                  uint64_t records) {
+            events.Attempt(JobEventType::kSpill, TaskKind::kMap, m, attempt,
+                           0.0,
+                           std::to_string(bytes) + " bytes, " +
+                               std::to_string(records) + " records");
+          });
+    } else {
+      out->map_partitions.assign(opts.num_reducers, {});
+    }
     Emitter emitter;  // reused across records; keeps its capacity
     std::size_t processed = 0;
     for (const Record& rec : split) {
@@ -411,11 +467,17 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
       emitter.records().clear();
       HAMMING_RETURN_NOT_OK(spec.map_fn(rec, &emitter));
       for (Record& o : emitter.records()) {
+        // Logical shuffle counters are charged at emission, before any
+        // combining or spilling, so they are identical at every budget.
         count(CounterId::kMapOutputRecords, 1);
         count(CounterId::kShuffleBytes,
               static_cast<int64_t>(o.SerializedBytes()));
         std::size_t p = partition(o.key, opts.num_reducers);
-        out->map_partitions[p].push_back(std::move(o));
+        if (writer) {
+          HAMMING_RETURN_NOT_OK(writer->Add(p, std::move(o)));
+        } else {
+          out->map_partitions[p].push_back(std::move(o));
+        }
       }
       ++processed;
     }
@@ -423,10 +485,31 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
       return Status::ExecutionError(
           InjectedFaultMessage(TaskKind::kMap, m, attempt));
     }
+    if (writer) {
+      HAMMING_RETURN_NOT_OK(writer->Flush());
+      count(CounterId::kShuffleSpills, writer->spill_count());
+      count(CounterId::kShuffleSpilledBytes, writer->spilled_bytes());
+      count(CounterId::kCombineInputRecords, writer->combine_input_records());
+      count(CounterId::kCombineOutputRecords,
+            writer->combine_output_records());
+      out->spills = writer->TakeSpills();
+    } else if (spec.combine_fn) {
+      // In-memory mode applies the combiner once, to the whole partition
+      // buffer — the single-spill limit of the external path.
+      int64_t combine_in = 0;
+      int64_t combine_out = 0;
+      for (auto& partition_buf : out->map_partitions) {
+        HAMMING_RETURN_NOT_OK(SortAndCombine(&partition_buf, spec.combine_fn,
+                                             &combine_in, &combine_out));
+      }
+      count(CounterId::kCombineInputRecords, combine_in);
+      count(CounterId::kCombineOutputRecords, combine_out);
+    }
     return Status::OK();
   };
   CommitFn map_commit = [&](std::size_t m, AttemptOutput* out) {
     map_outputs[m] = std::move(out->map_partitions);
+    map_spills[m] = std::move(out->spills);
     if (!legacy_counters) result.counters.MergeLocal(out->counts);
   };
   {
@@ -438,29 +521,63 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
     if (!st.ok()) return st;
   }
 
-  // ---- Shuffle phase: gather per reducer, sort by key ------------------
-  // Reducer r's gather touches only slot r of every map output, so the
-  // per-reducer concatenate+sort chains run in parallel.
+  // ---- Shuffle phase ---------------------------------------------------
+  // In-memory: gather per reducer and sort by key (reducer r's gather
+  // touches only slot r of every map output, so the chains run in
+  // parallel). External: just enumerate reducer r's spill segments in
+  // (map task, spill sequence) order — the stable order the merge's
+  // tie-break relies on; actual merging streams inside reduce attempts.
   Stopwatch shuffle_watch;
   events.Phase(JobEventType::kPhaseStart, "shuffle");
-  std::vector<std::vector<Record>> reducer_inputs(opts.num_reducers);
-  ParallelFor(cluster->pool(), opts.num_reducers, [&](std::size_t r) {
-    auto& dst = reducer_inputs[r];
-    std::size_t total = 0;
-    for (const auto& per_map : map_outputs) total += per_map[r].size();
-    dst.reserve(total);
-    for (auto& per_map : map_outputs) {
-      dst.insert(dst.end(), std::make_move_iterator(per_map[r].begin()),
-                 std::make_move_iterator(per_map[r].end()));
+  std::vector<std::vector<Record>> reducer_inputs;
+  std::vector<std::vector<SegmentSource>> reducer_sources;
+  if (external) {
+    reducer_sources.resize(opts.num_reducers);
+    for (const auto& spills : map_spills) {
+      for (const SpillFileRef& file : spills) {
+        for (std::size_t r = 0; r < opts.num_reducers; ++r) {
+          if (file->segments()[r].records == 0) continue;  // empty run
+          reducer_sources[r].push_back(SegmentSource{file, r});
+        }
+      }
     }
-    std::stable_sort(dst.begin(), dst.end(),
-                     [](const Record& a, const Record& b) {
-                       return a.key < b.key;
-                     });
-  });
-  map_outputs.clear();
+  } else {
+    reducer_inputs.resize(opts.num_reducers);
+    ParallelFor(cluster->pool(), opts.num_reducers, [&](std::size_t r) {
+      auto& dst = reducer_inputs[r];
+      std::size_t total = 0;
+      for (const auto& per_map : map_outputs) total += per_map[r].size();
+      dst.reserve(total);
+      for (auto& per_map : map_outputs) {
+        dst.insert(dst.end(), std::make_move_iterator(per_map[r].begin()),
+                   std::make_move_iterator(per_map[r].end()));
+      }
+      std::stable_sort(dst.begin(), dst.end(),
+                       [](const Record& a, const Record& b) {
+                         return a.key < b.key;
+                       });
+    });
+    map_outputs.clear();
+  }
   result.shuffle_seconds = shuffle_watch.ElapsedSeconds();
   events.Phase(JobEventType::kPhaseFinish, "shuffle", result.shuffle_seconds);
+
+  // Builds a reduce-side merger for partition r (shared by the reduce
+  // attempts and the map-only materialization below).
+  auto make_merger = [&](std::size_t r, int attempt,
+                         std::vector<SegmentSource> sources) {
+    ShuffleMergerOptions mopts;
+    mopts.max_fanin = opts.shuffle_max_merge_fanin;
+    mopts.dir = spill_dir.dir;
+    mopts.file_stem = "r" + std::to_string(r) + "-a" + std::to_string(attempt);
+    mopts.combine_fn = spec.combine_fn;
+    mopts.on_spill = [&events, r, attempt](uint64_t bytes, uint64_t records) {
+      events.Attempt(JobEventType::kSpill, TaskKind::kReduce, r, attempt, 0.0,
+                     std::to_string(bytes) + " bytes, " +
+                         std::to_string(records) + " records");
+    };
+    return ShuffleMerger(std::move(sources), std::move(mopts));
+  };
 
   // ---- Reduce phase ----------------------------------------------------
   Stopwatch reduce_watch;
@@ -468,11 +585,51 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
   result.outputs.resize(opts.num_reducers);
   if (!spec.reduce_fn) {
     // Map-only job: partitioned map outputs are the result.
-    result.outputs = std::move(reducer_inputs);
+    if (external) {
+      std::mutex mo_mu;
+      Status mo_error;
+      ParallelFor(cluster->pool(), opts.num_reducers, [&](std::size_t r) {
+        LocalCounters counts;
+        Status st = [&]() -> Status {
+          ShuffleMerger merger =
+              make_merger(r, 0, std::move(reducer_sources[r]));
+          HAMMING_RETURN_NOT_OK(merger.Open());
+          events.Attempt(JobEventType::kMergePass, TaskKind::kReduce, r, 0,
+                         0.0, "fan-in " + std::to_string(merger.fanin()));
+          auto& dst = result.outputs[r];
+          dst.reserve(merger.records());
+          Record rec;
+          bool done = false;
+          HAMMING_RETURN_NOT_OK(merger.Next(&rec, &done));
+          while (!done) {
+            dst.push_back(std::move(rec));
+            HAMMING_RETURN_NOT_OK(merger.Next(&rec, &done));
+          }
+          counts.Add(CounterId::kShuffleMergeFanIn, merger.fanin());
+          counts.Add(CounterId::kShuffleSpills, merger.spill_count());
+          counts.Add(CounterId::kShuffleSpilledBytes, merger.spilled_bytes());
+          counts.Add(CounterId::kCombineInputRecords,
+                     merger.combine_input_records());
+          counts.Add(CounterId::kCombineOutputRecords,
+                     merger.combine_output_records());
+          return Status::OK();
+        }();
+        std::lock_guard<std::mutex> lock(mo_mu);
+        if (!st.ok()) {
+          if (mo_error.ok()) mo_error = st;
+          return;
+        }
+        result.counters.MergeLocal(counts);
+      });
+      if (!mo_error.ok()) return mo_error;
+    } else {
+      result.outputs = std::move(reducer_inputs);
+    }
   } else {
     // An attempt may be re-run, so reduce input values are copied per
     // attempt when the attempt layer is active; the single-attempt fast
-    // path moves them out as before.
+    // path moves them out as before. (External attempts re-stream from
+    // the spill files, which re-running cannot corrupt.)
     const bool destructive = opts.max_attempts == 1 &&
                              !opts.speculation.enabled && fault == nullptr;
     AttemptFn reduce_attempt = [&](std::size_t r, int attempt,
@@ -484,9 +641,6 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
       if (fd.delay_seconds > 0.0 && !token->SleepFor(fd.delay_seconds)) {
         return CancelledStatus(TaskKind::kReduce);
       }
-      auto& input = reducer_inputs[r];
-      const std::size_t fail_after =
-          fd.fail ? input.size() / 2 : static_cast<std::size_t>(-1);
       auto count = [&](CounterId id, int64_t delta) {
         if (legacy_counters) {
           result.counters.Add(CounterName(id), delta);
@@ -495,30 +649,88 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
         }
       };
       Emitter emitter;
-      std::size_t i = 0;
-      while (i < input.size()) {
-        if (token->cancelled()) return CancelledStatus(TaskKind::kReduce);
-        if (i >= fail_after) {
+      if (external) {
+        ShuffleMerger merger = make_merger(r, attempt, reducer_sources[r]);
+        HAMMING_RETURN_NOT_OK(merger.Open());
+        events.Attempt(JobEventType::kMergePass, TaskKind::kReduce, r,
+                       attempt, 0.0,
+                       "fan-in " + std::to_string(merger.fanin()) +
+                           ", intermediate passes " +
+                           std::to_string(merger.merge_passes()));
+        const uint64_t total = merger.records();
+        const uint64_t fail_after =
+            fd.fail ? total / 2 : static_cast<uint64_t>(-1);
+        if (fd.fail && total == 0) {
           return Status::ExecutionError(
               InjectedFaultMessage(TaskKind::kReduce, r, attempt));
         }
-        std::size_t j = i;
-        std::vector<std::vector<uint8_t>> values;
-        while (j < input.size() && input[j].key == input[i].key) {
-          if (destructive) {
-            values.push_back(std::move(input[j].value));
-          } else {
-            values.push_back(input[j].value);
+        Record cur;
+        bool done = false;
+        HAMMING_RETURN_NOT_OK(merger.Next(&cur, &done));
+        uint64_t pulled = done ? 0 : 1;
+        bool have = !done;
+        while (have) {
+          if (token->cancelled()) return CancelledStatus(TaskKind::kReduce);
+          // Same midpoint semantics as the in-memory path: the injected
+          // failure fires at the first group starting at or past half the
+          // reducer's input.
+          if (pulled - 1 >= fail_after) {
+            return Status::ExecutionError(
+                InjectedFaultMessage(TaskKind::kReduce, r, attempt));
           }
-          ++j;
+          std::vector<uint8_t> key = std::move(cur.key);
+          std::vector<std::vector<uint8_t>> values;
+          values.push_back(std::move(cur.value));
+          for (;;) {
+            HAMMING_RETURN_NOT_OK(merger.Next(&cur, &done));
+            if (done) {
+              have = false;
+              break;
+            }
+            ++pulled;
+            if (cur.key != key) break;
+            values.push_back(std::move(cur.value));
+          }
+          count(CounterId::kReduceInputGroups, 1);
+          HAMMING_RETURN_NOT_OK(spec.reduce_fn(key, values, &emitter));
         }
-        count(CounterId::kReduceInputGroups, 1);
-        HAMMING_RETURN_NOT_OK(spec.reduce_fn(input[i].key, values, &emitter));
-        i = j;
-      }
-      if (fd.fail && input.empty()) {
-        return Status::ExecutionError(
-            InjectedFaultMessage(TaskKind::kReduce, r, attempt));
+        count(CounterId::kShuffleMergeFanIn, merger.fanin());
+        count(CounterId::kShuffleSpills, merger.spill_count());
+        count(CounterId::kShuffleSpilledBytes, merger.spilled_bytes());
+        count(CounterId::kCombineInputRecords,
+              merger.combine_input_records());
+        count(CounterId::kCombineOutputRecords,
+              merger.combine_output_records());
+      } else {
+        auto& input = reducer_inputs[r];
+        const std::size_t fail_after =
+            fd.fail ? input.size() / 2 : static_cast<std::size_t>(-1);
+        std::size_t i = 0;
+        while (i < input.size()) {
+          if (token->cancelled()) return CancelledStatus(TaskKind::kReduce);
+          if (i >= fail_after) {
+            return Status::ExecutionError(
+                InjectedFaultMessage(TaskKind::kReduce, r, attempt));
+          }
+          std::size_t j = i;
+          std::vector<std::vector<uint8_t>> values;
+          while (j < input.size() && input[j].key == input[i].key) {
+            if (destructive) {
+              values.push_back(std::move(input[j].value));
+            } else {
+              values.push_back(input[j].value);
+            }
+            ++j;
+          }
+          count(CounterId::kReduceInputGroups, 1);
+          HAMMING_RETURN_NOT_OK(
+              spec.reduce_fn(input[i].key, values, &emitter));
+          i = j;
+        }
+        if (fd.fail && input.empty()) {
+          return Status::ExecutionError(
+              InjectedFaultMessage(TaskKind::kReduce, r, attempt));
+        }
       }
       count(CounterId::kReduceOutputRecords,
             static_cast<int64_t>(emitter.records().size()));

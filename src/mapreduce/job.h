@@ -58,6 +58,18 @@ using ReduceFn = std::function<Status(
     const std::vector<uint8_t>& key,
     const std::vector<std::vector<uint8_t>>& values, Emitter*)>;
 
+/// \brief Optional map-side combiner, same signature as ReduceFn.
+///
+/// Applied to every sorted run before it leaves the map task (each spill
+/// under a finite shuffle budget, the whole partition buffer under an
+/// unlimited one) and again during intermediate merge passes on the
+/// reduce side. Contract (see DESIGN.md §4.10): it must emit records
+/// whose key equals the group key (enforced — a key change is an error),
+/// and it must be associative, commutative, and composable with the
+/// reducer, because how many times it runs per key depends on the memory
+/// budget and spill boundaries.
+using CombineFn = ReduceFn;
+
 /// \brief Hash partitioner (FNV over the key bytes).
 std::size_t HashPartition(const std::vector<uint8_t>& key,
                           std::size_t num_reducers);
@@ -72,38 +84,11 @@ struct JobSpec {
   /// Null for a map-only job (map outputs become the job outputs,
   /// partitioned but not grouped).
   ReduceFn reduce_fn;
+  /// Null for no combining. See CombineFn for the contract.
+  CombineFn combine_fn;
   /// Execution knobs: reducers, partitioner, attempts, speculation,
-  /// fault injection, observer.
+  /// fault injection, observer, shuffle memory budget.
   ExecutionOptions options;
-
-  // ---- Deprecated flat fields (one-PR grace period) -------------------
-  // These forward into `options` when RunJob resolves the spec: a value
-  // different from the marker default below overrides its options.*
-  // counterpart, so code that still assigns spec.num_reducers = 4 keeps
-  // working (with a deprecation warning) for one release.
-  [[deprecated("set options.partition_fn instead")]]
-  PartitionFn partition_fn;
-  [[deprecated("set options.num_reducers instead")]]
-  std::size_t num_reducers = kUnsetNumReducers;
-  [[deprecated("set options.legacy_contended_counters instead")]]
-  bool legacy_contended_counters = false;
-
-  /// Marker for "num_reducers not set the deprecated way".
-  static constexpr std::size_t kUnsetNumReducers =
-      static_cast<std::size_t>(-1);
-
-  // The special members touch the deprecated fields; defaulting them
-  // inside a suppression region keeps copying/moving a JobSpec silent
-  // while direct assignments to the deprecated fields still warn.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  JobSpec() = default;
-  JobSpec(const JobSpec&) = default;
-  JobSpec(JobSpec&&) = default;
-  JobSpec& operator=(const JobSpec&) = default;
-  JobSpec& operator=(JobSpec&&) = default;
-  ~JobSpec() = default;
-#pragma GCC diagnostic pop
 };
 
 /// \brief Everything a finished job reports.

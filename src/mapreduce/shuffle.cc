@@ -1,0 +1,330 @@
+#include "mapreduce/shuffle.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+namespace hamming::mr {
+
+namespace {
+
+// Folds one equal-key group through the combiner, appending its output
+// (which must keep the group key) to *out.
+Status CombineGroup(const CombineFn& fn, const std::vector<uint8_t>& key,
+                    std::vector<std::vector<uint8_t>>&& values,
+                    std::vector<Record>* out, int64_t* combine_in,
+                    int64_t* combine_out) {
+  *combine_in += static_cast<int64_t>(values.size());
+  Emitter emitter;
+  HAMMING_RETURN_NOT_OK(fn(key, values, &emitter));
+  for (Record& r : emitter.records()) {
+    if (r.key != key) {
+      return Status::InvalidArgument(
+          "combiner changed the key: combiners must emit records whose key "
+          "equals the group key");
+    }
+    *combine_out += 1;
+    out->push_back(std::move(r));
+  }
+  return Status::OK();
+}
+
+std::string SpillPath(const std::string& dir, const std::string& stem,
+                      std::size_t seq) {
+  return dir + "/" + stem + "-" + std::to_string(seq) + ".spill";
+}
+
+}  // namespace
+
+SpillFile::~SpillFile() { std::remove(path_.c_str()); }
+
+Status SortAndCombine(std::vector<Record>* records,
+                      const CombineFn& combine_fn, int64_t* combine_in,
+                      int64_t* combine_out) {
+  std::stable_sort(records->begin(), records->end(),
+                   [](const Record& a, const Record& b) {
+                     return a.key < b.key;
+                   });
+  if (!combine_fn) return Status::OK();
+  std::vector<Record> combined;
+  std::size_t i = 0;
+  while (i < records->size()) {
+    std::size_t j = i;
+    std::vector<std::vector<uint8_t>> values;
+    while (j < records->size() && (*records)[j].key == (*records)[i].key) {
+      values.push_back(std::move((*records)[j].value));
+      ++j;
+    }
+    HAMMING_RETURN_NOT_OK(CombineGroup(combine_fn, (*records)[i].key,
+                                       std::move(values), &combined,
+                                       combine_in, combine_out));
+    i = j;
+  }
+  records->swap(combined);
+  return Status::OK();
+}
+
+Result<std::string> CreateJobSpillDir(const std::string& base_dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::path base;
+  if (base_dir.empty()) {
+    base = fs::temp_directory_path(ec);
+    if (ec) return Status::IOError("no temp directory: " + ec.message());
+  } else {
+    base = fs::path(base_dir);
+  }
+  // Process id + process-wide sequence number make the directory private
+  // to one job even when jobs run concurrently.
+  static std::atomic<uint64_t> seq{0};
+  fs::path dir = base / ("hammingdb-shuffle-" +
+                         std::to_string(static_cast<long long>(::getpid())) +
+                         "-" + std::to_string(seq.fetch_add(1)));
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create spill directory " + dir.string() +
+                           ": " + ec.message());
+  }
+  return dir.string();
+}
+
+void RemoveJobSpillDir(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);  // best-effort
+}
+
+// ---------------------------------------------------------------------------
+// ShuffleWriter
+// ---------------------------------------------------------------------------
+
+ShuffleWriter::ShuffleWriter(ShuffleWriterOptions opts, SpillEventFn on_spill)
+    : opts_(std::move(opts)), on_spill_(std::move(on_spill)) {
+  if (opts_.num_partitions == 0) opts_.num_partitions = 1;
+  buffer_.resize(opts_.num_partitions);
+}
+
+Status ShuffleWriter::Add(std::size_t partition, Record rec) {
+  if (partition >= buffer_.size()) {
+    return Status::InvalidArgument("shuffle partition out of range");
+  }
+  buffered_bytes_ += rec.SerializedBytes();
+  buffer_[partition].push_back(std::move(rec));
+  if (buffered_bytes_ >= opts_.memory_budget_bytes) return Spill();
+  return Status::OK();
+}
+
+Status ShuffleWriter::Flush() {
+  if (buffered_bytes_ == 0) return Status::OK();
+  return Spill();
+}
+
+Status ShuffleWriter::Spill() {
+  const std::string path =
+      SpillPath(opts_.dir, opts_.file_stem, next_spill_seq_++);
+  HAMMING_ASSIGN_OR_RETURN(
+      auto writer, storage::SpillFileWriter::Create(path, buffer_.size(),
+                                                    kSpillPageBytes));
+  uint64_t records = 0;
+  for (std::size_t p = 0; p < buffer_.size(); ++p) {
+    HAMMING_RETURN_NOT_OK(SortAndCombine(&buffer_[p], opts_.combine_fn,
+                                         &combine_in_, &combine_out_));
+    for (const Record& rec : buffer_[p]) {
+      HAMMING_RETURN_NOT_OK(writer->Append(p, rec.key.data(), rec.key.size(),
+                                           rec.value.data(),
+                                           rec.value.size()));
+      ++records;
+    }
+    buffer_[p].clear();
+  }
+  buffered_bytes_ = 0;
+  HAMMING_RETURN_NOT_OK(writer->Finish());
+  spills_.push_back(std::make_shared<const SpillFile>(
+      writer->path(), writer->segments(), writer->file_bytes()));
+  ++spill_count_;
+  spilled_bytes_ += static_cast<int64_t>(writer->file_bytes());
+  if (on_spill_) on_spill_(writer->file_bytes(), records);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// ShuffleMerger
+// ---------------------------------------------------------------------------
+
+// One open run: the stream's current (not yet yielded) record plus its
+// rank among the merge's sources, which breaks key ties so equal keys
+// come out in source order — the property the byte-identity guarantee
+// rests on.
+struct ShuffleMerger::Stream {
+  SpillFileRef file;  // keeps the spill file alive while the cursor reads
+  std::unique_ptr<storage::SpillSegmentCursor> cursor;
+  Record rec;
+  std::size_t rank = 0;
+};
+
+ShuffleMerger::ShuffleMerger(std::vector<SegmentSource> sources,
+                             ShuffleMergerOptions opts)
+    : sources_(std::move(sources)), opts_(std::move(opts)) {
+  if (opts_.max_fanin < 2) opts_.max_fanin = 2;
+}
+
+ShuffleMerger::ShuffleMerger(ShuffleMerger&&) noexcept = default;
+ShuffleMerger& ShuffleMerger::operator=(ShuffleMerger&&) noexcept = default;
+ShuffleMerger::~ShuffleMerger() = default;
+
+Status ShuffleMerger::OpenStreams(const std::vector<SegmentSource>& sources) {
+  streams_.clear();
+  heap_.clear();
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    HAMMING_ASSIGN_OR_RETURN(
+        auto cursor, storage::SpillSegmentCursor::Open(sources[i].file->path(),
+                                                       sources[i].segment));
+    auto stream = std::make_unique<Stream>();
+    stream->file = sources[i].file;
+    stream->cursor = std::move(cursor);
+    stream->rank = i;
+    bool done = false;
+    HAMMING_RETURN_NOT_OK(
+        stream->cursor->Next(&stream->rec.key, &stream->rec.value, &done));
+    if (done) continue;  // empty run
+    streams_.push_back(std::move(stream));
+  }
+  heap_.resize(streams_.size());
+  for (std::size_t i = 0; i < heap_.size(); ++i) heap_[i] = i;
+  auto after = [this](std::size_t a, std::size_t b) {
+    const Stream& sa = *streams_[a];
+    const Stream& sb = *streams_[b];
+    if (sa.rec.key != sb.rec.key) return sa.rec.key > sb.rec.key;
+    return sa.rank > sb.rank;
+  };
+  std::make_heap(heap_.begin(), heap_.end(), after);
+  return Status::OK();
+}
+
+Status ShuffleMerger::PopMin(Record* rec, bool* done) {
+  if (heap_.empty()) {
+    *done = true;
+    return Status::OK();
+  }
+  auto after = [this](std::size_t a, std::size_t b) {
+    const Stream& sa = *streams_[a];
+    const Stream& sb = *streams_[b];
+    if (sa.rec.key != sb.rec.key) return sa.rec.key > sb.rec.key;
+    return sa.rank > sb.rank;
+  };
+  std::pop_heap(heap_.begin(), heap_.end(), after);
+  Stream& s = *streams_[heap_.back()];
+  *rec = std::move(s.rec);
+  bool stream_done = false;
+  s.rec = Record{};
+  HAMMING_RETURN_NOT_OK(s.cursor->Next(&s.rec.key, &s.rec.value, &stream_done));
+  if (stream_done) {
+    heap_.pop_back();
+  } else {
+    std::push_heap(heap_.begin(), heap_.end(), after);
+  }
+  *done = false;
+  return Status::OK();
+}
+
+Status ShuffleMerger::RunIntermediatePass() {
+  // Merge consecutive chunks of max_fanin sources into one run each.
+  // Chunks are *prefix-contiguous*, so the (map task, spill sequence)
+  // order of records with equal keys survives the pass: a chunk's merge
+  // is stable (rank tie-break) and chunk outputs keep their chunk's
+  // position among the sources.
+  std::vector<SegmentSource> next;
+  for (std::size_t begin = 0; begin < sources_.size();
+       begin += opts_.max_fanin) {
+    const std::size_t end =
+        std::min(begin + opts_.max_fanin, sources_.size());
+    if (end - begin == 1) {
+      next.push_back(std::move(sources_[begin]));
+      continue;
+    }
+    std::vector<SegmentSource> chunk(
+        std::make_move_iterator(sources_.begin() + begin),
+        std::make_move_iterator(sources_.begin() + end));
+    HAMMING_RETURN_NOT_OK(OpenStreams(chunk));
+    fanin_ += static_cast<int64_t>(chunk.size());
+
+    const std::string path =
+        SpillPath(opts_.dir, opts_.file_stem + "-merge", next_pass_seq_++);
+    HAMMING_ASSIGN_OR_RETURN(
+        auto writer,
+        storage::SpillFileWriter::Create(path, 1, kSpillPageBytes));
+    uint64_t written = 0;
+    auto write_one = [&](const Record& r) -> Status {
+      ++written;
+      return writer->Append(0, r.key.data(), r.key.size(), r.value.data(),
+                            r.value.size());
+    };
+
+    Record rec;
+    bool done = false;
+    HAMMING_RETURN_NOT_OK(PopMin(&rec, &done));
+    if (!opts_.combine_fn) {
+      while (!done) {
+        HAMMING_RETURN_NOT_OK(write_one(rec));
+        HAMMING_RETURN_NOT_OK(PopMin(&rec, &done));
+      }
+    } else {
+      // Group equal keys as they stream out and fold each group.
+      while (!done) {
+        std::vector<uint8_t> key = std::move(rec.key);
+        std::vector<std::vector<uint8_t>> values;
+        values.push_back(std::move(rec.value));
+        for (;;) {
+          HAMMING_RETURN_NOT_OK(PopMin(&rec, &done));
+          if (done || rec.key != key) break;
+          values.push_back(std::move(rec.value));
+        }
+        std::vector<Record> combined;
+        HAMMING_RETURN_NOT_OK(CombineGroup(opts_.combine_fn, key,
+                                           std::move(values), &combined,
+                                           &combine_in_, &combine_out_));
+        for (const Record& r : combined) HAMMING_RETURN_NOT_OK(write_one(r));
+      }
+    }
+    HAMMING_RETURN_NOT_OK(writer->Finish());
+    auto file = std::make_shared<const SpillFile>(
+        writer->path(), writer->segments(), writer->file_bytes());
+    ++spill_count_;
+    spilled_bytes_ += static_cast<int64_t>(writer->file_bytes());
+    if (opts_.on_spill) opts_.on_spill(writer->file_bytes(), written);
+    next.push_back(SegmentSource{std::move(file), 0});
+  }
+  sources_ = std::move(next);
+  streams_.clear();
+  heap_.clear();
+  return Status::OK();
+}
+
+Status ShuffleMerger::Open() {
+  if (opened_) return Status::OK();
+  while (sources_.size() > opts_.max_fanin) {
+    HAMMING_RETURN_NOT_OK(RunIntermediatePass());
+    ++merge_passes_;
+  }
+  HAMMING_RETURN_NOT_OK(OpenStreams(sources_));
+  fanin_ += static_cast<int64_t>(sources_.size());
+  total_records_ = 0;
+  for (const SegmentSource& src : sources_) {
+    total_records_ += src.file->segments()[src.segment].records;
+  }
+  opened_ = true;
+  return Status::OK();
+}
+
+Status ShuffleMerger::Next(Record* rec, bool* done) {
+  if (!opened_) {
+    return Status::ExecutionError("ShuffleMerger::Next before Open");
+  }
+  return PopMin(rec, done);
+}
+
+}  // namespace hamming::mr

@@ -1,0 +1,222 @@
+// The external (memory-bounded) shuffle.
+//
+// The in-memory runtime buffers every map output and reducer input fully
+// in RAM, which silently stops modelling the regime the paper targets —
+// datasets larger than per-node memory (Afrati et al. frame reducer
+// memory as *the* MapReduce design axis). This subsystem bounds the
+// shuffle's memory footprint per task:
+//
+//  * map side (ShuffleWriter): emitted records accumulate in a buffer
+//    whose serialized size is capped by ExecutionOptions::
+//    shuffle_memory_bytes. When the cap is hit the buffer is stable-
+//    sorted by key per partition, the job's combiner (if any) folds each
+//    equal-key group, and the runs are written as one CRC-framed paged
+//    spill file (storage/file_io.h) with one segment per reduce
+//    partition.
+//  * reduce side (ShuffleMerger): a reducer's input is the set of spill
+//    segments addressed to its partition, streamed through a k-way merge
+//    that holds one page per open segment — reducer input never
+//    materializes in memory. When the segment count exceeds
+//    ExecutionOptions::shuffle_max_merge_fanin, intermediate merge passes
+//    (combiner re-applied) first reduce the run count, exactly like
+//    Hadoop's io.sort.factor multi-pass merges.
+//
+// Ordering is preserved bit for bit: runs are stable-sorted, sources are
+// merged in (map task, spill sequence) order with ties on the key broken
+// by source rank, so the record sequence a reducer sees — and therefore
+// the job's outputs and logical counters — is byte-identical to the
+// all-in-memory path at any budget (asserted in tests/test_shuffle.cc
+// for every MR join plan).
+//
+// Spill files are attempt-private and reference-counted (SpillFile
+// deletes its file when the last reference drops), which is what lets
+// the PR 2 attempt layer retry or speculate a task that has already
+// spilled: a losing attempt's files vanish with its AttemptOutput and
+// the winner's are re-created deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "mapreduce/job.h"
+#include "storage/file_io.h"
+
+namespace hamming::mr {
+
+/// \brief Page payload target for spill I/O: the unit of read buffering
+/// and of CRC verification.
+inline constexpr std::size_t kSpillPageBytes = 32 * 1024;
+
+/// \brief RAII handle on one spill file; the file is deleted when the
+/// last reference drops.
+class SpillFile {
+ public:
+  SpillFile(std::string path, std::vector<storage::SpillSegmentMeta> segments,
+            uint64_t file_bytes)
+      : path_(std::move(path)),
+        segments_(std::move(segments)),
+        file_bytes_(file_bytes) {}
+  ~SpillFile();
+
+  SpillFile(const SpillFile&) = delete;
+  SpillFile& operator=(const SpillFile&) = delete;
+
+  const std::string& path() const { return path_; }
+  const std::vector<storage::SpillSegmentMeta>& segments() const {
+    return segments_;
+  }
+  uint64_t file_bytes() const { return file_bytes_; }
+
+ private:
+  std::string path_;
+  std::vector<storage::SpillSegmentMeta> segments_;
+  uint64_t file_bytes_;
+};
+
+using SpillFileRef = std::shared_ptr<const SpillFile>;
+
+/// \brief Stable-sorts `records` by key and, if `combine_fn` is set,
+/// replaces each equal-key group with the combiner's output (which must
+/// keep the group key). Adds the group's value count to *combine_in and
+/// the emitted record count to *combine_out.
+Status SortAndCombine(std::vector<Record>* records,
+                      const CombineFn& combine_fn, int64_t* combine_in,
+                      int64_t* combine_out);
+
+/// \brief Creates (and returns the path of) a fresh private spill
+/// directory for one job under `base_dir` ("" = the system temp dir).
+Result<std::string> CreateJobSpillDir(const std::string& base_dir);
+
+/// \brief Removes a job's spill directory (best-effort; spill files
+/// themselves are removed by their SpillFile handles).
+void RemoveJobSpillDir(const std::string& dir);
+
+/// \brief Observer for one spill: on-disk bytes and record count.
+using SpillEventFn = std::function<void(uint64_t bytes, uint64_t records)>;
+
+struct ShuffleWriterOptions {
+  std::size_t num_partitions = 1;
+  /// Serialized-byte cap on the in-memory buffer before a spill is cut.
+  std::size_t memory_budget_bytes = kUnlimitedShuffleMemory;
+  /// Existing directory spill files are created in.
+  std::string dir;
+  /// Unique per attempt (e.g. "m3-a0"); spill files are
+  /// `<dir>/<file_stem>-<seq>.spill`.
+  std::string file_stem;
+  CombineFn combine_fn;  ///< optional, applied to every spilled run
+};
+
+/// \brief Map-side budgeted buffer: partitions, sorts, combines, and
+/// spills emitted records. Single-threaded (owned by one task attempt).
+class ShuffleWriter {
+ public:
+  ShuffleWriter(ShuffleWriterOptions opts, SpillEventFn on_spill = nullptr);
+
+  /// \brief Buffers one record for `partition`; spills if the buffer's
+  /// serialized size reaches the budget.
+  Status Add(std::size_t partition, Record rec);
+
+  /// \brief Spills whatever is buffered (the final run). Idempotent.
+  Status Flush();
+
+  /// \brief The spill files written, in spill order. Call after Flush.
+  std::vector<SpillFileRef> TakeSpills() { return std::move(spills_); }
+
+  int64_t spill_count() const { return spill_count_; }
+  int64_t spilled_bytes() const { return spilled_bytes_; }
+  int64_t combine_input_records() const { return combine_in_; }
+  int64_t combine_output_records() const { return combine_out_; }
+
+ private:
+  Status Spill();
+
+  ShuffleWriterOptions opts_;
+  SpillEventFn on_spill_;
+  std::vector<std::vector<Record>> buffer_;  // per partition
+  std::size_t buffered_bytes_ = 0;
+  std::size_t next_spill_seq_ = 0;
+  std::vector<SpillFileRef> spills_;
+  int64_t spill_count_ = 0;
+  int64_t spilled_bytes_ = 0;
+  int64_t combine_in_ = 0;
+  int64_t combine_out_ = 0;
+};
+
+/// \brief One sorted run feeding a merge: a segment of a spill file.
+/// Sources must be listed in their stable order — (map task, spill
+/// sequence) ascending — for merged ties to reproduce emission order.
+struct SegmentSource {
+  SpillFileRef file;
+  std::size_t segment = 0;
+};
+
+struct ShuffleMergerOptions {
+  /// Maximum sources one merge pass consumes; more triggers intermediate
+  /// passes. Clamped to >= 2.
+  std::size_t max_fanin = 16;
+  /// Directory + unique stem (e.g. "r2-a1") for intermediate merge
+  /// spill files.
+  std::string dir;
+  std::string file_stem;
+  /// Applied to equal-key groups during intermediate passes only (the
+  /// final pass feeds the reducer, which does its own folding).
+  CombineFn combine_fn;
+  SpillEventFn on_spill;  ///< fires for each intermediate merge spill
+};
+
+/// \brief Streaming k-way merge over sorted runs, with multi-pass
+/// merging when the fan-in cap is exceeded. Single-threaded (owned by
+/// one reduce attempt).
+class ShuffleMerger {
+ public:
+  ShuffleMerger(std::vector<SegmentSource> sources,
+                ShuffleMergerOptions opts);
+  ShuffleMerger(ShuffleMerger&&) noexcept;
+  ShuffleMerger& operator=(ShuffleMerger&&) noexcept;
+  ~ShuffleMerger();  // out of line: Stream is incomplete here
+
+  /// \brief Runs any intermediate passes and opens the final merge.
+  Status Open();
+
+  /// \brief Records the final merge will yield (valid after Open).
+  uint64_t records() const { return total_records_; }
+  /// \brief Total segments consumed across all passes (the job's
+  /// merge fan-in counter).
+  int64_t fanin() const { return fanin_; }
+  int64_t merge_passes() const { return merge_passes_; }
+  int64_t spill_count() const { return spill_count_; }
+  int64_t spilled_bytes() const { return spilled_bytes_; }
+  int64_t combine_input_records() const { return combine_in_; }
+  int64_t combine_output_records() const { return combine_out_; }
+
+  /// \brief Next record in merged key order; *done = true at the end.
+  Status Next(Record* rec, bool* done);
+
+ private:
+  struct Stream;
+
+  Status OpenStreams(const std::vector<SegmentSource>& sources);
+  Status RunIntermediatePass();
+  Status PopMin(Record* rec, bool* done);
+
+  std::vector<SegmentSource> sources_;
+  ShuffleMergerOptions opts_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<std::size_t> heap_;  // indexes into streams_
+  uint64_t total_records_ = 0;
+  std::size_t next_pass_seq_ = 0;
+  int64_t fanin_ = 0;
+  int64_t merge_passes_ = 0;
+  int64_t spill_count_ = 0;
+  int64_t spilled_bytes_ = 0;
+  int64_t combine_in_ = 0;
+  int64_t combine_out_ = 0;
+  bool opened_ = false;
+};
+
+}  // namespace hamming::mr

@@ -126,4 +126,289 @@ Result<std::vector<uint8_t>> ReadContainer(const std::string& path,
   return payload;
 }
 
+// ---------------------------------------------------------------------------
+// Paged spill files
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Header: magic, version, kind, num_segments (4 x fixed32), then the
+// index (3 x fixed64 per segment), then the header CRC (fixed32).
+std::size_t SpillHeaderBytes(std::size_t num_segments) {
+  return 16 + 24 * num_segments + 4;
+}
+
+constexpr std::size_t kSpillPageFraming = 8;  // fixed32 len + fixed32 crc
+
+void PutFixed32To(std::vector<uint8_t>* buf, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf->push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SpillFileWriter>> SpillFileWriter::Create(
+    const std::string& path, std::size_t num_segments,
+    std::size_t page_target_bytes) {
+  if (num_segments == 0) {
+    return Status::InvalidArgument("spill file needs at least one segment");
+  }
+  if (page_target_bytes == 0) {
+    return Status::InvalidArgument("spill page target must be positive");
+  }
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + tmp + " for writing");
+  }
+  // Reserve the header region; Finish seeks back and fills it in. Until
+  // then the magic field reads as zero, so a crash mid-write leaves a
+  // file no reader accepts.
+  std::vector<uint8_t> zeros(SpillHeaderBytes(num_segments), 0);
+  if (std::fwrite(zeros.data(), 1, zeros.size(), f) != zeros.size()) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + tmp);
+  }
+  std::unique_ptr<SpillFileWriter> w(
+      new SpillFileWriter(path, f, num_segments, page_target_bytes));
+  return w;
+}
+
+SpillFileWriter::SpillFileWriter(std::string path, std::FILE* file,
+                                 std::size_t num_segments,
+                                 std::size_t page_target_bytes)
+    : path_(std::move(path)),
+      file_(file),
+      page_target_(page_target_bytes),
+      segments_(num_segments),
+      offset_(SpillHeaderBytes(num_segments)) {
+  segments_[0].offset = offset_;
+}
+
+SpillFileWriter::~SpillFileWriter() {
+  if (finished_) return;
+  if (file_ != nullptr) std::fclose(file_);
+  std::remove((path_ + ".tmp").c_str());
+}
+
+Status SpillFileWriter::FlushPage() {
+  if (page_.empty()) return Status::OK();
+  uint8_t framing[4];
+  const uint32_t len = static_cast<uint32_t>(page_.size());
+  for (int i = 0; i < 4; ++i) framing[i] = (len >> (8 * i)) & 0xff;
+  bool ok = std::fwrite(framing, 1, 4, file_) == 4;
+  ok = ok && std::fwrite(page_.data(), 1, page_.size(), file_) == page_.size();
+  const uint32_t crc = Crc32(page_.data(), page_.size());
+  for (int i = 0; i < 4; ++i) framing[i] = (crc >> (8 * i)) & 0xff;
+  ok = ok && std::fwrite(framing, 1, 4, file_) == 4;
+  if (!ok) return Status::IOError("short write to " + path_ + ".tmp");
+  const uint64_t on_disk = page_.size() + kSpillPageFraming;
+  offset_ += on_disk;
+  segments_[current_segment_].bytes += on_disk;
+  segments_[current_segment_].records += page_records_;
+  page_.clear();
+  page_records_ = 0;
+  return Status::OK();
+}
+
+Status SpillFileWriter::Append(std::size_t segment, const uint8_t* key,
+                               std::size_t key_len, const uint8_t* value,
+                               std::size_t value_len) {
+  if (finished_) return Status::InvalidArgument("spill writer finished");
+  if (segment >= segments_.size() || segment < current_segment_) {
+    return Status::InvalidArgument(
+        "spill segments must be appended in order");
+  }
+  if (segment != current_segment_) {
+    HAMMING_RETURN_NOT_OK(FlushPage());
+    for (std::size_t s = current_segment_ + 1; s <= segment; ++s) {
+      segments_[s].offset = offset_;
+    }
+    current_segment_ = segment;
+  }
+  BufferWriter rec;
+  rec.PutVarint64(key_len);
+  rec.PutRaw(key, key_len);
+  rec.PutVarint64(value_len);
+  rec.PutRaw(value, value_len);
+  // Records never span pages: cut the current page first if this record
+  // would push it past the target (an oversized record gets its own
+  // page).
+  if (!page_.empty() && page_.size() + rec.size() > page_target_) {
+    HAMMING_RETURN_NOT_OK(FlushPage());
+  }
+  page_.insert(page_.end(), rec.buffer().begin(), rec.buffer().end());
+  ++page_records_;
+  if (page_.size() >= page_target_) HAMMING_RETURN_NOT_OK(FlushPage());
+  return Status::OK();
+}
+
+Status SpillFileWriter::Finish() {
+  if (finished_) return Status::InvalidArgument("spill writer finished");
+  HAMMING_RETURN_NOT_OK(FlushPage());
+  // Segments past the last one appended are empty runs starting at EOF.
+  for (std::size_t s = current_segment_ + 1; s < segments_.size(); ++s) {
+    segments_[s].offset = offset_;
+  }
+  std::vector<uint8_t> header;
+  header.reserve(SpillHeaderBytes(segments_.size()));
+  PutFixed32To(&header, kMagic);
+  PutFixed32To(&header, kFormatVersion);
+  PutFixed32To(&header, static_cast<uint32_t>(PayloadKind::kShuffleSpill));
+  PutFixed32To(&header, static_cast<uint32_t>(segments_.size()));
+  for (const SpillSegmentMeta& m : segments_) {
+    for (uint64_t v : {m.offset, m.bytes, m.records}) {
+      for (int i = 0; i < 8; ++i) {
+        header.push_back(static_cast<uint8_t>((v >> (8 * i)) & 0xff));
+      }
+    }
+  }
+  PutFixed32To(&header, Crc32(header.data(), header.size()));
+
+  const std::string tmp = path_ + ".tmp";
+  bool ok = std::fseek(file_, 0, SEEK_SET) == 0;
+  ok = ok && std::fwrite(header.data(), 1, header.size(), file_) ==
+                 header.size();
+  ok = std::fclose(file_) == 0 && ok;
+  file_ = nullptr;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    finished_ = true;  // nothing left to clean up in the destructor
+    return Status::IOError("short header write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    finished_ = true;
+    return Status::IOError("cannot rename " + tmp + " to " + path_);
+  }
+  finished_ = true;
+  return Status::OK();
+}
+
+Result<std::unique_ptr<SpillSegmentCursor>> SpillSegmentCursor::Open(
+    const std::string& path, std::size_t segment) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  uint8_t fixed[16];
+  if (std::fread(fixed, 1, 16, f) != 16) {
+    std::fclose(f);
+    return Status::IOError(path + " is too short to be a spill file");
+  }
+  BufferReader fr(fixed, 16);
+  uint32_t magic, version, kind, num_segments;
+  (void)fr.GetFixed32(&magic);
+  (void)fr.GetFixed32(&version);
+  (void)fr.GetFixed32(&kind);
+  (void)fr.GetFixed32(&num_segments);
+  if (magic != kMagic || version != kFormatVersion ||
+      kind != static_cast<uint32_t>(PayloadKind::kShuffleSpill)) {
+    std::fclose(f);
+    return Status::IOError(path + " is not a spill file");
+  }
+  if (segment >= num_segments) {
+    std::fclose(f);
+    return Status::InvalidArgument(path + " has no segment " +
+                                   std::to_string(segment));
+  }
+  const std::size_t header_bytes = SpillHeaderBytes(num_segments);
+  std::vector<uint8_t> header(header_bytes);
+  std::memcpy(header.data(), fixed, 16);
+  if (std::fread(header.data() + 16, 1, header_bytes - 16, f) !=
+      header_bytes - 16) {
+    std::fclose(f);
+    return Status::IOError(path + " has a truncated spill header");
+  }
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |=
+        static_cast<uint32_t>(header[header_bytes - 4 + i]) << (8 * i);
+  }
+  if (Crc32(header.data(), header_bytes - 4) != stored_crc) {
+    std::fclose(f);
+    return Status::IOError(path + " failed spill header checksum");
+  }
+  BufferReader ir(header.data() + 16 + 24 * segment, 24);
+  SpillSegmentMeta meta;
+  (void)ir.GetFixed64(&meta.offset);
+  (void)ir.GetFixed64(&meta.bytes);
+  (void)ir.GetFixed64(&meta.records);
+  if (std::fseek(f, static_cast<long>(meta.offset), SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot seek in " + path);
+  }
+  std::unique_ptr<SpillSegmentCursor> c(
+      new SpillSegmentCursor(path, f, meta));
+  return c;
+}
+
+SpillSegmentCursor::SpillSegmentCursor(std::string path, std::FILE* file,
+                                       SpillSegmentMeta meta)
+    : path_(std::move(path)), file_(file), meta_(meta) {}
+
+SpillSegmentCursor::~SpillSegmentCursor() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SpillSegmentCursor::LoadNextPage() {
+  uint8_t framing[4];
+  if (consumed_bytes_ + kSpillPageFraming > meta_.bytes) {
+    return Status::IOError(path_ + " spill segment framing overruns");
+  }
+  if (std::fread(framing, 1, 4, file_) != 4) {
+    return Status::IOError(path_ + " spill page truncated");
+  }
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(framing[i]) << (8 * i);
+  }
+  if (len == 0 ||
+      consumed_bytes_ + kSpillPageFraming + len > meta_.bytes) {
+    return Status::IOError(path_ + " spill page length corrupt");
+  }
+  page_.resize(len);
+  if (std::fread(page_.data(), 1, len, file_) != len) {
+    return Status::IOError(path_ + " spill page truncated");
+  }
+  if (std::fread(framing, 1, 4, file_) != 4) {
+    return Status::IOError(path_ + " spill page truncated");
+  }
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(framing[i]) << (8 * i);
+  }
+  if (Crc32(page_.data(), page_.size()) != stored_crc) {
+    return Status::IOError(path_ + " spill page failed checksum");
+  }
+  consumed_bytes_ += len + kSpillPageFraming;
+  page_pos_ = 0;
+  return Status::OK();
+}
+
+Status SpillSegmentCursor::Next(std::vector<uint8_t>* key,
+                                std::vector<uint8_t>* value, bool* done) {
+  if (page_pos_ >= page_.size()) {
+    if (consumed_bytes_ >= meta_.bytes) {
+      if (records_returned_ != meta_.records) {
+        return Status::IOError(path_ + " spill segment record count " +
+                               "mismatch");
+      }
+      *done = true;
+      return Status::OK();
+    }
+    HAMMING_RETURN_NOT_OK(LoadNextPage());
+  }
+  BufferReader r(page_.data() + page_pos_, page_.size() - page_pos_);
+  HAMMING_RETURN_NOT_OK(r.GetBytes(key));
+  HAMMING_RETURN_NOT_OK(r.GetBytes(value));
+  page_pos_ = page_.size() - r.remaining();
+  ++records_returned_;
+  if (records_returned_ > meta_.records) {
+    return Status::IOError(path_ + " spill segment has extra records");
+  }
+  *done = false;
+  return Status::OK();
+}
+
 }  // namespace hamming::storage

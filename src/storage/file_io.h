@@ -10,6 +10,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +24,7 @@ namespace hamming::storage {
 enum class PayloadKind : uint32_t {
   kDynamicHAIndex = 1,
   kHammingTable = 2,
+  kShuffleSpill = 3,
   kGeneric = 100,
 };
 
@@ -38,5 +41,123 @@ Status WriteContainer(const std::string& path, PayloadKind kind,
 /// checksum failure.
 Result<std::vector<uint8_t>> ReadContainer(const std::string& path,
                                            PayloadKind expected_kind);
+
+// ---------------------------------------------------------------------------
+// Paged spill files (the external shuffle's on-disk format)
+// ---------------------------------------------------------------------------
+//
+// A spill file carries `num_segments` independent sorted runs (the
+// external shuffle writes one per reduce partition) behind a CRC-framed
+// header and segment index:
+//
+//   [fixed32 magic][fixed32 version][fixed32 kind=kShuffleSpill]
+//   [fixed32 num_segments]
+//   num_segments x { [fixed64 offset][fixed64 bytes][fixed64 records] }
+//   [fixed32 crc32 of everything above]
+//   segment 0 pages ... segment num_segments-1 pages
+//
+// Each segment is a sequence of pages, and each page is independently
+// CRC-framed:
+//
+//   page := [fixed32 payload_len][payload bytes][fixed32 crc32(payload)]
+//
+// A page's payload is a run of length-prefixed records
+// (varint key_len, key, varint value_len, value); records never span
+// pages, so a reader holds one page in memory at a time and truncation or
+// bit-rot anywhere — header, index, or page — surfaces as IOError before
+// a damaged record is handed out. Writers fill a zeroed header first and
+// rewrite it on Finish, then rename `<path>.tmp` into place, so a crash
+// mid-write leaves either nothing at `path` or a temp file whose zero
+// magic fails validation.
+
+/// \brief Index entry for one segment of a spill file.
+struct SpillSegmentMeta {
+  uint64_t offset = 0;   ///< file offset of the segment's first page
+  uint64_t bytes = 0;    ///< on-disk bytes of all its pages, framing included
+  uint64_t records = 0;  ///< number of records in the segment
+};
+
+/// \brief Streaming writer for one spill file. Records must be appended
+/// in nondecreasing segment order (the shuffle writes partition 0's run,
+/// then partition 1's, ...).
+class SpillFileWriter {
+ public:
+  /// Creates `path`.tmp with room for `num_segments` index entries; a
+  /// page is cut whenever its payload reaches `page_target_bytes` (a
+  /// single record larger than that gets a page of its own).
+  static Result<std::unique_ptr<SpillFileWriter>> Create(
+      const std::string& path, std::size_t num_segments,
+      std::size_t page_target_bytes);
+
+  /// Aborts (closes and removes the temp file) unless Finish succeeded.
+  ~SpillFileWriter();
+
+  SpillFileWriter(const SpillFileWriter&) = delete;
+  SpillFileWriter& operator=(const SpillFileWriter&) = delete;
+
+  /// \brief Appends one record to `segment`.
+  Status Append(std::size_t segment, const uint8_t* key, std::size_t key_len,
+                const uint8_t* value, std::size_t value_len);
+
+  /// \brief Flushes the last page, writes the header + index, and renames
+  /// the temp file into place.
+  Status Finish();
+
+  /// Valid after Finish.
+  const std::vector<SpillSegmentMeta>& segments() const { return segments_; }
+  uint64_t file_bytes() const { return offset_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SpillFileWriter(std::string path, std::FILE* file,
+                  std::size_t num_segments, std::size_t page_target_bytes);
+  Status FlushPage();
+
+  std::string path_;
+  std::FILE* file_;
+  std::size_t page_target_;
+  std::vector<SpillSegmentMeta> segments_;
+  std::size_t current_segment_ = 0;
+  uint64_t offset_ = 0;  // next write position (== bytes written so far)
+  std::vector<uint8_t> page_;
+  uint64_t page_records_ = 0;
+  bool finished_ = false;
+};
+
+/// \brief Streams the records of one segment out of a spill file, one
+/// CRC-verified page at a time.
+class SpillSegmentCursor {
+ public:
+  /// Opens `path`, validates the header/index CRC, and positions at the
+  /// start of `segment`.
+  static Result<std::unique_ptr<SpillSegmentCursor>> Open(
+      const std::string& path, std::size_t segment);
+
+  ~SpillSegmentCursor();
+
+  SpillSegmentCursor(const SpillSegmentCursor&) = delete;
+  SpillSegmentCursor& operator=(const SpillSegmentCursor&) = delete;
+
+  /// \brief Reads the next record into *key/*value; sets *done = true
+  /// (leaving the outputs untouched) once the segment is exhausted.
+  Status Next(std::vector<uint8_t>* key, std::vector<uint8_t>* value,
+              bool* done);
+
+  /// \brief The segment's record count, from the file's index.
+  uint64_t records() const { return meta_.records; }
+
+ private:
+  SpillSegmentCursor(std::string path, std::FILE* file,
+                     SpillSegmentMeta meta);
+  Status LoadNextPage();
+
+  std::string path_;
+  std::FILE* file_;
+  SpillSegmentMeta meta_;
+  uint64_t consumed_bytes_ = 0;    // on-disk segment bytes consumed
+  uint64_t records_returned_ = 0;
+  std::vector<uint8_t> page_;
+  std::size_t page_pos_ = 0;
+};
 
 }  // namespace hamming::storage

@@ -288,23 +288,46 @@ TEST(FaultToleranceTest, RandomInjectorIsDeterministic) {
   EXPECT_LT(delays, 140);
 }
 
-TEST(FaultToleranceTest, DeprecatedFlatFieldsStillForward) {
+TEST(FaultToleranceTest, CustomPartitionerRoutesThroughOptions) {
   Cluster cluster({4, 2, 4});
   JobSpec spec = WordCountSpec();
-  spec.options = {};  // wipe the options path; use the deprecated one
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  spec.num_reducers = 3;
-  spec.partition_fn = [](const std::vector<uint8_t>&, std::size_t) {
+  spec.options.partition_fn = [](const std::vector<uint8_t>&, std::size_t) {
     return std::size_t{0};  // everything to reducer 0
   };
-#pragma GCC diagnostic pop
   auto result = RunJob(spec, &cluster);
   ASSERT_TRUE(result.ok()) << result.status();
   ASSERT_EQ(result->outputs.size(), 3u);
   EXPECT_FALSE(result->outputs[0].empty());
   EXPECT_TRUE(result->outputs[1].empty());
   EXPECT_TRUE(result->outputs[2].empty());
+}
+
+TEST(FaultToleranceTest, FaultyRunsMatchAtEveryShuffleBudget) {
+  // The identity contract holds per budget even when map attempts fail
+  // *after* spilling: losing attempts' spill files are discarded with
+  // their AttemptOutput and the retry re-creates them deterministically.
+  for (std::size_t budget :
+       {std::size_t{256}, std::size_t{64 * 1024}, kUnlimitedShuffleMemory}) {
+    Cluster clean_cluster({4, 2, 4});
+    JobSpec clean = WordCountSpec();
+    clean.options.shuffle_memory_bytes = budget;
+    auto clean_result = RunJob(clean, &clean_cluster);
+    ASSERT_TRUE(clean_result.ok()) << clean_result.status();
+
+    Cluster faulty_cluster({4, 2, 4});
+    JobSpec faulty = WordCountSpec();
+    faulty.options = FaultyExec(/*seed=*/7);
+    faulty.options.num_reducers = clean.options.num_reducers;
+    faulty.options.shuffle_memory_bytes = budget;
+    auto faulty_result = RunJob(faulty, &faulty_cluster);
+    ASSERT_TRUE(faulty_result.ok()) << faulty_result.status();
+
+    EXPECT_TRUE(OutputsEqual(clean_result->outputs, faulty_result->outputs))
+        << "budget " << budget;
+    EXPECT_EQ(clean_result->counters.Snapshot(),
+              faulty_result->counters.Snapshot())
+        << "budget " << budget;
+  }
 }
 
 TEST(CancelTokenTest, CancelInterruptsSleep) {
@@ -446,6 +469,152 @@ TEST_F(PlanFaultToleranceTest, MrSelectMatchesFailureFreeRun) {
   EXPECT_EQ(clean->matches, faulty->matches);
   EXPECT_EQ(clean->shuffle_bytes, faulty->shuffle_bytes);
   EXPECT_EQ(clean->broadcast_bytes, faulty->broadcast_bytes);
+}
+
+// Every plan must produce byte-identical results and logical counters
+// whatever the shuffle memory budget — unlimited (in-memory), 1 MiB, or
+// 64 KiB (heavy spilling) — and, at the small budget, also under injected
+// faults with speculation on.
+TEST_F(PlanFaultToleranceTest, PlansByteIdenticalAcrossShuffleBudgets) {
+  const std::size_t kSmall = std::size_t{64} << 10;
+  const std::vector<std::size_t> kCleanBudgets = {std::size_t{1} << 20,
+                                                  kSmall};
+
+  for (MrhaOption option : {MrhaOption::kA, MrhaOption::kB}) {
+    MrhaOptions opts;
+    opts.num_partitions = 4;
+    opts.option = option;
+    mr::Cluster base_cluster({4, 2, 4});
+    auto base = RunMrhaJoin(r_data_, s_data_, opts, &base_cluster);
+    ASSERT_TRUE(base.ok()) << base.status();
+    auto base_pairs = base->pairs;
+    NormalizePairs(&base_pairs);
+    auto check = [&](const MrhaOptions& variant, const std::string& what) {
+      mr::Cluster cluster({4, 2, 4});
+      auto got = RunMrhaJoin(r_data_, s_data_, variant, &cluster);
+      ASSERT_TRUE(got.ok()) << what << ": " << got.status();
+      auto pairs = got->pairs;
+      NormalizePairs(&pairs);
+      EXPECT_EQ(base_pairs, pairs) << what;
+      EXPECT_EQ(base->shuffle_bytes, got->shuffle_bytes) << what;
+      EXPECT_EQ(base->broadcast_bytes, got->broadcast_bytes) << what;
+    };
+    for (std::size_t budget : kCleanBudgets) {
+      auto v = opts;
+      v.exec.shuffle_memory_bytes = budget;
+      check(v, "mrha clean budget " + std::to_string(budget));
+    }
+    auto fv = opts;
+    fv.exec = Faulty(/*seed=*/21);
+    fv.exec.shuffle_memory_bytes = kSmall;
+    check(fv, "mrha faulty 64KiB");
+  }
+
+  {
+    PmhOptions opts;
+    opts.num_partitions = 4;
+    mr::Cluster base_cluster({4, 2, 4});
+    auto base = RunPmhJoin(r_data_, s_data_, opts, &base_cluster);
+    ASSERT_TRUE(base.ok()) << base.status();
+    auto base_pairs = base->pairs;
+    NormalizePairs(&base_pairs);
+    auto check = [&](const PmhOptions& variant, const std::string& what) {
+      mr::Cluster cluster({4, 2, 4});
+      auto got = RunPmhJoin(r_data_, s_data_, variant, &cluster);
+      ASSERT_TRUE(got.ok()) << what << ": " << got.status();
+      auto pairs = got->pairs;
+      NormalizePairs(&pairs);
+      EXPECT_EQ(base_pairs, pairs) << what;
+      EXPECT_EQ(base->shuffle_bytes, got->shuffle_bytes) << what;
+    };
+    for (std::size_t budget : kCleanBudgets) {
+      auto v = opts;
+      v.exec.shuffle_memory_bytes = budget;
+      check(v, "pmh clean budget " + std::to_string(budget));
+    }
+    auto fv = opts;
+    fv.exec = Faulty(/*seed=*/22);
+    fv.exec.shuffle_memory_bytes = kSmall;
+    check(fv, "pmh faulty 64KiB");
+  }
+
+  {
+    PgbjOptions opts;
+    opts.num_partitions = 4;
+    opts.k = 5;
+    mr::Cluster base_cluster({4, 2, 4});
+    auto base = RunPgbjJoin(r_data_, s_data_, opts, &base_cluster);
+    ASSERT_TRUE(base.ok()) << base.status();
+    auto check = [&](const PgbjOptions& variant, const std::string& what) {
+      mr::Cluster cluster({4, 2, 4});
+      auto got = RunPgbjJoin(r_data_, s_data_, variant, &cluster);
+      ASSERT_TRUE(got.ok()) << what << ": " << got.status();
+      ExpectRowsEqual(base->rows, got->rows);
+      EXPECT_EQ(base->shuffle_bytes, got->shuffle_bytes) << what;
+    };
+    for (std::size_t budget : kCleanBudgets) {
+      auto v = opts;
+      v.exec.shuffle_memory_bytes = budget;
+      check(v, "pgbj clean budget " + std::to_string(budget));
+    }
+    auto fv = opts;
+    fv.exec = Faulty(/*seed=*/23);
+    fv.exec.shuffle_memory_bytes = kSmall;
+    check(fv, "pgbj faulty 64KiB");
+  }
+
+  {
+    MrSelectOptions opts;
+    opts.num_partitions = 4;
+    FloatMatrix queries = GenerateDataset(DatasetKind::kNusWide, 8,
+                                          {.num_clusters = 8, .seed = 5});
+    mr::Cluster base_cluster({4, 2, 4});
+    auto base = RunMrSelect(r_data_, queries, opts, &base_cluster);
+    ASSERT_TRUE(base.ok()) << base.status();
+    auto check = [&](const MrSelectOptions& variant, const std::string& what) {
+      mr::Cluster cluster({4, 2, 4});
+      auto got = RunMrSelect(r_data_, queries, variant, &cluster);
+      ASSERT_TRUE(got.ok()) << what << ": " << got.status();
+      EXPECT_EQ(base->matches, got->matches) << what;
+      EXPECT_EQ(base->shuffle_bytes, got->shuffle_bytes) << what;
+      EXPECT_EQ(base->broadcast_bytes, got->broadcast_bytes) << what;
+    };
+    for (std::size_t budget : kCleanBudgets) {
+      auto v = opts;
+      v.exec.shuffle_memory_bytes = budget;
+      check(v, "mrselect clean budget " + std::to_string(budget));
+    }
+    auto fv = opts;
+    fv.exec = Faulty(/*seed=*/24);
+    fv.exec.shuffle_memory_bytes = kSmall;
+    check(fv, "mrselect faulty 64KiB");
+  }
+
+  {
+    MrhaKnnOptions opts;
+    opts.num_partitions = 4;
+    opts.k = 5;
+    mr::Cluster base_cluster({4, 2, 4});
+    auto base = RunMrhaKnnJoin(r_data_, s_data_, opts, &base_cluster);
+    ASSERT_TRUE(base.ok()) << base.status();
+    auto check = [&](const MrhaKnnOptions& variant, const std::string& what) {
+      mr::Cluster cluster({4, 2, 4});
+      auto got = RunMrhaKnnJoin(r_data_, s_data_, variant, &cluster);
+      ASSERT_TRUE(got.ok()) << what << ": " << got.status();
+      ExpectRowsEqual(base->rows, got->rows);
+      EXPECT_EQ(base->shuffle_bytes, got->shuffle_bytes) << what;
+      EXPECT_EQ(base->broadcast_bytes, got->broadcast_bytes) << what;
+    };
+    for (std::size_t budget : kCleanBudgets) {
+      auto v = opts;
+      v.exec.shuffle_memory_bytes = budget;
+      check(v, "mrhaknn clean budget " + std::to_string(budget));
+    }
+    auto fv = opts;
+    fv.exec = Faulty(/*seed=*/25);
+    fv.exec.shuffle_memory_bytes = kSmall;
+    check(fv, "mrhaknn faulty 64KiB");
+  }
 }
 
 TEST_F(PlanFaultToleranceTest, MrhaKnnMatchesFailureFreeRun) {

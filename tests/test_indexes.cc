@@ -308,5 +308,67 @@ TEST(IndexKnn, HandlesSmallAndEmptyCases) {
   }
 }
 
+TEST(IndexKnn, KAtAndAboveDatasetSizeReturnsAllTuplesOnce) {
+  auto codes = RandomCodes(23, 32, /*seed=*/21);
+  for (const char* name : {"linear", "dha"}) {
+    auto index = MakeIndex(name);
+    ASSERT_TRUE(index->Build(codes).ok());
+    for (std::size_t k : {codes.size(), codes.size() + 1, codes.size() * 4}) {
+      auto all = index->Knn(codes[2], k);
+      ASSERT_TRUE(all.ok()) << name << " k=" << k;
+      ASSERT_EQ(all->size(), codes.size()) << name << " k=" << k;
+      std::vector<bool> found(codes.size(), false);
+      for (const auto& [id, dist] : *all) {
+        ASSERT_LT(id, codes.size()) << name;
+        EXPECT_FALSE(found[id]) << name << " duplicate id " << id;
+        found[id] = true;
+        EXPECT_EQ(codes[id].Distance(codes[2]), dist) << name;
+      }
+    }
+  }
+}
+
+TEST(IndexKnn, DistanceTiesAtTheCutStayExact) {
+  // Query 0...0; one code at distance 0, two at distance 1, four at
+  // distance 2. k = 2 cuts inside the distance-1 tie group and k = 4
+  // inside the distance-2 group.
+  std::vector<BinaryCode> codes;
+  BinaryCode zero(16);
+  codes.push_back(zero);
+  for (std::size_t pos : {0u, 5u}) {
+    BinaryCode c(16);
+    c.SetBit(pos, true);
+    codes.push_back(c);
+  }
+  for (std::size_t pos : {1u, 4u, 9u, 13u}) {
+    BinaryCode c(16);
+    c.SetBit(pos, true);
+    c.SetBit(15, true);
+    codes.push_back(c);
+  }
+  for (const char* name : {"linear", "dha"}) {
+    auto index = MakeIndex(name);
+    ASSERT_TRUE(index->Build(codes).ok());
+    for (auto [k, want_last] : {std::pair<std::size_t, uint32_t>{2, 1},
+                                {3, 1},
+                                {4, 2},
+                                {6, 2}}) {
+      auto got = index->Knn(zero, k);
+      ASSERT_TRUE(got.ok()) << name << " k=" << k;
+      ASSERT_EQ(got->size(), k) << name << " k=" << k;
+      for (std::size_t i = 1; i < got->size(); ++i) {
+        EXPECT_LE((*got)[i - 1].second, (*got)[i].second) << name;
+      }
+      // Distances are exact even for the ties at the cut, and the k-th
+      // distance matches the true distance profile (1,1,2,2,2,2 after
+      // the distance-0 hit).
+      EXPECT_EQ(got->back().second, want_last) << name << " k=" << k;
+      for (const auto& [id, dist] : *got) {
+        EXPECT_EQ(codes[id].Distance(zero), dist) << name;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hamming

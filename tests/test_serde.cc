@@ -114,6 +114,58 @@ TEST(Serde, OverlongVarintFails) {
   EXPECT_TRUE(r.GetVarint64(&v).IsIOError());
 }
 
+TEST(Serde, CanonicalMaxVarintDecodes) {
+  // ~0ull is nine 0xff continuation bytes and a final 0x01: the largest
+  // canonical encoding, whose 10th byte carries exactly one payload bit.
+  std::vector<uint8_t> max_enc(9, 0xff);
+  max_enc.push_back(0x01);
+  BufferReader r(max_enc);
+  uint64_t v = 0;
+  ASSERT_TRUE(r.GetVarint64(&v).ok());
+  EXPECT_EQ(v, ~0ull);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Serde, TenthByteOverflowBitsRejected) {
+  // A 10th byte with any payload bit above bit 0 encodes value bits
+  // beyond bit 63; the old decoder silently dropped them and returned a
+  // wrong value. Every such terminator must be an IOError.
+  for (uint8_t last : {0x02, 0x03, 0x40, 0x7e, 0x7f}) {
+    std::vector<uint8_t> bad(9, 0x80);  // payload bits all zero
+    bad.push_back(last);
+    BufferReader r(bad);
+    uint64_t v = 0;
+    EXPECT_TRUE(r.GetVarint64(&v).IsIOError()) << "last byte " << int(last);
+  }
+  // Same with nonzero low payload: the canonical-max prefix plus a
+  // 10th byte of 0x7f would decode to ~0ull if the high bits were
+  // dropped — indistinguishable from the canonical encoding's value.
+  std::vector<uint8_t> bad(9, 0xff);
+  bad.push_back(0x7f);
+  BufferReader r(bad);
+  uint64_t v = 0;
+  EXPECT_TRUE(r.GetVarint64(&v).IsIOError());
+}
+
+TEST(Serde, NonCanonicalTrailingZeroRejected) {
+  // [0x80, 0x00] is an overlong encoding of 0 and [0xff, 0x00] one of
+  // 0x7f; the writer emits single bytes for both, so a trailing zero
+  // continuation only ever appears in corrupt or adversarial buffers.
+  for (auto bad : {std::vector<uint8_t>{0x80, 0x00},
+                   std::vector<uint8_t>{0xff, 0x00},
+                   std::vector<uint8_t>{0x80, 0x80, 0x00}}) {
+    BufferReader r(bad);
+    uint64_t v = 0;
+    EXPECT_TRUE(r.GetVarint64(&v).IsIOError());
+  }
+  // The plain single-byte zero stays valid.
+  std::vector<uint8_t> zero{0x00};
+  BufferReader r(zero);
+  uint64_t v = 1;
+  ASSERT_TRUE(r.GetVarint64(&v).ok());
+  EXPECT_EQ(v, 0u);
+}
+
 TEST(Serde, RandomizedMixedRoundTrip) {
   Rng rng(99);
   for (int trial = 0; trial < 20; ++trial) {
