@@ -13,7 +13,7 @@
 namespace hamming::bench {
 namespace {
 
-void SortModeAblation(const PreparedDataset& ds) {
+void SortModeAblation(const PreparedDataset& ds, BenchReport* report) {
   std::printf("\n[1] H-Build sort order (n=%zu, h=3)\n", ds.codes.size());
   std::printf("%-16s %12s %12s %12s %12s\n", "order", "build(ms)",
               "query(ms)", "internal", "edges");
@@ -36,10 +36,17 @@ void SortModeAblation(const PreparedDataset& ds) {
     auto stats = index.Stats();
     std::printf("%-16s %12.2f %12.4f %12zu %12zu\n", m.name, build_ms,
                 query_ms, stats.num_internal_nodes, stats.num_edges);
+    report->AddRow()
+        .Str("ablation", "sort_mode")
+        .Str("order", m.name)
+        .Num("build_ms", build_ms)
+        .Num("query_ms", query_ms)
+        .Num("internal_nodes", static_cast<double>(stats.num_internal_nodes))
+        .Num("edges", static_cast<double>(stats.num_edges));
   }
 }
 
-void WindowAblation(const PreparedDataset& ds) {
+void WindowAblation(const PreparedDataset& ds, BenchReport* report) {
   std::printf("\n[2] H-Build window size (n=%zu, h=3)\n", ds.codes.size());
   std::printf("%-8s %12s %12s %12s %12s\n", "window", "build(ms)",
               "query(ms)", "internal", "leaves");
@@ -55,10 +62,17 @@ void WindowAblation(const PreparedDataset& ds) {
     auto stats = index.Stats();
     std::printf("%-8zu %12.2f %12.4f %12zu %12zu\n", w, build_ms, query_ms,
                 stats.num_internal_nodes, stats.num_leaves);
+    report->AddRow()
+        .Str("ablation", "window")
+        .Num("window", static_cast<double>(w))
+        .Num("build_ms", build_ms)
+        .Num("query_ms", query_ms)
+        .Num("internal_nodes", static_cast<double>(stats.num_internal_nodes))
+        .Num("leaves", static_cast<double>(stats.num_leaves));
   }
 }
 
-void LeafAblation(const PreparedDataset& ds) {
+void LeafAblation(const PreparedDataset& ds, BenchReport* report) {
   std::printf("\n[3] leafful vs leafless DHA memory (n=%zu)\n",
               ds.codes.size());
   std::printf("%-10s %16s %16s %16s\n", "variant", "total", "internal",
@@ -74,10 +88,16 @@ void LeafAblation(const PreparedDataset& ds) {
                 FormatBytes(mem.total()).c_str(),
                 FormatBytes(mem.internal_bytes).c_str(),
                 FormatBytes(mem.leaf_bytes).c_str());
+    report->AddRow()
+        .Str("ablation", "leaf_storage")
+        .Str("variant", leaves ? "leafful" : "leafless")
+        .Num("total_bytes", static_cast<double>(mem.total()))
+        .Num("internal_bytes", static_cast<double>(mem.internal_bytes))
+        .Num("leaf_bytes", static_cast<double>(mem.leaf_bytes));
   }
 }
 
-void SegmentAblation(const PreparedDataset& ds) {
+void SegmentAblation(const PreparedDataset& ds, BenchReport* report) {
   std::printf("\n[4] SHA-Index segment width (n=%zu, h=3)\n",
               ds.codes.size());
   std::printf("%-10s %12s %12s %14s\n", "seg bits", "build(ms)",
@@ -91,10 +111,16 @@ void SegmentAblation(const PreparedDataset& ds) {
     double query_ms = MeasureQueryMillis(index, ds.query_codes, 3);
     std::printf("%-10zu %12.2f %12.4f %14zu\n", seg, build_ms, query_ms,
                 index.NodeCount());
+    report->AddRow()
+        .Str("ablation", "segment_width")
+        .Num("segment_bits", static_cast<double>(seg))
+        .Num("build_ms", build_ms)
+        .Num("query_ms", query_ms)
+        .Num("shared_nodes", static_cast<double>(index.NodeCount()));
   }
 }
 
-void JoinPlanAblation(const PreparedDataset& ds) {
+void JoinPlanAblation(const PreparedDataset& ds, BenchReport* report) {
   // Self-join over a prefix of the dataset with each physical plan.
   std::printf("\n[5] centralized join plan (self-join n=%zu, h=3)\n",
               std::min<std::size_t>(ds.codes.size(), 8000));
@@ -119,6 +145,11 @@ void JoinPlanAblation(const PreparedDataset& ds) {
     double ms = watch.ElapsedMillis();
     std::printf("%-14s %14.1f %14zu\n", p.name, ms,
                 pairs.ok() ? pairs->size() : 0);
+    report->AddRow()
+        .Str("ablation", "join_plan")
+        .Str("plan", p.name)
+        .Num("millis", ms)
+        .Num("pairs", static_cast<double>(pairs.ok() ? pairs->size() : 0));
   }
 }
 
@@ -133,10 +164,12 @@ int main(int argc, char** argv) {
   auto ds = hamming::bench::Prepare(hamming::DatasetKind::kNusWide,
                                     args.Scaled(20000), 100,
                                     /*code_bits=*/32);
-  hamming::bench::SortModeAblation(ds);
-  hamming::bench::WindowAblation(ds);
-  hamming::bench::LeafAblation(ds);
-  hamming::bench::SegmentAblation(ds);
-  hamming::bench::JoinPlanAblation(ds);
+  hamming::bench::BenchReport report("ablation", args.scale);
+  hamming::bench::SortModeAblation(ds, &report);
+  hamming::bench::WindowAblation(ds, &report);
+  hamming::bench::LeafAblation(ds, &report);
+  hamming::bench::SegmentAblation(ds, &report);
+  hamming::bench::JoinPlanAblation(ds, &report);
+  report.Write();
   return 0;
 }

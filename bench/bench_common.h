@@ -18,6 +18,9 @@
 #include "dataset/generators.h"
 #include "hashing/spectral_hashing.h"
 #include "index/hamming_index.h"
+#include "observability/json.h"
+#include "observability/memtrack.h"
+#include "observability/metrics.h"
 
 namespace hamming::bench {
 
@@ -93,15 +96,20 @@ inline PreparedDataset Prepare(DatasetKind kind, std::size_t n,
   return out;
 }
 
-/// \brief Average per-query H-Search latency in milliseconds.
-inline double MeasureQueryMillis(const HammingIndex& index,
-                                 const std::vector<BinaryCode>& queries,
-                                 std::size_t h) {
+/// \brief Average per-query H-Search latency in milliseconds. When a
+/// metrics registry is supplied, each query's work profile (candidates,
+/// exact distances, ...) is recorded into the "query.*" histograms.
+inline double MeasureQueryMillis(
+    const HammingIndex& index, const std::vector<BinaryCode>& queries,
+    std::size_t h, obs::MetricsRegistry* metrics = nullptr,
+    const obs::QueryStatsHistograms& hists = {}) {
   Stopwatch watch;
   std::size_t sink = 0;
   for (const auto& q : queries) {
-    auto got = index.Search(q, h);
+    obs::QueryStats stats;
+    auto got = index.Search(q, h, metrics != nullptr ? &stats : nullptr);
     if (got.ok()) sink += got->size();
+    if (metrics != nullptr) hists.Observe(metrics, stats);
   }
   double ms = watch.ElapsedMillis() / static_cast<double>(queries.size());
   // Defeat dead-code elimination.
@@ -127,5 +135,100 @@ inline const char* Separator() {
   return "------------------------------------------------------------"
          "--------------------";
 }
+
+/// \brief Collects a bench binary's result rows and writes them — plus a
+/// metrics snapshot, when a registry was attached to the runs — as a
+/// machine-readable BENCH_<name>.json next to the human-readable tables.
+///
+/// Every row is an ordered list of (key, value) fields so the emitted
+/// rows read exactly like the printed table; a "section" field carries
+/// the dataset/configuration context that the printed tables put in
+/// their headers.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name, double scale = 1.0)
+      : name_(std::move(name)), scale_(scale) {}
+
+  class Row {
+   public:
+    Row& Str(std::string key, std::string value) {
+      fields_.push_back(
+          {std::move(key), std::move(value), 0.0, /*is_string=*/true});
+      return *this;
+    }
+    Row& Num(std::string key, double value) {
+      fields_.push_back({std::move(key), {}, value, /*is_string=*/false});
+      return *this;
+    }
+
+   private:
+    friend class BenchReport;
+    struct Field {
+      std::string key;
+      std::string str;
+      double num;
+      bool is_string;
+    };
+    std::vector<Field> fields_;
+  };
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// \brief Writes BENCH_<name>.json (or `path`, if non-empty) into the
+  /// working directory: {"bench", "scale", "rows", "metrics"?}. Records
+  /// the process peak RSS into the registry first so memory shows up in
+  /// the snapshot. Returns false (with a warning on stderr) on I/O error.
+  bool Write(obs::MetricsRegistry* metrics = nullptr,
+             const std::string& path = "") const {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("bench");
+    w.String(name_);
+    w.Key("scale");
+    w.Double(scale_);
+    w.Key("rows");
+    w.BeginArray();
+    for (const Row& row : rows_) {
+      w.BeginObject();
+      for (const Row::Field& f : row.fields_) {
+        w.Key(f.key);
+        if (f.is_string) {
+          w.String(f.str);
+        } else {
+          w.Double(f.num);
+        }
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    if (metrics != nullptr) {
+      obs::RecordPeakRss(metrics);
+      w.Key("metrics");
+      w.Raw(metrics->Snapshot().ToJson());
+    }
+    w.EndObject();
+    const std::string out_path =
+        path.empty() ? "BENCH_" + name_ + ".json" : path;
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", out_path.c_str());
+      return false;
+    }
+    const std::string& body = w.str();
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", out_path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  double scale_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace hamming::bench

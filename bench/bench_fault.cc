@@ -61,7 +61,7 @@ struct SweepPoint {
 };
 
 template <typename RunFn>
-void SweepPlan(const char* plan, const RunFn& run) {
+void SweepPlan(const char* plan, const RunFn& run, BenchReport* report) {
   const double probabilities[] = {0.0, 0.05, 0.2};
   SweepPoint base;
   std::printf("%-10s %6s %9s %11s %9s %8s %8s %8s %8s\n", plan, "p",
@@ -96,11 +96,25 @@ void SweepPlan(const char* plan, const RunFn& run) {
                 static_cast<long long>(point.stats.killed),
                 static_cast<long long>(point.stats.speculated),
                 identical ? "" : "  RESULTS DIVERGED");
+    if (report != nullptr) {
+      report->AddRow()
+          .Str("plan", plan)
+          .Num("failure_probability", p)
+          .Num("wall_seconds", point.seconds)
+          .Num("no_speculation_seconds", no_spec_seconds)
+          .Num("results", static_cast<double>(point.results))
+          .Num("attempts_started", static_cast<double>(point.stats.started))
+          .Num("attempts_failed", static_cast<double>(point.stats.failed))
+          .Num("attempts_killed", static_cast<double>(point.stats.killed))
+          .Num("attempts_speculated",
+               static_cast<double>(point.stats.speculated))
+          .Num("identical_to_clean_run", identical ? 1.0 : 0.0);
+    }
   }
   std::printf("\n");
 }
 
-void RunSweep(std::size_t n) {
+void RunSweep(std::size_t n, BenchReport* report) {
   GeneratorOptions gopts;
   auto data = GenerateDataset(DatasetKind::kNusWide, n, gopts);
   SpectralHashingOptions hopts;
@@ -116,7 +130,7 @@ void RunSweep(std::size_t n) {
     opts.exec = std::move(exec);
     auto r = RunMrhaJoin(data, data, opts, &cluster);
     return r.ok() ? r->pairs.size() : 0;
-  });
+  }, report);
   SweepPlan("MRHA-B", [&](mr::ExecutionOptions exec) -> std::size_t {
     mr::Cluster cluster({16, 4, 0});
     MrhaOptions opts;
@@ -125,7 +139,7 @@ void RunSweep(std::size_t n) {
     opts.exec = std::move(exec);
     auto r = RunMrhaJoin(data, data, opts, &cluster);
     return r.ok() ? r->pairs.size() : 0;
-  });
+  }, report);
   SweepPlan("PMH-10", [&](mr::ExecutionOptions exec) -> std::size_t {
     mr::Cluster cluster({16, 4, 0});
     PmhOptions opts;
@@ -133,7 +147,7 @@ void RunSweep(std::size_t n) {
     opts.exec = std::move(exec);
     auto r = RunPmhJoin(data, data, opts, &cluster);
     return r.ok() ? r->pairs.size() : 0;
-  });
+  }, report);
   SweepPlan("PGBJ", [&](mr::ExecutionOptions exec) -> std::size_t {
     mr::Cluster cluster({16, 4, 0});
     PgbjOptions opts;
@@ -145,7 +159,7 @@ void RunSweep(std::size_t n) {
       for (const auto& row : r->rows) neighbors += row.neighbors.size();
     }
     return neighbors;
-  });
+  }, report);
 }
 
 // A small traced word-count with one scripted failure and one straggler:
@@ -201,7 +215,9 @@ int main(int argc, char** argv) {
               "vs wall clock (scale %.2f) ===\n", args.scale);
   std::printf("max_attempts=10, speculation on (threshold 50ms), straggler "
               "p/2 with 100ms delay\n\n");
-  hamming::bench::RunSweep(args.Scaled(2000));
+  hamming::bench::BenchReport report("fault", args.scale);
+  hamming::bench::RunSweep(args.Scaled(2000), &report);
+  report.Write();
   if (trace) hamming::bench::PrintSampleTrace();
   return 0;
 }

@@ -18,7 +18,8 @@ namespace {
 
 using namespace hamming::mrjoin;  // NOLINT(build/namespaces)
 
-void Run(DatasetKind kind, std::size_t n, std::size_t knn_k) {
+void Run(DatasetKind kind, std::size_t n, std::size_t knn_k,
+         BenchReport* report) {
   GeneratorOptions gopts;
   auto data = GenerateDataset(kind, n, gopts);
 
@@ -69,6 +70,18 @@ void Run(DatasetKind kind, std::size_t n, std::size_t knn_k) {
     std::printf("%-8.2f %10.3f %10.3f %10.3f %10.3f %10.3f %11.3f %8.3f\n",
                 pct, t.sampling, t.learn_hash, t.pivot_selection,
                 t.index_build, t.join, precision, recall);
+    if (report != nullptr) {
+      report->AddRow()
+          .Str("dataset", DatasetKindName(kind))
+          .Num("sample_rate", pct)
+          .Num("sampling_seconds", t.sampling)
+          .Num("learn_hash_seconds", t.learn_hash)
+          .Num("pivot_selection_seconds", t.pivot_selection)
+          .Num("index_build_seconds", t.index_build)
+          .Num("join_seconds", t.join)
+          .Num("precision", precision)
+          .Num("recall", recall);
+    }
   }
 }
 
@@ -80,7 +93,9 @@ int main(int argc, char** argv) {
   auto args = hamming::bench::BenchArgs::Parse(argc, argv);
   std::printf("=== Figure 10: effect of data sampling on Hamming-join "
               "phases and quality (scale %.2f) ===\n", args.scale);
+  hamming::bench::BenchReport report("fig10", args.scale);
   hamming::bench::Run(hamming::DatasetKind::kNusWide, args.Scaled(2000),
-                      /*knn_k=*/50);
+                      /*knn_k=*/50, &report);
+  report.Write();
   return 0;
 }

@@ -16,9 +16,12 @@
 namespace hamming::bench {
 namespace {
 
-void RunDataset(DatasetKind kind, std::size_t n, std::size_t nq) {
+void RunDataset(DatasetKind kind, std::size_t n, std::size_t nq,
+                BenchReport* report, obs::MetricsRegistry* metrics) {
   PreparedDataset ds = Prepare(kind, n, nq, /*code_bits=*/32);
   const std::size_t max_h = 6;
+  const obs::QueryStatsHistograms qhists =
+      obs::QueryStatsHistograms::Register(metrics);
 
   std::printf("\n(%s)  n=%zu, L=32 — avg query ms vs threshold h\n",
               DatasetKindName(kind), n);
@@ -48,8 +51,16 @@ void RunDataset(DatasetKind kind, std::size_t n, std::size_t nq) {
       continue;
     }
     for (std::size_t h = 1; h <= max_h; ++h) {
-      std::printf(" %11.4f",
-                  MeasureQueryMillis(*row.index, ds.query_codes, h));
+      double ms =
+          MeasureQueryMillis(*row.index, ds.query_codes, h, metrics, qhists);
+      std::printf(" %11.4f", ms);
+      if (report != nullptr) {
+        report->AddRow()
+            .Str("dataset", DatasetKindName(kind))
+            .Str("method", row.name)
+            .Num("h", static_cast<double>(h))
+            .Num("query_ms", ms);
+      }
     }
     std::printf("\n");
   }
@@ -64,11 +75,14 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 6: query time vs Hamming threshold (scale %.2f) "
               "===\n", args.scale);
   const std::size_t nq = 100;
+  hamming::obs::MetricsRegistry metrics;
+  hamming::bench::BenchReport report("fig6", args.scale);
   hamming::bench::RunDataset(hamming::DatasetKind::kNusWide,
-                             args.Scaled(20000), nq);
+                             args.Scaled(20000), nq, &report, &metrics);
   hamming::bench::RunDataset(hamming::DatasetKind::kFlickr,
-                             args.Scaled(20000), nq);
+                             args.Scaled(20000), nq, &report, &metrics);
   hamming::bench::RunDataset(hamming::DatasetKind::kDbpedia,
-                             args.Scaled(20000), nq);
+                             args.Scaled(20000), nq, &report, &metrics);
+  report.Write(&metrics);
   return 0;
 }

@@ -5,12 +5,14 @@
 // plans; MRHA's index broadcast undercuts PMH's replicated-table
 // broadcast; Option B ships less than Option A.
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
 #include "dataset/scale.h"
 #include "mrjoin/mrha.h"
 #include "mrjoin/pgbj.h"
 #include "mrjoin/pmh.h"
+#include "observability/trace.h"
 
 namespace hamming::bench {
 namespace {
@@ -28,7 +30,9 @@ struct ShuffleRow {
 double Mb(int64_t bytes) { return static_cast<double>(bytes) / (1 << 20); }
 
 void RunDataset(DatasetKind kind, std::size_t base_n,
-                const std::vector<std::size_t>& factors, std::size_t knn_k) {
+                const std::vector<std::size_t>& factors, std::size_t knn_k,
+                BenchReport* report, obs::MetricsRegistry* metrics,
+                obs::TraceCollector* tracer) {
   GeneratorOptions gopts;
   auto base = GenerateDataset(kind, base_n, gopts);
   // The hash is learned once per dataset (the paper re-learns it only
@@ -49,22 +53,38 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
   // h, seed and mr::ExecutionOptions are set once and sliced into each
   // plan's derived options struct. PGBJ keeps its constructor's lower
   // sample_rate default, so only the partition count is copied there.
+  // Every plan run shares one metrics registry (per-query work + the
+  // runtime's per-reducer load histograms accumulate across the sweep)
+  // and one trace collector, so each plan's jobs land on one timeline
+  // labelled "<dataset>/x<f>/<plan>".
   MRJoinOptions shared;
   shared.num_partitions = 16;
+  shared.exec.metrics = metrics;
+  shared.exec.observer = tracer;
+
+  auto begin_job = [&](std::size_t f, const char* plan) {
+    if (tracer != nullptr) {
+      tracer->BeginJob(std::string(DatasetKindName(kind)) + "/x" +
+                       std::to_string(f) + "/" + plan);
+    }
+  };
 
   for (std::size_t f : factors) {
     FloatMatrix data = ScaleDataset(base, f);
     ShuffleRow row{f, 0, 0, 0, 0};
 
     {
+      begin_job(f, "pgbj");
       mr::Cluster cluster({16, 4, 0});
       PgbjOptions opts;
+      opts.exec = shared.exec;
       opts.num_partitions = shared.num_partitions;
       opts.k = knn_k;
       auto r = RunPgbjJoin(data, data, opts, &cluster);
       if (r.ok()) row.pgbj_mb = Mb(r->shuffle_bytes + r->broadcast_bytes);
     }
     {
+      begin_job(f, "pmh");
       mr::Cluster cluster({16, 4, 0});
       PmhOptions opts;
       static_cast<MRJoinOptions&>(opts) = shared;
@@ -74,6 +94,7 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
       if (r.ok()) row.pmh_mb = Mb(r->shuffle_bytes + r->broadcast_bytes);
     }
     {
+      begin_job(f, "mrha-a");
       mr::Cluster cluster({16, 4, 0});
       MrhaOptions opts;
       static_cast<MRJoinOptions&>(opts) = shared;
@@ -83,6 +104,7 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
       if (r.ok()) row.mrha_a_mb = Mb(r->shuffle_bytes + r->broadcast_bytes);
     }
     {
+      begin_job(f, "mrha-b");
       mr::Cluster cluster({16, 4, 0});
       MrhaOptions opts;
       static_cast<MRJoinOptions&>(opts) = shared;
@@ -93,6 +115,15 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
     }
     std::printf("%-8zu %12.3f %12.3f %14.3f %14.3f\n", row.scale_factor,
                 row.pgbj_mb, row.pmh_mb, row.mrha_a_mb, row.mrha_b_mb);
+    if (report != nullptr) {
+      report->AddRow()
+          .Str("dataset", DatasetKindName(kind))
+          .Num("scale_factor", static_cast<double>(row.scale_factor))
+          .Num("pgbj_mb", row.pgbj_mb)
+          .Num("pmh_mb", row.pmh_mb)
+          .Num("mrha_a_mb", row.mrha_a_mb)
+          .Num("mrha_b_mb", row.mrha_b_mb);
+    }
   }
 }
 
@@ -105,11 +136,24 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 7: shuffle cost of Hamming-join / kNN-join plans "
               "(scale %.2f) ===\n", args.scale);
   std::vector<std::size_t> factors{5, 10, 15, 20, 25};
+  // Observability artifacts: metrics snapshot (per-query work histograms
+  // + per-reducer skew) into BENCH_fig7.json, per-node span timeline
+  // into BENCH_fig7_trace.json (load it in ui.perfetto.dev).
+  hamming::obs::MetricsRegistry metrics;
+  hamming::obs::TraceCollector tracer({/*num_nodes=*/16});
+  hamming::bench::BenchReport report("fig7", args.scale);
   hamming::bench::RunDataset(hamming::DatasetKind::kNusWide,
-                             args.Scaled(300), factors, /*knn_k=*/10);
+                             args.Scaled(300), factors, /*knn_k=*/10,
+                             &report, &metrics, &tracer);
   hamming::bench::RunDataset(hamming::DatasetKind::kFlickr,
-                             args.Scaled(200), factors, /*knn_k=*/10);
+                             args.Scaled(200), factors, /*knn_k=*/10,
+                             &report, &metrics, &tracer);
   hamming::bench::RunDataset(hamming::DatasetKind::kDbpedia,
-                             args.Scaled(300), factors, /*knn_k=*/10);
+                             args.Scaled(300), factors, /*knn_k=*/10,
+                             &report, &metrics, &tracer);
+  report.Write(&metrics);
+  if (tracer.WriteChromeJson("BENCH_fig7_trace.json")) {
+    std::printf("wrote BENCH_fig7_trace.json (%zu spans)\n", tracer.size());
+  }
   return 0;
 }

@@ -12,7 +12,7 @@
 namespace hamming::bench {
 namespace {
 
-void Run(std::size_t n, std::size_t nq) {
+void Run(std::size_t n, std::size_t nq, BenchReport* report) {
   PreparedDataset ds =
       Prepare(DatasetKind::kNusWide, n, nq, /*code_bits=*/32);
   const double window_fractions[] = {0.005, 0.01, 0.015, 0.02,
@@ -37,7 +37,15 @@ void Run(std::size_t n, std::size_t nq) {
       DynamicHAIndex index(opts);
       Stopwatch watch;
       (void)index.Build(ds.codes);
-      std::printf(" %9.2f", watch.ElapsedMillis());
+      const double build_ms = watch.ElapsedMillis();
+      std::printf(" %9.2f", build_ms);
+      if (report != nullptr) {
+        report->AddRow()
+            .Str("phase", "build")
+            .Num("window_fraction", window_fractions[wi])
+            .Num("depth", static_cast<double>(d))
+            .Num("millis", build_ms);
+      }
       built[wi].push_back(std::move(index));
     }
     std::printf("\n");
@@ -50,8 +58,16 @@ void Run(std::size_t n, std::size_t nq) {
   for (std::size_t wi = 0; wi < std::size(window_fractions); ++wi) {
     std::printf("%-10.3f", window_fractions[wi]);
     for (std::size_t di = 0; di < std::size(depths); ++di) {
-      std::printf(" %9.4f",
-                  MeasureQueryMillis(built[wi][di], ds.query_codes, 3));
+      const double query_ms =
+          MeasureQueryMillis(built[wi][di], ds.query_codes, 3);
+      std::printf(" %9.4f", query_ms);
+      if (report != nullptr) {
+        report->AddRow()
+            .Str("phase", "query")
+            .Num("window_fraction", window_fractions[wi])
+            .Num("depth", static_cast<double>(depths[di]))
+            .Num("millis", query_ms);
+      }
     }
     std::printf("\n");
   }
@@ -65,6 +81,8 @@ int main(int argc, char** argv) {
   auto args = hamming::bench::BenchArgs::Parse(argc, argv);
   std::printf("=== Figure 8: DHA-Index build/query time vs window length "
               "and depth (scale %.2f) ===\n", args.scale);
-  hamming::bench::Run(args.Scaled(20000), 100);
+  hamming::bench::BenchReport report("fig8", args.scale);
+  hamming::bench::Run(args.Scaled(20000), 100, &report);
+  report.Write();
   return 0;
 }

@@ -31,7 +31,8 @@ double ModeledSeconds(double wall_s, int64_t moved_bytes) {
 }
 
 void RunDataset(DatasetKind kind, std::size_t base_n,
-                const std::vector<std::size_t>& factors, std::size_t knn_k) {
+                const std::vector<std::size_t>& factors, std::size_t knn_k,
+                BenchReport* report, obs::MetricsRegistry* metrics) {
   GeneratorOptions gopts;
   auto base = GenerateDataset(kind, base_n, gopts);
   // The hash is learned once per dataset (the paper re-learns it only
@@ -52,6 +53,7 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
   // bench_fig7; PGBJ keeps its constructor's lower sample_rate default.
   MRJoinOptions shared;
   shared.num_partitions = 16;
+  shared.exec.metrics = metrics;
 
   for (std::size_t f : factors) {
     FloatMatrix data = ScaleDataset(base, f);
@@ -59,6 +61,7 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
     {
       mr::Cluster cluster({16, 4, 0});
       PgbjOptions opts;
+      opts.exec = shared.exec;
       opts.num_partitions = shared.num_partitions;
       opts.k = knn_k;
       Stopwatch w;
@@ -109,6 +112,15 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
     }
     std::printf("%-8zu %12.3f %12.3f %14.3f %14.3f\n", f, pgbj_s, pmh_s,
                 a_s, b_s);
+    if (report != nullptr) {
+      report->AddRow()
+          .Str("dataset", DatasetKindName(kind))
+          .Num("scale_factor", static_cast<double>(f))
+          .Num("pgbj_seconds", pgbj_s)
+          .Num("pmh_seconds", pmh_s)
+          .Num("mrha_a_seconds", a_s)
+          .Num("mrha_b_seconds", b_s);
+    }
   }
 }
 
@@ -121,11 +133,17 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 9: running time of Hamming-join / kNN-join plans "
               "(scale %.2f) ===\n", args.scale);
   std::vector<std::size_t> factors{5, 10, 15, 20, 25};
+  hamming::obs::MetricsRegistry metrics;
+  hamming::bench::BenchReport report("fig9", args.scale);
   hamming::bench::RunDataset(hamming::DatasetKind::kNusWide,
-                             args.Scaled(300), factors, /*knn_k=*/10);
+                             args.Scaled(300), factors, /*knn_k=*/10,
+                             &report, &metrics);
   hamming::bench::RunDataset(hamming::DatasetKind::kFlickr,
-                             args.Scaled(200), factors, /*knn_k=*/10);
+                             args.Scaled(200), factors, /*knn_k=*/10,
+                             &report, &metrics);
   hamming::bench::RunDataset(hamming::DatasetKind::kDbpedia,
-                             args.Scaled(300), factors, /*knn_k=*/10);
+                             args.Scaled(300), factors, /*knn_k=*/10,
+                             &report, &metrics);
+  report.Write(&metrics);
   return 0;
 }

@@ -73,7 +73,8 @@ bool SameOutputs(const std::vector<std::vector<Record>>& a,
   return true;
 }
 
-void Sweep(std::size_t n) {
+void Sweep(std::size_t n, BenchReport* report,
+           obs::MetricsRegistry* metrics) {
   const std::size_t num_keys = n / 8;
   struct Budget {
     const char* name;
@@ -96,6 +97,7 @@ void Sweep(std::size_t n) {
       mr::Cluster cluster({16, 4, 0});
       mr::JobSpec spec = AggregationJob(n, num_keys, combiner);
       spec.options.shuffle_memory_bytes = budget.bytes;
+      spec.options.metrics = metrics;
       Stopwatch watch;
       auto result = RunJob(spec, &cluster);
       const double seconds = watch.ElapsedSeconds();
@@ -119,6 +121,19 @@ void Sweep(std::size_t n) {
                   spilled_mib, static_cast<long long>(fanin),
                   static_cast<long long>(passes),
                   identical ? "yes" : "NO -- DIVERGED");
+      if (report != nullptr) {
+        report->AddRow()
+            .Num("n", static_cast<double>(n))
+            .Str("combiner", combiner ? "on" : "off")
+            .Str("budget", budget.name)
+            .Num("wall_seconds", seconds)
+            .Num("spills", static_cast<double>(spills))
+            .Num("spilled_mib", spilled_mib)
+            .Num("merge_fanin", static_cast<double>(fanin))
+            .Num("merge_passes", static_cast<double>(passes))
+            .Num("records_skew", result->reducer_load.records_skew)
+            .Num("identical", identical ? 1.0 : 0.0);
+      }
     }
     std::printf("\n");
   }
@@ -134,8 +149,11 @@ int main(int argc, char** argv) {
               "(scale %.2f) ===\n", args.scale);
   std::printf("16 map splits, 8 reducers, 16-byte values; outputs checked "
               "against the unlimited-budget in-memory run\n\n");
+  hamming::obs::MetricsRegistry metrics;
+  hamming::bench::BenchReport report("shuffle", args.scale);
   for (std::size_t n : {args.Scaled(50000), args.Scaled(200000)}) {
-    hamming::bench::Sweep(n);
+    hamming::bench::Sweep(n, &report, &metrics);
   }
+  report.Write(&metrics);
   return 0;
 }

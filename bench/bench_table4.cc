@@ -26,8 +26,11 @@ struct MethodSpec {
   bool skip_update;  // Nested-Loops update is just vector surgery
 };
 
-void RunDataset(DatasetKind kind, std::size_t n, std::size_t nq) {
+void RunDataset(DatasetKind kind, std::size_t n, std::size_t nq,
+                BenchReport* report, obs::MetricsRegistry* metrics) {
   PreparedDataset ds = Prepare(kind, n, nq, /*code_bits=*/32);
+  const obs::QueryStatsHistograms qhists =
+      obs::QueryStatsHistograms::Register(metrics);
   std::printf("\n(%s)  n=%zu, L=32, h=%zu, %zu queries\n",
               DatasetKindName(kind), n, kHamming, nq);
   std::printf("%-14s %14s %14s %20s\n", "method", "query(ms)", "update(ms)",
@@ -68,9 +71,19 @@ void RunDataset(DatasetKind kind, std::size_t n, std::size_t nq) {
       std::printf("%-14s build failed: %s\n", m.name, st.ToString().c_str());
       continue;
     }
-    double query_ms = MeasureQueryMillis(*index, ds.query_codes, kHamming);
+    double query_ms =
+        MeasureQueryMillis(*index, ds.query_codes, kHamming, metrics, qhists);
     double update_ms = MeasureUpdateMillis(index.get(), ds.codes);
     MemoryBreakdown mem = index->Memory();
+    if (report != nullptr) {
+      report->AddRow()
+          .Str("dataset", DatasetKindName(kind))
+          .Str("method", m.name)
+          .Num("query_ms", query_ms)
+          .Num("update_ms", update_ms)
+          .Num("total_bytes", static_cast<double>(mem.total()))
+          .Num("internal_bytes", static_cast<double>(mem.internal_bytes));
+    }
     if (std::string(m.name) == "DHA-Index") {
       // Paper notation: total / internal-only (leafless broadcast form).
       std::printf("%-14s %14.4f %14.4f %12s/%s\n", m.name, query_ms,
@@ -92,11 +105,14 @@ int main(int argc, char** argv) {
   std::printf("=== Table 4: Hamming-select — query/update time and memory "
               "(scale %.2f) ===\n", args.scale);
   const std::size_t nq = 200;
+  hamming::obs::MetricsRegistry metrics;
+  hamming::bench::BenchReport report("table4", args.scale);
   hamming::bench::RunDataset(hamming::DatasetKind::kNusWide,
-                             args.Scaled(20000), nq);
+                             args.Scaled(20000), nq, &report, &metrics);
   hamming::bench::RunDataset(hamming::DatasetKind::kFlickr,
-                             args.Scaled(20000), nq);
+                             args.Scaled(20000), nq, &report, &metrics);
   hamming::bench::RunDataset(hamming::DatasetKind::kDbpedia,
-                             args.Scaled(20000), nq);
+                             args.Scaled(20000), nq, &report, &metrics);
+  report.Write(&metrics);
   return 0;
 }

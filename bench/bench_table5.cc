@@ -51,7 +51,8 @@ Row MeasureHaKnn(const std::string& name, const PreparedDataset& ds32,
   return {name, query_ms, build_s, recall};
 }
 
-void RunDataset(DatasetKind kind, std::size_t n, std::size_t nq) {
+void RunDataset(DatasetKind kind, std::size_t n, std::size_t nq,
+                BenchReport* report) {
   PreparedDataset ds32 = Prepare(kind, n, nq, /*code_bits=*/32);
   PreparedDataset ds64 = Prepare(kind, n, nq, /*code_bits=*/64);
   std::printf("\n(%s)  n=%zu, k=%zu, %zu queries\n", DatasetKindName(kind),
@@ -115,6 +116,14 @@ void RunDataset(DatasetKind kind, std::size_t n, std::size_t nq) {
   for (const auto& r : rows) {
     std::printf("%-16s %12.3f %14.3f %10.3f\n", r.name.c_str(), r.query_ms,
                 r.build_s, r.recall);
+    if (report != nullptr) {
+      report->AddRow()
+          .Str("dataset", DatasetKindName(kind))
+          .Str("algorithm", r.name)
+          .Num("query_ms", r.query_ms)
+          .Num("build_seconds", r.build_s)
+          .Num("recall_at_k", r.recall);
+    }
   }
 }
 
@@ -127,11 +136,13 @@ int main(int argc, char** argv) {
   std::printf("=== Table 5: approximate kNN-select comparison "
               "(scale %.2f) ===\n", args.scale);
   const std::size_t nq = 50;
+  hamming::bench::BenchReport report("table5", args.scale);
   hamming::bench::RunDataset(hamming::DatasetKind::kNusWide,
-                             args.Scaled(20000), nq);
+                             args.Scaled(20000), nq, &report);
   hamming::bench::RunDataset(hamming::DatasetKind::kFlickr,
-                             args.Scaled(10000), nq);
+                             args.Scaled(10000), nq, &report);
   hamming::bench::RunDataset(hamming::DatasetKind::kDbpedia,
-                             args.Scaled(20000), nq);
+                             args.Scaled(20000), nq, &report);
+  report.Write();
   return 0;
 }

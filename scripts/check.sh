@@ -10,6 +10,13 @@
 # external shuffle's spill/merge paths (file I/O, CRC framing, streaming
 # merge) under a tight 64 KiB memory budget.
 #
+# The observability step runs one traced + metered job (bench/trace_demo)
+# and validates both artifacts: the Chrome trace must parse as JSON and
+# carry name/ph/ts/pid/tid on every event with spans on more than one
+# node process, and the metrics snapshot must hold the per-reducer load
+# histogram with a sane skew coefficient. The TSan pass also covers the
+# metrics shard-merge and trace-collector suites (concurrent recording).
+#
 # Usage: scripts/check.sh [--skip-asan] [--skip-tsan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -25,6 +32,33 @@ echo "==> tier-1: configure + build + ctest (build/)"
 cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
+
+echo "==> observability: traced job + JSON artifact validation"
+OBS_DIR=$(mktemp -d)
+trap 'rm -rf "$OBS_DIR"' EXIT
+./build/bench/trace_demo "$OBS_DIR/trace.json" "$OBS_DIR/metrics.json"
+python3 - "$OBS_DIR/trace.json" "$OBS_DIR/metrics.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+assert events, "trace has no events"
+for e in events:
+    for field in ("name", "ph", "pid", "tid"):
+        assert field in e, f"trace event missing {field!r}: {e}"
+    if e["ph"] != "M":  # metadata records carry no timestamp
+        assert "ts" in e, f"trace event missing 'ts': {e}"
+assert any(e["ph"] == "X" for e in events), "no complete spans"
+assert len({e["pid"] for e in events}) > 1, "no per-node processes"
+with open(sys.argv[2]) as f:
+    metrics = json.load(f)
+for section in ("counters", "gauges", "histograms"):
+    assert section in metrics, f"metrics missing {section!r}"
+load = metrics["histograms"]["mr.reduce_input_records"]
+assert load["count"] > 0 and load["skew_max_over_mean"] >= 1.0
+print(f"trace OK ({len(events)} events), metrics OK "
+      f"({len(metrics['histograms'])} histograms)")
+PY
 
 if [[ "$SKIP_ASAN" == "1" ]]; then
   echo "==> skipping ASan pass (--skip-asan)"
@@ -48,7 +82,7 @@ else
     >/dev/null
   cmake --build build-tsan -j --target hamming_tests
   ./build-tsan/tests/hamming_tests --gtest_filter=\
-'MapReduce*:FaultTolerance*:PlanFaultTolerance*:CancelToken*:ThreadPool*:Concurrency*'
+'MapReduce*:FaultTolerance*:PlanFaultTolerance*:CancelToken*:ThreadPool*:Concurrency*:Metrics*:TraceJson*'
   echo "==> TSan: MapReduce + external shuffle under a 64 KiB budget"
   HAMMING_SHUFFLE_BUDGET=65536 ./build-tsan/tests/hamming_tests --gtest_filter=\
 'MapReduce*:FaultTolerance*:PlanFaultTolerance*:Shuffle*'

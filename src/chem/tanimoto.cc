@@ -43,7 +43,8 @@ Result<TanimotoSearcher> TanimotoSearcher::Build(
 }
 
 Result<std::vector<TupleId>> TanimotoSearcher::Search(
-    const BinaryCode& query, double threshold) const {
+    const BinaryCode& query, double threshold,
+    obs::QueryStats* stats) const {
   if (threshold <= 0.0 || threshold > 1.0) {
     return Status::InvalidArgument("Tanimoto threshold must be in (0, 1]");
   }
@@ -61,7 +62,10 @@ Result<std::vector<TupleId>> TanimotoSearcher::Search(
        it != buckets_.end() && it->first <= hi; ++it) {
     std::size_t h = TanimotoHammingBound(threshold, q, it->first);
     HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> candidates,
-                             it->second.Search(query, h));
+                             it->second.Search(query, h, stats));
+    if (stats != nullptr) {
+      stats->exact_distance_computations += candidates.size();
+    }
     for (TupleId id : candidates) {
       if (TanimotoSimilarity(query, fingerprints_[id]) >= threshold - 1e-12) {
         out.push_back(id);
@@ -69,6 +73,7 @@ Result<std::vector<TupleId>> TanimotoSearcher::Search(
     }
   }
   std::sort(out.begin(), out.end());
+  if (stats != nullptr) stats->results += out.size();
   return out;
 }
 

@@ -38,9 +38,12 @@ class TanimotoSearcher {
       const std::vector<BinaryCode>& fingerprints,
       DynamicHAIndexOptions index_opts = {});
 
-  /// \brief Ids of fingerprints with T(query, fp) >= threshold.
+  /// \brief Ids of fingerprints with T(query, fp) >= threshold. A
+  /// non-null `stats` additionally accumulates the per-bucket HA-Index
+  /// search work plus one exact Tanimoto evaluation per candidate.
   Result<std::vector<TupleId>> Search(const BinaryCode& query,
-                                      double threshold) const;
+                                      double threshold,
+                                      obs::QueryStats* stats = nullptr) const;
 
   std::size_t size() const { return fingerprints_.size(); }
   /// \brief Number of popcount buckets (and HA-Indexes) kept.

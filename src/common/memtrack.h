@@ -1,35 +1,14 @@
-// Index memory accounting.
-//
-// Table 4 of the paper compares index memory footprints (MB). Each index
-// reports its heap usage through MemoryBreakdown so the bench harness can
-// print the same columns.
+// Forwarding shim: MemoryBreakdown/FormatBytes moved to
+// observability/memtrack.h when the metrics/tracing layer was introduced.
+// Include that header directly in new code; this shim keeps existing
+// includes working for one release.
 #pragma once
 
-#include <cstddef>
-#include <string>
+#include "observability/memtrack.h"
 
 namespace hamming {
 
-/// \brief Byte counts for the structural parts of an index.
-struct MemoryBreakdown {
-  /// Bytes spent on internal (non-leaf) structure: nodes, edges, tables.
-  std::size_t internal_bytes = 0;
-  /// Bytes spent on leaf-level payload: stored codes, tuple-id hash tables.
-  std::size_t leaf_bytes = 0;
-
-  std::size_t total() const { return internal_bytes + leaf_bytes; }
-
-  MemoryBreakdown& operator+=(const MemoryBreakdown& other) {
-    internal_bytes += other.internal_bytes;
-    leaf_bytes += other.leaf_bytes;
-    return *this;
-  }
-
-  /// \brief "12.3MB (internal 4.1MB / leaf 8.2MB)" style rendering.
-  std::string ToString() const;
-};
-
-/// \brief Pretty-prints a byte count ("473B", "1.2KB", "34.5MB").
-std::string FormatBytes(std::size_t bytes);
+using obs::FormatBytes;
+using obs::MemoryBreakdown;
 
 }  // namespace hamming

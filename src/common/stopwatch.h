@@ -1,33 +1,12 @@
-// Wall-clock timing utilities used by the benchmark harnesses.
+// Forwarding shim: Stopwatch moved to observability/stopwatch.h when the
+// metrics/tracing layer was introduced. Include that header directly in
+// new code; this shim keeps existing includes working for one release.
 #pragma once
 
-#include <chrono>
-#include <cstdint>
+#include "observability/stopwatch.h"
 
 namespace hamming {
 
-/// \brief A simple steady-clock stopwatch.
-///
-/// Starts running on construction; Elapsed* may be called repeatedly,
-/// Restart resets the origin.
-class Stopwatch {
- public:
-  Stopwatch();
-
-  /// Resets the start point to now.
-  void Restart();
-
-  /// \brief Elapsed time since construction/Restart, in nanoseconds.
-  int64_t ElapsedNanos() const;
-  /// \brief Elapsed time in microseconds.
-  double ElapsedMicros() const;
-  /// \brief Elapsed time in milliseconds.
-  double ElapsedMillis() const;
-  /// \brief Elapsed time in seconds.
-  double ElapsedSeconds() const;
-
- private:
-  std::chrono::steady_clock::time_point start_;
-};
+using obs::Stopwatch;
 
 }  // namespace hamming

@@ -80,21 +80,27 @@ Status BitSampleLshIndex::Delete(TupleId id, const BinaryCode& code) {
 }
 
 Result<std::vector<TupleId>> BitSampleLshIndex::Search(
-    const BinaryCode& query, std::size_t h) const {
+    const BinaryCode& query, std::size_t h, obs::QueryStats* stats) const {
   if (stored_.empty()) return std::vector<TupleId>{};
   if (query.size() != code_bits_) {
     return Status::InvalidArgument("query length mismatch");
   }
   std::vector<TupleId> out;
   for (std::size_t t = 0; t < tables_.size(); ++t) {
+    if (stats != nullptr) ++stats->signatures_enumerated;
     auto bucket_it = tables_[t].find(KeyOf(t, query));
     if (bucket_it == tables_[t].end()) continue;
+    if (stats != nullptr) {
+      stats->candidates_generated += bucket_it->second.size();
+      stats->exact_distance_computations += bucket_it->second.size();
+    }
     for (const Entry& entry : bucket_it->second) {
       if (entry.code.WithinDistance(query, h)) out.push_back(entry.id);
     }
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (stats != nullptr) stats->results += out.size();
   return out;
 }
 

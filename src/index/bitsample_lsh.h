@@ -31,8 +31,9 @@ class BitSampleLshIndex final : public HammingIndex {
   std::string name() const override { return "BitSample-LSH"; }
 
   Status Build(const std::vector<BinaryCode>& codes) override;
-  Result<std::vector<TupleId>> Search(const BinaryCode& query,
-                                      std::size_t h) const override;
+  Result<std::vector<TupleId>> Search(
+      const BinaryCode& query, std::size_t h,
+      obs::QueryStats* stats = nullptr) const override;
   Status Insert(TupleId id, const BinaryCode& code) override;
   Status Delete(TupleId id, const BinaryCode& code) override;
   std::size_t size() const override { return stored_.size(); }

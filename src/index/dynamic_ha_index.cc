@@ -243,8 +243,8 @@ Status DynamicHAIndex::Delete(TupleId id, const BinaryCode& code) {
   return Status::KeyError("tuple not found in DHA index");
 }
 
-Result<std::vector<TupleId>> DynamicHAIndex::Search(const BinaryCode& query,
-                                                    std::size_t h) const {
+Result<std::vector<TupleId>> DynamicHAIndex::Search(
+    const BinaryCode& query, std::size_t h, obs::QueryStats* stats) const {
   if (!opts_.store_tuple_ids) {
     return Status::NotImplemented(
         "Search requires tuple ids; use SearchCodes on a leafless index");
@@ -259,6 +259,7 @@ Result<std::vector<TupleId>> DynamicHAIndex::Search(const BinaryCode& query,
   std::vector<std::pair<uint32_t, uint32_t>> queue;
   queue.reserve(64);
   for (uint32_t r : roots_) {
+    if (stats != nullptr) ++stats->signatures_enumerated;
     std::size_t d = nodes_[r].residual.PartialDistance(query);
     if (d <= h) queue.emplace_back(r, static_cast<uint32_t>(d));
   }
@@ -269,9 +270,13 @@ Result<std::vector<TupleId>> DynamicHAIndex::Search(const BinaryCode& query,
       // Residual masks along the path partition all L bits, so acc is the
       // exact Hamming distance — qualified tuples are collected directly.
       out.insert(out.end(), n.tuple_ids.begin(), n.tuple_ids.end());
+      if (stats != nullptr) {
+        stats->candidates_generated += n.tuple_ids.size();
+      }
       continue;
     }
     for (uint32_t c : n.children) {
+      if (stats != nullptr) ++stats->signatures_enumerated;
       std::size_t d = acc + nodes_[c].residual.PartialDistance(query);
       if (d <= h) queue.emplace_back(c, static_cast<uint32_t>(d));
     }
@@ -281,12 +286,18 @@ Result<std::vector<TupleId>> DynamicHAIndex::Search(const BinaryCode& query,
   std::vector<uint32_t> slots;
   kernels::BatchWithinDistance(query, buffer_store_, h, &slots);
   for (uint32_t slot : slots) out.push_back(buffer_[slot].first);
+  if (stats != nullptr) {
+    ++stats->kernel_batch_calls;
+    stats->candidates_generated += buffer_.size();
+    stats->exact_distance_computations += buffer_.size();
+    stats->results += out.size();
+  }
   return out;
 }
 
 Result<std::vector<std::pair<TupleId, uint32_t>>>
-DynamicHAIndex::SearchWithDistances(const BinaryCode& query,
-                                    std::size_t h) const {
+DynamicHAIndex::SearchWithDistances(const BinaryCode& query, std::size_t h,
+                                    obs::QueryStats* stats) const {
   if (!opts_.store_tuple_ids) {
     return Status::NotImplemented(
         "SearchWithDistances requires tuple ids (leafful index)");
@@ -298,6 +309,7 @@ DynamicHAIndex::SearchWithDistances(const BinaryCode& query,
   std::vector<std::pair<uint32_t, uint32_t>> queue;
   queue.reserve(64);
   for (uint32_t r : roots_) {
+    if (stats != nullptr) ++stats->signatures_enumerated;
     std::size_t d = nodes_[r].residual.PartialDistance(query);
     if (d <= h) queue.emplace_back(r, static_cast<uint32_t>(d));
   }
@@ -306,9 +318,13 @@ DynamicHAIndex::SearchWithDistances(const BinaryCode& query,
     const Node& n = nodes_[cur];
     if (n.is_leaf) {
       for (TupleId id : n.tuple_ids) out.emplace_back(id, acc);
+      if (stats != nullptr) {
+        stats->candidates_generated += n.tuple_ids.size();
+      }
       continue;
     }
     for (uint32_t c : n.children) {
+      if (stats != nullptr) ++stats->signatures_enumerated;
       std::size_t d = acc + nodes_[c].residual.PartialDistance(query);
       if (d <= h) queue.emplace_back(c, static_cast<uint32_t>(d));
     }
@@ -318,11 +334,17 @@ DynamicHAIndex::SearchWithDistances(const BinaryCode& query,
   for (std::size_t i = 0; i < dists.size(); ++i) {
     if (dists[i] <= h) out.emplace_back(buffer_[i].first, dists[i]);
   }
+  if (stats != nullptr) {
+    ++stats->kernel_batch_calls;
+    stats->candidates_generated += buffer_.size();
+    stats->exact_distance_computations += buffer_.size();
+    stats->results += out.size();
+  }
   return out;
 }
 
 Result<std::vector<BinaryCode>> DynamicHAIndex::SearchCodes(
-    const BinaryCode& query, std::size_t h) const {
+    const BinaryCode& query, std::size_t h, obs::QueryStats* stats) const {
   if (code_bits_ != 0 && query.size() != code_bits_) {
     return Status::InvalidArgument("query length mismatch");
   }
@@ -330,6 +352,7 @@ Result<std::vector<BinaryCode>> DynamicHAIndex::SearchCodes(
   std::vector<std::pair<uint32_t, uint32_t>> queue;
   queue.reserve(64);
   for (uint32_t r : roots_) {
+    if (stats != nullptr) ++stats->signatures_enumerated;
     std::size_t d = nodes_[r].residual.PartialDistance(query);
     if (d <= h) queue.emplace_back(r, static_cast<uint32_t>(d));
   }
@@ -339,9 +362,11 @@ Result<std::vector<BinaryCode>> DynamicHAIndex::SearchCodes(
     if (n.is_leaf) {
       // A leaf's cumulative pattern is the full code.
       out.push_back(n.cumulative.value());
+      if (stats != nullptr) ++stats->candidates_generated;
       continue;
     }
     for (uint32_t c : n.children) {
+      if (stats != nullptr) ++stats->signatures_enumerated;
       std::size_t d = acc + nodes_[c].residual.PartialDistance(query);
       if (d <= h) queue.emplace_back(c, static_cast<uint32_t>(d));
     }
@@ -349,6 +374,12 @@ Result<std::vector<BinaryCode>> DynamicHAIndex::SearchCodes(
   std::vector<uint32_t> slots;
   kernels::BatchWithinDistance(query, buffer_store_, h, &slots);
   for (uint32_t slot : slots) out.push_back(buffer_[slot].second);
+  if (stats != nullptr) {
+    ++stats->kernel_batch_calls;
+    stats->candidates_generated += buffer_.size();
+    stats->exact_distance_computations += buffer_.size();
+    stats->results += out.size();
+  }
   return out;
 }
 

@@ -82,8 +82,9 @@ class DynamicHAIndex final : public HammingIndex {
   Status BuildWithIds(const std::vector<TupleId>& ids,
                       const std::vector<BinaryCode>& codes);
 
-  Result<std::vector<TupleId>> Search(const BinaryCode& query,
-                                      std::size_t h) const override;
+  Result<std::vector<TupleId>> Search(
+      const BinaryCode& query, std::size_t h,
+      obs::QueryStats* stats = nullptr) const override;
   Status Insert(TupleId id, const BinaryCode& code) override;
   Status Delete(TupleId id, const BinaryCode& code) override;
   std::size_t size() const override { return num_tuples_; }
@@ -94,12 +95,14 @@ class DynamicHAIndex final : public HammingIndex {
   /// residual distances sum to the full distance). Used by the kNN plans
   /// to rank candidates without a second pass.
   Result<std::vector<std::pair<TupleId, uint32_t>>> SearchWithDistances(
-      const BinaryCode& query, std::size_t h) const;
+      const BinaryCode& query, std::size_t h,
+      obs::QueryStats* stats = nullptr) const;
 
   /// \brief Qualifying distinct *codes* within distance h (works in
   /// leafless mode; used by MapReduce Option B, Section 5.3).
-  Result<std::vector<BinaryCode>> SearchCodes(const BinaryCode& query,
-                                              std::size_t h) const;
+  Result<std::vector<BinaryCode>> SearchCodes(
+      const BinaryCode& query, std::size_t h,
+      obs::QueryStats* stats = nullptr) const;
 
   /// \brief Dual-tree Hamming join (extension beyond the paper): joins
   /// this index (R side) with another (S side) by simultaneous traversal.

@@ -5,7 +5,7 @@
 namespace hamming {
 
 Result<std::vector<std::pair<TupleId, uint32_t>>> HammingIndex::Knn(
-    const BinaryCode& query, std::size_t k) const {
+    const BinaryCode& query, std::size_t k, obs::QueryStats* stats) const {
   std::vector<std::pair<TupleId, uint32_t>> out;
   if (k == 0 || size() == 0) return out;
   // k >= size() degenerates to "every tuple with its distance": target
@@ -20,7 +20,9 @@ Result<std::vector<std::pair<TupleId, uint32_t>>> HammingIndex::Knn(
   const std::size_t max_radius = query.size();
   std::unordered_set<TupleId> seen;
   for (std::size_t h = 0; h <= max_radius && out.size() < target; ++h) {
-    HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> ids, Search(query, h));
+    if (stats != nullptr) ++stats->radius_expansions;
+    HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> ids,
+                             Search(query, h, stats));
     for (TupleId id : ids) {
       if (seen.insert(id).second) {
         out.emplace_back(id, static_cast<uint32_t>(h));

@@ -13,6 +13,7 @@
 #include "common/memtrack.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "observability/query_stats.h"
 
 namespace hamming {
 
@@ -51,8 +52,16 @@ class HammingIndex {
 
   /// \brief All tuple ids whose code is within Hamming distance h of
   /// `query`. Order of ids in the result is unspecified.
-  virtual Result<std::vector<TupleId>> Search(const BinaryCode& query,
-                                              std::size_t h) const = 0;
+  ///
+  /// When `stats` is non-null the implementation accumulates its work
+  /// counters (signatures probed, candidates generated, exact distance
+  /// computations, ...) into it; see observability/query_stats.h for the
+  /// per-family field semantics. Passing nullptr (the default) records
+  /// nothing. Overrides restate the default so two-argument calls on
+  /// concrete index types keep compiling.
+  virtual Result<std::vector<TupleId>> Search(
+      const BinaryCode& query, std::size_t h,
+      obs::QueryStats* stats = nullptr) const = 0;
 
   /// \brief The k stored tuples nearest to `query` by Hamming distance,
   /// as (id, distance) sorted by ascending distance (order among equal
@@ -67,7 +76,8 @@ class HammingIndex {
   /// Implementations with a cheaper native path override it
   /// (LinearScanIndex runs one batched scan with a bounded top-k heap).
   virtual Result<std::vector<std::pair<TupleId, uint32_t>>> Knn(
-      const BinaryCode& query, std::size_t k) const;
+      const BinaryCode& query, std::size_t k,
+      obs::QueryStats* stats = nullptr) const;
 
   /// \brief Inserts one (id, code) pair.
   virtual Status Insert(TupleId id, const BinaryCode& code) = 0;

@@ -95,7 +95,8 @@ Status HEngineIndex::Delete(TupleId id, const BinaryCode& code) {
 }
 
 Result<std::vector<TupleId>> HEngineIndex::Search(const BinaryCode& query,
-                                                  std::size_t h) const {
+                                                  std::size_t h,
+                                                  obs::QueryStats* stats) const {
   if (id_to_slot_.empty()) return std::vector<TupleId>{};
   if (query.size() != code_bits_) {
     return Status::InvalidArgument("query length mismatch");
@@ -107,11 +108,16 @@ Result<std::vector<TupleId>> HEngineIndex::Search(const BinaryCode& query,
   std::vector<TupleId> out;
   // Candidates hit by several probes are verified more than once and
   // deduplicated at the end — cheaper than tracking a visited set.
-  auto probe = [this, &out, &query, h](std::size_t s, uint64_t key) {
+  auto probe = [this, &out, &query, h, stats](std::size_t s, uint64_t key) {
+    if (stats != nullptr) ++stats->signatures_enumerated;
     const auto& t = tables_[s];
     Entry lo{key, 0, 0};
     for (auto it = std::lower_bound(t.begin(), t.end(), lo);
          it != t.end() && it->key == key; ++it) {
+      if (stats != nullptr) {
+        ++stats->candidates_generated;
+        ++stats->exact_distance_computations;
+      }
       if (code_store_[it->slot].WithinDistance(query, h)) {
         out.push_back(it->id);
       }
@@ -130,6 +136,7 @@ Result<std::vector<TupleId>> HEngineIndex::Search(const BinaryCode& query,
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (stats != nullptr) stats->results += out.size();
   return out;
 }
 

@@ -13,19 +13,31 @@ Status LinearScanIndex::Build(const std::vector<BinaryCode>& codes) {
   return Status::OK();
 }
 
-Result<std::vector<TupleId>> LinearScanIndex::Search(const BinaryCode& query,
-                                                     std::size_t h) const {
+Result<std::vector<TupleId>> LinearScanIndex::Search(
+    const BinaryCode& query, std::size_t h, obs::QueryStats* stats) const {
   std::vector<uint32_t> slots;
   kernels::BatchWithinDistance(query, codes_, h, &slots);
   std::vector<TupleId> out;
   out.reserve(slots.size());
   for (uint32_t slot : slots) out.push_back(ids_[slot]);
+  if (stats != nullptr) {
+    ++stats->kernel_batch_calls;
+    stats->candidates_generated += ids_.size();
+    stats->exact_distance_computations += ids_.size();
+    stats->results += out.size();
+  }
   return out;
 }
 
 Result<std::vector<std::pair<TupleId, uint32_t>>> LinearScanIndex::Knn(
-    const BinaryCode& query, std::size_t k) const {
+    const BinaryCode& query, std::size_t k, obs::QueryStats* stats) const {
   auto nearest = kernels::BatchKnn(query, codes_, k);
+  if (stats != nullptr) {
+    ++stats->kernel_batch_calls;
+    stats->candidates_generated += ids_.size();
+    stats->exact_distance_computations += ids_.size();
+    stats->results += nearest.size();
+  }
   std::vector<std::pair<TupleId, uint32_t>> out;
   out.reserve(nearest.size());
   for (const auto& [slot, dist] : nearest) {

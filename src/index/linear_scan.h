@@ -17,8 +17,9 @@ class LinearScanIndex final : public HammingIndex {
   std::string name() const override { return "Nested-Loops"; }
 
   Status Build(const std::vector<BinaryCode>& codes) override;
-  Result<std::vector<TupleId>> Search(const BinaryCode& query,
-                                      std::size_t h) const override;
+  Result<std::vector<TupleId>> Search(
+      const BinaryCode& query, std::size_t h,
+      obs::QueryStats* stats = nullptr) const override;
   Status Insert(TupleId id, const BinaryCode& code) override;
   Status Delete(TupleId id, const BinaryCode& code) override;
   std::size_t size() const override { return ids_.size(); }
@@ -29,7 +30,8 @@ class LinearScanIndex final : public HammingIndex {
   /// top-k heap (kernels::BatchKnn) instead of the base class's
   /// radius-expanding Search loop.
   Result<std::vector<std::pair<TupleId, uint32_t>>> Knn(
-      const BinaryCode& query, std::size_t k) const override;
+      const BinaryCode& query, std::size_t k,
+      obs::QueryStats* stats = nullptr) const override;
 
  private:
   kernels::CodeStore codes_;

@@ -146,7 +146,7 @@ Status MultiHashTableIndex::Delete(TupleId id, const BinaryCode& code) {
 }
 
 Result<std::vector<TupleId>> MultiHashTableIndex::Search(
-    const BinaryCode& query, std::size_t h) const {
+    const BinaryCode& query, std::size_t h, obs::QueryStats* stats) const {
   if (stored_.empty()) return std::vector<TupleId>{};
   if (query.size() != code_bits_) {
     return Status::InvalidArgument("query length mismatch");
@@ -156,15 +156,22 @@ Result<std::vector<TupleId>> MultiHashTableIndex::Search(
   // a per-candidate visited set, so duplicates are dropped at the end.
   std::vector<uint32_t> slots;
   for (std::size_t t = 0; t < combos_.size(); ++t) {
+    if (stats != nullptr) ++stats->signatures_enumerated;
     auto bucket_it = tables_[t].find(KeyOf(combos_[t], query));
     if (bucket_it == tables_[t].end()) continue;
     const Bucket& bucket = bucket_it->second;
     slots.clear();  // BatchWithinDistance appends
     kernels::BatchWithinDistance(query, bucket.codes, h, &slots);
+    if (stats != nullptr) {
+      ++stats->kernel_batch_calls;
+      stats->candidates_generated += bucket.ids.size();
+      stats->exact_distance_computations += bucket.ids.size();
+    }
     for (uint32_t slot : slots) out.push_back(bucket.ids[slot]);
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (stats != nullptr) stats->results += out.size();
   return out;
 }
 

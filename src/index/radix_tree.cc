@@ -162,8 +162,8 @@ Status RadixTreeIndex::Delete(TupleId id, const BinaryCode& code) {
   return Status::OK();
 }
 
-Result<std::vector<TupleId>> RadixTreeIndex::Search(const BinaryCode& query,
-                                                    std::size_t h) const {
+Result<std::vector<TupleId>> RadixTreeIndex::Search(
+    const BinaryCode& query, std::size_t h, obs::QueryStats* stats) const {
   std::vector<TupleId> out;
   if (!root_) return out;
   if (query.size() != code_bits_) {
@@ -180,6 +180,8 @@ Result<std::vector<TupleId>> RadixTreeIndex::Search(const BinaryCode& query,
   while (!stack.empty()) {
     Frame f = stack.back();
     stack.pop_back();
+    // Each visited edge is one shared-prefix (FLSS) distance evaluation.
+    if (stats != nullptr) ++stats->signatures_enumerated;
     std::size_t dist = f.dist;
     for (std::size_t i = 0; i < f.node->label_len && dist <= h; ++i) {
       if (f.node->label.GetBit(i) != query.GetBit(f.depth + i)) ++dist;
@@ -188,6 +190,9 @@ Result<std::vector<TupleId>> RadixTreeIndex::Search(const BinaryCode& query,
     std::size_t depth = f.depth + f.node->label_len;
     if (depth == code_bits_) {
       out.insert(out.end(), f.node->ids.begin(), f.node->ids.end());
+      if (stats != nullptr) {
+        stats->candidates_generated += f.node->ids.size();
+      }
       continue;
     }
     bool qbit = query.GetBit(depth);
@@ -200,6 +205,7 @@ Result<std::vector<TupleId>> RadixTreeIndex::Search(const BinaryCode& query,
           {f.node->child[qbit ? 0 : 1].get(), depth + 1, dist + 1});
     }
   }
+  if (stats != nullptr) stats->results += out.size();
   return out;
 }
 

@@ -115,8 +115,8 @@ Status StaticHAIndex::Delete(TupleId id, const BinaryCode& code) {
   return Status::OK();
 }
 
-Result<std::vector<TupleId>> StaticHAIndex::Search(const BinaryCode& query,
-                                                   std::size_t h) const {
+Result<std::vector<TupleId>> StaticHAIndex::Search(
+    const BinaryCode& query, std::size_t h, obs::QueryStats* stats) const {
   std::vector<TupleId> out;
   if (paths_.empty()) return out;
   if (query.size() != code_bits_) {
@@ -139,6 +139,11 @@ Result<std::vector<TupleId>> StaticHAIndex::Search(const BinaryCode& query,
     // (node_values is a flat uint64 array — exactly one kernel lane).
     kernels::BatchXorPopcount(qseg, level.node_values.data(),
                               level.node_values.size(), dist.data());
+    if (stats != nullptr) {
+      ++stats->kernel_batch_calls;
+      // One shared distance per distinct segment node at this level.
+      stats->signatures_enumerated += level.node_values.size();
+    }
     uint16_t best = 0xffff;
     for (std::size_t v = 0; v < level.node_values.size(); ++v) {
       if (level.node_refcount[v] == 0) {
@@ -163,6 +168,7 @@ Result<std::vector<TupleId>> StaticHAIndex::Search(const BinaryCode& query,
     if (groups_[g].empty()) continue;
     std::size_t d0 = node_dist[0][g];
     if (d0 + min_rest[1] > h) continue;  // prunes every path through g
+    if (stats != nullptr) stats->candidates_generated += groups_[g].size();
     for (uint32_t row : groups_[g]) {
       const uint32_t* path = path_nodes_.data() + row * nl;
       std::size_t acc = d0;
@@ -174,9 +180,14 @@ Result<std::vector<TupleId>> StaticHAIndex::Search(const BinaryCode& query,
           break;
         }
       }
+      // A row whose path walk completes has had its full distance summed
+      // from memoized node distances — the exact computation for this
+      // structure.
+      if (ok && stats != nullptr) ++stats->exact_distance_computations;
       if (ok && acc <= h) out.push_back(paths_[row]);
     }
   }
+  if (stats != nullptr) stats->results += out.size();
   return out;
 }
 

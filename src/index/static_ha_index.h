@@ -40,8 +40,9 @@ class StaticHAIndex final : public HammingIndex {
   /// updates; the *first* Search following Build/Insert/Delete is not
   /// safe to race with other Searches. Issue one warming query before
   /// sharing the index across threads.
-  Result<std::vector<TupleId>> Search(const BinaryCode& query,
-                                      std::size_t h) const override;
+  Result<std::vector<TupleId>> Search(
+      const BinaryCode& query, std::size_t h,
+      obs::QueryStats* stats = nullptr) const override;
   Status Insert(TupleId id, const BinaryCode& code) override;
   Status Delete(TupleId id, const BinaryCode& code) override;
   std::size_t size() const override { return paths_.size(); }

@@ -68,7 +68,8 @@ Status YaoIndex::Delete(TupleId id, const BinaryCode& code) {
 }
 
 Result<std::vector<TupleId>> YaoIndex::Search(const BinaryCode& query,
-                                              std::size_t h) const {
+                                              std::size_t h,
+                                              obs::QueryStats* stats) const {
   if (stored_.empty()) return std::vector<TupleId>{};
   if (query.size() != code_bits_) {
     return Status::InvalidArgument("query length mismatch");
@@ -78,12 +79,17 @@ Result<std::vector<TupleId>> YaoIndex::Search(const BinaryCode& query,
         "YaoIndex supports Hamming thresholds 0 and 1 only");
   }
   std::vector<TupleId> out;
-  auto probe = [this, &out, &query, h](
+  auto probe = [&out, &query, h, stats](
                    const std::unordered_map<uint64_t, std::vector<Entry>>&
                        table,
                    uint64_t key) {
+    if (stats != nullptr) ++stats->signatures_enumerated;
     auto it = table.find(key);
     if (it == table.end()) return;
+    if (stats != nullptr) {
+      stats->candidates_generated += it->second.size();
+      stats->exact_distance_computations += it->second.size();
+    }
     for (const Entry& e : it->second) {
       if (e.code.WithinDistance(query, h)) out.push_back(e.id);
     }
@@ -92,6 +98,7 @@ Result<std::vector<TupleId>> YaoIndex::Search(const BinaryCode& query,
   probe(right_, HalfKey(true, query));
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (stats != nullptr) stats->results += out.size();
   return out;
 }
 

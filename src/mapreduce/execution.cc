@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "observability/json.h"
+
 namespace hamming::mr {
 
 namespace {
@@ -29,25 +31,11 @@ uint64_t DecisionWord(uint64_t seed, TaskKind kind, std::size_t task,
   return Mix64(x ^ stream);
 }
 
+// The shared escaper handles the full control-character range (the old
+// local copy emitted "\u00XX" with a possibly sign-extended %04x for \r,
+// \b and \f and was not round-trippable).
 void AppendJsonString(std::string* out, const std::string& s) {
-  out->push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\t': *out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
+  obs::AppendJsonEscaped(out, s);
 }
 
 }  // namespace

@@ -32,6 +32,10 @@
 #include <string>
 #include <vector>
 
+namespace hamming::obs {
+class MetricsRegistry;
+}  // namespace hamming::obs
+
 namespace hamming::mr {
 
 /// \brief Key -> reducer routing; default hashes the key bytes.
@@ -214,6 +218,15 @@ struct ExecutionOptions {
   std::shared_ptr<const FaultInjector> fault;
   /// Optional event subscriber (non-owning; must outlive RunJob).
   JobObserver* observer = nullptr;
+  /// Optional metrics sink (non-owning; must outlive RunJob). The runner
+  /// records per-reducer input load histograms ("mr.reduce_input_records"
+  /// / "mr.reduce_input_bytes", one sample per reducer — their
+  /// SkewMaxOverMean is the job's skew coefficient) plus wall-clock phase
+  /// durations under "time."-prefixed names ("time.map_micros", ...).
+  /// Everything except the "time." metrics is derived from committed
+  /// state only, so the recorded values are identical across retries,
+  /// speculation, and fault injection.
+  obs::MetricsRegistry* metrics = nullptr;
 
   // ---- External shuffle (mapreduce/shuffle.h) --------------------------
   /// Per-task shuffle memory budget in bytes. With a finite budget a map

@@ -11,6 +11,7 @@
 
 #include "common/stopwatch.h"
 #include "mapreduce/shuffle.h"
+#include "observability/metrics.h"
 
 namespace hamming::mr {
 
@@ -354,6 +355,21 @@ class PhaseRunner {
   std::vector<std::thread> backups_;
 };
 
+// max/mean of a load vector; 0 for an all-zero (or empty) load.
+double SkewCoefficient(const std::vector<uint64_t>& load) {
+  if (load.empty()) return 0.0;
+  uint64_t max = 0;
+  uint64_t total = 0;
+  for (uint64_t v : load) {
+    max = std::max(max, v);
+    total += v;
+  }
+  if (total == 0) return 0.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(load.size());
+  return static_cast<double>(max) / mean;
+}
+
 Status CancelledStatus(TaskKind kind) {
   return Status::ExecutionError(std::string(TaskKindName(kind)) +
                                 " attempt cancelled");
@@ -531,11 +547,22 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
   events.Phase(JobEventType::kPhaseStart, "shuffle");
   std::vector<std::vector<Record>> reducer_inputs;
   std::vector<std::vector<SegmentSource>> reducer_sources;
+  // Per-reducer input load, from committed map output only (spill
+  // segment metadata externally, the gathered partitions in memory), so
+  // the report — and the metrics derived from it — is byte-identical
+  // across retries, speculation and fault injection.
+  result.reducer_load.records.assign(opts.num_reducers, 0);
+  result.reducer_load.bytes.assign(opts.num_reducers, 0);
   if (external) {
     reducer_sources.resize(opts.num_reducers);
     for (const auto& spills : map_spills) {
       for (const SpillFileRef& file : spills) {
         for (std::size_t r = 0; r < opts.num_reducers; ++r) {
+          result.reducer_load.records[r] += file->segments()[r].records;
+          // Logical serialized bytes, not the on-disk segment size: the
+          // load report must agree with the in-memory path, which never
+          // pays spill-page framing.
+          result.reducer_load.bytes[r] += file->logical_bytes()[r];
           if (file->segments()[r].records == 0) continue;  // empty run
           reducer_sources[r].push_back(SegmentSource{file, r});
         }
@@ -556,8 +583,27 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
                        [](const Record& a, const Record& b) {
                          return a.key < b.key;
                        });
+      uint64_t bytes = 0;
+      for (const Record& rec : dst) bytes += rec.SerializedBytes();
+      // Slot r is this task's alone; no synchronization needed.
+      result.reducer_load.records[r] = dst.size();
+      result.reducer_load.bytes[r] = bytes;
     });
     map_outputs.clear();
+  }
+  result.reducer_load.records_skew = SkewCoefficient(result.reducer_load.records);
+  result.reducer_load.bytes_skew = SkewCoefficient(result.reducer_load.bytes);
+  if (opts.metrics != nullptr) {
+    const obs::MetricId rec_hist =
+        opts.metrics->Histogram("mr.reduce_input_records");
+    const obs::MetricId byte_hist =
+        opts.metrics->Histogram("mr.reduce_input_bytes");
+    for (std::size_t r = 0; r < opts.num_reducers; ++r) {
+      HAMMING_METRIC_OBSERVE(opts.metrics, rec_hist,
+                             result.reducer_load.records[r]);
+      HAMMING_METRIC_OBSERVE(opts.metrics, byte_hist,
+                             result.reducer_load.bytes[r]);
+    }
   }
   result.shuffle_seconds = shuffle_watch.ElapsedSeconds();
   events.Phase(JobEventType::kPhaseFinish, "shuffle", result.shuffle_seconds);
@@ -749,6 +795,21 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
   result.reduce_seconds = reduce_watch.ElapsedSeconds();
   events.Phase(JobEventType::kPhaseFinish, "reduce", result.reduce_seconds);
   result.total_seconds = total_watch.ElapsedSeconds();
+
+  if (opts.metrics != nullptr) {
+    // Wall-clock phase breakdowns. The "time." prefix marks them as
+    // non-deterministic: tests asserting retry-identical metrics filter
+    // these names out, everything else in the registry must match.
+    auto observe_micros = [&](const char* name, double seconds) {
+      const obs::MetricId id = opts.metrics->Histogram(name);
+      HAMMING_METRIC_OBSERVE(opts.metrics, id,
+                             static_cast<uint64_t>(seconds * 1e6));
+    };
+    observe_micros("time.map_micros", result.map_seconds);
+    observe_micros("time.shuffle_micros", result.shuffle_seconds);
+    observe_micros("time.reduce_micros", result.reduce_seconds);
+    observe_micros("time.job_total_micros", result.total_seconds);
+  }
 
   cluster->cumulative_counters()->Merge(result.counters);
   return result;

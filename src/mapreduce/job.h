@@ -91,6 +91,21 @@ struct JobSpec {
   ExecutionOptions options;
 };
 
+/// \brief Per-reducer shuffle input load, the quantity behind the
+/// paper's partition-balance discussion: PGBJ-style range partitioning
+/// keys whole groups to one reducer while MRHA's hash partitioning
+/// spreads them, and the skew coefficient (max/mean) makes the
+/// difference visible per job. Derived from committed map output only,
+/// so it is identical across retries, speculation and fault injection.
+struct ReducerLoadReport {
+  std::vector<uint64_t> records;  // reducer r's input record count
+  std::vector<uint64_t> bytes;    // reducer r's input serialized bytes
+  /// max(records) / mean(records); 0 when the job shuffled nothing,
+  /// 1.0 = perfectly balanced, num_reducers = everything on one reducer.
+  double records_skew = 0.0;
+  double bytes_skew = 0.0;
+};
+
 /// \brief Everything a finished job reports.
 struct JobResult {
   /// Reducer r's output records (map-only jobs: partition r's map output).
@@ -99,6 +114,9 @@ struct JobResult {
   /// The job's event trace: one timestamped entry per attempt
   /// start/finish/fail/kill/speculate and per phase boundary.
   JobEventTrace trace;
+  /// Per-reducer shuffle input load and skew, computed in the shuffle
+  /// phase for every job (map-only jobs report their partition sizes).
+  ReducerLoadReport reducer_load;
   double map_seconds = 0.0;
   double shuffle_seconds = 0.0;
   double reduce_seconds = 0.0;

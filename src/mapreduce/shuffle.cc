@@ -130,6 +130,7 @@ Status ShuffleWriter::Spill() {
       auto writer, storage::SpillFileWriter::Create(path, buffer_.size(),
                                                     kSpillPageBytes));
   uint64_t records = 0;
+  std::vector<uint64_t> logical_bytes(buffer_.size(), 0);
   for (std::size_t p = 0; p < buffer_.size(); ++p) {
     HAMMING_RETURN_NOT_OK(SortAndCombine(&buffer_[p], opts_.combine_fn,
                                          &combine_in_, &combine_out_));
@@ -137,6 +138,7 @@ Status ShuffleWriter::Spill() {
       HAMMING_RETURN_NOT_OK(writer->Append(p, rec.key.data(), rec.key.size(),
                                            rec.value.data(),
                                            rec.value.size()));
+      logical_bytes[p] += rec.SerializedBytes();
       ++records;
     }
     buffer_[p].clear();
@@ -144,7 +146,8 @@ Status ShuffleWriter::Spill() {
   buffered_bytes_ = 0;
   HAMMING_RETURN_NOT_OK(writer->Finish());
   spills_.push_back(std::make_shared<const SpillFile>(
-      writer->path(), writer->segments(), writer->file_bytes()));
+      writer->path(), writer->segments(), writer->file_bytes(),
+      std::move(logical_bytes)));
   ++spill_count_;
   spilled_bytes_ += static_cast<int64_t>(writer->file_bytes());
   if (on_spill_) on_spill_(writer->file_bytes(), records);

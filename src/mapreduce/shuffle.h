@@ -57,10 +57,12 @@ inline constexpr std::size_t kSpillPageBytes = 32 * 1024;
 class SpillFile {
  public:
   SpillFile(std::string path, std::vector<storage::SpillSegmentMeta> segments,
-            uint64_t file_bytes)
+            uint64_t file_bytes,
+            std::vector<uint64_t> logical_bytes = {})
       : path_(std::move(path)),
         segments_(std::move(segments)),
-        file_bytes_(file_bytes) {}
+        file_bytes_(file_bytes),
+        logical_bytes_(std::move(logical_bytes)) {}
   ~SpillFile();
 
   SpillFile(const SpillFile&) = delete;
@@ -72,10 +74,19 @@ class SpillFile {
   }
   uint64_t file_bytes() const { return file_bytes_; }
 
+  /// \brief Per-segment Record::SerializedBytes sums — the framing-free
+  /// measure the in-memory shuffle reports, kept here so
+  /// JobResult::reducer_load.bytes is identical whichever path ran.
+  /// Empty for files that never feed a load report (merge-pass output).
+  const std::vector<uint64_t>& logical_bytes() const {
+    return logical_bytes_;
+  }
+
  private:
   std::string path_;
   std::vector<storage::SpillSegmentMeta> segments_;
   uint64_t file_bytes_;
+  std::vector<uint64_t> logical_bytes_;
 };
 
 using SpillFileRef = std::shared_ptr<const SpillFile>;

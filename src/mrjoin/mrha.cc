@@ -4,6 +4,7 @@
 
 #include "common/stopwatch.h"
 #include "dataset/sampling.h"
+#include "observability/query_stats.h"
 
 namespace hamming::mrjoin {
 
@@ -171,16 +172,27 @@ Result<MrhaResult> RunMrhaJoin(const FloatMatrix& r_data,
     return Status::OK();
   };
 
+  // Per-probe H-Search work histograms ("query.candidates", ...) when the
+  // caller attached a metrics registry; each S tuple's search is one sample.
+  obs::MetricsRegistry* metrics = opts.exec.metrics;
+  const obs::QueryStatsHistograms query_hists =
+      obs::QueryStatsHistograms::Register(metrics);
+
   if (opts.option == MrhaOption::kA) {
     // Reducers H-Search the broadcast index and emit (r, s) directly.
     join_job.reduce_fn =
-        [index_ptr, h](const std::vector<uint8_t>&,
-                       const std::vector<std::vector<uint8_t>>& values,
-                       mr::Emitter* out) -> Status {
+        [index_ptr, h, metrics, query_hists](
+            const std::vector<uint8_t>&,
+            const std::vector<std::vector<uint8_t>>& values,
+            mr::Emitter* out) -> Status {
       for (const auto& v : values) {
         HAMMING_ASSIGN_OR_RETURN(CodeTuple t, DecodeCodeTuple(v));
-        HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> matches,
-                                 index_ptr->Search(t.code, h));
+        obs::QueryStats qstats;
+        HAMMING_ASSIGN_OR_RETURN(
+            std::vector<TupleId> matches,
+            index_ptr->Search(t.code, h,
+                              metrics != nullptr ? &qstats : nullptr));
+        if (metrics != nullptr) query_hists.Observe(metrics, qstats);
         for (TupleId r : matches) {
           out->Emit({}, EncodeJoinPair({r, t.id}));
         }
@@ -196,13 +208,18 @@ Result<MrhaResult> RunMrhaJoin(const FloatMatrix& r_data,
     // Option B: reducers emit (qualifying R code, s id); a post-processing
     // hash join resolves codes to R tuple ids.
     join_job.reduce_fn =
-        [index_ptr, h](const std::vector<uint8_t>&,
-                       const std::vector<std::vector<uint8_t>>& values,
-                       mr::Emitter* out) -> Status {
+        [index_ptr, h, metrics, query_hists](
+            const std::vector<uint8_t>&,
+            const std::vector<std::vector<uint8_t>>& values,
+            mr::Emitter* out) -> Status {
       for (const auto& v : values) {
         HAMMING_ASSIGN_OR_RETURN(CodeTuple t, DecodeCodeTuple(v));
-        HAMMING_ASSIGN_OR_RETURN(std::vector<BinaryCode> matches,
-                                 index_ptr->SearchCodes(t.code, h));
+        obs::QueryStats qstats;
+        HAMMING_ASSIGN_OR_RETURN(
+            std::vector<BinaryCode> matches,
+            index_ptr->SearchCodes(t.code, h,
+                                   metrics != nullptr ? &qstats : nullptr));
+        if (metrics != nullptr) query_hists.Observe(metrics, qstats);
         for (const BinaryCode& code : matches) {
           BufferWriter w;
           code.Serialize(&w);

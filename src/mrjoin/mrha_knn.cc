@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "dataset/sampling.h"
+#include "observability/query_stats.h"
 
 namespace hamming::mrjoin {
 
@@ -81,21 +82,32 @@ Result<MrhaKnnResult> RunMrhaKnnJoin(const FloatMatrix& r_data,
     out->Emit(PartitionKey(part), EncodeCodeTuple(ct));
     return Status::OK();
   };
-  job.reduce_fn = [index_ptr, k, initial_h, h_step, code_bits](
+  // Per-probe kNN-search work histograms; the escalation loop accumulates
+  // into one QueryStats per R tuple, with one radius_expansion per retry.
+  obs::MetricsRegistry* metrics = opts.exec.metrics;
+  const obs::QueryStatsHistograms query_hists =
+      obs::QueryStatsHistograms::Register(metrics);
+  job.reduce_fn = [index_ptr, k, initial_h, h_step, code_bits, metrics,
+                   query_hists](
                       const std::vector<uint8_t>&,
                       const std::vector<std::vector<uint8_t>>& values,
                       mr::Emitter* out) -> Status {
     for (const auto& v : values) {
       HAMMING_ASSIGN_OR_RETURN(CodeTuple t, DecodeCodeTuple(v));
       // Threshold escalation until k candidates qualify (Section 2).
+      obs::QueryStats qstats;
+      obs::QueryStats* qstats_ptr = metrics != nullptr ? &qstats : nullptr;
       std::vector<std::pair<TupleId, uint32_t>> candidates;
       std::size_t h = initial_h;
       for (;;) {
-        HAMMING_ASSIGN_OR_RETURN(candidates,
-                                 index_ptr->SearchWithDistances(t.code, h));
+        HAMMING_ASSIGN_OR_RETURN(
+            candidates,
+            index_ptr->SearchWithDistances(t.code, h, qstats_ptr));
         if (candidates.size() >= k || h >= code_bits) break;
         h = std::min(code_bits, h + h_step);
+        if (qstats_ptr != nullptr) ++qstats_ptr->radius_expansions;
       }
+      if (metrics != nullptr) query_hists.Observe(metrics, qstats);
       // Rank by code distance (ties by id for determinism), keep k.
       std::sort(candidates.begin(), candidates.end(),
                 [](const auto& a, const auto& b) {

@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "dataset/sampling.h"
+#include "observability/query_stats.h"
 
 namespace hamming::mrjoin {
 
@@ -71,7 +72,15 @@ Result<MrSelectResult> RunMrSelect(const FloatMatrix& data,
     out->Emit(PartitionKey(part), EncodeCodeTuple(ct));
     return Status::OK();
   };
-  job.reduce_fn = [queries_ptr, index_opts, h](
+  // Per-query search-work histograms ("query.candidates", ...) when the
+  // caller attached a metrics registry. Recording happens inside reduce
+  // attempts, so under fault injection a retried attempt records its
+  // queries again — unlike the runtime's own metrics these are
+  // best-effort effort accounting, not exactly-once totals.
+  obs::MetricsRegistry* metrics = opts.exec.metrics;
+  const obs::QueryStatsHistograms query_hists =
+      obs::QueryStatsHistograms::Register(metrics);
+  job.reduce_fn = [queries_ptr, index_opts, h, metrics, query_hists](
                       const std::vector<uint8_t>&,
                       const std::vector<std::vector<uint8_t>>& values,
                       mr::Emitter* out) -> Status {
@@ -87,8 +96,12 @@ Result<MrSelectResult> RunMrSelect(const FloatMatrix& data,
     DynamicHAIndex local(index_opts);
     HAMMING_RETURN_NOT_OK(local.BuildWithIds(ids, codes));
     for (std::size_t q = 0; q < queries_ptr->size(); ++q) {
-      HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> matches,
-                               local.Search((*queries_ptr)[q], h));
+      obs::QueryStats qstats;
+      HAMMING_ASSIGN_OR_RETURN(
+          std::vector<TupleId> matches,
+          local.Search((*queries_ptr)[q], h,
+                       metrics != nullptr ? &qstats : nullptr));
+      if (metrics != nullptr) query_hists.Observe(metrics, qstats);
       for (TupleId id : matches) {
         BufferWriter w;
         w.PutVarint64(q);

@@ -5,6 +5,7 @@
 #include "common/rng.h"
 #include "dataset/sampling.h"
 #include "index/multi_hash_table.h"
+#include "observability/query_stats.h"
 
 namespace hamming::mrjoin {
 
@@ -82,7 +83,11 @@ Result<PmhResult> RunPmhJoin(const FloatMatrix& r_data,
     out->Emit(PartitionKey(part), EncodeCodeTuple(ct));
     return Status::OK();
   };
-  job.reduce_fn = [r_index_ptr, h](
+  // Per-probe search-work histograms when a metrics registry is attached.
+  obs::MetricsRegistry* metrics = opts.exec.metrics;
+  const obs::QueryStatsHistograms query_hists =
+      obs::QueryStatsHistograms::Register(metrics);
+  job.reduce_fn = [r_index_ptr, h, metrics, query_hists](
                       const std::vector<uint8_t>&,
                       const std::vector<std::vector<uint8_t>>& values,
                       mr::Emitter* out) -> Status {
@@ -90,8 +95,12 @@ Result<PmhResult> RunPmhJoin(const FloatMatrix& r_data,
     // tuple of this partition.
     for (const auto& v : values) {
       HAMMING_ASSIGN_OR_RETURN(CodeTuple t, DecodeCodeTuple(v));
-      HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> matches,
-                               r_index_ptr->Search(t.code, h));
+      obs::QueryStats qstats;
+      HAMMING_ASSIGN_OR_RETURN(
+          std::vector<TupleId> matches,
+          r_index_ptr->Search(t.code, h,
+                              metrics != nullptr ? &qstats : nullptr));
+      if (metrics != nullptr) query_hists.Observe(metrics, qstats);
       for (TupleId r : matches) out->Emit({}, EncodeJoinPair({r, t.id}));
     }
     return Status::OK();

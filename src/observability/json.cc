@@ -1,0 +1,189 @@
+#include "observability/json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace hamming::obs {
+
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonEscaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  AppendJsonEscaped(&out, s);
+  return out;
+}
+
+bool JsonUnescape(std::string_view literal, std::string* out) {
+  out->clear();
+  if (literal.size() < 2 || literal.front() != '"' || literal.back() != '"') {
+    return false;
+  }
+  std::string_view body = literal.substr(1, literal.size() - 2);
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    char c = body[i];
+    if (c == '"') return false;  // unescaped quote would have ended the body
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (++i >= body.size()) return false;
+    switch (body[i]) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'n': out->push_back('\n'); break;
+      case 't': out->push_back('\t'); break;
+      case 'r': out->push_back('\r'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'u': {
+        if (i + 4 >= body.size()) return false;
+        unsigned value = 0;
+        for (int k = 1; k <= 4; ++k) {
+          char h = body[i + static_cast<std::size_t>(k)];
+          value <<= 4;
+          if (h >= '0' && h <= '9') {
+            value |= static_cast<unsigned>(h - '0');
+          } else if (h >= 'a' && h <= 'f') {
+            value |= static_cast<unsigned>(h - 'a' + 10);
+          } else if (h >= 'A' && h <= 'F') {
+            value |= static_cast<unsigned>(h - 'A' + 10);
+          } else {
+            return false;
+          }
+        }
+        if (value > 0x7f) return false;  // escaper only emits ASCII \u
+        out->push_back(static_cast<char>(value));
+        i += 4;
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) return;
+  if (stack_.back() == Frame::kObject) {
+    // A value inside an object must follow Key(); Key() already wrote the
+    // separator and cleared has_prev_ bookkeeping for us.
+    assert(pending_key_ && "JsonWriter: object value without a Key()");
+    pending_key_ = false;
+    return;
+  }
+  if (has_prev_.back()) out_.push_back(',');
+  has_prev_.back() = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  stack_.push_back(Frame::kObject);
+  has_prev_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  assert(!stack_.empty() && stack_.back() == Frame::kObject);
+  out_.push_back('}');
+  stack_.pop_back();
+  has_prev_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  stack_.push_back(Frame::kArray);
+  has_prev_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  assert(!stack_.empty() && stack_.back() == Frame::kArray);
+  out_.push_back(']');
+  stack_.pop_back();
+  has_prev_.pop_back();
+}
+
+void JsonWriter::Key(std::string_view key) {
+  assert(!stack_.empty() && stack_.back() == Frame::kObject);
+  assert(!pending_key_ && "JsonWriter: two Key() calls in a row");
+  if (has_prev_.back()) out_.push_back(',');
+  has_prev_.back() = true;
+  AppendJsonEscaped(&out_, key);
+  out_.push_back(':');
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  AppendJsonEscaped(&out_, value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  out_ += buf;
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  out_ += buf;
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+void JsonWriter::Raw(std::string_view json) {
+  BeforeValue();
+  out_ += json;
+}
+
+}  // namespace hamming::obs

@@ -1,0 +1,82 @@
+// Minimal JSON emission shared by the observability exporters (metrics
+// snapshots, trace-event files, bench harness BENCH_*.json emitters) and
+// the MapReduce JobEventTrace export.
+//
+// Two layers:
+//  * AppendJsonEscaped — the one string-escaping routine in the repo.
+//    Fault-injection statuses and spill details carry user/OS text
+//    (paths, errno strings, injected-fault messages); anything that can
+//    hold a quote, backslash or control character must pass through here
+//    or the exported file stops being JSON.
+//  * JsonWriter — a comma/nesting bookkeeper so exporters cannot emit
+//    structurally invalid documents (mismatched braces, missing commas,
+//    keys outside objects abort in debug builds and degrade to valid-ish
+//    output in release).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hamming::obs {
+
+/// \brief Appends `s` to `*out` as a JSON string literal (quotes
+/// included). Escapes quotes, backslashes, and all control characters
+/// (short forms \n \t \r \b \f, \u00XX otherwise); non-ASCII bytes pass
+/// through untouched (the output stays valid for UTF-8 input).
+void AppendJsonEscaped(std::string* out, std::string_view s);
+
+/// \brief `s` rendered as a JSON string literal.
+std::string JsonEscaped(std::string_view s);
+
+/// \brief Unescapes one JSON string literal (must include the quotes).
+/// Used by the round-trip regression tests; returns false on malformed
+/// input. Handles every escape AppendJsonEscaped produces plus \/ and
+/// ASCII \uXXXX.
+bool JsonUnescape(std::string_view literal, std::string* out);
+
+/// \brief Streaming JSON document builder with automatic commas.
+///
+/// Usage:
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("rows"); w.BeginArray();
+///   w.BeginObject(); w.Key("n"); w.Int(3); w.EndObject();
+///   w.EndArray();
+///   w.EndObject();
+///   file << w.str();
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  /// Non-finite doubles are emitted as null (JSON has no NaN/Inf).
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+  /// Splices a pre-rendered JSON value (caller guarantees validity).
+  void Raw(std::string_view json);
+
+  /// \brief The document so far; call once nesting is closed.
+  const std::string& str() const { return out_; }
+  std::string Release() { return std::move(out_); }
+
+ private:
+  enum class Frame : uint8_t { kObject, kArray };
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  std::vector<bool> has_prev_;
+  bool pending_key_ = false;
+};
+
+}  // namespace hamming::obs

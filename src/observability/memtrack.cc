@@ -1,0 +1,60 @@
+#include "observability/memtrack.h"
+
+#include <cstdio>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace hamming::obs {
+
+std::string FormatBytes(std::size_t bytes) {
+  char buf[64];
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof(buf), "%zuB", bytes);
+  } else if (bytes < 1024ull * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", bytes / 1024.0);
+  } else if (bytes < 1024ull * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.1fMB", bytes / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fGB",
+                  bytes / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+std::string MemoryBreakdown::ToString() const {
+  std::string out = FormatBytes(total());
+  out += " (internal ";
+  out += FormatBytes(internal_bytes);
+  out += " / leaf ";
+  out += FormatBytes(leaf_bytes);
+  out += ")";
+  return out;
+}
+
+uint64_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // macOS reports ru_maxrss in bytes.
+  return static_cast<uint64_t>(usage.ru_maxrss);
+#else
+  // Linux reports ru_maxrss in kilobytes.
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+void RecordPeakRss(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  uint64_t rss = PeakRssBytes();
+  if (rss == 0) return;
+  MetricId id = registry->Gauge("process.peak_rss_bytes");
+  registry->Set(id, static_cast<int64_t>(rss));
+}
+
+}  // namespace hamming::obs

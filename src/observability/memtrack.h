@@ -1,0 +1,50 @@
+// Memory accounting — part of the observability layer (canonical home
+// since the metrics/tracing PR; common/memtrack.h forwards here).
+//
+// Table 4 of the paper compares index memory footprints (MB). Each index
+// reports its heap usage through MemoryBreakdown so the bench harness can
+// print the same columns. PeakRssBytes()/RecordPeakRss() add the
+// process-wide high-watermark the same harnesses attach to their
+// BENCH_*.json snapshots as the "process.peak_rss_bytes" gauge.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "observability/metrics.h"
+
+namespace hamming::obs {
+
+/// \brief Byte counts for the structural parts of an index.
+struct MemoryBreakdown {
+  /// Bytes spent on internal (non-leaf) structure: nodes, edges, tables.
+  std::size_t internal_bytes = 0;
+  /// Bytes spent on leaf-level payload: stored codes, tuple-id hash tables.
+  std::size_t leaf_bytes = 0;
+
+  std::size_t total() const { return internal_bytes + leaf_bytes; }
+
+  MemoryBreakdown& operator+=(const MemoryBreakdown& other) {
+    internal_bytes += other.internal_bytes;
+    leaf_bytes += other.leaf_bytes;
+    return *this;
+  }
+
+  /// \brief "12.3MB (internal 4.1MB / leaf 8.2MB)" style rendering.
+  std::string ToString() const;
+};
+
+/// \brief Pretty-prints a byte count ("473B", "1.2KB", "34.5MB").
+std::string FormatBytes(std::size_t bytes);
+
+/// \brief The process's peak resident set size in bytes (getrusage
+/// ru_maxrss); 0 where the platform doesn't report it.
+uint64_t PeakRssBytes();
+
+/// \brief Sets the "process.peak_rss_bytes" gauge on `registry` to the
+/// current PeakRssBytes() (no-op for null registry or unsupported
+/// platforms). Gauges are high-watermark, so calling repeatedly is safe.
+void RecordPeakRss(MetricsRegistry* registry);
+
+}  // namespace hamming::obs

@@ -1,0 +1,267 @@
+#include "observability/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_map>
+
+#include "observability/json.h"
+
+namespace hamming::obs {
+
+std::size_t HistogramBucketOf(uint64_t value) {
+  if (value == 0) return 0;
+  // floor(log2(value)) = 63 - countl_zero; bucket i >= 1 holds
+  // [2^(i-1), 2^i), so value v lands in bucket floor(log2 v) + 1.
+  return static_cast<std::size_t>(64 - std::countl_zero(value));
+}
+
+uint64_t HistogramBucketLowerBound(std::size_t i) {
+  if (i == 0) return 0;
+  return uint64_t{1} << (i - 1);
+}
+
+// One histogram's per-shard cells. The owning thread is the only writer;
+// Snapshot reads concurrently, so every cell is a relaxed atomic.
+struct MetricsRegistry::HistCell {
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> sum{0};
+  std::atomic<uint64_t> min{~uint64_t{0}};
+  std::atomic<uint64_t> max{0};
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+};
+
+// One recording thread's private slice of the registry. Scalar cells
+// (counters accumulate, gauges keep the shard's max) are inline; the
+// larger histogram cells are allocated on a histogram's first record
+// from this thread.
+struct MetricsRegistry::Shard {
+  std::array<std::atomic<int64_t>, kMaxMetricsPerRegistry> scalars{};
+  std::array<std::atomic<HistCell*>, kMaxMetricsPerRegistry> hists{};
+
+  ~Shard() {
+    for (auto& h : hists) delete h.load(std::memory_order_relaxed);
+  }
+
+  HistCell* HistFor(MetricId id) {
+    HistCell* cell = hists[id].load(std::memory_order_relaxed);
+    if (cell == nullptr) {
+      cell = new HistCell();
+      // The owning thread is the only writer of this slot; release so a
+      // snapshotting reader that sees the pointer sees the cell's init.
+      hists[id].store(cell, std::memory_order_release);
+    }
+    return cell;
+  }
+};
+
+namespace {
+
+std::atomic<uint64_t> g_registry_epoch{1};
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : epoch_(g_registry_epoch.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard* MetricsRegistry::LocalShard() const {
+  // Thread-local shard lookup keyed by registry epoch (not address: a
+  // new registry may reuse a dead one's address, and a stale cache hit
+  // would hand out a pointer into freed memory). Entries for dead
+  // registries linger harmlessly — the shard they point to is owned by
+  // the registry and gone with it, and a dead epoch key can never be
+  // looked up again.
+  thread_local std::unordered_map<uint64_t, Shard*> cache;
+  auto it = cache.find(epoch_);
+  if (it != cache.end()) return it->second;
+  auto owned = std::make_unique<Shard>();
+  Shard* shard = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::move(owned));
+  }
+  cache.emplace(epoch_, shard);
+  return shard;
+}
+
+MetricId MetricsRegistry::Register(std::string_view name, MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  if (names_.size() >= kMaxMetricsPerRegistry - 1) {
+    // The last slot is the shared overflow sink, so runaway registration
+    // degrades to lumped accounting instead of UB or unbounded growth.
+    return kOverflowMetric;
+  }
+  const MetricId id = static_cast<MetricId>(names_.size());
+  names_.emplace_back(name);
+  kinds_.push_back(kind);
+  by_name_.emplace(names_.back(), id);
+  return id;
+}
+
+MetricId MetricsRegistry::Counter(std::string_view name) {
+  return Register(name, MetricKind::kCounter);
+}
+
+MetricId MetricsRegistry::Gauge(std::string_view name) {
+  return Register(name, MetricKind::kGauge);
+}
+
+MetricId MetricsRegistry::Histogram(std::string_view name) {
+  return Register(name, MetricKind::kHistogram);
+}
+
+void MetricsRegistry::Add(MetricId id, int64_t delta) {
+  auto& cell = LocalShard()->scalars[id];
+  // Single-writer cell: a plain load+store pair would be correct for the
+  // writer but fetch_add keeps it obviously sound and is uncontended.
+  cell.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Set(MetricId id, int64_t value) {
+  auto& cell = LocalShard()->scalars[id];
+  // High-watermark per shard; Snapshot maxes across shards.
+  if (cell.load(std::memory_order_relaxed) < value) {
+    cell.store(value, std::memory_order_relaxed);
+  }
+}
+
+void MetricsRegistry::Observe(MetricId id, uint64_t value) {
+  HistCell* cell = LocalShard()->HistFor(id);
+  cell->count.fetch_add(1, std::memory_order_relaxed);
+  cell->sum.fetch_add(value, std::memory_order_relaxed);
+  if (cell->min.load(std::memory_order_relaxed) > value) {
+    cell->min.store(value, std::memory_order_relaxed);
+  }
+  if (cell->max.load(std::memory_order_relaxed) < value) {
+    cell->max.store(value, std::memory_order_relaxed);
+  }
+  cell->buckets[HistogramBucketOf(value)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t id = 0; id < names_.size(); ++id) {
+    const std::string& name = names_[id];
+    switch (kinds_[id]) {
+      case MetricKind::kCounter: {
+        int64_t total = 0;
+        for (const auto& shard : shards_) {
+          total += shard->scalars[id].load(std::memory_order_relaxed);
+        }
+        snap.counters[name] = total;
+        break;
+      }
+      case MetricKind::kGauge: {
+        int64_t peak = 0;
+        for (const auto& shard : shards_) {
+          peak = std::max(peak,
+                          shard->scalars[id].load(std::memory_order_relaxed));
+        }
+        snap.gauges[name] = peak;
+        break;
+      }
+      case MetricKind::kHistogram: {
+        HistogramSnapshot h;
+        uint64_t min = ~uint64_t{0};
+        for (const auto& shard : shards_) {
+          const HistCell* cell =
+              shard->hists[id].load(std::memory_order_acquire);
+          if (cell == nullptr) continue;
+          h.count += cell->count.load(std::memory_order_relaxed);
+          h.sum += cell->sum.load(std::memory_order_relaxed);
+          min = std::min(min, cell->min.load(std::memory_order_relaxed));
+          h.max = std::max(h.max, cell->max.load(std::memory_order_relaxed));
+          for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+            h.buckets[b] += cell->buckets[b].load(std::memory_order_relaxed);
+          }
+        }
+        h.min = h.count == 0 ? 0 : min;
+        snap.histograms[name] = h;
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+std::size_t MetricsRegistry::NumMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
+bool MetricsSnapshot::operator==(const MetricsSnapshot& other) const {
+  if (counters != other.counters || gauges != other.gauges) return false;
+  if (histograms.size() != other.histograms.size()) return false;
+  auto it = histograms.begin();
+  auto jt = other.histograms.begin();
+  for (; it != histograms.end(); ++it, ++jt) {
+    if (it->first != jt->first) return false;
+    const HistogramSnapshot& a = it->second;
+    const HistogramSnapshot& b = jt->second;
+    if (a.count != b.count || a.sum != b.sum || a.min != b.min ||
+        a.max != b.max || a.buckets != b.buckets) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : counters) {
+    w.Key(name);
+    w.Int(value);
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, value] : gauges) {
+    w.Key(name);
+    w.Int(value);
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, h] : histograms) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("count");
+    w.Uint(h.count);
+    w.Key("sum");
+    w.Uint(h.sum);
+    w.Key("min");
+    w.Uint(h.min);
+    w.Key("max");
+    w.Uint(h.max);
+    w.Key("mean");
+    w.Double(h.Mean());
+    w.Key("skew_max_over_mean");
+    w.Double(h.SkewMaxOverMean());
+    w.Key("buckets");
+    w.BeginArray();
+    for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      w.BeginObject();
+      w.Key("ge");
+      w.Uint(HistogramBucketLowerBound(b));
+      w.Key("count");
+      w.Uint(h.buckets[b]);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.Release();
+}
+
+}  // namespace hamming::obs

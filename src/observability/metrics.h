@@ -1,0 +1,181 @@
+// MetricsRegistry: interned-id counters, high-watermark gauges and
+// log-bucketed histograms with thread-local shards.
+//
+// The design scales PR 1's contention-free LocalCounters pattern from
+// "one bag per task, merged once" to "one shard per recording thread,
+// merged on snapshot": a metric is registered once (string name -> dense
+// MetricId), and every Add/Set/Observe touches only the calling thread's
+// shard — a relaxed atomic the owner thread alone writes, so recording a
+// sample costs an increment with no cache-line ping-pong and no locks.
+// Snapshot() folds all shards under the registry mutex; the fold is a
+// commutative sum (max for gauges, bucket-wise sum for histograms), so
+// the merged totals are independent of thread scheduling and shard
+// count — the determinism the shard-merge tests pin down.
+//
+// Histograms are log2-bucketed: bucket 0 holds the value 0 and bucket
+// i >= 1 holds [2^(i-1), 2^i), so 65 buckets cover all of uint64 — wide
+// enough for byte counts and candidate counts alike, and coarse enough
+// that a histogram costs ~0.5 KB per recording thread. Each histogram
+// also tracks count/sum/min/max, from which SkewMaxOverMean() derives
+// the max/mean skew coefficient the MapReduce reducer-balance reports
+// use (the quantity Lu et al.'s kNN-join partitioning tries to drive to
+// 1.0 — see PAPERS.md).
+//
+// Compile-out: building with -DHAMMING_METRICS_DISABLED turns the
+// HAMMING_METRIC_* macros into no-ops with zero argument evaluation, so
+// instrumented hot paths cost nothing in a stripped build (the overhead
+// bench in bench_micro compares against this).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hamming::obs {
+
+/// \brief Dense handle of a registered metric (index into shard arrays).
+using MetricId = uint32_t;
+
+/// \brief Hard cap on metrics per registry; registration beyond it
+/// returns the overflow sink id (kOverflowMetric) instead of growing.
+inline constexpr std::size_t kMaxMetricsPerRegistry = 256;
+inline constexpr MetricId kOverflowMetric = kMaxMetricsPerRegistry - 1;
+
+/// \brief Number of log2 histogram buckets: bucket 0 = {0}, bucket
+/// i >= 1 = [2^(i-1), 2^i). 65 buckets cover every uint64 value.
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+/// \brief Bucket index of a value (0 for 0, else 1 + floor(log2 v)).
+std::size_t HistogramBucketOf(uint64_t value);
+/// \brief Inclusive lower bound of bucket `i` (0, 1, 2, 4, 8, ...).
+uint64_t HistogramBucketLowerBound(std::size_t i);
+
+enum class MetricKind : uint8_t { kCounter = 0, kGauge, kHistogram };
+
+/// \brief Merged view of one histogram.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // 0 when count == 0
+  uint64_t max = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  double Mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// \brief The skew coefficient max/mean (1.0 = perfectly balanced;
+  /// 0 when empty). For a per-reducer input histogram this is exactly
+  /// "how much worse the hottest reducer is than the average".
+  double SkewMaxOverMean() const {
+    const double mean = Mean();
+    return mean == 0.0 ? 0.0 : static_cast<double>(max) / mean;
+  }
+};
+
+/// \brief A merged point-in-time view of a registry, plain data.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// \brief The snapshot as one JSON object:
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name:
+  ///  {"count","sum","min","max","mean","skew_max_over_mean",
+  ///   "buckets":[{"ge":...,"count":...}, ...]}, ...}}.
+  /// Empty buckets are omitted.
+  std::string ToJson() const;
+
+  /// \brief Equality over every recorded value (the byte-identical
+  /// retry tests compare snapshots with this).
+  bool operator==(const MetricsSnapshot& other) const;
+};
+
+/// \brief Thread-safe metric registry with per-thread shards.
+///
+/// Registration (Counter/Gauge/Histogram) takes the registry mutex and
+/// may be called at any time; re-registering a name returns the existing
+/// id. Recording (Add/Set/Observe) is lock-free after a thread's first
+/// record into the registry. Snapshot() may run concurrently with
+/// recording: each cell is read atomically, so values are never torn,
+/// but a snapshot racing active writers is only guaranteed to include
+/// records that happened-before the call — quiesce writers first when
+/// exact totals matter.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// \brief Registers (or finds) a monotonically increasing counter.
+  MetricId Counter(std::string_view name);
+  /// \brief Registers (or finds) a high-watermark gauge: Snapshot
+  /// reports the maximum value Set across all threads (the natural
+  /// semantics for peaks like peak-RSS; last-write-wins is meaningless
+  /// once recording is sharded).
+  MetricId Gauge(std::string_view name);
+  /// \brief Registers (or finds) a log2-bucketed histogram.
+  MetricId Histogram(std::string_view name);
+
+  void Add(MetricId id, int64_t delta);
+  void Set(MetricId id, int64_t value);
+  void Observe(MetricId id, uint64_t value);
+
+  /// \brief Merges every shard into one plain-data view.
+  MetricsSnapshot Snapshot() const;
+
+  /// \brief Number of registered metrics (for tests).
+  std::size_t NumMetrics() const;
+
+ private:
+  struct HistCell;
+  struct Shard;
+
+  Shard* LocalShard() const;
+  MetricId Register(std::string_view name, MetricKind kind);
+
+  const uint64_t epoch_;  // process-unique; keys the thread-local cache
+  mutable std::mutex mu_;
+  std::vector<std::string> names_;
+  std::vector<MetricKind> kinds_;
+  std::map<std::string, MetricId, std::less<>> by_name_;
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+// ---- Compile-out macros ---------------------------------------------------
+//
+// `reg` is a MetricsRegistry* that may be null (null = not collecting).
+// In a -DHAMMING_METRICS_DISABLED build the macros expand to a no-op
+// that evaluates none of its arguments.
+#if defined(HAMMING_METRICS_DISABLED)
+#define HAMMING_METRICS_ENABLED 0
+#define HAMMING_METRIC_ADD(reg, id, delta) ((void)0)
+#define HAMMING_METRIC_SET(reg, id, value) ((void)0)
+#define HAMMING_METRIC_OBSERVE(reg, id, value) ((void)0)
+#else
+#define HAMMING_METRICS_ENABLED 1
+#define HAMMING_METRIC_ADD(reg, id, delta)                    \
+  do {                                                        \
+    ::hamming::obs::MetricsRegistry* hm_reg_ = (reg);         \
+    if (hm_reg_ != nullptr) hm_reg_->Add((id), (delta));      \
+  } while (0)
+#define HAMMING_METRIC_SET(reg, id, value)                    \
+  do {                                                        \
+    ::hamming::obs::MetricsRegistry* hm_reg_ = (reg);         \
+    if (hm_reg_ != nullptr) hm_reg_->Set((id), (value));      \
+  } while (0)
+#define HAMMING_METRIC_OBSERVE(reg, id, value)                \
+  do {                                                        \
+    ::hamming::obs::MetricsRegistry* hm_reg_ = (reg);         \
+    if (hm_reg_ != nullptr) hm_reg_->Observe((id), (value));  \
+  } while (0)
+#endif
+
+}  // namespace hamming::obs

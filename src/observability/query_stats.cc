@@ -1,0 +1,52 @@
+#include "observability/query_stats.h"
+
+#include "observability/json.h"
+
+namespace hamming::obs {
+
+std::string QueryStats::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("signatures_enumerated");
+  w.Uint(signatures_enumerated);
+  w.Key("candidates_generated");
+  w.Uint(candidates_generated);
+  w.Key("exact_distance_computations");
+  w.Uint(exact_distance_computations);
+  w.Key("kernel_batch_calls");
+  w.Uint(kernel_batch_calls);
+  w.Key("radius_expansions");
+  w.Uint(radius_expansions);
+  w.Key("results");
+  w.Uint(results);
+  w.EndObject();
+  return w.Release();
+}
+
+QueryStatsHistograms QueryStatsHistograms::Register(
+    MetricsRegistry* registry, const std::string& prefix) {
+  QueryStatsHistograms h;
+  if (registry == nullptr) return h;
+  h.signatures = registry->Histogram(prefix + ".signatures_enumerated");
+  h.candidates = registry->Histogram(prefix + ".candidates");
+  h.exact_distances = registry->Histogram(prefix + ".exact_distances");
+  h.kernel_batches = registry->Histogram(prefix + ".kernel_batches");
+  h.radius_expansions = registry->Histogram(prefix + ".radius_expansions");
+  h.results = registry->Histogram(prefix + ".results");
+  return h;
+}
+
+void QueryStatsHistograms::Observe(MetricsRegistry* registry,
+                                   const QueryStats& stats) const {
+  if (registry == nullptr) return;
+  HAMMING_METRIC_OBSERVE(registry, signatures, stats.signatures_enumerated);
+  HAMMING_METRIC_OBSERVE(registry, candidates, stats.candidates_generated);
+  HAMMING_METRIC_OBSERVE(registry, exact_distances,
+                         stats.exact_distance_computations);
+  HAMMING_METRIC_OBSERVE(registry, kernel_batches, stats.kernel_batch_calls);
+  HAMMING_METRIC_OBSERVE(registry, radius_expansions,
+                         stats.radius_expansions);
+  HAMMING_METRIC_OBSERVE(registry, results, stats.results);
+}
+
+}  // namespace hamming::obs

@@ -1,0 +1,85 @@
+// Per-query search statistics — the quantities the paper's relative
+// claims (and the multi-index-hashing analyses in PAPERS.md) are built
+// on, recorded by every HammingIndex::Search/Knn when the caller passes
+// a QueryStats*.
+//
+// Field semantics across the index families:
+//  * signatures_enumerated — hash keys / segment signatures / shared
+//    tree-node patterns the index evaluated for this query: MH table
+//    probes, HmSearch segment probes, HA-Index node partial distances.
+//  * candidates_generated — tuples surfaced by the filtering structure
+//    before (or without) exact verification: hash-bucket members,
+//    HA-Index rows reaching the path walk, linear-scan rows.
+//  * exact_distance_computations — full-width XOR+popcount distance (or
+//    bounded WithinDistance) evaluations against stored codes.
+//  * kernel_batch_calls — calls into the batched kernels
+//    (kernels/hamming_kernels.h); candidates / batches is the average
+//    batch occupancy, the quantity that decides whether the SIMD path
+//    pays off.
+//  * radius_expansions — Search(h) rounds issued by the radius-expanding
+//    default Knn.
+//  * results — qualifying tuples returned.
+//
+// QueryStats is a plain accumulator with no synchronization: one stats
+// object belongs to one query (or one single-threaded batch). Aggregate
+// across threads by recording each finished query into a
+// MetricsRegistry through QueryStatsHistograms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "observability/metrics.h"
+
+namespace hamming::obs {
+
+struct QueryStats {
+  uint64_t signatures_enumerated = 0;
+  uint64_t candidates_generated = 0;
+  uint64_t exact_distance_computations = 0;
+  uint64_t kernel_batch_calls = 0;
+  uint64_t radius_expansions = 0;
+  uint64_t results = 0;
+
+  QueryStats& operator+=(const QueryStats& o) {
+    signatures_enumerated += o.signatures_enumerated;
+    candidates_generated += o.candidates_generated;
+    exact_distance_computations += o.exact_distance_computations;
+    kernel_batch_calls += o.kernel_batch_calls;
+    radius_expansions += o.radius_expansions;
+    results += o.results;
+    return *this;
+  }
+
+  bool operator==(const QueryStats& o) const {
+    return signatures_enumerated == o.signatures_enumerated &&
+           candidates_generated == o.candidates_generated &&
+           exact_distance_computations == o.exact_distance_computations &&
+           kernel_batch_calls == o.kernel_batch_calls &&
+           radius_expansions == o.radius_expansions && results == o.results;
+  }
+
+  /// \brief One JSON object with every field.
+  std::string ToJson() const;
+};
+
+/// \brief Pre-registered per-query histograms ("query.candidates",
+/// "query.exact_distances", ...) on a registry; Observe() records one
+/// finished query's stats as one sample per histogram.
+struct QueryStatsHistograms {
+  MetricId signatures = kOverflowMetric;
+  MetricId candidates = kOverflowMetric;
+  MetricId exact_distances = kOverflowMetric;
+  MetricId kernel_batches = kOverflowMetric;
+  MetricId radius_expansions = kOverflowMetric;
+  MetricId results = kOverflowMetric;
+
+  /// \brief Registers the histograms under `prefix` + ".candidates" etc.
+  /// (default prefix "query"). Safe to call repeatedly.
+  static QueryStatsHistograms Register(MetricsRegistry* registry,
+                                       const std::string& prefix = "query");
+
+  void Observe(MetricsRegistry* registry, const QueryStats& stats) const;
+};
+
+}  // namespace hamming::obs

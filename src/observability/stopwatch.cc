@@ -1,6 +1,6 @@
-#include "common/stopwatch.h"
+#include "observability/stopwatch.h"
 
-namespace hamming {
+namespace hamming::obs {
 
 Stopwatch::Stopwatch() : start_(std::chrono::steady_clock::now()) {}
 
@@ -18,4 +18,4 @@ double Stopwatch::ElapsedMillis() const { return ElapsedNanos() / 1e6; }
 
 double Stopwatch::ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
 
-}  // namespace hamming
+}  // namespace hamming::obs

@@ -1,0 +1,34 @@
+// Wall-clock timing — part of the observability layer (canonical home
+// since the metrics/tracing PR; common/stopwatch.h forwards here).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace hamming::obs {
+
+/// \brief A simple steady-clock stopwatch.
+///
+/// Starts running on construction; Elapsed* may be called repeatedly,
+/// Restart resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch();
+
+  /// Resets the start point to now.
+  void Restart();
+
+  /// \brief Elapsed time since construction/Restart, in nanoseconds.
+  int64_t ElapsedNanos() const;
+  /// \brief Elapsed time in microseconds.
+  double ElapsedMicros() const;
+  /// \brief Elapsed time in milliseconds.
+  double ElapsedMillis() const;
+  /// \brief Elapsed time in seconds.
+  double ElapsedSeconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hamming::obs

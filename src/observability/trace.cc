@@ -1,0 +1,263 @@
+#include "observability/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "observability/json.h"
+
+namespace hamming::obs {
+
+namespace {
+
+const char* PhaseOfEvent(const mr::JobEvent& e) {
+  if (e.type == mr::JobEventType::kSpill) return "spill";
+  if (e.type == mr::JobEventType::kMergePass) return "merge";
+  return e.kind == mr::TaskKind::kMap ? "map" : "reduce";
+}
+
+}  // namespace
+
+TraceCollector::TraceCollector(TraceOptions opts) : opts_(opts) {
+  if (opts_.num_nodes == 0) opts_.num_nodes = 1;
+}
+
+void TraceCollector::BeginJob(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_job_name_ = name;
+}
+
+void TraceCollector::OnEvent(const mr::JobEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Ingest(event);
+}
+
+void TraceCollector::AddJobTrace(const mr::JobEventTrace& trace,
+                                 const std::string& job_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!job_name.empty()) next_job_name_ = job_name;
+  for (const mr::JobEvent& e : trace.events()) Ingest(e);
+}
+
+std::size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void TraceCollector::CloseJobSpan() {
+  if (!job_open_) return;
+  Span job;
+  job.name = open_job_name_;
+  job.category = "job";
+  job.start_us = open_job_start_us_;
+  job.duration_us = std::max(0.0, max_abs_us_ - open_job_start_us_);
+  job.pid = 0;
+  job.tid = 0;
+  spans_.push_back(std::move(job));
+  job_open_ = false;
+  open_phases_.clear();
+}
+
+void TraceCollector::Ingest(const mr::JobEvent& e) {
+  // A new job announces itself with the map phase_start; re-base it at
+  // the end of everything seen so far so sequential jobs don't overlap.
+  if (e.type == mr::JobEventType::kPhaseStart && e.detail == "map") {
+    CloseJobSpan();
+    job_base_us_ = max_abs_us_;
+    ++job_index_;
+    open_job_name_ = next_job_name_.empty()
+                         ? "job-" + std::to_string(job_index_)
+                         : next_job_name_;
+    next_job_name_.clear();
+    job_open_ = true;
+    open_job_start_us_ = job_base_us_ + e.time_seconds * 1e6;
+  }
+  const double end_us = job_base_us_ + e.time_seconds * 1e6;
+  const double dur_us = e.duration_seconds * 1e6;
+  max_abs_us_ = std::max(max_abs_us_, end_us);
+
+  switch (e.type) {
+    case mr::JobEventType::kPhaseStart:
+      open_phases_.emplace_back(e.detail, end_us);
+      return;
+    case mr::JobEventType::kPhaseFinish: {
+      Span s;
+      s.name = open_job_name_.empty() ? e.detail
+                                      : open_job_name_ + " " + e.detail;
+      s.category = e.detail;
+      s.pid = 0;
+      s.tid = 1;
+      s.duration_us = dur_us;
+      s.start_us = end_us - dur_us;
+      // Prefer the recorded start (re-based) when we saw it; the pair is
+      // redundant but keeps the span honest if duration was rounded.
+      for (auto it = open_phases_.rbegin(); it != open_phases_.rend(); ++it) {
+        if (it->first == e.detail) {
+          s.start_us = it->second;
+          s.duration_us = std::max(dur_us, end_us - it->second);
+          open_phases_.erase(std::next(it).base());
+          break;
+        }
+      }
+      spans_.push_back(std::move(s));
+      return;
+    }
+    case mr::JobEventType::kAttemptStart:
+    case mr::JobEventType::kAttemptSpeculate:
+      // Spans are drawn from the finish-side events (which carry the
+      // duration); starts and speculation decisions appear as instants
+      // so the scheduling story stays visible.
+      {
+        if (e.task == mr::kNoTask) return;
+        Span s;
+        s.instant = true;
+        s.name = e.type == mr::JobEventType::kAttemptSpeculate
+                     ? "speculate"
+                     : (e.detail == "speculative" ? "backup start" : "start");
+        s.category = PhaseOfEvent(e);
+        s.args_detail = e.detail;
+        s.start_us = end_us;
+        s.pid = static_cast<uint32_t>(e.task % opts_.num_nodes) + 1;
+        s.tid = static_cast<uint32_t>(e.task / opts_.num_nodes);
+        max_node_seen_ = std::max(max_node_seen_, e.task % opts_.num_nodes);
+        spans_.push_back(std::move(s));
+        return;
+      }
+    case mr::JobEventType::kAttemptFinish:
+    case mr::JobEventType::kAttemptFail:
+    case mr::JobEventType::kAttemptKill: {
+      if (e.task == mr::kNoTask) return;
+      Span s;
+      const char* outcome = e.type == mr::JobEventType::kAttemptFinish
+                                ? ""
+                                : (e.type == mr::JobEventType::kAttemptFail
+                                       ? " FAIL"
+                                       : " killed");
+      s.name = std::string(mr::TaskKindName(e.kind)) + " " +
+               std::to_string(e.task) + " a" + std::to_string(e.attempt) +
+               outcome;
+      s.category = PhaseOfEvent(e);
+      s.args_detail = e.detail;
+      s.duration_us = dur_us;
+      s.start_us = end_us - dur_us;
+      s.pid = static_cast<uint32_t>(e.task % opts_.num_nodes) + 1;
+      // Slot lane within the node; attempts fan out to adjacent lanes so
+      // racing attempts of one task render side by side, not stacked.
+      s.tid = static_cast<uint32_t>(e.task / opts_.num_nodes) * 4 +
+              static_cast<uint32_t>(std::max(0, e.attempt) % 4);
+      max_node_seen_ = std::max(max_node_seen_, e.task % opts_.num_nodes);
+      spans_.push_back(std::move(s));
+      return;
+    }
+    case mr::JobEventType::kSpill:
+    case mr::JobEventType::kMergePass: {
+      if (e.task == mr::kNoTask) return;
+      Span s;
+      s.instant = true;
+      s.name = e.type == mr::JobEventType::kSpill ? "spill" : "merge pass";
+      s.category = PhaseOfEvent(e);
+      s.args_detail = e.detail;
+      s.start_us = end_us;
+      s.pid = static_cast<uint32_t>(e.task % opts_.num_nodes) + 1;
+      s.tid = static_cast<uint32_t>(e.task / opts_.num_nodes) * 4 +
+              static_cast<uint32_t>(std::max(0, e.attempt) % 4);
+      max_node_seen_ = std::max(max_node_seen_, e.task % opts_.num_nodes);
+      spans_.push_back(std::move(s));
+      return;
+    }
+  }
+}
+
+std::string TraceCollector::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Flush the trailing job span into a local copy so export is const.
+  std::vector<Span> spans = spans_;
+  if (job_open_) {
+    Span job;
+    job.name = open_job_name_;
+    job.category = "job";
+    job.start_us = open_job_start_us_;
+    job.duration_us = std::max(0.0, max_abs_us_ - open_job_start_us_);
+    spans.push_back(std::move(job));
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  // Process-name metadata: pid 0 is the driver, pid n+1 is node-n.
+  auto name_process = [&w](uint32_t pid, const std::string& name) {
+    w.BeginObject();
+    w.Key("name");
+    w.String("process_name");
+    w.Key("ph");
+    w.String("M");
+    w.Key("pid");
+    w.Uint(pid);
+    w.Key("tid");
+    w.Uint(0);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("name");
+    w.String(name);
+    w.EndObject();
+    w.EndObject();
+  };
+  name_process(0, "driver");
+  for (std::size_t n = 0; n <= max_node_seen_; ++n) {
+    name_process(static_cast<uint32_t>(n) + 1, "node-" + std::to_string(n));
+  }
+  for (const Span& s : spans) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(s.name);
+    w.Key("cat");
+    w.String(s.category);
+    w.Key("ph");
+    w.String(s.instant ? "i" : "X");
+    w.Key("ts");
+    w.Double(s.start_us);
+    if (!s.instant) {
+      w.Key("dur");
+      w.Double(std::max(0.0, s.duration_us));
+    } else {
+      w.Key("s");
+      w.String("t");  // instant scope: thread
+    }
+    w.Key("pid");
+    w.Uint(s.pid);
+    w.Key("tid");
+    w.Uint(s.tid);
+    if (!s.args_detail.empty()) {
+      w.Key("args");
+      w.BeginObject();
+      w.Key("detail");
+      w.String(s.args_detail);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.EndObject();
+  return w.Release();
+}
+
+bool TraceCollector::WriteChromeJson(const std::string& path) const {
+  std::string json = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string ChromeTraceFromJobTrace(const mr::JobEventTrace& trace,
+                                    std::size_t num_nodes,
+                                    const std::string& job_name) {
+  TraceCollector collector(TraceOptions{num_nodes});
+  collector.AddJobTrace(trace, job_name);
+  return collector.ToChromeJson();
+}
+
+}  // namespace hamming::obs

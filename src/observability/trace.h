@@ -1,0 +1,113 @@
+// TraceCollector: turns the MapReduce runtime's JobEvent stream into a
+// Chrome trace-event / Perfetto-loadable timeline.
+//
+// The simulated cluster places task t of a job on node t % num_nodes
+// (the same round-robin the paper's 16-node Hadoop cluster approximates
+// with its slot scheduler), so the collector renders one Perfetto
+// *process* per node ("node-0".."node-N"), plus a "driver" process for
+// phase boundaries. Within a node, a task's slot (t / num_nodes) picks
+// the thread lane, with attempts fanned out to neighbouring lanes so a
+// speculative backup shows up beside the straggler it raced.
+//
+// Span mapping:
+//  * attempt_finish/fail/kill   -> "X" (complete) spans of duration d,
+//    named "map 3 a0" etc., categorized by phase, with the outcome and
+//    detail text in args. (JobEvents carry the *end* time plus duration,
+//    so ts = end - duration.)
+//  * spill / merge_pass         -> "i" (instant) events on the task lane.
+//  * phase_start/phase_finish   -> "X" spans on the driver lane, one per
+//    map/shuffle/reduce phase, paired by phase name.
+//
+// Successive jobs observed by one collector (a multi-job plan like MRHA)
+// each restart the job clock at 0; the collector re-bases every job at
+// the maximum absolute timestamp seen so far, so a plan's jobs lay out
+// end-to-end on one timeline. Label jobs with BeginJob() to get named
+// "job" spans around each.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mapreduce/execution.h"
+
+namespace hamming::obs {
+
+struct TraceOptions {
+  /// Simulated node count used for the task -> node placement; must
+  /// match the Cluster the jobs run on for the lanes to be truthful.
+  std::size_t num_nodes = 16;
+};
+
+/// \brief Collects JobEvents (as a mr::JobObserver) and exports a
+/// Chrome trace-event JSON document.
+///
+/// OnEvent calls are serialized by the job runner but may arrive from
+/// any worker thread, and one collector may outlive many jobs; all
+/// state is guarded by an internal mutex.
+class TraceCollector final : public mr::JobObserver {
+ public:
+  explicit TraceCollector(TraceOptions opts = {});
+
+  /// \brief Starts a labelled job region: subsequent events belong to
+  /// `name` until the next BeginJob. Optional — unlabelled jobs get
+  /// "job-<index>".
+  void BeginJob(const std::string& name);
+
+  void OnEvent(const mr::JobEvent& event) override;
+
+  /// \brief Ingests a whole finished trace (the pull-style alternative
+  /// for callers that kept JobResult::trace instead of observing live).
+  void AddJobTrace(const mr::JobEventTrace& trace,
+                   const std::string& job_name = "");
+
+  /// \brief Number of trace events collected so far.
+  std::size_t size() const;
+
+  /// \brief The timeline as a Chrome trace-event JSON object
+  /// ({"traceEvents": [...], "displayTimeUnit": "ms"}) loadable by
+  /// chrome://tracing and ui.perfetto.dev.
+  std::string ToChromeJson() const;
+
+  /// \brief Writes ToChromeJson() to `path`; false on I/O failure.
+  bool WriteChromeJson(const std::string& path) const;
+
+ private:
+  struct Span {
+    std::string name;
+    std::string category;  // "map", "shuffle", "reduce", "spill", "job"
+    std::string args_detail;
+    double start_us = 0.0;
+    double duration_us = 0.0;  // 0 => instant event
+    uint32_t pid = 0;          // node + 1 (0 = driver)
+    uint32_t tid = 0;
+    bool instant = false;
+  };
+
+  void Ingest(const mr::JobEvent& e);  // caller holds mu_
+  void CloseJobSpan();                 // caller holds mu_
+
+  TraceOptions opts_;
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::size_t max_node_seen_ = 0;
+  // Job re-basing state.
+  double job_base_us_ = 0.0;
+  double max_abs_us_ = 0.0;
+  std::size_t job_index_ = 0;
+  bool job_open_ = false;
+  std::string next_job_name_;
+  std::string open_job_name_;
+  double open_job_start_us_ = 0.0;
+  // Open phase starts of the current job, keyed by phase name.
+  std::vector<std::pair<std::string, double>> open_phases_;
+};
+
+/// \brief One-shot conversion of a finished job trace (convenience
+/// around TraceCollector::AddJobTrace + ToChromeJson).
+std::string ChromeTraceFromJobTrace(const mr::JobEventTrace& trace,
+                                    std::size_t num_nodes,
+                                    const std::string& job_name = "");
+
+}  // namespace hamming::obs
