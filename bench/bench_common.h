@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "common/stopwatch.h"
+#include "observability/stopwatch.h"
 #include "dataset/generators.h"
 #include "hashing/spectral_hashing.h"
 #include "index/hamming_index.h"
@@ -88,7 +88,7 @@ inline PreparedDataset Prepare(DatasetKind kind, std::size_t n,
   }
   SpectralHashingOptions hopts;
   hopts.code_bits = code_bits;
-  Stopwatch watch;
+  obs::Stopwatch watch;
   out.hash = SpectralHashing::Train(sample, hopts).ValueOrDie();
   out.hash_train_seconds = watch.ElapsedSeconds();
   out.codes = out.hash->HashAll(out.data);
@@ -103,7 +103,7 @@ inline double MeasureQueryMillis(
     const HammingIndex& index, const std::vector<BinaryCode>& queries,
     std::size_t h, obs::MetricsRegistry* metrics = nullptr,
     const obs::QueryStatsHistograms& hists = {}) {
-  Stopwatch watch;
+  obs::Stopwatch watch;
   std::size_t sink = 0;
   for (const auto& q : queries) {
     obs::QueryStats stats;
@@ -122,9 +122,10 @@ inline double MeasureQueryMillis(
 inline double MeasureUpdateMillis(HammingIndex* index,
                                   const std::vector<BinaryCode>& codes,
                                   std::size_t rounds = 50) {
-  Stopwatch watch;
+  obs::Stopwatch watch;
   for (std::size_t r = 0; r < rounds; ++r) {
     TupleId id = static_cast<TupleId>((r * 7919) % codes.size());
+    // Churn on ids known to exist; failure is impossible by construction.
     (void)index->Delete(id, codes[id]);
     (void)index->Insert(id, codes[id]);
   }

@@ -70,7 +70,7 @@ void SweepPlan(const char* plan, const RunFn& run, BenchReport* report) {
   std::printf("%s\n", Separator());
   for (double p : probabilities) {
     AttemptObserver observer;
-    Stopwatch watch;
+    obs::Stopwatch watch;
     SweepPoint point;
     point.results = run(FaultRegime(p, &observer, /*speculate=*/true));
     point.seconds = watch.ElapsedSeconds();
@@ -79,7 +79,7 @@ void SweepPlan(const char* plan, const RunFn& run, BenchReport* report) {
     double no_spec_seconds = 0.0;
     if (p > 0.0) {
       AttemptObserver nospec_observer;
-      Stopwatch nospec_watch;
+      obs::Stopwatch nospec_watch;
       std::size_t nospec_results =
           run(FaultRegime(p, &nospec_observer, /*speculate=*/false));
       no_spec_seconds = nospec_watch.ElapsedSeconds();

@@ -64,7 +64,7 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
       opts.exec = shared.exec;
       opts.num_partitions = shared.num_partitions;
       opts.k = knn_k;
-      Stopwatch w;
+      obs::Stopwatch w;
       auto r = RunPgbjJoin(data, data, opts, &cluster);
       if (r.ok()) {
         pgbj_s = ModeledSeconds(w.ElapsedSeconds(),
@@ -77,7 +77,7 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
       static_cast<MRJoinOptions&>(opts) = shared;
       opts.num_tables = 10;
       opts.pretrained = hash;
-      Stopwatch w;
+      obs::Stopwatch w;
       auto r = RunPmhJoin(data, data, opts, &cluster);
       if (r.ok()) {
         pmh_s = ModeledSeconds(w.ElapsedSeconds(),
@@ -90,7 +90,7 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
       static_cast<MRJoinOptions&>(opts) = shared;
       opts.option = MrhaOption::kA;
       opts.pretrained = hash;
-      Stopwatch w;
+      obs::Stopwatch w;
       auto r = RunMrhaJoin(data, data, opts, &cluster);
       if (r.ok()) {
         a_s = ModeledSeconds(w.ElapsedSeconds(),
@@ -103,7 +103,7 @@ void RunDataset(DatasetKind kind, std::size_t base_n,
       static_cast<MRJoinOptions&>(opts) = shared;
       opts.option = MrhaOption::kB;
       opts.pretrained = hash;
-      Stopwatch w;
+      obs::Stopwatch w;
       auto r = RunMrhaJoin(data, data, opts, &cluster);
       if (r.ok()) {
         b_s = ModeledSeconds(w.ElapsedSeconds(),

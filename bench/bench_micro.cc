@@ -18,7 +18,7 @@
 #include "code/gray.h"
 #include "code/masked_code.h"
 #include "common/rng.h"
-#include "common/stopwatch.h"
+#include "observability/stopwatch.h"
 #include "index/dynamic_ha_index.h"
 #include "index/hengine.h"
 #include "index/linear_scan.h"
@@ -191,11 +191,11 @@ BENCHMARK(BM_DhaBuild)->Arg(10000)->Unit(benchmark::kMillisecond);
 // Times `pass` (which processes `items` codes/records) repeatedly until
 // ~0.15 s of wall clock, returning ns per item.
 double TimeNsPerItem(const std::function<void()>& pass, std::size_t items) {
-  Stopwatch warm;
+  obs::Stopwatch warm;
   pass();
   double once = warm.ElapsedSeconds();
   int reps = static_cast<int>(0.15 / std::max(once, 1e-6)) + 1;
-  Stopwatch watch;
+  obs::Stopwatch watch;
   for (int r = 0; r < reps; ++r) pass();
   double secs = watch.ElapsedSeconds();
   return secs * 1e9 / (static_cast<double>(reps) * static_cast<double>(items));

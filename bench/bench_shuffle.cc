@@ -98,7 +98,7 @@ void Sweep(std::size_t n, BenchReport* report,
       mr::JobSpec spec = AggregationJob(n, num_keys, combiner);
       spec.options.shuffle_memory_bytes = budget.bytes;
       spec.options.metrics = metrics;
-      Stopwatch watch;
+      obs::Stopwatch watch;
       auto result = RunJob(spec, &cluster);
       const double seconds = watch.ElapsedSeconds();
       if (!result.ok()) {

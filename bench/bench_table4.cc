@@ -87,11 +87,11 @@ void RunDataset(DatasetKind kind, std::size_t n, std::size_t nq,
     if (std::string(m.name) == "DHA-Index") {
       // Paper notation: total / internal-only (leafless broadcast form).
       std::printf("%-14s %14.4f %14.4f %12s/%s\n", m.name, query_ms,
-                  update_ms, FormatBytes(mem.total()).c_str(),
-                  FormatBytes(mem.internal_bytes).c_str());
+                  update_ms, obs::FormatBytes(mem.total()).c_str(),
+                  obs::FormatBytes(mem.internal_bytes).c_str());
     } else {
       std::printf("%-14s %14.4f %14.4f %20s\n", m.name, query_ms, update_ms,
-                  FormatBytes(mem.total()).c_str());
+                  obs::FormatBytes(mem.total()).c_str());
     }
   }
 }

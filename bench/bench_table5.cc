@@ -31,8 +31,9 @@ Row MeasureHaKnn(const std::string& name, const PreparedDataset& ds32,
                  IndexT make_index,
                  const std::vector<std::vector<Neighbor>>& truth) {
   const PreparedDataset& ds = bits == 32 ? ds32 : ds64;
-  Stopwatch watch;
+  obs::Stopwatch watch;
   auto index = make_index();
+  // Build on generated data cannot fail; timing is the point here.
   (void)index->Build(ds.codes);
   double build_s = watch.ElapsedSeconds() + ds.hash_train_seconds;
 
@@ -70,7 +71,7 @@ void RunDataset(DatasetKind kind, std::size_t n, std::size_t nq,
   std::vector<Row> rows;
 
   {  // E2LSH (20 tables, as in the paper).
-    Stopwatch watch;
+    obs::Stopwatch watch;
     E2LshOptions opts;
     opts.num_tables = 20;
     auto lsh = E2Lsh::Build(ds32.data, opts).ValueOrDie();
@@ -87,7 +88,7 @@ void RunDataset(DatasetKind kind, std::size_t n, std::size_t nq,
                     recall / static_cast<double>(nq)});
   }
   {  // LSB-Tree forest with 25 trees.
-    Stopwatch watch;
+    obs::Stopwatch watch;
     LsbTreeOptions opts;
     opts.num_trees = 25;
     auto forest = LsbForest::Build(ds32.data, opts).ValueOrDie();

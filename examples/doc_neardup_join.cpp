@@ -6,7 +6,7 @@
 //   $ ./build/examples/doc_neardup_join
 #include <cstdio>
 
-#include "common/stopwatch.h"
+#include "observability/stopwatch.h"
 #include "dataset/generators.h"
 #include "hashing/spectral_hashing.h"
 #include "index/dynamic_ha_index.h"
@@ -36,7 +36,7 @@ int main() {
 
   // Index-probe join (HA-Index on the batch, probe with the corpus —
   // index the smaller side, as Section 5 prescribes for R).
-  Stopwatch watch;
+  obs::Stopwatch watch;
   DynamicHAIndex index;
   auto pairs =
       IndexProbeJoin(&index, batch_codes, corpus_codes, /*h=*/3)

@@ -13,7 +13,7 @@
 #include <fstream>
 #include <string>
 
-#include "common/stopwatch.h"
+#include "observability/stopwatch.h"
 #include "storage/persist.h"
 
 namespace {
@@ -49,7 +49,7 @@ int Build(const char* codes_path, const char* index_path) {
     }
     codes.push_back(*code);
   }
-  Stopwatch watch;
+  obs::Stopwatch watch;
   DynamicHAIndex index;
   if (Status st = index.Build(codes); !st.ok()) {
     std::fprintf(stderr, "H-Build failed: %s\n", st.ToString().c_str());
@@ -102,7 +102,7 @@ int Query(const char* index_path, const char* code_str, const char* h_str) {
     std::fprintf(stderr, "threshold must be non-negative\n");
     return 1;
   }
-  Stopwatch watch;
+  obs::Stopwatch watch;
   auto result =
       index->SearchWithDistances(*code, static_cast<std::size_t>(h));
   if (!result.ok()) {

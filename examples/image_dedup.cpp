@@ -7,7 +7,7 @@
 //   $ ./build/examples/image_dedup
 #include <cstdio>
 
-#include "common/stopwatch.h"
+#include "observability/stopwatch.h"
 #include "dataset/generators.h"
 #include "hashing/spectral_hashing.h"
 #include "index/dynamic_ha_index.h"
@@ -36,7 +36,7 @@ int main() {
   std::printf("hashed to %zu-bit binary codes\n", hash->code_bits());
 
   // Index the codes.
-  Stopwatch watch;
+  obs::Stopwatch watch;
   DynamicHAIndex index;
   if (Status st = index.Build(codes); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -58,6 +58,7 @@ int main() {
   double ha_ms = watch.ElapsedMillis();
 
   LinearScanIndex scan;
+  // Build on in-memory codes cannot fail.
   (void)scan.Build(codes);
   watch.Restart();
   auto dup_scan = scan.Search(probe, /*h=*/3).ValueOrDie();

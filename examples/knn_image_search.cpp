@@ -6,7 +6,7 @@
 //   $ ./build/examples/knn_image_search
 #include <cstdio>
 
-#include "common/stopwatch.h"
+#include "observability/stopwatch.h"
 #include "dataset/generators.h"
 #include "hashing/spectral_hashing.h"
 #include "index/dynamic_ha_index.h"
@@ -47,7 +47,7 @@ int main() {
   double total_recall = 0.0;
   double approx_total = 0.0, exact_total = 0.0;
   for (std::size_t qi = 0; qi < kQueries; ++qi) {
-    Stopwatch watch;
+    obs::Stopwatch watch;
     auto approx = searcher.Search(queries.Row(qi), kK).ValueOrDie();
     double approx_ms = watch.ElapsedMillis();
     watch.Restart();

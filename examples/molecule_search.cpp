@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "chem/tanimoto.h"
-#include "common/stopwatch.h"
+#include "observability/stopwatch.h"
 
 int main() {
   using namespace hamming;
@@ -29,7 +29,7 @@ int main() {
     library.push_back(fp);
   }
 
-  Stopwatch watch;
+  obs::Stopwatch watch;
   auto searcher = chem::TanimotoSearcher::Build(library).ValueOrDie();
   std::printf("built %zu popcount buckets in %.1f ms\n",
               searcher.num_buckets(), watch.ElapsedMillis());

@@ -1,0 +1,43 @@
+// Fuzz harness for the JSON string escaper/unescaper
+// (observability/json.h).
+//
+// Invariants checked on every input:
+//  * JsonUnescape on arbitrary bytes either fails cleanly or produces a
+//    string whose re-escape unescapes back to the same value (stability).
+//  * Escape -> unescape on arbitrary bytes is the identity — every
+//    metrics snapshot, trace event and fault-injection message passes
+//    through AppendJsonEscaped, so a byte sequence it mangles would
+//    corrupt the exported files.
+#include <string>
+#include <string_view>
+
+#include "observability/json.h"
+#include "fuzz_targets.h"
+
+namespace hamming_fuzz {
+
+void RunJsonFuzzInput(const uint8_t* data, std::size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  std::string decoded;
+  if (hamming::obs::JsonUnescape(input, &decoded)) {
+    const std::string escaped = hamming::obs::JsonEscaped(decoded);
+    std::string decoded_again;
+    HAMMING_FUZZ_CHECK(hamming::obs::JsonUnescape(escaped, &decoded_again));
+    HAMMING_FUZZ_CHECK(decoded_again == decoded);
+  }
+
+  const std::string escaped = hamming::obs::JsonEscaped(input);
+  std::string back;
+  HAMMING_FUZZ_CHECK(hamming::obs::JsonUnescape(escaped, &back));
+  HAMMING_FUZZ_CHECK(back == input);
+}
+
+}  // namespace hamming_fuzz
+
+#if !defined(HAMMING_FUZZ_NO_ENTRY)
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size) {
+  hamming_fuzz::RunJsonFuzzInput(data, size);
+  return 0;
+}
+#endif

@@ -1,0 +1,146 @@
+// Deterministic driver for the fuzz harnesses when libFuzzer is not
+// available (the default toolchain here is GCC).
+//
+// Modes:
+//   fuzz_serde corpus_dir [files...]            replay every corpus file
+//   fuzz_serde corpus_dir -mutate=N [-seed=S]   additionally run N
+//       deterministic mutations of every corpus file
+//
+// Mutations come from a fixed xorshift64* stream seeded by
+// (seed, file index, iteration), so two runs over the same corpus
+// execute byte-identical inputs — this is the "fuzz smoke" mode
+// scripts/check.sh gates on: no wall-clock budget, no RNG from the
+// environment, same coverage every run. Real open-ended campaigns use
+// -DHAMMING_LIBFUZZER=ON with Clang instead.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size);
+
+namespace {
+
+uint64_t XorShift(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545F4914F6CDD1Dull;
+}
+
+// Applies 1-4 mutation ops: bit flip, byte overwrite, truncate, extend.
+std::vector<uint8_t> Mutate(const std::vector<uint8_t>& base,
+                            uint64_t seed) {
+  std::vector<uint8_t> out = base;
+  uint64_t state = seed | 1;
+  const int ops = 1 + static_cast<int>(XorShift(&state) % 4);
+  for (int i = 0; i < ops; ++i) {
+    switch (XorShift(&state) % 4) {
+      case 0:  // bit flip
+        if (!out.empty()) {
+          const uint64_t r = XorShift(&state);
+          out[r % out.size()] ^= static_cast<uint8_t>(1u << (r >> 32) % 8);
+        }
+        break;
+      case 1:  // byte overwrite
+        if (!out.empty()) {
+          const uint64_t r = XorShift(&state);
+          out[r % out.size()] = static_cast<uint8_t>(r >> 32);
+        }
+        break;
+      case 2:  // truncate
+        if (!out.empty()) out.resize(XorShift(&state) % out.size());
+        break;
+      default: {  // extend with random bytes
+        const std::size_t n = 1 + XorShift(&state) % 16;
+        for (std::size_t j = 0; j < n; ++j) {
+          out.push_back(static_cast<uint8_t>(XorShift(&state)));
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> ReadFile(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  uint8_t buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long mutations = 0;
+  uint64_t seed = 1;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "-mutate=", 8) == 0) {
+      mutations = std::atol(a + 8);
+    } else if (std::strncmp(a, "-seed=", 6) == 0) {
+      seed = static_cast<uint64_t>(std::atoll(a + 6));
+    } else if (a[0] == '-') {
+      std::fprintf(stderr,
+                   "usage: %s [corpus_dir|file]... [-mutate=N] [-seed=S]\n",
+                   argv[0]);
+      return 2;
+    } else {
+      paths.emplace_back(a);
+    }
+  }
+
+  // Expand directories, then sort for run-to-run determinism.
+  std::vector<std::string> files;
+  for (const auto& p : paths) {
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& e : std::filesystem::directory_iterator(p)) {
+        if (e.is_regular_file()) files.push_back(e.path().string());
+      }
+    } else {
+      files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "%s: no corpus files given\n", argv[0]);
+    return 2;
+  }
+
+  std::size_t executed = 0;
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const std::vector<uint8_t> base = ReadFile(files[fi]);
+    LLVMFuzzerTestOneInput(base.data(), base.size());
+    ++executed;
+    for (long m = 0; m < mutations; ++m) {
+      const uint64_t s =
+          seed * 0x9E3779B97F4A7C15ull + fi * 0xBF58476D1CE4E5B9ull +
+          static_cast<uint64_t>(m);
+      const std::vector<uint8_t> input = Mutate(base, s);
+      LLVMFuzzerTestOneInput(input.data(), input.size());
+      ++executed;
+    }
+  }
+  std::printf("fuzz-smoke: %zu inputs OK (%zu corpus files, %ld mutations "
+              "each, seed %llu)\n",
+              executed, files.size(), mutations,
+              static_cast<unsigned long long>(seed));
+  return 0;
+}

@@ -17,21 +17,60 @@
 # histogram with a sane skew coefficient. The TSan pass also covers the
 # metrics shard-merge and trace-collector suites (concurrent recording).
 #
-# Usage: scripts/check.sh [--skip-asan] [--skip-tsan]
+# The lint stage runs the repo-invariant linter (tools/lint/lint.py:
+# layering DAG, raw-sync ban, metric-arg purity, nodiscard discipline) —
+# first its --self-test (seeded violations must be detected, the
+# negative test), then the real tree — plus clang-tidy over src/ when a
+# clang-tidy binary is on PATH. The fuzz-smoke stage builds the three
+# fuzz harnesses (fuzz/) and replays their seed corpora plus a fixed
+# number of deterministic mutations; same inputs every run, so it is a
+# gate, not a campaign.
+#
+# Usage: scripts/check.sh [--skip-asan] [--skip-tsan] [--skip-lint]
+#                         [--skip-fuzz]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_ASAN=0
 SKIP_TSAN=0
+SKIP_LINT=0
+SKIP_FUZZ=0
 for arg in "$@"; do
   [[ "$arg" == "--skip-asan" ]] && SKIP_ASAN=1
   [[ "$arg" == "--skip-tsan" ]] && SKIP_TSAN=1
+  [[ "$arg" == "--skip-lint" ]] && SKIP_LINT=1
+  [[ "$arg" == "--skip-fuzz" ]] && SKIP_FUZZ=1
 done
 
 echo "==> tier-1: configure + build + ctest (build/)"
-cmake -B build -S . >/dev/null
+cmake -B build -S . -DHAMMING_FUZZERS=ON >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
+
+if [[ "$SKIP_LINT" == "1" ]]; then
+  echo "==> skipping lint stage (--skip-lint)"
+else
+  echo "==> lint: repo-invariant linter self-test (negative test)"
+  python3 tools/lint/lint.py --self-test
+  echo "==> lint: tools/lint over the tree (compile_commands.json: build/)"
+  python3 tools/lint/lint.py --build-dir build
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> lint: clang-tidy (.clang-tidy profile) over src/"
+    find src -name '*.cc' -print0 | xargs -0 -P "$(nproc)" -n 8 \
+      clang-tidy -p build --quiet
+  else
+    echo "==> lint: clang-tidy not on PATH; skipping tidy sweep"
+  fi
+fi
+
+if [[ "$SKIP_FUZZ" == "1" ]]; then
+  echo "==> skipping fuzz-smoke stage (--skip-fuzz)"
+else
+  echo "==> fuzz-smoke: seed corpora + 500 deterministic mutations each"
+  ./build/fuzz/fuzz_serde fuzz/corpus/serde -mutate=500
+  ./build/fuzz/fuzz_spill fuzz/corpus/spill -mutate=500
+  ./build/fuzz/fuzz_json  fuzz/corpus/json  -mutate=500
+fi
 
 echo "==> observability: traced job + JSON artifact validation"
 OBS_DIR=$(mktemp -d)
@@ -68,7 +107,7 @@ else
     >/dev/null
   cmake --build build-asan -j --target hamming_tests
   ./build-asan/tests/hamming_tests \
-    --gtest_filter='CodeStore.*:Kernels.*:LocalCounters.*'
+    --gtest_filter='CodeStore.*:Kernels.*:LocalCounters.*:FuzzCorpus.*:StorageTest.SpillFuzz*'
   echo "==> ASan: MapReduce + external shuffle under a 64 KiB budget"
   HAMMING_SHUFFLE_BUDGET=65536 ./build-asan/tests/hamming_tests \
     --gtest_filter='MapReduce*:FaultTolerance*:PlanFaultTolerance*:Shuffle*'

@@ -11,8 +11,11 @@ namespace hamming {
 
 /// \brief Holds either a successfully computed T or the Status explaining
 /// why it could not be computed.
+///
+/// [[nodiscard]] for the same reason Status is: a dropped Result is a
+/// swallowed error (and a discarded value).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (success).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

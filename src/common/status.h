@@ -31,7 +31,11 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// Status is cheap to copy in the OK case (single pointer) and carries a
 /// heap-allocated message otherwise, mirroring the Arrow design.
-class Status {
+///
+/// [[nodiscard]]: a dropped Status is a swallowed error, so discarding
+/// one is a compile-time warning (and an error under -Werror builds).
+/// The rare deliberate drop must say so: (void)expr plus a comment.
+class [[nodiscard]] Status {
  public:
   /// Creates an OK status.
   Status() noexcept : state_(nullptr) {}

@@ -3,10 +3,7 @@
 namespace hamming {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::thread::hardware_concurrency();
-    if (num_threads == 0) num_threads = 4;
-  }
+  if (num_threads == 0) num_threads = HardwareConcurrency();
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -15,10 +12,10 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) w.join();
 }
 
@@ -26,24 +23,24 @@ std::future<void> ThreadPool::Submit(std::function<void()> task) {
   std::packaged_task<void()> wrapped(std::move(task));
   std::future<void> fut = wrapped.get_future();
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     tasks_.push(std::move(wrapped));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return fut;
 }
 
 void ThreadPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+  MutexLock lock(&mu_);
+  while (!(tasks_.empty() && in_flight_ == 0)) idle_cv_.Wait(&mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::packaged_task<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && tasks_.empty()) cv_.Wait(&mu_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -51,9 +48,9 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       --in_flight_;
-      if (tasks_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+      if (tasks_.empty() && in_flight_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

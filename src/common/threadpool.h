@@ -1,17 +1,18 @@
 // Fixed-size thread pool used by the MapReduce cluster simulator, plus
-// the cooperative cancellation primitive its tasks use.
+// the cooperative cancellation primitive its tasks use. Built on the
+// thread-safety-annotated primitives in common/sync.h so lock/guard
+// relationships are checked under -Wthread-safety.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
-#include <thread>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace hamming {
 
@@ -29,12 +30,12 @@ class CancelToken {
   CancelToken& operator=(const CancelToken&) = delete;
 
   /// \brief Requests cancellation and wakes any SleepFor in progress.
-  void Cancel() {
+  void Cancel() HAMMING_EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       cancelled_.store(true, std::memory_order_release);
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 
   bool cancelled() const {
@@ -43,17 +44,23 @@ class CancelToken {
 
   /// \brief Cancellable sleep: blocks for `seconds` or until Cancel.
   /// Returns false if the token was cancelled before the time elapsed.
-  bool SleepFor(double seconds) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait_for(lock,
-                 std::chrono::duration<double>(seconds),
-                 [this] { return cancelled_.load(std::memory_order_acquire); });
+  bool SleepFor(double seconds) HAMMING_EXCLUDES(mu_) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<
+                              std::chrono::steady_clock::duration>(
+                              std::chrono::duration<double>(seconds));
+    MutexLock lock(&mu_);
+    while (!cancelled_.load(std::memory_order_acquire)) {
+      if (cv_.WaitUntil(&mu_, deadline)) break;  // deadline reached
+    }
     return !cancelled_.load(std::memory_order_acquire);
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  // Atomic so cancelled() stays a lock-free poll; Cancel still flips it
+  // under mu_ so a SleepFor cannot miss the wakeup.
   std::atomic<bool> cancelled_{false};
 };
 
@@ -71,23 +78,25 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// \brief Enqueues a task for execution.
-  std::future<void> Submit(std::function<void()> task);
+  std::future<void> Submit(std::function<void()> task) HAMMING_EXCLUDES(mu_);
 
   /// \brief Blocks until every task submitted so far has completed.
-  void WaitIdle();
+  void WaitIdle() HAMMING_EXCLUDES(mu_);
 
   std::size_t num_threads() const { return workers_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() HAMMING_EXCLUDES(mu_);
 
-  std::vector<std::thread> workers_;
-  std::queue<std::packaged_task<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::size_t in_flight_ = 0;
-  bool stop_ = false;
+  std::vector<Thread> workers_;
+  Mutex mu_;
+  // The CondVars are deliberately unguarded: notify calls happen after
+  // the lock is dropped (cheaper wakeups), which is always sound.
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::queue<std::packaged_task<void()>> tasks_ HAMMING_GUARDED_BY(mu_);
+  std::size_t in_flight_ HAMMING_GUARDED_BY(mu_) = 0;
+  bool stop_ HAMMING_GUARDED_BY(mu_) = false;
 };
 
 /// \brief Runs fn(i) for i in [0, n) across the pool and waits for all.

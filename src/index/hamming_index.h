@@ -10,12 +10,17 @@
 #include <vector>
 
 #include "code/binary_code.h"
-#include "common/memtrack.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "observability/memtrack.h"
 #include "observability/query_stats.h"
 
 namespace hamming {
+
+// MemoryBreakdown is part of the index API (every index reports its
+// footprint through Memory()); re-exported here so implementations and
+// callers keep using the unqualified name.
+using obs::MemoryBreakdown;
 
 /// \brief Identifier of a tuple within a dataset (its row number).
 using TupleId = uint32_t;

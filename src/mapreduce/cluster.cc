@@ -1,7 +1,8 @@
 #include "mapreduce/cluster.h"
 
 #include <algorithm>
-#include <thread>
+
+#include "common/sync.h"
 
 namespace hamming::mr {
 
@@ -10,9 +11,8 @@ Cluster::Cluster(ClusterOptions opts)
       cache_(opts.num_nodes) {
   std::size_t threads = opts.num_threads;
   if (threads == 0) {
-    std::size_t hw = std::thread::hardware_concurrency();
-    if (hw == 0) hw = 4;
-    threads = std::min(opts_.num_nodes * opts_.slots_per_node, hw);
+    threads = std::min(opts_.num_nodes * opts_.slots_per_node,
+                       HardwareConcurrency());
     threads = std::max<std::size_t>(1, threads);
   }
   pool_ = std::make_unique<ThreadPool>(threads);

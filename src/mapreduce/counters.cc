@@ -24,9 +24,16 @@ int InternCounterId(std::string_view name) {
   return -1;
 }
 
-Counters& Counters::operator=(const Counters& other) {
+// Locks both objects in address order (the canonical deadlock-free order
+// for same-class pairs). The analysis cannot see through the first/second
+// aliasing, so this one function opts out of it.
+Counters& Counters::operator=(const Counters& other)
+    HAMMING_NO_THREAD_SAFETY_ANALYSIS {
   if (this == &other) return *this;
-  std::scoped_lock lock(mu_, other.mu_);
+  Mutex* first = this < &other ? &mu_ : &other.mu_;
+  Mutex* second = this < &other ? &other.mu_ : &mu_;
+  MutexLock l1(first);
+  MutexLock l2(second);
   values_ = other.values_;
   touched_ = other.touched_;
   other_ = other.other_;
@@ -39,20 +46,20 @@ void Counters::Add(const std::string& name, int64_t delta) {
     Add(static_cast<CounterId>(id), delta);
     return;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   other_[name] += delta;
 }
 
 int64_t Counters::Get(const std::string& name) const {
   int id = InternCounterId(name);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (id >= 0) return values_[static_cast<std::size_t>(id)];
   auto it = other_.find(name);
   return it == other_.end() ? 0 : it->second;
 }
 
 std::map<std::string, int64_t> Counters::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::map<std::string, int64_t> out = other_;
   for (std::size_t i = 0; i < kNumCounterIds; ++i) {
     if (touched_[i]) out[kCounterNames[i]] = values_[i];
@@ -65,12 +72,12 @@ void Counters::Merge(const Counters& other) {
   std::array<bool, kNumCounterIds> touched;
   std::map<std::string, int64_t> others;
   {
-    std::lock_guard<std::mutex> lock(other.mu_);
+    MutexLock lock(&other.mu_);
     values = other.values_;
     touched = other.touched_;
     others = other.other_;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (std::size_t i = 0; i < kNumCounterIds; ++i) {
     if (touched[i]) {
       values_[i] += values[i];
@@ -81,7 +88,7 @@ void Counters::Merge(const Counters& other) {
 }
 
 void Counters::MergeLocal(const LocalCounters& local) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (std::size_t i = 0; i < kNumCounterIds; ++i) {
     if (local.touched_[i]) {
       values_[i] += local.values_[i];

@@ -17,9 +17,10 @@
 #include <array>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/sync.h"
 
 namespace hamming::mr {
 
@@ -116,37 +117,37 @@ class Counters {
   Counters& operator=(const Counters& other);
 
   /// \brief Adds `delta` to a well-known counter.
-  void Add(CounterId id, int64_t delta) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Add(CounterId id, int64_t delta) HAMMING_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     const auto i = static_cast<std::size_t>(id);
     values_[i] += delta;
     touched_[i] = true;
   }
 
   /// \brief Adds `delta` to the named counter.
-  void Add(const std::string& name, int64_t delta);
+  void Add(const std::string& name, int64_t delta) HAMMING_EXCLUDES(mu_);
 
   /// \brief Current value (0 if never touched).
-  int64_t Get(const std::string& name) const;
-  int64_t Get(CounterId id) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int64_t Get(const std::string& name) const HAMMING_EXCLUDES(mu_);
+  int64_t Get(CounterId id) const HAMMING_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return values_[static_cast<std::size_t>(id)];
   }
 
   /// \brief Copy of all counters.
-  std::map<std::string, int64_t> Snapshot() const;
+  std::map<std::string, int64_t> Snapshot() const HAMMING_EXCLUDES(mu_);
 
   /// \brief Adds every counter of `other` into this.
-  void Merge(const Counters& other);
+  void Merge(const Counters& other) HAMMING_EXCLUDES(mu_);
 
   /// \brief Folds a task's LocalCounters in under a single lock.
-  void MergeLocal(const LocalCounters& local);
+  void MergeLocal(const LocalCounters& local) HAMMING_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::array<int64_t, kNumCounterIds> values_{};
-  std::array<bool, kNumCounterIds> touched_{};
-  std::map<std::string, int64_t> other_;
+  mutable Mutex mu_;
+  std::array<int64_t, kNumCounterIds> values_ HAMMING_GUARDED_BY(mu_){};
+  std::array<bool, kNumCounterIds> touched_ HAMMING_GUARDED_BY(mu_){};
+  std::map<std::string, int64_t> other_ HAMMING_GUARDED_BY(mu_);
 };
 
 }  // namespace hamming::mr

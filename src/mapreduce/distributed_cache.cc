@@ -11,13 +11,13 @@ void DistributedCache::Broadcast(const std::string& name,
     counters->Add(CounterId::kBroadcastBytes,
                   static_cast<int64_t>(blob.size() * num_nodes_));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   blobs_[name] = std::move(blob);
 }
 
 Result<std::vector<uint8_t>> DistributedCache::Fetch(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = blobs_.find(name);
   if (it == blobs_.end()) {
     return Status::KeyError("no cached blob named " + name);
@@ -26,7 +26,7 @@ Result<std::vector<uint8_t>> DistributedCache::Fetch(
 }
 
 void DistributedCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   blobs_.clear();
 }
 

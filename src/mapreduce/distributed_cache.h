@@ -7,12 +7,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace hamming::mr {
 
@@ -29,17 +29,18 @@ class DistributedCache {
 
   /// \brief Stores a blob and charges the broadcast cost.
   void Broadcast(const std::string& name, std::vector<uint8_t> blob,
-                 Counters* counters);
+                 Counters* counters) HAMMING_EXCLUDES(mu_);
 
   /// \brief Fetches a blob by name.
-  Result<std::vector<uint8_t>> Fetch(const std::string& name) const;
+  Result<std::vector<uint8_t>> Fetch(const std::string& name) const
+      HAMMING_EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() HAMMING_EXCLUDES(mu_);
 
  private:
   std::size_t num_nodes_;
-  mutable std::mutex mu_;
-  std::map<std::string, std::vector<uint8_t>> blobs_;
+  mutable Mutex mu_;
+  std::map<std::string, std::vector<uint8_t>> blobs_ HAMMING_GUARDED_BY(mu_);
 };
 
 }  // namespace hamming::mr

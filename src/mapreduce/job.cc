@@ -4,16 +4,17 @@
 #include <chrono>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
-#include <thread>
 #include <unordered_map>
 #include <utility>
 
-#include "common/stopwatch.h"
+#include "common/sync.h"
 #include "mapreduce/shuffle.h"
 #include "observability/metrics.h"
+#include "observability/stopwatch.h"
 
 namespace hamming::mr {
+
+using obs::Stopwatch;
 
 std::size_t HashPartition(const std::vector<uint8_t>& key,
                           std::size_t num_reducers) {
@@ -105,15 +106,17 @@ class EventLog {
   }
 
  private:
-  void Push(JobEvent e) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Push(JobEvent e) HAMMING_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (observer_ != nullptr) observer_->OnEvent(e);
     trace_->Append(std::move(e));
   }
 
-  std::mutex mu_;
-  JobEventTrace* trace_;
-  JobObserver* observer_;
+  Mutex mu_;
+  // Pointees are only touched under mu_ (the serialization the trace and
+  // observer contracts promise); the pointers themselves are immutable.
+  JobEventTrace* const trace_ HAMMING_PT_GUARDED_BY(mu_);
+  JobObserver* const observer_ HAMMING_PT_GUARDED_BY(mu_);
   const Stopwatch* clock_;
 };
 
@@ -151,9 +154,9 @@ class PhaseRunner {
         tasks_(num_tasks) {}
 
   Status Run(const AttemptFn& attempt_fn, const CommitFn& commit_fn) {
-    std::thread monitor;
+    Thread monitor;
     if (opts_.speculation.enabled) {
-      monitor = std::thread(
+      monitor = Thread(
           [this, &attempt_fn, &commit_fn] { MonitorLoop(attempt_fn, commit_fn); });
     }
     ParallelFor(pool_, tasks_.size(), [&](std::size_t task) {
@@ -161,24 +164,24 @@ class PhaseRunner {
     });
     if (monitor.joinable()) {
       {
-        std::lock_guard<std::mutex> lock(watch_mu_);
+        MutexLock lock(&watch_mu_);
         monitor_stop_ = true;
       }
-      watch_cv_.notify_all();
+      watch_cv_.NotifyAll();
       monitor.join();
     }
     // Backup attempts that lost their race may still be running; the
     // phase's state is only safe to tear down once they have drained.
     // The monitor is stopped, so no new ones appear.
-    std::vector<std::thread> pending;
+    std::vector<Thread> pending;
     {
-      std::lock_guard<std::mutex> lock(backups_mu_);
+      MutexLock lock(&backups_mu_);
       pending.swap(backups_);
     }
     for (auto& t : pending) t.join();
 
     for (std::size_t t = 0; t < tasks_.size(); ++t) {
-      std::lock_guard<std::mutex> lock(tasks_[t].mu);
+      MutexLock lock(&tasks_[t].mu);
       if (tasks_[t].failed) return tasks_[t].first_error;
     }
     return Status::OK();
@@ -186,15 +189,16 @@ class PhaseRunner {
 
  private:
   struct TaskState {
-    std::mutex mu;
-    bool committed = false;
-    bool failed = false;  // attempt budget exhausted
-    int next_attempt = 0;
-    std::size_t failures = 0;
-    bool has_first_error = false;
-    Status first_error;
-    bool speculated = false;  // at most one backup per task
-    std::unordered_map<int, std::shared_ptr<CancelToken>> live;
+    Mutex mu;
+    bool committed HAMMING_GUARDED_BY(mu) = false;
+    bool failed HAMMING_GUARDED_BY(mu) = false;  // attempt budget exhausted
+    int next_attempt HAMMING_GUARDED_BY(mu) = 0;
+    std::size_t failures HAMMING_GUARDED_BY(mu) = 0;
+    bool has_first_error HAMMING_GUARDED_BY(mu) = false;
+    Status first_error HAMMING_GUARDED_BY(mu);
+    bool speculated HAMMING_GUARDED_BY(mu) = false;  // one backup per task
+    std::unordered_map<int, std::shared_ptr<CancelToken>> live
+        HAMMING_GUARDED_BY(mu);
   };
 
   enum class Outcome { kCommitted, kLost, kRetry, kPermanentFailure };
@@ -206,7 +210,7 @@ class PhaseRunner {
     auto token = std::make_shared<CancelToken>();
     int attempt;
     {
-      std::lock_guard<std::mutex> lock(st.mu);
+      MutexLock lock(&st.mu);
       if (st.committed) return Outcome::kLost;
       if (st.failed) return Outcome::kPermanentFailure;
       attempt = st.next_attempt++;
@@ -223,10 +227,10 @@ class PhaseRunner {
 
     if (opts_.speculation.enabled && !speculative) StopWatch(task);
 
-    std::unique_lock<std::mutex> lock(st.mu);
+    ReleasableMutexLock lock(&st.mu);
     st.live.erase(attempt);
     if (st.committed) {
-      lock.unlock();
+      lock.Release();
       events_->Attempt(JobEventType::kAttemptKill, kind_, task, attempt,
                        duration, "task already committed");
       return Outcome::kLost;
@@ -234,14 +238,14 @@ class PhaseRunner {
     if (status.ok() && !token->cancelled()) {
       st.committed = true;
       for (auto& [id, other] : st.live) other->Cancel();
-      lock.unlock();
+      lock.Release();
       commit_fn(task, &out);
       events_->Attempt(JobEventType::kAttemptFinish, kind_, task, attempt,
                        duration);
       return Outcome::kCommitted;
     }
     if (token->cancelled()) {
-      lock.unlock();
+      lock.Release();
       events_->Attempt(JobEventType::kAttemptKill, kind_, task, attempt,
                        duration, "cancelled");
       return Outcome::kLost;
@@ -257,7 +261,7 @@ class PhaseRunner {
       st.failed = true;
       for (auto& [id, other] : st.live) other->Cancel();
     }
-    lock.unlock();
+    lock.Release();
     events_->Attempt(JobEventType::kAttemptFail, kind_, task, attempt,
                      duration, status.ToString());
     return permanent ? Outcome::kPermanentFailure : Outcome::kRetry;
@@ -280,13 +284,13 @@ class PhaseRunner {
     }
   }
 
-  void StartWatch(std::size_t task) {
-    std::lock_guard<std::mutex> lock(watch_mu_);
+  void StartWatch(std::size_t task) HAMMING_EXCLUDES(watch_mu_) {
+    MutexLock lock(&watch_mu_);
     watches_[task] = std::chrono::steady_clock::now();
   }
 
-  void StopWatch(std::size_t task) {
-    std::lock_guard<std::mutex> lock(watch_mu_);
+  void StopWatch(std::size_t task) HAMMING_EXCLUDES(watch_mu_) {
+    MutexLock lock(&watch_mu_);
     watches_.erase(task);
   }
 
@@ -295,13 +299,14 @@ class PhaseRunner {
   // slowness threshold, and launches one backup attempt for each such
   // task. Lock order is watch_mu_ -> task.mu (attempt code never takes
   // them nested the other way).
-  void MonitorLoop(const AttemptFn& attempt_fn, const CommitFn& commit_fn) {
+  void MonitorLoop(const AttemptFn& attempt_fn, const CommitFn& commit_fn)
+      HAMMING_EXCLUDES(watch_mu_) {
     const double threshold = opts_.speculation.slow_attempt_seconds;
     const auto interval =
         std::chrono::duration<double>(std::max(threshold / 4.0, 0.0005));
-    std::unique_lock<std::mutex> lock(watch_mu_);
+    MutexLock lock(&watch_mu_);
     while (!monitor_stop_) {
-      watch_cv_.wait_for(lock, interval);
+      watch_cv_.WaitFor(&watch_mu_, interval);
       if (monitor_stop_) break;
       const auto now = std::chrono::steady_clock::now();
       for (auto it = watches_.begin(); it != watches_.end();) {
@@ -316,7 +321,7 @@ class PhaseRunner {
         TaskState& st = tasks_[task];
         bool launch = false;
         {
-          std::lock_guard<std::mutex> tl(st.mu);
+          MutexLock tl(&st.mu);
           if (!st.committed && !st.failed && !st.speculated) {
             st.speculated = true;
             launch = true;
@@ -330,10 +335,10 @@ class PhaseRunner {
         // queued backup would only run after the straggler it is meant
         // to overtake. This models Hadoop launching the backup on a
         // *different* node's free slot. Bounded: one backup per task.
-        std::thread backup([this, task, &attempt_fn, &commit_fn] {
+        Thread backup([this, task, &attempt_fn, &commit_fn] {
           RunOneAttempt(task, /*speculative=*/true, attempt_fn, commit_fn);
         });
-        std::lock_guard<std::mutex> bl(backups_mu_);
+        MutexLock bl(&backups_mu_);
         backups_.push_back(std::move(backup));
       }
     }
@@ -345,14 +350,16 @@ class PhaseRunner {
   EventLog* events_;
   std::vector<TaskState> tasks_;
 
-  std::mutex watch_mu_;
-  std::condition_variable watch_cv_;
-  bool monitor_stop_ = false;
+  // Lock order: watch_mu_ -> st.mu -> backups_mu_ (MonitorLoop); the
+  // attempt path takes st.mu alone.
+  Mutex watch_mu_;
+  CondVar watch_cv_;
+  bool monitor_stop_ HAMMING_GUARDED_BY(watch_mu_) = false;
   std::unordered_map<std::size_t, std::chrono::steady_clock::time_point>
-      watches_;
+      watches_ HAMMING_GUARDED_BY(watch_mu_);
 
-  std::mutex backups_mu_;
-  std::vector<std::thread> backups_;
+  Mutex backups_mu_;
+  std::vector<Thread> backups_ HAMMING_GUARDED_BY(backups_mu_);
 };
 
 // max/mean of a load vector; 0 for an all-zero (or empty) load.
@@ -632,7 +639,7 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
   if (!spec.reduce_fn) {
     // Map-only job: partitioned map outputs are the result.
     if (external) {
-      std::mutex mo_mu;
+      Mutex mo_mu;
       Status mo_error;
       ParallelFor(cluster->pool(), opts.num_reducers, [&](std::size_t r) {
         LocalCounters counts;
@@ -660,7 +667,7 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
                      merger.combine_output_records());
           return Status::OK();
         }();
-        std::lock_guard<std::mutex> lock(mo_mu);
+        MutexLock lock(&mo_mu);
         if (!st.ok()) {
           if (mo_error.ok()) mo_error = st;
           return;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "common/stopwatch.h"
+#include "observability/stopwatch.h"
 #include "dataset/sampling.h"
 #include "observability/query_stats.h"
 
@@ -44,7 +44,7 @@ Result<MrhaResult> RunMrhaJoin(const FloatMatrix& r_data,
   mr::Counters plan_counters;
 
   // ---- Phase 1: preprocessing (driver) --------------------------------
-  Stopwatch watch;
+  obs::Stopwatch watch;
   Rng rng(opts.seed);
   std::size_t r_sample_n = std::max<std::size_t>(
       2, static_cast<std::size_t>(opts.sample_rate *

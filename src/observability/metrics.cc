@@ -78,7 +78,7 @@ MetricsRegistry::Shard* MetricsRegistry::LocalShard() const {
   auto owned = std::make_unique<Shard>();
   Shard* shard = owned.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shards_.push_back(std::move(owned));
   }
   cache.emplace(epoch_, shard);
@@ -86,7 +86,7 @@ MetricsRegistry::Shard* MetricsRegistry::LocalShard() const {
 }
 
 MetricId MetricsRegistry::Register(std::string_view name, MetricKind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = by_name_.find(name);
   if (it != by_name_.end()) return it->second;
   if (names_.size() >= kMaxMetricsPerRegistry - 1) {
@@ -144,7 +144,7 @@ void MetricsRegistry::Observe(MetricId id, uint64_t value) {
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (std::size_t id = 0; id < names_.size(); ++id) {
     const std::string& name = names_[id];
     switch (kinds_[id]) {
@@ -190,7 +190,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 std::size_t MetricsRegistry::NumMetrics() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return names_.size();
 }
 

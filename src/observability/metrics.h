@@ -32,10 +32,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace hamming::obs {
 
@@ -129,24 +130,29 @@ class MetricsRegistry {
   void Observe(MetricId id, uint64_t value);
 
   /// \brief Merges every shard into one plain-data view.
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const HAMMING_EXCLUDES(mu_);
 
   /// \brief Number of registered metrics (for tests).
-  std::size_t NumMetrics() const;
+  std::size_t NumMetrics() const HAMMING_EXCLUDES(mu_);
 
  private:
   struct HistCell;
   struct Shard;
 
-  Shard* LocalShard() const;
-  MetricId Register(std::string_view name, MetricKind kind);
+  Shard* LocalShard() const HAMMING_EXCLUDES(mu_);
+  MetricId Register(std::string_view name, MetricKind kind)
+      HAMMING_EXCLUDES(mu_);
 
   const uint64_t epoch_;  // process-unique; keys the thread-local cache
-  mutable std::mutex mu_;
-  std::vector<std::string> names_;
-  std::vector<MetricKind> kinds_;
-  std::map<std::string, MetricId, std::less<>> by_name_;
-  mutable std::vector<std::unique_ptr<Shard>> shards_;
+  mutable Mutex mu_;
+  std::vector<std::string> names_ HAMMING_GUARDED_BY(mu_);
+  std::vector<MetricKind> kinds_ HAMMING_GUARDED_BY(mu_);
+  std::map<std::string, MetricId, std::less<>> by_name_
+      HAMMING_GUARDED_BY(mu_);
+  // The vector is guarded; the shard cells it points at are the
+  // recording threads' single-writer atomics and deliberately are not.
+  mutable std::vector<std::unique_ptr<Shard>> shards_
+      HAMMING_GUARDED_BY(mu_);
 };
 
 // ---- Compile-out macros ---------------------------------------------------

@@ -22,24 +22,24 @@ TraceCollector::TraceCollector(TraceOptions opts) : opts_(opts) {
 }
 
 void TraceCollector::BeginJob(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   next_job_name_ = name;
 }
 
 void TraceCollector::OnEvent(const mr::JobEvent& event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Ingest(event);
 }
 
 void TraceCollector::AddJobTrace(const mr::JobEventTrace& trace,
                                  const std::string& job_name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (!job_name.empty()) next_job_name_ = job_name;
   for (const mr::JobEvent& e : trace.events()) Ingest(e);
 }
 
 std::size_t TraceCollector::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return spans_.size();
 }
 
@@ -168,7 +168,7 @@ void TraceCollector::Ingest(const mr::JobEvent& e) {
 }
 
 std::string TraceCollector::ToChromeJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // Flush the trailing job span into a local copy so export is const.
   std::vector<Span> spans = spans_;
   if (job_open_) {

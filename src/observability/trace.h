@@ -26,10 +26,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/sync.h"
 #include "mapreduce/execution.h"
 
 namespace hamming::obs {
@@ -53,22 +53,22 @@ class TraceCollector final : public mr::JobObserver {
   /// \brief Starts a labelled job region: subsequent events belong to
   /// `name` until the next BeginJob. Optional — unlabelled jobs get
   /// "job-<index>".
-  void BeginJob(const std::string& name);
+  void BeginJob(const std::string& name) HAMMING_EXCLUDES(mu_);
 
-  void OnEvent(const mr::JobEvent& event) override;
+  void OnEvent(const mr::JobEvent& event) override HAMMING_EXCLUDES(mu_);
 
   /// \brief Ingests a whole finished trace (the pull-style alternative
   /// for callers that kept JobResult::trace instead of observing live).
   void AddJobTrace(const mr::JobEventTrace& trace,
-                   const std::string& job_name = "");
+                   const std::string& job_name = "") HAMMING_EXCLUDES(mu_);
 
   /// \brief Number of trace events collected so far.
-  std::size_t size() const;
+  std::size_t size() const HAMMING_EXCLUDES(mu_);
 
   /// \brief The timeline as a Chrome trace-event JSON object
   /// ({"traceEvents": [...], "displayTimeUnit": "ms"}) loadable by
   /// chrome://tracing and ui.perfetto.dev.
-  std::string ToChromeJson() const;
+  std::string ToChromeJson() const HAMMING_EXCLUDES(mu_);
 
   /// \brief Writes ToChromeJson() to `path`; false on I/O failure.
   bool WriteChromeJson(const std::string& path) const;
@@ -85,23 +85,24 @@ class TraceCollector final : public mr::JobObserver {
     bool instant = false;
   };
 
-  void Ingest(const mr::JobEvent& e);  // caller holds mu_
-  void CloseJobSpan();                 // caller holds mu_
+  void Ingest(const mr::JobEvent& e) HAMMING_REQUIRES(mu_);
+  void CloseJobSpan() HAMMING_REQUIRES(mu_);
 
   TraceOptions opts_;
-  mutable std::mutex mu_;
-  std::vector<Span> spans_;
-  std::size_t max_node_seen_ = 0;
+  mutable Mutex mu_;
+  std::vector<Span> spans_ HAMMING_GUARDED_BY(mu_);
+  std::size_t max_node_seen_ HAMMING_GUARDED_BY(mu_) = 0;
   // Job re-basing state.
-  double job_base_us_ = 0.0;
-  double max_abs_us_ = 0.0;
-  std::size_t job_index_ = 0;
-  bool job_open_ = false;
-  std::string next_job_name_;
-  std::string open_job_name_;
-  double open_job_start_us_ = 0.0;
+  double job_base_us_ HAMMING_GUARDED_BY(mu_) = 0.0;
+  double max_abs_us_ HAMMING_GUARDED_BY(mu_) = 0.0;
+  std::size_t job_index_ HAMMING_GUARDED_BY(mu_) = 0;
+  bool job_open_ HAMMING_GUARDED_BY(mu_) = false;
+  std::string next_job_name_ HAMMING_GUARDED_BY(mu_);
+  std::string open_job_name_ HAMMING_GUARDED_BY(mu_);
+  double open_job_start_us_ HAMMING_GUARDED_BY(mu_) = 0.0;
   // Open phase starts of the current job, keyed by phase name.
-  std::vector<std::pair<std::string, double>> open_phases_;
+  std::vector<std::pair<std::string, double>> open_phases_
+      HAMMING_GUARDED_BY(mu_);
 };
 
 /// \brief One-shot conversion of a finished job trace (convenience

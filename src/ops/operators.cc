@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 
+#include "common/sync.h"
 #include "join/centralized_join.h"
 #include "kernels/code_store.h"
 #include "kernels/hamming_kernels.h"
@@ -66,14 +66,14 @@ Result<std::vector<std::vector<TupleId>>> HammingSelectBatch(
   }
   // Parallel probing: the index is immutable during the batch, so worker
   // threads share it without synchronization.
-  std::mutex error_mu;
+  Mutex error_mu;
   Status first_error = Status::OK();
   ParallelFor(opts.pool, queries.size(), [&](std::size_t q) {
     auto got = index.Search(queries[q], h);
     if (got.ok()) {
       out[q] = std::move(*got);
     } else {
-      std::lock_guard<std::mutex> lock(error_mu);
+      MutexLock lock(&error_mu);
       if (first_error.ok()) first_error = got.status();
     }
   });
@@ -108,12 +108,12 @@ Result<std::vector<JoinPair>> HammingJoin(const HammingTable& r,
         return out;
       }
       std::vector<std::vector<JoinPair>> partial(s_codes.size());
-      std::mutex error_mu;
+      Mutex error_mu;
       Status first_error = Status::OK();
       ParallelFor(opts.pool, s_codes.size(), [&](std::size_t j) {
         auto matches = index.Search(s_codes[j], h);
         if (!matches.ok()) {
-          std::lock_guard<std::mutex> lock(error_mu);
+          MutexLock lock(&error_mu);
           if (first_error.ok()) first_error = matches.status();
           return;
         }

@@ -291,13 +291,18 @@ Result<std::unique_ptr<SpillSegmentCursor>> SpillSegmentCursor::Open(
     const std::string& path, std::size_t segment) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long file_size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
   uint8_t fixed[16];
-  if (std::fread(fixed, 1, 16, f) != 16) {
+  if (file_size < 16 || std::fread(fixed, 1, 16, f) != 16) {
     std::fclose(f);
     return Status::IOError(path + " is too short to be a spill file");
   }
   BufferReader fr(fixed, 16);
   uint32_t magic, version, kind, num_segments;
+  // Reads from a 16-byte in-memory buffer cannot run short; the decoded
+  // values are validated immediately below.
   (void)fr.GetFixed32(&magic);
   (void)fr.GetFixed32(&version);
   (void)fr.GetFixed32(&kind);
@@ -313,6 +318,14 @@ Result<std::unique_ptr<SpillSegmentCursor>> SpillSegmentCursor::Open(
                                    std::to_string(segment));
   }
   const std::size_t header_bytes = SpillHeaderBytes(num_segments);
+  // num_segments is not yet CRC-verified here; bound the claimed header
+  // by the real file size before allocating, or a flipped count byte
+  // turns into a multi-gigabyte zero-filled allocation (found by
+  // fuzz_spill; regression: SpillFuzzRegression.HugeSegmentCount).
+  if (header_bytes > static_cast<std::size_t>(file_size)) {
+    std::fclose(f);
+    return Status::IOError(path + " has a truncated spill header");
+  }
   std::vector<uint8_t> header(header_bytes);
   std::memcpy(header.data(), fixed, 16);
   if (std::fread(header.data() + 16, 1, header_bytes - 16, f) !=
@@ -331,9 +344,19 @@ Result<std::unique_ptr<SpillSegmentCursor>> SpillSegmentCursor::Open(
   }
   BufferReader ir(header.data() + 16 + 24 * segment, 24);
   SpillSegmentMeta meta;
+  // The 24-byte per-segment record sits inside the CRC-verified header;
+  // in-memory fixed-width reads cannot run short.
   (void)ir.GetFixed64(&meta.offset);
   (void)ir.GetFixed64(&meta.bytes);
   (void)ir.GetFixed64(&meta.records);
+  // The extent is CRC-covered, but a crafted index with a recomputed
+  // checksum could still claim gigabytes; clamp to the real file size so
+  // page allocations in LoadNextPage stay bounded by what exists.
+  if (meta.offset > static_cast<uint64_t>(file_size) ||
+      meta.bytes > static_cast<uint64_t>(file_size) - meta.offset) {
+    std::fclose(f);
+    return Status::IOError(path + " spill segment extent exceeds file size");
+  }
   if (std::fseek(f, static_cast<long>(meta.offset), SEEK_SET) != 0) {
     std::fclose(f);
     return Status::IOError("cannot seek in " + path);

@@ -8,9 +8,9 @@
 #include <algorithm>
 #include <atomic>
 #include <string>
-#include <thread>
+#include "common/sync.h"
 
-#include "common/stopwatch.h"
+#include "observability/stopwatch.h"
 
 #include "dataset/generators.h"
 #include "mapreduce/job.h"
@@ -210,7 +210,7 @@ TEST(FaultToleranceTest, SpeculationCommitsTheBackupAttempt) {
   // its delay.
   spec.options.fault = std::make_shared<TargetedFaultInjector>(
       std::vector<TargetedFault>{{TaskKind::kMap, 0, 0, /*delay=*/5.0}});
-  Stopwatch watch;
+  obs::Stopwatch watch;
   auto result = RunJob(spec, &cluster);
   ASSERT_TRUE(result.ok()) << result.status();
   // Cancellation must cut the 5s injected delay short.
@@ -332,9 +332,9 @@ TEST(FaultToleranceTest, FaultyRunsMatchAtEveryShuffleBudget) {
 
 TEST(CancelTokenTest, CancelInterruptsSleep) {
   CancelToken token;
-  Stopwatch watch;
-  std::thread canceller([&token] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  obs::Stopwatch watch;
+  Thread canceller([&token] {
+    SleepFor(std::chrono::milliseconds(20));
     token.Cancel();
   });
   EXPECT_FALSE(token.SleepFor(10.0));

@@ -1,0 +1,59 @@
+// Replays every seed-corpus file under fuzz/corpus/ through its fuzz
+// harness. The harness sources (fuzz/fuzz_*.cc) are compiled into the
+// test binary with HAMMING_FUZZ_NO_ENTRY, so the exact code the fuzzers
+// run is what executes here — under ASan in scripts/check.sh — and a
+// checked-in crash input can never quietly regress.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz_targets.h"
+
+namespace {
+
+using Runner = void (*)(const uint8_t*, std::size_t);
+
+void ReplayCorpus(const std::string& name, Runner run) {
+  const std::filesystem::path dir =
+      std::filesystem::path(HAMMING_FUZZ_CORPUS_DIR) / name;
+  ASSERT_TRUE(std::filesystem::is_directory(dir))
+      << "missing seed corpus " << dir;
+  std::size_t replayed = 0;
+  std::vector<std::filesystem::path> files;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    if (e.is_regular_file()) files.push_back(e.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& p : files) {
+    SCOPED_TRACE(p.string());
+    std::ifstream in(p, std::ios::binary);
+    const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+    // data() may be null for an empty vector; harnesses expect a valid
+    // pointer like libFuzzer provides.
+    static const uint8_t kEmpty = 0;
+    const uint8_t* data = bytes.empty()
+                              ? &kEmpty
+                              : reinterpret_cast<const uint8_t*>(bytes.data());
+    run(data, bytes.size());
+    ++replayed;
+  }
+  EXPECT_GT(replayed, 0u) << "empty seed corpus " << dir;
+}
+
+TEST(FuzzCorpus, SerdeSeedsReplayClean) {
+  ReplayCorpus("serde", hamming_fuzz::RunSerdeFuzzInput);
+}
+
+TEST(FuzzCorpus, SpillSeedsReplayClean) {
+  ReplayCorpus("spill", hamming_fuzz::RunSpillFuzzInput);
+}
+
+TEST(FuzzCorpus, JsonSeedsReplayClean) {
+  ReplayCorpus("json", hamming_fuzz::RunJsonFuzzInput);
+}
+
+}  // namespace

@@ -2,7 +2,7 @@
 // Manku block-combination layout.
 #include <gtest/gtest.h>
 
-#include "common/memtrack.h"
+#include "observability/memtrack.h"
 #include "index/multi_hash_table.h"
 #include "test_util.h"
 
@@ -10,16 +10,16 @@ namespace hamming {
 namespace {
 
 TEST(MemTrack, FormatBytes) {
-  EXPECT_EQ(FormatBytes(0), "0B");
-  EXPECT_EQ(FormatBytes(473), "473B");
-  EXPECT_EQ(FormatBytes(1536), "1.5KB");
-  EXPECT_EQ(FormatBytes(28 * 1024 * 1024), "28.0MB");
-  EXPECT_EQ(FormatBytes(3ull << 30), "3.00GB");
+  EXPECT_EQ(obs::FormatBytes(0), "0B");
+  EXPECT_EQ(obs::FormatBytes(473), "473B");
+  EXPECT_EQ(obs::FormatBytes(1536), "1.5KB");
+  EXPECT_EQ(obs::FormatBytes(28 * 1024 * 1024), "28.0MB");
+  EXPECT_EQ(obs::FormatBytes(3ull << 30), "3.00GB");
 }
 
 TEST(MemTrack, BreakdownArithmetic) {
-  MemoryBreakdown a{100, 200};
-  MemoryBreakdown b{1, 2};
+  obs::MemoryBreakdown a{100, 200};
+  obs::MemoryBreakdown b{1, 2};
   a += b;
   EXPECT_EQ(a.internal_bytes, 101u);
   EXPECT_EQ(a.leaf_bytes, 202u);

@@ -10,7 +10,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
-#include <thread>
+#include "common/sync.h"
 #include <vector>
 
 #include "index/dynamic_ha_index.h"
@@ -115,7 +115,7 @@ TEST(Metrics, ShardMergeDeterministicUnderConcurrency) {
   MetricId c = reg.Counter("ops");
   MetricId g = reg.Gauge("peak");
   MetricId h = reg.Histogram("latency");
-  std::vector<std::thread> threads;
+  std::vector<hamming::Thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&, t] {
       for (int i = 0; i < kPerThread; ++i) {

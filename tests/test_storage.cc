@@ -176,5 +176,78 @@ TEST_F(StorageTest, FuzzDeserializeNeverCrashes) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Regressions for fuzz_spill findings (fuzz/fuzz_spill.cc). Both craft
+// spill files whose headers lie about sizes; SpillSegmentCursor::Open
+// must reject them *before* sizing any allocation from the lie.
+
+namespace {
+
+std::vector<uint8_t> ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string MakeOneSegmentSpill(const std::string& path) {
+  auto writer = SpillFileWriter::Create(path, 1, 64);
+  EXPECT_TRUE(writer.ok());
+  const uint8_t k[] = {'k', 'e', 'y'};
+  const uint8_t v[] = {'v', 'a', 'l'};
+  EXPECT_TRUE(writer.ValueOrDie()->Append(0, k, 3, v, 3).ok());
+  EXPECT_TRUE(writer.ValueOrDie()->Finish().ok());
+  return path;
+}
+
+}  // namespace
+
+// Found by fuzz_spill: a flipped num_segments byte (not yet CRC-checked
+// at that point in Open) used to size the header allocation, turning one
+// mutated byte into a multi-gigabyte zero-filled std::vector.
+TEST_F(StorageTest, SpillFuzzRegressionHugeSegmentCount) {
+  const std::string path = MakeOneSegmentSpill(Path("spill_huge_segcount"));
+  std::vector<uint8_t> bytes = ReadAll(path);
+  ASSERT_GT(bytes.size(), 16u);
+  // num_segments is the fourth fixed32 (bytes 12..15); claim ~2^28
+  // segments = a ~6 GiB header.
+  bytes[14] = 0x00;
+  bytes[15] = 0x10;
+  WriteAll(path, bytes);
+  auto cursor = SpillSegmentCursor::Open(path, 0);
+  ASSERT_FALSE(cursor.ok());
+  EXPECT_NE(cursor.status().message().find("truncated spill header"),
+            std::string::npos);
+}
+
+// Hardening from the same audit: a segment index with a *recomputed*
+// CRC can claim an extent far past EOF; the claimed bytes bound every
+// page allocation in LoadNextPage, so Open must clamp them to the file.
+TEST_F(StorageTest, SpillFuzzRegressionLyingSegmentExtent) {
+  const std::string path = MakeOneSegmentSpill(Path("spill_lying_extent"));
+  std::vector<uint8_t> bytes = ReadAll(path);
+  const std::size_t header_bytes = 16 + 24 + 4;  // one segment + CRC
+  ASSERT_GT(bytes.size(), header_bytes);
+  // The segment's `bytes` field is the second fixed64 of its index entry
+  // (file offset 24); claim a 1 TiB segment, then re-frame the header
+  // with a valid CRC so only the extent check can catch it.
+  for (int i = 0; i < 8; ++i) bytes[24 + i] = 0;
+  bytes[29] = 0x01;  // 2^40
+  const uint32_t crc = Crc32(bytes.data(), header_bytes - 4);
+  for (int i = 0; i < 4; ++i) {
+    bytes[header_bytes - 4 + i] = static_cast<uint8_t>(crc >> (8 * i));
+  }
+  WriteAll(path, bytes);
+  auto cursor = SpillSegmentCursor::Open(path, 0);
+  ASSERT_FALSE(cursor.ok());
+  EXPECT_NE(cursor.status().message().find("segment extent exceeds"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace hamming::storage

@@ -5,7 +5,7 @@
 #include <atomic>
 #include <numeric>
 
-#include "common/stopwatch.h"
+#include "observability/stopwatch.h"
 
 namespace hamming {
 namespace {
@@ -47,7 +47,7 @@ TEST(ThreadPool, TasksActuallyRunConcurrently) {
     int expected = peak.load();
     while (now > expected && !peak.compare_exchange_weak(expected, now)) {
     }
-    Stopwatch w;
+    obs::Stopwatch w;
     while (w.ElapsedMillis() < 5) {
     }
     --concurrent;
@@ -72,7 +72,7 @@ TEST(ThreadPool, ZeroThreadsDefaultsToHardware) {
 }
 
 TEST(Stopwatch, MeasuresElapsedTime) {
-  Stopwatch w;
+  obs::Stopwatch w;
   while (w.ElapsedMillis() < 2) {
   }
   EXPECT_GE(w.ElapsedNanos(), 2000000);
