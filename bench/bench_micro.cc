@@ -27,6 +27,7 @@
 #include "index/static_ha_index.h"
 #include "kernels/code_store.h"
 #include "kernels/hamming_kernels.h"
+#include "kernels/vertical_code_store.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/job.h"
 #include "observability/metrics.h"
@@ -232,6 +233,97 @@ KernelRow MeasureKernel(std::size_t bits) {
   return row;
 }
 
+// Uniform random codes plus a handful of planted near-neighbors of the
+// returned query. Uniform data is the honest workload for plane-pruning
+// benchmarks: the clustered MakeCodes generator puts a third of the
+// store within a few bits of any member, which (deliberately) defeats
+// block pruning; real fingerprint collections behave like the uniform
+// case at small r.
+BinaryCode MakeUniformWithNeighbors(std::size_t n, std::size_t bits,
+                                    std::vector<BinaryCode>* out) {
+  Rng rng(1234);
+  out->clear();
+  out->reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    BinaryCode code(bits);
+    for (std::size_t b = 0; b < bits; ++b) {
+      code.SetBit(b, rng.Bernoulli(0.5));
+    }
+    out->push_back(code);
+  }
+  BinaryCode query(bits);
+  for (std::size_t b = 0; b < bits; ++b) {
+    query.SetBit(b, rng.Bernoulli(0.5));
+  }
+  // Plant ~128 neighbors within distance 2 so small-r scans return a
+  // realistic nonzero result set instead of an empty one.
+  for (std::size_t i = 0; i < std::min<std::size_t>(n, 128); ++i) {
+    std::size_t slot = (i * 7919) % n;
+    BinaryCode neighbor = query;
+    neighbor.FlipBit(static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(bits) - 1)));
+    neighbor.FlipBit(static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(bits) - 1)));
+    (*out)[slot] = neighbor;
+  }
+  return query;
+}
+
+struct VerticalRow {
+  std::size_t bits = 0;
+  std::size_t n = 0;
+  std::size_t r = 0;
+  double horizontal_ns_per_code = 0;
+  double vertical_ns_per_code = 0;
+  double speedup = 0;
+  double planes_scanned_frac = 0;  // planes read / (blocks * bits)
+  double blocks_pruned_frac = 0;   // blocks pruned before the last plane
+  std::size_t matches = 0;
+};
+
+// Horizontal vs vertical threshold scan over the same store. Both sides
+// go through the public batch entry points, so the horizontal number is
+// the active backend's word-stride kernel and the vertical number is
+// the bit-plane kernel with per-block pruning.
+VerticalRow MeasureVertical(std::size_t bits, std::size_t r, std::size_t n) {
+  std::vector<BinaryCode> codes;
+  const BinaryCode query = MakeUniformWithNeighbors(n, bits, &codes);
+  auto store = kernels::CodeStore::FromCodes(codes).ValueOrDie();
+  kernels::VerticalCodeStore vstore;
+  store.TransposeInto(&vstore);
+
+  VerticalRow row;
+  row.bits = bits;
+  row.n = n;
+  row.r = r;
+  std::vector<uint32_t> slots;
+  row.horizontal_ns_per_code = TimeNsPerItem(
+      [&] {
+        slots.clear();
+        kernels::BatchWithinDistance(query, store, r, &slots);
+        benchmark::DoNotOptimize(slots.data());
+      },
+      n);
+  kernels::VerticalScanStats stats;
+  row.vertical_ns_per_code = TimeNsPerItem(
+      [&] {
+        slots.clear();
+        kernels::BatchWithinDistance(query, vstore, r, &slots, &stats);
+        benchmark::DoNotOptimize(slots.data());
+      },
+      n);
+  row.matches = slots.size();
+  row.speedup = row.horizontal_ns_per_code / row.vertical_ns_per_code;
+  if (stats.blocks_scanned > 0) {
+    const double denom =
+        static_cast<double>(stats.blocks_scanned) * static_cast<double>(bits);
+    row.planes_scanned_frac = static_cast<double>(stats.planes_scanned) / denom;
+    row.blocks_pruned_frac = static_cast<double>(stats.blocks_pruned) /
+                             static_cast<double>(stats.blocks_scanned);
+  }
+  return row;
+}
+
 struct MapJobRow {
   std::size_t records = 0;
   std::size_t shuffle_records = 0;
@@ -311,6 +403,27 @@ int EmitJson(const std::string& path) {
   }
   std::fprintf(f, "{\n  \"backend\": \"%s\",\n",
                kernels::BackendName(kernels::ActiveBackend()));
+  // Which kernel tiers this binary compiled in and this CPU can run,
+  // plus the layout policy in force — the context every number below
+  // must be read against.
+  std::fprintf(f,
+               "  \"kernel_tiers\": {"
+               "\"avx2_compiled\": %s, \"avx2_supported\": %s, "
+               "\"avx512_compiled\": %s, \"avx512_supported\": %s, "
+               "\"layout_policy\": \"%s\"},\n",
+#if defined(HAMMING_HAVE_AVX2_TU)
+               "true",
+#else
+               "false",
+#endif
+               kernels::Avx2Supported() ? "true" : "false",
+#if defined(HAMMING_HAVE_AVX512_TU)
+               "true",
+#else
+               "false",
+#endif
+               kernels::Avx512Supported() ? "true" : "false",
+               kernels::LayoutPolicyName(kernels::ActiveLayoutPolicy()));
   std::fprintf(f, "  \"kernels\": [\n");
   const std::size_t kBits[] = {64, 128, 225, 512};
   for (std::size_t i = 0; i < 4; ++i) {
@@ -329,6 +442,61 @@ int EmitJson(const std::string& path) {
                  "%.2f ns/code (%.2fx)\n",
                  row.bits, row.scalar_ns_per_code, row.batched_ns_per_code,
                  speedup);
+  }
+  std::fprintf(f, "  ],\n");
+  // Vertical (bit-plane) vs horizontal threshold scans. The acceptance
+  // grid covers the selective radii the layout heuristic targets; the
+  // r-sweep at 128 bits charts the crossover where pruning stops paying.
+  std::fprintf(f, "  \"vertical_kernels\": [\n");
+  {
+    const std::size_t kN = std::size_t{1} << 20;
+    struct { std::size_t bits, r; } grid[] = {
+        {64, 2}, {64, 8}, {128, 2}, {128, 8}, {256, 2}, {256, 8}};
+    const std::size_t kGrid = sizeof(grid) / sizeof(grid[0]);
+    for (std::size_t i = 0; i < kGrid; ++i) {
+      VerticalRow row = MeasureVertical(grid[i].bits, grid[i].r, kN);
+      std::fprintf(f,
+                   "    {\"bits\": %zu, \"codes\": %zu, \"r\": %zu, "
+                   "\"horizontal_ns_per_code\": %.4f, "
+                   "\"vertical_ns_per_code\": %.4f, "
+                   "\"speedup\": %.2f, "
+                   "\"planes_scanned_frac\": %.4f, "
+                   "\"blocks_pruned_frac\": %.4f, "
+                   "\"matches\": %zu}%s\n",
+                   row.bits, row.n, row.r, row.horizontal_ns_per_code,
+                   row.vertical_ns_per_code, row.speedup,
+                   row.planes_scanned_frac, row.blocks_pruned_frac,
+                   row.matches, i + 1 < kGrid ? "," : "");
+      std::fprintf(stderr,
+                   "vertical %3zu-bit r=%-2zu: horizontal %.3f ns/code, "
+                   "vertical %.3f ns/code (%.2fx), planes %.1f%%, pruned "
+                   "%.1f%%\n",
+                   row.bits, row.r, row.horizontal_ns_per_code,
+                   row.vertical_ns_per_code, row.speedup,
+                   row.planes_scanned_frac * 100, row.blocks_pruned_frac * 100);
+    }
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"vertical_r_sweep\": [\n");
+  {
+    const std::size_t kN = std::size_t{1} << 18;
+    const std::size_t kRadii[] = {2, 4, 8, 16, 32, 64};
+    const std::size_t kCount = sizeof(kRadii) / sizeof(kRadii[0]);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      VerticalRow row = MeasureVertical(128, kRadii[i], kN);
+      std::fprintf(f,
+                   "    {\"bits\": 128, \"codes\": %zu, \"r\": %zu, "
+                   "\"horizontal_ns_per_code\": %.4f, "
+                   "\"vertical_ns_per_code\": %.4f, "
+                   "\"speedup\": %.2f, "
+                   "\"planes_scanned_frac\": %.4f}%s\n",
+                   row.n, row.r, row.horizontal_ns_per_code,
+                   row.vertical_ns_per_code, row.speedup,
+                   row.planes_scanned_frac, i + 1 < kCount ? "," : "");
+      std::fprintf(stderr,
+                   "r-sweep 128-bit r=%-2zu: %.2fx (planes %.1f%%)\n",
+                   row.r, row.speedup, row.planes_scanned_frac * 100);
+    }
   }
   std::fprintf(f, "  ],\n");
   MapJobRow job = MeasureMapJob();

@@ -28,6 +28,12 @@ void RunSpillFuzzInput(const uint8_t* data, std::size_t size);
 /// escape -> unescape round-trip invariant on arbitrary bytes.
 void RunJsonFuzzInput(const uint8_t* data, std::size_t size);
 
+/// Drives kernels/vertical_code_store.h: builds a fuzz-chosen code
+/// store, transposes it (bulk and incrementally), and traps if the
+/// vertical plane-pruning scan ever disagrees with the horizontal
+/// kernel, or if the transpose round trip loses a bit.
+void RunVerticalFuzzInput(const uint8_t* data, std::size_t size);
+
 }  // namespace hamming_fuzz
 
 // Trap so the failure is caught by the fuzzer / sanitizer with a stack

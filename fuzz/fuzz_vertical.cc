@@ -1,0 +1,155 @@
+// Fuzz harness for the bit-plane vertical kernel path
+// (kernels/vertical_code_store.h + the vertical BatchWithinDistance).
+//
+// The input chooses a code length, a threshold and a store's worth of
+// codes; the harness then
+//  1. transposes the store and checks the differential round trip
+//     (IsTransposeOf + per-slot Get),
+//  2. runs the same threshold query through the horizontal and the
+//     vertical kernels and traps on any slot-set divergence,
+//  3. exercises the incremental maintenance path (Append / SwapRemove)
+//     and re-checks equivalence afterwards.
+// Any disagreement between the layouts is a correctness bug by
+// definition — the vertical scan must be byte-identical to the
+// horizontal one for every (bits, h, n, tail) combination.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "code/binary_code.h"
+#include "fuzz_targets.h"
+#include "kernels/code_store.h"
+#include "kernels/hamming_kernels.h"
+#include "kernels/vertical_code_store.h"
+
+namespace hamming_fuzz {
+namespace {
+
+using hamming::BinaryCode;
+using hamming::kernels::BatchWithinDistance;
+using hamming::kernels::CodeStore;
+using hamming::kernels::VerticalCodeStore;
+using hamming::kernels::VerticalScanStats;
+
+// Deterministic bit source: the payload bytes first, then an LCG stream
+// seeded from them, so short inputs still produce full-size codes.
+class BitSource {
+ public:
+  BitSource(const uint8_t* data, std::size_t size)
+      : data_(data), size_(size), state_(0x9e3779b97f4a7c15ull + size) {
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ = state_ * 6364136223846793005ull + data[i];
+    }
+  }
+
+  bool NextBit() {
+    if (pos_ < size_ * 8) {
+      const bool bit = (data_[pos_ / 8] >> (pos_ % 8)) & 1;
+      ++pos_;
+      return bit;
+    }
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return (state_ >> 60) & 1;
+  }
+
+  BinaryCode NextCode(std::size_t bits) {
+    BinaryCode code(bits);
+    for (std::size_t p = 0; p < bits; ++p) code.SetBit(p, NextBit());
+    return code;
+  }
+
+ private:
+  const uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  uint64_t state_;
+};
+
+std::vector<uint32_t> SortedSlots(std::vector<uint32_t> slots) {
+  std::sort(slots.begin(), slots.end());
+  return slots;
+}
+
+// Both layouts must report the identical slot set for the same query.
+void CheckEquivalence(const BinaryCode& query, const CodeStore& store,
+                      const VerticalCodeStore& vstore, std::size_t h) {
+  std::vector<uint32_t> horizontal;
+  BatchWithinDistance(query, store, h, &horizontal);
+  std::vector<uint32_t> vertical;
+  VerticalScanStats stats;
+  BatchWithinDistance(query, vstore, h, &vertical, &stats);
+  HAMMING_FUZZ_CHECK(SortedSlots(horizontal) == SortedSlots(vertical));
+  // Stats sanity: blocks_scanned counts every visited block (pruned
+  // ones included), and no scan reads more planes than exist.
+  HAMMING_FUZZ_CHECK(stats.blocks_scanned == vstore.num_blocks());
+  HAMMING_FUZZ_CHECK(stats.blocks_pruned <= stats.blocks_scanned);
+  HAMMING_FUZZ_CHECK(stats.planes_scanned <=
+                     stats.blocks_scanned * vstore.bits());
+  const std::size_t count =
+      hamming::kernels::BatchCount(query, vstore, h, nullptr);
+  HAMMING_FUZZ_CHECK(count == vertical.size());
+}
+
+}  // namespace
+
+void RunVerticalFuzzInput(const uint8_t* data, std::size_t size) {
+  if (size < 4) return;
+  // Header: bits in [1, 512], threshold in [0, bits + 1] (one past the
+  // maximum exercises the everything-matches fast path).
+  const std::size_t bits =
+      1 + ((static_cast<std::size_t>(data[0]) |
+            (static_cast<std::size_t>(data[1]) << 8)) %
+           BinaryCode::kMaxBits);
+  const std::size_t h = data[2] % (bits + 2);
+  // Code count spans the interesting block shapes: empty store, single
+  // partial block, full block, and multi-block with a ragged tail.
+  const std::size_t n =
+      (static_cast<std::size_t>(data[3]) * 11 + size) % 1200;
+
+  BitSource source(data + 4, size - 4);
+  const BinaryCode query = source.NextCode(bits);
+
+  CodeStore store;
+  VerticalCodeStore incremental;
+  incremental.Reset(bits);
+  for (std::size_t i = 0; i < n; ++i) {
+    const BinaryCode code = source.NextCode(bits);
+    HAMMING_FUZZ_CHECK(store.Append(code).ok());
+    HAMMING_FUZZ_CHECK(incremental.Append(code).ok());
+  }
+
+  // Differential round trip: bulk transpose == incremental appends, and
+  // both reproduce every lane of the horizontal store.
+  VerticalCodeStore bulk;
+  store.TransposeInto(&bulk);
+  HAMMING_FUZZ_CHECK(bulk.IsTransposeOf(store));
+  HAMMING_FUZZ_CHECK(incremental.IsTransposeOf(store));
+  for (std::size_t i = 0; i < n; i += 97) {
+    HAMMING_FUZZ_CHECK(bulk.Get(i) == store.Get(i));
+  }
+
+  CheckEquivalence(query, store, bulk, h);
+
+  // Maintenance path: swap-remove a fuzz-chosen slot, append one more
+  // code, and require the layouts to still agree.
+  if (n > 0) {
+    const std::size_t victim = (data[3] * 131 + size) % n;
+    store.SwapRemove(victim);
+    bulk.SwapRemove(victim);
+    const BinaryCode extra = source.NextCode(bits);
+    HAMMING_FUZZ_CHECK(store.Append(extra).ok());
+    HAMMING_FUZZ_CHECK(bulk.Append(extra).ok());
+    HAMMING_FUZZ_CHECK(bulk.IsTransposeOf(store));
+    CheckEquivalence(query, store, bulk, h);
+  }
+}
+
+}  // namespace hamming_fuzz
+
+#if !defined(HAMMING_FUZZ_NO_ENTRY)
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, std::size_t size) {
+  hamming_fuzz::RunVerticalFuzzInput(data, size);
+  return 0;
+}
+#endif

@@ -24,7 +24,8 @@
 # clang-tidy binary is on PATH. The fuzz-smoke stage builds the three
 # fuzz harnesses (fuzz/) and replays their seed corpora plus a fixed
 # number of deterministic mutations; same inputs every run, so it is a
-# gate, not a campaign.
+# gate, not a campaign. fuzz_vertical differentially checks the
+# bit-plane vertical kernels against the horizontal layout.
 #
 # Usage: scripts/check.sh [--skip-asan] [--skip-tsan] [--skip-lint]
 #                         [--skip-fuzz]
@@ -70,6 +71,7 @@ else
   ./build/fuzz/fuzz_serde fuzz/corpus/serde -mutate=500
   ./build/fuzz/fuzz_spill fuzz/corpus/spill -mutate=500
   ./build/fuzz/fuzz_json  fuzz/corpus/json  -mutate=500
+  ./build/fuzz/fuzz_vertical fuzz/corpus/vertical -mutate=500
 fi
 
 echo "==> observability: traced job + JSON artifact validation"
@@ -107,7 +109,7 @@ else
     >/dev/null
   cmake --build build-asan -j --target hamming_tests
   ./build-asan/tests/hamming_tests \
-    --gtest_filter='CodeStore.*:Kernels.*:LocalCounters.*:FuzzCorpus.*:StorageTest.SpillFuzz*'
+    --gtest_filter='CodeStore.*:VerticalStore.*:Kernels.*:LocalCounters.*:FuzzCorpus.*:StorageTest.SpillFuzz*'
   echo "==> ASan: MapReduce + external shuffle under a 64 KiB budget"
   HAMMING_SHUFFLE_BUDGET=65536 ./build-asan/tests/hamming_tests \
     --gtest_filter='MapReduce*:FaultTolerance*:PlanFaultTolerance*:Shuffle*'
@@ -121,7 +123,7 @@ else
     >/dev/null
   cmake --build build-tsan -j --target hamming_tests
   ./build-tsan/tests/hamming_tests --gtest_filter=\
-'MapReduce*:FaultTolerance*:PlanFaultTolerance*:CancelToken*:ThreadPool*:Concurrency*:Metrics*:TraceJson*'
+'MapReduce*:FaultTolerance*:PlanFaultTolerance*:CancelToken*:ThreadPool*:Concurrency*:Metrics*:TraceJson*:VerticalStore*:Kernels.VerticalScanSharedAcrossThreads'
   echo "==> TSan: MapReduce + external shuffle under a 64 KiB budget"
   HAMMING_SHUFFLE_BUDGET=65536 ./build-tsan/tests/hamming_tests --gtest_filter=\
 'MapReduce*:FaultTolerance*:PlanFaultTolerance*:Shuffle*'

@@ -30,6 +30,7 @@ Status DynamicHAIndex::BuildWithIds(const std::vector<TupleId>& ids,
   roots_.clear();
   buffer_.clear();
   buffer_store_.Clear();
+  buffer_vstore_.Clear();
   num_tuples_ = 0;
   code_bits_ = codes.empty() ? 0 : codes[0].size();
 
@@ -162,6 +163,7 @@ Status DynamicHAIndex::Insert(TupleId id, const BinaryCode& code) {
   }
   buffer_.emplace_back(id, code);
   HAMMING_RETURN_NOT_OK(buffer_store_.Append(code));
+  HAMMING_RETURN_NOT_OK(buffer_vstore_.Append(code));
   ++num_tuples_;
   if (buffer_.size() >= opts_.insert_flush_threshold) FlushBuffer();
   return Status::OK();
@@ -176,6 +178,7 @@ void DynamicHAIndex::FlushBuffer() {
   for (auto& [code, ids] : groups) group_vec.emplace_back(code, std::move(ids));
   buffer_.clear();
   buffer_store_.Clear();
+  buffer_vstore_.Clear();
   BuildForest(std::move(group_vec));
 }
 
@@ -215,6 +218,7 @@ Status DynamicHAIndex::Delete(TupleId id, const BinaryCode& code) {
       buffer_[i] = buffer_.back();
       buffer_.pop_back();
       buffer_store_.SwapRemove(i);
+      buffer_vstore_.SwapRemove(i);
       --num_tuples_;
       return Status::OK();
     }
@@ -282,15 +286,20 @@ Result<std::vector<TupleId>> DynamicHAIndex::Search(
     }
   }
   // The insert buffer (bounded by the flush threshold) is scanned with
-  // one batched kernel pass over its word-stride mirror.
+  // one batched kernel pass; the layout dispatch picks the bit-plane
+  // mirror when the buffer is large and the radius selective.
   std::vector<uint32_t> slots;
-  kernels::BatchWithinDistance(query, buffer_store_, h, &slots);
+  kernels::VerticalScanStats vstats;
+  kernels::BatchWithinDistanceDual(query, buffer_store_, &buffer_vstore_, h,
+                                   &slots, &vstats);
   for (uint32_t slot : slots) out.push_back(buffer_[slot].first);
   if (stats != nullptr) {
     ++stats->kernel_batch_calls;
     stats->candidates_generated += buffer_.size();
     stats->exact_distance_computations += buffer_.size();
     stats->results += out.size();
+    stats->planes_scanned += vstats.planes_scanned;
+    stats->blocks_pruned += vstats.blocks_pruned;
   }
   return out;
 }
@@ -372,7 +381,8 @@ Result<std::vector<BinaryCode>> DynamicHAIndex::SearchCodes(
     }
   }
   std::vector<uint32_t> slots;
-  kernels::BatchWithinDistance(query, buffer_store_, h, &slots);
+  kernels::BatchWithinDistanceDual(query, buffer_store_, &buffer_vstore_, h,
+                                   &slots);
   for (uint32_t slot : slots) out.push_back(buffer_[slot].second);
   if (stats != nullptr) {
     ++stats->kernel_batch_calls;
@@ -554,6 +564,7 @@ Status DynamicHAIndex::MergeFrom(const DynamicHAIndex& other) {
   for (const auto& [id, code] : other.buffer_) {
     (void)id;
     HAMMING_RETURN_NOT_OK(buffer_store_.Append(code));
+    HAMMING_RETURN_NOT_OK(buffer_vstore_.Append(code));
   }
   num_tuples_ += other.num_tuples_;
   return Status::OK();
@@ -692,7 +703,8 @@ Result<DynamicHAIndex> DynamicHAIndex::Deserialize(BufferReader* r) {
     HAMMING_RETURN_NOT_OK(r->GetVarint64(&v));
     id = static_cast<TupleId>(v);
     HAMMING_RETURN_NOT_OK(BinaryCode::Deserialize(r, &code));
-    if (!idx.buffer_store_.Append(code).ok()) {
+    if (!idx.buffer_store_.Append(code).ok() ||
+        !idx.buffer_vstore_.Append(code).ok()) {
       return Status::IOError("corrupt buffer code length");
     }
   }

@@ -32,6 +32,7 @@
 #include "code/masked_code.h"
 #include "index/hamming_index.h"
 #include "kernels/code_store.h"
+#include "kernels/vertical_code_store.h"
 
 namespace hamming {
 
@@ -163,9 +164,13 @@ class DynamicHAIndex final : public HammingIndex {
   std::vector<uint32_t> roots_;
   // Insert buffer (Section 4.5). buffer_store_ mirrors the buffered codes
   // in word-stride form so the per-query buffer scan runs through the
-  // batched kernels instead of one WithinDistance call per code.
+  // batched kernels instead of one WithinDistance call per code;
+  // buffer_vstore_ keeps the bit-plane transpose of the same slots so a
+  // selective search can take the vertical kernel when the buffer (its
+  // flush threshold permitting) grows large enough to amortize it.
   std::vector<std::pair<TupleId, BinaryCode>> buffer_;
   kernels::CodeStore buffer_store_;
+  kernels::VerticalCodeStore buffer_vstore_;
 };
 
 }  // namespace hamming

@@ -6,6 +6,7 @@ namespace hamming {
 
 Status LinearScanIndex::Build(const std::vector<BinaryCode>& codes) {
   HAMMING_ASSIGN_OR_RETURN(codes_, kernels::CodeStore::FromCodes(codes));
+  codes_.TransposeInto(&vcodes_);
   ids_.resize(codes.size());
   for (std::size_t i = 0; i < codes.size(); ++i) {
     ids_[i] = static_cast<TupleId>(i);
@@ -16,7 +17,9 @@ Status LinearScanIndex::Build(const std::vector<BinaryCode>& codes) {
 Result<std::vector<TupleId>> LinearScanIndex::Search(
     const BinaryCode& query, std::size_t h, obs::QueryStats* stats) const {
   std::vector<uint32_t> slots;
-  kernels::BatchWithinDistance(query, codes_, h, &slots);
+  kernels::VerticalScanStats vstats;
+  kernels::BatchWithinDistanceDual(query, codes_, &vcodes_, h, &slots,
+                                   &vstats);
   std::vector<TupleId> out;
   out.reserve(slots.size());
   for (uint32_t slot : slots) out.push_back(ids_[slot]);
@@ -25,6 +28,8 @@ Result<std::vector<TupleId>> LinearScanIndex::Search(
     stats->candidates_generated += ids_.size();
     stats->exact_distance_computations += ids_.size();
     stats->results += out.size();
+    stats->planes_scanned += vstats.planes_scanned;
+    stats->blocks_pruned += vstats.blocks_pruned;
   }
   return out;
 }
@@ -48,6 +53,7 @@ Result<std::vector<std::pair<TupleId, uint32_t>>> LinearScanIndex::Knn(
 
 Status LinearScanIndex::Insert(TupleId id, const BinaryCode& code) {
   HAMMING_RETURN_NOT_OK(codes_.Append(code));
+  HAMMING_RETURN_NOT_OK(vcodes_.Append(code));
   ids_.push_back(id);
   return Status::OK();
 }
@@ -56,6 +62,7 @@ Status LinearScanIndex::Delete(TupleId id, const BinaryCode& code) {
   for (std::size_t i = 0; i < ids_.size(); ++i) {
     if (ids_[i] == id && codes_.Matches(i, code)) {
       codes_.SwapRemove(i);
+      vcodes_.SwapRemove(i);
       ids_[i] = ids_.back();
       ids_.pop_back();
       return Status::OK();
@@ -67,6 +74,9 @@ Status LinearScanIndex::Delete(TupleId id, const BinaryCode& code) {
 MemoryBreakdown LinearScanIndex::Memory() const {
   MemoryBreakdown mb;
   mb.leaf_bytes += codes_.PackedBytes();
+  // The vertical mirror doubles the code bytes held; account it as
+  // index overhead rather than leaf payload.
+  mb.internal_bytes += vcodes_.PackedBytes();
   mb.leaf_bytes += ids_.size() * sizeof(TupleId);
   return mb;
 }

@@ -3,11 +3,14 @@
 // select; the quadratic-join strawman every other method is measured
 // against. Codes live in a word-stride CodeStore so the scan runs through
 // the batched kernels (kernels/hamming_kernels.h) instead of one
-// BinaryCode call per code.
+// BinaryCode call per code; a bit-plane-major mirror of the same codes
+// lets selective (small-h) searches take the vertical plane-pruning
+// kernel instead (BatchWithinDistanceDual picks per query).
 #pragma once
 
 #include "index/hamming_index.h"
 #include "kernels/code_store.h"
+#include "kernels/vertical_code_store.h"
 
 namespace hamming {
 
@@ -35,6 +38,9 @@ class LinearScanIndex final : public HammingIndex {
 
  private:
   kernels::CodeStore codes_;
+  // Transposed mirror of codes_, maintained through every mutation so
+  // threshold scans can run the vertical kernel.
+  kernels::VerticalCodeStore vcodes_;
   std::vector<TupleId> ids_;
 };
 

@@ -48,6 +48,23 @@ std::vector<std::vector<uint8_t>> Combinations(std::size_t n, std::size_t k) {
 
 }  // namespace
 
+Status MultiHashTableIndex::AppendToBucket(Bucket* bucket, TupleId id,
+                                           const BinaryCode& code) {
+  bucket->ids.push_back(id);
+  HAMMING_RETURN_NOT_OK(bucket->codes.Append(code));
+  // Activate the bit-plane mirror only once the bucket could plausibly
+  // take the vertical scan; transpose the backlog on first crossing and
+  // append incrementally from then on.
+  if (bucket->codes.size() >= kernels::kVerticalMinCodes) {
+    if (bucket->vcodes.size() + 1 == bucket->codes.size()) {
+      HAMMING_RETURN_NOT_OK(bucket->vcodes.Append(code));
+    } else {
+      bucket->codes.TransposeInto(&bucket->vcodes);
+    }
+  }
+  return Status::OK();
+}
+
 std::pair<std::size_t, std::size_t> MultiHashTableIndex::BlockRange(
     std::size_t blk) const {
   std::size_t base = code_bits_ / num_blocks_;
@@ -117,8 +134,7 @@ Status MultiHashTableIndex::Insert(TupleId id, const BinaryCode& code) {
   HAMMING_RETURN_NOT_OK(EnsureLayout(code));
   for (std::size_t t = 0; t < combos_.size(); ++t) {
     Bucket& bucket = tables_[t][KeyOf(combos_[t], code)];
-    bucket.ids.push_back(id);
-    HAMMING_RETURN_NOT_OK(bucket.codes.Append(code));
+    HAMMING_RETURN_NOT_OK(AppendToBucket(&bucket, id, code));
   }
   stored_[id] = code;
   return Status::OK();
@@ -136,6 +152,7 @@ Status MultiHashTableIndex::Delete(TupleId id, const BinaryCode& code) {
     for (std::size_t i = bucket.ids.size(); i-- > 0;) {
       if (bucket.ids[i] != id) continue;
       bucket.codes.SwapRemove(i);
+      if (!bucket.vcodes.empty()) bucket.vcodes.SwapRemove(i);
       bucket.ids[i] = bucket.ids.back();
       bucket.ids.pop_back();
     }
@@ -160,12 +177,22 @@ Result<std::vector<TupleId>> MultiHashTableIndex::Search(
     auto bucket_it = tables_[t].find(KeyOf(combos_[t], query));
     if (bucket_it == tables_[t].end()) continue;
     const Bucket& bucket = bucket_it->second;
-    slots.clear();  // BatchWithinDistance appends
-    kernels::BatchWithinDistance(query, bucket.codes, h, &slots);
+    slots.clear();  // the batch kernels append
+    // Hand the mirror to the dual dispatcher only when it tracks the
+    // bucket exactly (it lags by design until the bucket crosses the
+    // vertical profitability floor).
+    const kernels::VerticalCodeStore* mirror =
+        bucket.vcodes.size() == bucket.codes.size() ? &bucket.vcodes
+                                                    : nullptr;
+    kernels::VerticalScanStats vstats;
+    kernels::BatchWithinDistanceDual(query, bucket.codes, mirror, h, &slots,
+                                     &vstats);
     if (stats != nullptr) {
       ++stats->kernel_batch_calls;
       stats->candidates_generated += bucket.ids.size();
       stats->exact_distance_computations += bucket.ids.size();
+      stats->planes_scanned += vstats.planes_scanned;
+      stats->blocks_pruned += vstats.blocks_pruned;
     }
     for (uint32_t slot : slots) out.push_back(bucket.ids[slot]);
   }
@@ -225,8 +252,8 @@ Result<MultiHashTableIndex> MultiHashTableIndex::Deserialize(
           layout_ready = true;
         }
         Bucket& bucket = index.tables_[t][key];
-        bucket.ids.push_back(static_cast<TupleId>(id));
-        HAMMING_RETURN_NOT_OK(bucket.codes.Append(code));
+        HAMMING_RETURN_NOT_OK(
+            AppendToBucket(&bucket, static_cast<TupleId>(id), code));
       }
     }
   }
@@ -251,6 +278,7 @@ MemoryBreakdown MultiHashTableIndex::Memory() const {
     for (const auto& [key, bucket] : table) {
       (void)key;
       mb.internal_bytes += bucket.ids.size() * (sizeof(TupleId) + per_code);
+      mb.internal_bytes += bucket.vcodes.PackedBytes();
     }
   }
   for (const auto& [id, code] : stored_) {

@@ -20,6 +20,7 @@
 
 #include "index/hamming_index.h"
 #include "kernels/code_store.h"
+#include "kernels/vertical_code_store.h"
 
 namespace hamming {
 
@@ -66,7 +67,17 @@ class MultiHashTableIndex final : public HammingIndex {
   struct Bucket {
     std::vector<TupleId> ids;
     kernels::CodeStore codes;
+    // Bit-plane mirror of `codes`, materialized lazily once the bucket
+    // reaches the vertical kernel's profitability floor (most buckets are
+    // tiny and never pay the transpose).
+    kernels::VerticalCodeStore vcodes;
   };
+
+  /// Appends one replicated fingerprint to a bucket, keeping the
+  /// bit-plane mirror in sync once the bucket is large enough for the
+  /// vertical scan to pay off.
+  static Status AppendToBucket(Bucket* bucket, TupleId id,
+                               const BinaryCode& code);
 
   /// Lays out blocks/combinations on first use; validates key width.
   Status EnsureLayout(const BinaryCode& code);

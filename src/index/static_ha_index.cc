@@ -45,6 +45,7 @@ Status StaticHAIndex::Build(const std::vector<BinaryCode>& codes) {
   path_nodes_.clear();
   paths_.clear();
   id_to_row_.clear();
+  vcodes_.Reset(0);
   for (std::size_t i = 0; i < codes.size(); ++i) {
     HAMMING_RETURN_NOT_OK(Insert(static_cast<TupleId>(i), codes[i]));
   }
@@ -60,6 +61,7 @@ Status StaticHAIndex::Insert(TupleId id, const BinaryCode& code) {
     uint64_t value = code.SubstringAsUint64(level.begin, level.len);
     path_nodes_.push_back(InternNode(&level, value));
   }
+  HAMMING_RETURN_NOT_OK(vcodes_.Append(code));
   id_to_row_[id] = paths_.size();
   paths_.push_back(id);
   groups_stale_ = true;
@@ -110,6 +112,7 @@ Status StaticHAIndex::Delete(TupleId id, const BinaryCode& code) {
   }
   path_nodes_.resize(last * nl);
   paths_.pop_back();
+  vcodes_.SwapRemove(row);  // same swap as the path row above
   id_to_row_.erase(it);
   groups_stale_ = true;
   return Status::OK();
@@ -123,6 +126,32 @@ Result<std::vector<TupleId>> StaticHAIndex::Search(
     return Status::InvalidArgument("query length mismatch");
   }
   const std::size_t nl = levels_.size();
+
+  // Selective queries over large stores skip the node walk entirely and
+  // scan the bit-plane sidecar: the vertical kernel's per-block pruning
+  // beats memoized path sums when most blocks die within a few planes.
+  const auto policy = kernels::ActiveLayoutPolicy();
+  const bool want_vertical =
+      policy == kernels::LayoutPolicy::kForceVertical ||
+      (policy == kernels::LayoutPolicy::kAuto &&
+       kernels::ChooseLayout(code_bits_, h, paths_.size()) ==
+           kernels::KernelLayout::kVertical);
+  if (want_vertical && vcodes_.size() == paths_.size()) {
+    std::vector<uint32_t> slots;
+    kernels::VerticalScanStats vstats;
+    kernels::BatchWithinDistance(query, vcodes_, h, &slots, &vstats);
+    out.reserve(slots.size());
+    for (uint32_t slot : slots) out.push_back(paths_[slot]);
+    if (stats != nullptr) {
+      ++stats->kernel_batch_calls;
+      stats->candidates_generated += paths_.size();
+      stats->exact_distance_computations += paths_.size();
+      stats->results += out.size();
+      stats->planes_scanned += vstats.planes_scanned;
+      stats->blocks_pruned += vstats.blocks_pruned;
+    }
+    return out;
+  }
 
   // Phase 1: one XOR+popcount per *distinct* segment node — the shared
   // computation that distinguishes the HA-Index from per-tuple scans.
@@ -207,6 +236,8 @@ MemoryBreakdown StaticHAIndex::Memory() const {
   // Leaf side: per tuple, one node reference per level plus the id.
   mb.leaf_bytes += path_nodes_.size() * sizeof(uint32_t) +
                    paths_.size() * sizeof(TupleId);
+  // Bit-plane sidecar for the vertical scan path.
+  mb.internal_bytes += vcodes_.PackedBytes();
   return mb;
 }
 

@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "index/hamming_index.h"
+#include "kernels/vertical_code_store.h"
 
 namespace hamming {
 
@@ -78,6 +79,11 @@ class StaticHAIndex final : public HammingIndex {
   // rebuilt after updates.
   mutable std::vector<std::vector<uint32_t>> groups_;  // node0 -> rows
   mutable bool groups_stale_ = true;
+  // Bit-plane sidecar of the full codes, row-aligned with paths_ (Delete
+  // swap-removes both). The node walk has no CodeStore to reuse, so this
+  // is the only full-code copy; selective queries on large stores scan it
+  // with the vertical kernel instead of walking paths.
+  kernels::VerticalCodeStore vcodes_;
 };
 
 }  // namespace hamming

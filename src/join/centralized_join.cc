@@ -4,6 +4,7 @@
 
 #include "kernels/code_store.h"
 #include "kernels/hamming_kernels.h"
+#include "kernels/vertical_code_store.h"
 
 namespace hamming {
 
@@ -17,11 +18,22 @@ std::vector<JoinPair> NestedLoopsJoin(const std::vector<BinaryCode>& r_codes,
   // (which can't share a store) fall back to the scalar pairwise loop.
   auto store = kernels::CodeStore::FromCodes(s_codes);
   if (store.ok()) {
+    // With many outer probes a one-time transpose of the inner side lets
+    // every probe take the vertical plane-pruning kernel when profitable.
+    kernels::VerticalCodeStore mirror;
+    const kernels::VerticalCodeStore* mirror_ptr = nullptr;
+    if (r_codes.size() > 1 &&
+        kernels::ChooseLayout(store->bits(), h, store->size()) ==
+            kernels::KernelLayout::kVertical) {
+      store->TransposeInto(&mirror);
+      mirror_ptr = &mirror;
+    }
     std::vector<uint32_t> slots;
     for (std::size_t i = 0; i < r_codes.size(); ++i) {
       if (r_codes[i].size() != store->bits()) continue;
-      slots.clear();  // BatchWithinDistance appends
-      kernels::BatchWithinDistance(r_codes[i], *store, h, &slots);
+      slots.clear();  // the batch kernels append
+      kernels::BatchWithinDistanceDual(r_codes[i], *store, mirror_ptr, h,
+                                       &slots);
       for (uint32_t j : slots) {
         out.push_back({static_cast<TupleId>(i), static_cast<TupleId>(j)});
       }

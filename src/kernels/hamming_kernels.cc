@@ -1,8 +1,12 @@
 #include "kernels/hamming_kernels.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <bit>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
 
 namespace hamming::kernels {
 
@@ -14,8 +18,34 @@ void BatchDistanceRangeAvx2(const CodeStore& store, const uint64_t* qwords,
                             std::size_t base, std::size_t len, uint32_t* out);
 void BatchXorPopcountAvx2(uint64_t query_word, const uint64_t* values,
                           std::size_t n, uint16_t* out);
+std::size_t VerticalScanAvx2(const VerticalCodeStore& store,
+                             const uint64_t* qmask, std::size_t h,
+                             std::vector<uint32_t>* out_slots,
+                             VerticalScanStats* stats);
 }  // namespace detail
 #endif
+
+// Range kernels defined by the AVX-512 translation unit (compiled with
+// -mavx512f -mavx512bw -mavx512vpopcntdq when HAMMING_AVX512 is on).
+#if defined(HAMMING_HAVE_AVX512_TU)
+namespace detail {
+void BatchDistanceRangeAvx512(const CodeStore& store, const uint64_t* qwords,
+                              std::size_t base, std::size_t len,
+                              uint32_t* out);
+std::size_t VerticalScanAvx512(const VerticalCodeStore& store,
+                               const uint64_t* qmask, std::size_t h,
+                               std::vector<uint32_t>* out_slots,
+                               VerticalScanStats* stats);
+}  // namespace detail
+#endif
+
+// Portable vertical scan (hamming_kernels_vertical.cc); always built.
+namespace detail {
+std::size_t VerticalScanPortable(const VerticalCodeStore& store,
+                                 const uint64_t* qmask, std::size_t h,
+                                 std::vector<uint32_t>* out_slots,
+                                 VerticalScanStats* stats);
+}  // namespace detail
 
 namespace {
 
@@ -68,11 +98,36 @@ void BatchXorPopcountPortable(uint64_t query_word, const uint64_t* values,
 // ---- Dispatch -----------------------------------------------------------
 
 std::atomic<Backend> g_backend = [] {
+#if defined(HAMMING_HAVE_AVX512_TU)
+  if (Avx512Supported()) return Backend::kAvx512;
+#endif
 #if defined(HAMMING_HAVE_AVX2_TU)
   if (Avx2Supported()) return Backend::kAvx2;
 #endif
   return Backend::kPortable;
 }();
+
+// Layout policy for BatchWithinDistanceDual, seeded once from the
+// HAMMING_KERNEL_LAYOUT environment variable.
+LayoutPolicy LayoutPolicyFromEnv() {
+  const char* env = std::getenv("HAMMING_KERNEL_LAYOUT");
+  if (env == nullptr) return LayoutPolicy::kAuto;
+  std::array<char, 16> buf{};
+  std::size_t n = 0;
+  for (; env[n] != '\0' && n + 1 < buf.size(); ++n) {
+    buf[n] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(env[n])));
+  }
+  if (std::strcmp(buf.data(), "horizontal") == 0) {
+    return LayoutPolicy::kForceHorizontal;
+  }
+  if (std::strcmp(buf.data(), "vertical") == 0) {
+    return LayoutPolicy::kForceVertical;
+  }
+  return LayoutPolicy::kAuto;  // "auto", unset, or unrecognized
+}
+
+std::atomic<LayoutPolicy> g_layout_policy = LayoutPolicyFromEnv();
 
 void BatchDistanceRange(const CodeStore& store, const uint64_t* qwords,
                         std::size_t base, std::size_t len, uint32_t* out) {
@@ -81,6 +136,12 @@ void BatchDistanceRange(const CodeStore& store, const uint64_t* qwords,
     std::fill_n(out, len, 0u);
     return;
   }
+#if defined(HAMMING_HAVE_AVX512_TU)
+  if (g_backend.load(std::memory_order_relaxed) == Backend::kAvx512) {
+    detail::BatchDistanceRangeAvx512(store, qwords, base, len, out);
+    return;
+  }
+#endif
 #if defined(HAMMING_HAVE_AVX2_TU)
   if (g_backend.load(std::memory_order_relaxed) == Backend::kAvx2) {
     detail::BatchDistanceRangeAvx2(store, qwords, base, len, out);
@@ -88,6 +149,46 @@ void BatchDistanceRange(const CodeStore& store, const uint64_t* qwords,
   }
 #endif
   BatchDistanceRangePortable(store, qwords, base, len, out);
+}
+
+// Shared body of the vertical BatchWithinDistance / BatchCount: handles
+// the degenerate radii, spreads the query into per-plane broadcast
+// masks, and dispatches on the active backend.
+std::size_t VerticalScanDispatch(const BinaryCode& query,
+                                 const VerticalCodeStore& store, std::size_t h,
+                                 std::vector<uint32_t>* out_slots,
+                                 VerticalScanStats* stats) {
+  if (store.empty()) return 0;
+  const std::size_t bits = store.bits();
+  if (h >= bits) {
+    // Every code is within distance h; zero planes touched.
+    if (out_slots != nullptr) {
+      for (std::size_t i = 0; i < store.size(); ++i) {
+        out_slots->push_back(static_cast<uint32_t>(i));
+      }
+    }
+    if (stats != nullptr) stats->blocks_scanned += store.num_blocks();
+    return store.size();
+  }
+  // qmask[p] is all-ones when query bit p is set: the scan's mismatch
+  // word for plane p is plane_row ^ qmask[p].
+  std::array<uint64_t, BinaryCode::kMaxBits> qmask;
+  for (std::size_t p = 0; p < bits; ++p) {
+    qmask[p] = query.GetBit(p) ? ~0ull : 0ull;
+  }
+#if defined(HAMMING_HAVE_AVX512_TU)
+  if (g_backend.load(std::memory_order_relaxed) == Backend::kAvx512) {
+    return detail::VerticalScanAvx512(store, qmask.data(), h, out_slots,
+                                      stats);
+  }
+#endif
+#if defined(HAMMING_HAVE_AVX2_TU)
+  if (g_backend.load(std::memory_order_relaxed) == Backend::kAvx2) {
+    return detail::VerticalScanAvx2(store, qmask.data(), h, out_slots, stats);
+  }
+#endif
+  return detail::VerticalScanPortable(store, qmask.data(), h, out_slots,
+                                      stats);
 }
 
 // Tile size for the scratch-buffered scans: 1024 distances = 4 KB on the
@@ -107,9 +208,25 @@ bool Avx2Supported() {
 #endif
 }
 
+bool Avx512Supported() {
+#if defined(HAMMING_HAVE_AVX512_TU) && defined(__x86_64__)
+  __builtin_cpu_init();
+  return __builtin_cpu_supports("avx512f") &&
+         __builtin_cpu_supports("avx512bw") &&
+         __builtin_cpu_supports("avx512vpopcntdq");
+#else
+  return false;
+#endif
+}
+
 Backend ActiveBackend() { return g_backend.load(std::memory_order_relaxed); }
 
 void SetBackend(Backend backend) {
+  // Graceful degradation: an unsupported tier falls to the best one the
+  // machine actually has.
+  if (backend == Backend::kAvx512 && !Avx512Supported()) {
+    backend = Backend::kAvx2;
+  }
   if (backend == Backend::kAvx2 && !Avx2Supported()) {
     backend = Backend::kPortable;
   }
@@ -122,8 +239,49 @@ const char* BackendName(Backend backend) {
       return "portable";
     case Backend::kAvx2:
       return "avx2";
+    case Backend::kAvx512:
+      return "avx512";
   }
   return "unknown";
+}
+
+LayoutPolicy ActiveLayoutPolicy() {
+  return g_layout_policy.load(std::memory_order_relaxed);
+}
+
+void SetLayoutPolicy(LayoutPolicy policy) {
+  g_layout_policy.store(policy, std::memory_order_relaxed);
+}
+
+const char* LayoutPolicyName(LayoutPolicy policy) {
+  switch (policy) {
+    case LayoutPolicy::kAuto:
+      return "auto";
+    case LayoutPolicy::kForceHorizontal:
+      return "horizontal";
+    case LayoutPolicy::kForceVertical:
+      return "vertical";
+  }
+  return "unknown";
+}
+
+const char* LayoutName(KernelLayout layout) {
+  switch (layout) {
+    case KernelLayout::kHorizontal:
+      return "horizontal";
+    case KernelLayout::kVertical:
+      return "vertical";
+  }
+  return "unknown";
+}
+
+KernelLayout ChooseLayout(std::size_t bits, std::size_t h, std::size_t n) {
+  // Vertical wins when (a) the store amortizes the per-block counter
+  // setup and (b) the radius is selective enough that plane pruning
+  // fires early; h*8 <= bits tracks the measured crossover (see
+  // EXPERIMENTS.md) across 64..512-bit codes.
+  if (n >= kVerticalMinCodes && h * 8 <= bits) return KernelLayout::kVertical;
+  return KernelLayout::kHorizontal;
 }
 
 void BatchDistance(const BinaryCode& query, const CodeStore& store,
@@ -154,10 +312,55 @@ void BatchWithinDistance(const BinaryCode& query, const CodeStore& store,
   }
 }
 
+void BatchWithinDistance(const BinaryCode& query,
+                         const VerticalCodeStore& store, std::size_t h,
+                         std::vector<uint32_t>* out_slots,
+                         VerticalScanStats* stats) {
+  VerticalScanDispatch(query, store, h, out_slots, stats);
+}
+
+std::size_t BatchCount(const BinaryCode& query, const VerticalCodeStore& store,
+                       std::size_t h, VerticalScanStats* stats) {
+  return VerticalScanDispatch(query, store, h, nullptr, stats);
+}
+
+KernelLayout BatchWithinDistanceDual(const BinaryCode& query,
+                                     const CodeStore& store,
+                                     const VerticalCodeStore* mirror,
+                                     std::size_t h,
+                                     std::vector<uint32_t>* out_slots,
+                                     VerticalScanStats* stats) {
+  bool want_vertical;
+  switch (ActiveLayoutPolicy()) {
+    case LayoutPolicy::kForceHorizontal:
+      want_vertical = false;
+      break;
+    case LayoutPolicy::kForceVertical:
+      want_vertical = true;
+      break;
+    default:
+      want_vertical =
+          ChooseLayout(store.bits(), h, store.size()) == KernelLayout::kVertical;
+  }
+  // The mirror must actually be the transpose of `store` (same length,
+  // same slot count); anything else — absent, mid-rebuild, or lagging —
+  // falls back to the always-correct horizontal lanes.
+  if (want_vertical && mirror != nullptr && !mirror->empty() &&
+      mirror->size() == store.size() && mirror->bits() == store.bits()) {
+    VerticalScanDispatch(query, *mirror, h, out_slots, stats);
+    return KernelLayout::kVertical;
+  }
+  BatchWithinDistance(query, store, h, out_slots);
+  return KernelLayout::kHorizontal;
+}
+
 void BatchXorPopcount(uint64_t query_word, const uint64_t* values,
                       std::size_t n, uint16_t* out) {
 #if defined(HAMMING_HAVE_AVX2_TU)
-  if (g_backend.load(std::memory_order_relaxed) == Backend::kAvx2) {
+  // The AVX-512 tier reuses the AVX2 one-word kernel: n here is a node
+  // fan-out, far too small for 512-bit vectors to pay off.
+  const Backend b = g_backend.load(std::memory_order_relaxed);
+  if (b == Backend::kAvx2 || b == Backend::kAvx512) {
     detail::BatchXorPopcountAvx2(query_word, values, n, out);
     return;
   }

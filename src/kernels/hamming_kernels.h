@@ -7,13 +7,28 @@
 // word-stride lanes, so the per-code cost is one fused XOR+popcount per
 // significant word with no per-code call, branch, or cache-line waste.
 //
-// Two implementations sit behind a runtime dispatch:
+// Three implementations sit behind a runtime dispatch:
 //  * portable — std::popcount over 8-code blocks; builds everywhere.
 //  * AVX2 — vpshufb nibble-LUT popcount, 4 codes per 256-bit vector
 //    (compiled only when the toolchain supports -mavx2, selected only
 //    when the CPU reports AVX2).
+//  * AVX-512 — vpopcntq, 8 codes per 512-bit vector (compiled only when
+//    HAMMING_AVX512 resolves ON, selected only when the CPU reports
+//    AVX-512F+BW+VPOPCNTDQ).
 // SetBackend() pins one implementation; tests run the differential suite
-// under both to prove they agree.
+// under every supported backend to prove they agree.
+//
+// Orthogonally to the backend, threshold queries choose between two data
+// layouts:
+//  * horizontal — the CodeStore word lanes above: full distance per code.
+//  * vertical — a VerticalCodeStore bit-plane mirror: per-lane distance
+//    counters accumulate plane-by-plane in bit-sliced form across 512
+//    codes at once, and a whole block is abandoned the moment every
+//    lane's running count already exceeds h. On selective (small-h)
+//    queries most blocks die within the first few planes, so the scan
+//    reads a fraction of the planes the horizontal kernel must touch.
+// BatchWithinDistanceDual applies the heuristic (see ChooseLayout) with
+// an env override HAMMING_KERNEL_LAYOUT=auto|horizontal|vertical.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +37,7 @@
 
 #include "code/binary_code.h"
 #include "kernels/code_store.h"
+#include "kernels/vertical_code_store.h"
 
 namespace hamming::kernels {
 
@@ -29,20 +45,69 @@ namespace hamming::kernels {
 enum class Backend {
   kPortable,  // std::popcount blockwise
   kAvx2,      // vpshufb popcount, 4 codes / vector
+  kAvx512,    // vpopcntq, 8 codes / vector
 };
 
 /// \brief True when this build has the AVX2 kernels AND the CPU has AVX2.
 bool Avx2Supported();
 
+/// \brief True when this build has the AVX-512 kernels AND the CPU has
+/// AVX-512F, AVX-512BW, and AVX-512VPOPCNTDQ.
+bool Avx512Supported();
+
 /// \brief The backend the batched routines currently execute.
 Backend ActiveBackend();
 
-/// \brief Pins the backend (tests/benchmarks). Requesting kAvx2 on a
-/// machine without it silently keeps kPortable.
+/// \brief Pins the backend (tests/benchmarks). Requesting a tier the
+/// machine lacks silently falls back to the best supported one.
 void SetBackend(Backend backend);
 
-/// \brief Human-readable backend name ("portable", "avx2").
+/// \brief Human-readable backend name ("portable", "avx2", "avx512").
 const char* BackendName(Backend backend);
+
+/// \brief Which storage layout a threshold scan ran against.
+enum class KernelLayout {
+  kHorizontal,  // CodeStore word lanes
+  kVertical,    // VerticalCodeStore bit planes
+};
+
+/// \brief Layout selection policy for BatchWithinDistanceDual.
+enum class LayoutPolicy {
+  kAuto,             // heuristic on (bits, h, n); the default
+  kForceHorizontal,  // always scan CodeStore lanes
+  kForceVertical,    // always scan the vertical mirror when present
+};
+
+/// \brief The layout policy in effect. Initialized once from the
+/// HAMMING_KERNEL_LAYOUT environment variable (auto|horizontal|vertical,
+/// case-insensitive; unset or unrecognized = auto).
+LayoutPolicy ActiveLayoutPolicy();
+
+/// \brief Pins the layout policy (tests/benchmarks).
+void SetLayoutPolicy(LayoutPolicy policy);
+
+/// \brief Policy name ("auto", "horizontal", "vertical").
+const char* LayoutPolicyName(LayoutPolicy policy);
+
+/// \brief Layout name ("horizontal", "vertical").
+const char* LayoutName(KernelLayout layout);
+
+/// \brief Smallest store for which the vertical layout can win: below
+/// ~8 blocks the per-query setup (query mask spread, counter reset per
+/// block) swamps the plane pruning.
+inline constexpr std::size_t kVerticalMinCodes = 4096;
+
+/// \brief The heuristic behind LayoutPolicy::kAuto: vertical iff the
+/// store is large enough to amortize per-block setup AND the radius is
+/// selective enough (h*8 <= bits) that plane pruning bites early.
+KernelLayout ChooseLayout(std::size_t bits, std::size_t h, std::size_t n);
+
+/// \brief Observability counters filled by one vertical scan.
+struct VerticalScanStats {
+  uint64_t planes_scanned = 0;  // plane rows actually read
+  uint64_t blocks_pruned = 0;   // blocks abandoned before the last plane
+  uint64_t blocks_scanned = 0;  // total blocks visited
+};
 
 /// \brief out[i] = Hamming distance of `query` to store code i, for all
 /// i in [0, store.size()). `out` must hold store.size() entries.
@@ -57,6 +122,31 @@ void BatchDistance(const BinaryCode& query, const CodeStore& store,
 /// Hamming distance h of `query`, in ascending slot order.
 void BatchWithinDistance(const BinaryCode& query, const CodeStore& store,
                          std::size_t h, std::vector<uint32_t>* out_slots);
+
+/// \brief Vertical-layout threshold scan: appends matching slots in
+/// ascending order, identical results to the horizontal overload above.
+/// `stats`, when non-null, receives plane/block pruning counts.
+void BatchWithinDistance(const BinaryCode& query,
+                         const VerticalCodeStore& store, std::size_t h,
+                         std::vector<uint32_t>* out_slots,
+                         VerticalScanStats* stats = nullptr);
+
+/// \brief Counts the slots within distance h without materializing them
+/// (vertical layout; popcounts the survivor masks per block).
+std::size_t BatchCount(const BinaryCode& query, const VerticalCodeStore& store,
+                       std::size_t h, VerticalScanStats* stats = nullptr);
+
+/// \brief Layout-dispatching threshold scan: uses `mirror` (the
+/// bit-plane transpose of `store`, may be null or stale) when the active
+/// policy/heuristic picks vertical AND the mirror matches the store's
+/// size and bits; otherwise scans the horizontal lanes. Returns the
+/// layout actually used. `stats` is only filled by the vertical path.
+KernelLayout BatchWithinDistanceDual(const BinaryCode& query,
+                                     const CodeStore& store,
+                                     const VerticalCodeStore* mirror,
+                                     std::size_t h,
+                                     std::vector<uint32_t>* out_slots,
+                                     VerticalScanStats* stats = nullptr);
 
 /// \brief out[i] = popcount(values[i] ^ query_word): the one-word batch
 /// used for per-segment node distances (StaticHAIndex phase 1). Counts

@@ -1,0 +1,149 @@
+// AVX-512 range kernels: native vpopcntq over eight 64-bit code words
+// per 512-bit vector, and the vertical bit-sliced scan with one vector
+// per plane row. This translation unit is the only one compiled with
+// -mavx512f -mavx512bw -mavx512vpopcntdq (src/CMakeLists.txt, gated by
+// the HAMMING_AVX512 option); the runtime dispatch in hamming_kernels.cc
+// selects it only when the CPU reports all three features, so a binary
+// built with this TU still runs (on the AVX2 or portable tier) on older
+// machines.
+#include "kernels/hamming_kernels.h"
+
+#if defined(HAMMING_HAVE_AVX512_TU)
+
+#include <immintrin.h>
+
+#include <algorithm>
+
+#include "kernels/vertical_scan_inl.h"
+
+namespace hamming::kernels::detail {
+
+namespace {
+
+// ~a & b. Spelled with vpternlog (imm 0x0c = ~A & B) instead of
+// _mm512_andnot_si512: GCC 12's andnot goes through
+// _mm512_undefined_epi32 and trips -Wmaybe-uninitialized (PR 105593).
+inline __m512i AndNot512(__m512i a, __m512i b) {
+  return _mm512_ternarylogic_epi64(a, b, b, 0x0c);
+}
+
+}  // namespace
+
+void BatchDistanceRangeAvx512(const CodeStore& store, const uint64_t* qwords,
+                              std::size_t base, std::size_t len,
+                              uint32_t* out) {
+  const std::size_t nw = store.words();
+  std::size_t i = 0;
+  // Eight codes (one vector) per iteration; the tail falls through to a
+  // scalar loop so callers may pass unpadded ranges.
+  for (; i + 8 <= len; i += 8) {
+    __m512i acc = _mm512_setzero_si512();
+    for (std::size_t w = 0; w < nw; ++w) {
+      const __m512i q = _mm512_set1_epi64(static_cast<long long>(qwords[w]));
+      const __m512i v = _mm512_loadu_si512(store.Lane(w) + base + i);
+      acc = _mm512_add_epi64(acc,
+                             _mm512_popcnt_epi64(_mm512_xor_si512(v, q)));
+    }
+    alignas(64) uint64_t counts[8];
+    _mm512_store_si512(counts, acc);
+    for (std::size_t j = 0; j < 8; ++j) {
+      out[i + j] = static_cast<uint32_t>(counts[j]);
+    }
+  }
+  for (; i < len; ++i) {
+    uint32_t d = 0;
+    for (std::size_t w = 0; w < nw; ++w) {
+      d += static_cast<uint32_t>(
+          __builtin_popcountll(store.Lane(w)[base + i] ^ qwords[w]));
+    }
+    out[i] = d;
+  }
+}
+
+// Vertical (bit-sliced) threshold scan, AVX-512 form: one 512-bit vector
+// covers a whole plane row, so the counters and alive mask are single
+// registers and the carry-save pair step (see the portable kernel in
+// hamming_kernels_vertical.cc) runs once per plane pair.
+std::size_t VerticalScanAvx512(const VerticalCodeStore& store,
+                               const uint64_t* qmask, std::size_t h,
+                               std::vector<uint32_t>* out_slots,
+                               VerticalScanStats* stats) {
+  constexpr std::size_t kW = VerticalCodeStore::kWordsPerPlane;
+  const std::size_t bits = store.bits();
+  const std::size_t n = store.size();
+  const std::size_t nplanes = CounterPlanes(h);
+  const uint64_t bias = CounterBias(h);
+  std::size_t matches = 0;
+  uint64_t planes_read = 0;
+  uint64_t blocks_pruned = 0;
+  __m512i cnt[kMaxCounterPlanes];
+  for (std::size_t b = 0; b < store.num_blocks(); ++b) {
+    const std::size_t block_base = b * VerticalCodeStore::kBlockCodes;
+    const std::size_t lanes =
+        std::min(VerticalCodeStore::kBlockCodes, n - block_base);
+    alignas(64) uint64_t valid[kW];
+    for (std::size_t g = 0; g < kW; ++g) valid[g] = ValidMaskWord(lanes, g);
+    __m512i alive = _mm512_load_si512(valid);
+    for (std::size_t i = 0; i < nplanes; ++i) {
+      // Saturation bias: carry out of the top plane == count > h.
+      cnt[i] =
+          ((bias >> i) & 1) ? _mm512_set1_epi64(-1) : _mm512_setzero_si512();
+    }
+    const uint64_t* planes = store.BlockPlanes(b);
+    bool dead = false;
+    std::size_t p = 0;
+    for (; p + 1 < bits; p += 2) {
+      const __m512i va = _mm512_xor_si512(
+          _mm512_loadu_si512(planes + p * kW),
+          _mm512_set1_epi64(static_cast<long long>(qmask[p])));
+      const __m512i vb = _mm512_xor_si512(
+          _mm512_loadu_si512(planes + (p + 1) * kW),
+          _mm512_set1_epi64(static_cast<long long>(qmask[p + 1])));
+      const __m512i s = _mm512_xor_si512(va, vb);
+      __m512i carry = _mm512_or_si512(_mm512_and_si512(va, vb),
+                                      _mm512_and_si512(cnt[0], s));
+      cnt[0] = _mm512_xor_si512(cnt[0], s);
+      for (std::size_t i = 1; i < nplanes; ++i) {
+        const __m512i t = _mm512_and_si512(cnt[i], carry);
+        cnt[i] = _mm512_xor_si512(cnt[i], carry);
+        carry = t;
+      }
+      alive = AndNot512(carry, alive);
+      planes_read += 2;
+      if (_mm512_test_epi64_mask(alive, alive) == 0) {
+        dead = true;
+        break;
+      }
+    }
+    if (!dead && p < bits) {  // odd trailing plane
+      __m512i carry = _mm512_xor_si512(
+          _mm512_loadu_si512(planes + p * kW),
+          _mm512_set1_epi64(static_cast<long long>(qmask[p])));
+      for (std::size_t i = 0; i < nplanes; ++i) {
+        const __m512i t = _mm512_and_si512(cnt[i], carry);
+        cnt[i] = _mm512_xor_si512(cnt[i], carry);
+        carry = t;
+      }
+      alive = AndNot512(carry, alive);
+      planes_read += 1;
+    }
+    if (dead) {
+      ++blocks_pruned;
+      continue;
+    }
+    // Bias makes `alive` the exact <= h survivor set.
+    alignas(64) uint64_t survivors[kW];
+    _mm512_store_si512(survivors, alive);
+    matches += EmitSurvivors(block_base, survivors, out_slots);
+  }
+  if (stats != nullptr) {
+    stats->planes_scanned += planes_read;
+    stats->blocks_pruned += blocks_pruned;
+    stats->blocks_scanned += store.num_blocks();
+  }
+  return matches;
+}
+
+}  // namespace hamming::kernels::detail
+
+#endif  // HAMMING_HAVE_AVX512_TU

@@ -1,0 +1,69 @@
+// Shared scalar pieces of the vertical (bit-sliced) threshold scan.
+//
+// The three backend TUs (portable / AVX2 / AVX-512) differ only in how
+// they run the plane loop — 64-bit words, two 256-bit vectors, or one
+// 512-bit vector per plane row. The surrounding logic is identical and
+// lives here: tail-lane masking, the counter-plane count, and survivor
+// extraction. Internal to src/kernels; not part of the public API.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "kernels/vertical_code_store.h"
+
+namespace hamming::kernels::detail {
+
+/// Upper bound on bit-sliced counter planes: h < bits <= 512, so counts
+/// are capped at 511 and 9 planes always suffice.
+inline constexpr std::size_t kMaxCounterPlanes = 9;
+
+/// Counter planes needed to represent counts in [0, h] plus an overflow
+/// signal: the smallest P with 2^P >= h+1 (overflow beyond 2^P-1 is
+/// folded into the per-lane alive mask instead of a wider counter).
+inline std::size_t CounterPlanes(std::size_t h) {
+  return h == 0 ? 1 : std::bit_width(static_cast<uint64_t>(h));
+}
+
+/// Saturation bias preloaded into every lane's counter: with counters
+/// starting at 2^P - 1 - h, the carry out of plane P-1 fires on the
+/// (h+1)-th mismatch exactly — the overflow test IS the > h test. Lanes
+/// still alive after the last plane therefore hold count <= h with no
+/// comparison epilogue, and pruning triggers at the earliest plane the
+/// threshold permits instead of at the next power of two.
+inline uint64_t CounterBias(std::size_t h) {
+  return (uint64_t{1} << CounterPlanes(h)) - 1 - h;
+}
+
+/// Valid-lane mask for 64-lane group g of a block holding `lanes` codes:
+/// pad lanes (all-zero planes) must never be reported as matches.
+inline uint64_t ValidMaskWord(std::size_t lanes, std::size_t g) {
+  const std::size_t lo = g * 64;
+  if (lanes >= lo + 64) return ~0ull;
+  if (lanes <= lo) return 0;
+  return (1ull << (lanes - lo)) - 1;
+}
+
+/// Appends the set lanes of `survivors` (ascending) as absolute slots
+/// and returns how many there were. `out_slots` may be null (BatchCount).
+inline std::size_t EmitSurvivors(std::size_t block_base,
+                                 const uint64_t* survivors,
+                                 std::vector<uint32_t>* out_slots) {
+  std::size_t count = 0;
+  for (std::size_t g = 0; g < VerticalCodeStore::kWordsPerPlane; ++g) {
+    uint64_t m = survivors[g];
+    count += static_cast<std::size_t>(std::popcount(m));
+    if (out_slots == nullptr) continue;
+    const std::size_t lane_base = block_base + g * 64;
+    while (m != 0) {
+      const int l = std::countr_zero(m);
+      m &= m - 1;
+      out_slots->push_back(
+          static_cast<uint32_t>(lane_base + static_cast<std::size_t>(l)));
+    }
+  }
+  return count;
+}
+
+}  // namespace hamming::kernels::detail

@@ -19,6 +19,10 @@ std::string QueryStats::ToJson() const {
   w.Uint(radius_expansions);
   w.Key("results");
   w.Uint(results);
+  w.Key("planes_scanned");
+  w.Uint(planes_scanned);
+  w.Key("blocks_pruned");
+  w.Uint(blocks_pruned);
   w.EndObject();
   return w.Release();
 }
@@ -33,6 +37,8 @@ QueryStatsHistograms QueryStatsHistograms::Register(
   h.kernel_batches = registry->Histogram(prefix + ".kernel_batches");
   h.radius_expansions = registry->Histogram(prefix + ".radius_expansions");
   h.results = registry->Histogram(prefix + ".results");
+  h.planes_scanned = registry->Histogram("kernel.planes_scanned");
+  h.blocks_pruned = registry->Histogram("kernel.blocks_pruned");
   return h;
 }
 
@@ -47,6 +53,8 @@ void QueryStatsHistograms::Observe(MetricsRegistry* registry,
   HAMMING_METRIC_OBSERVE(registry, radius_expansions,
                          stats.radius_expansions);
   HAMMING_METRIC_OBSERVE(registry, results, stats.results);
+  HAMMING_METRIC_OBSERVE(registry, planes_scanned, stats.planes_scanned);
+  HAMMING_METRIC_OBSERVE(registry, blocks_pruned, stats.blocks_pruned);
 }
 
 }  // namespace hamming::obs

@@ -19,6 +19,10 @@
 //  * radius_expansions — Search(h) rounds issued by the radius-expanding
 //    default Knn.
 //  * results — qualifying tuples returned.
+//  * planes_scanned / blocks_pruned — vertical (bit-sliced) kernel
+//    counters: plane rows actually read and 512-code blocks abandoned
+//    early. Zero whenever the query ran on the horizontal layout; the
+//    pruned/scanned ratio is the layout's win on this query.
 //
 // QueryStats is a plain accumulator with no synchronization: one stats
 // object belongs to one query (or one single-threaded batch). Aggregate
@@ -40,6 +44,8 @@ struct QueryStats {
   uint64_t kernel_batch_calls = 0;
   uint64_t radius_expansions = 0;
   uint64_t results = 0;
+  uint64_t planes_scanned = 0;
+  uint64_t blocks_pruned = 0;
 
   QueryStats& operator+=(const QueryStats& o) {
     signatures_enumerated += o.signatures_enumerated;
@@ -48,6 +54,8 @@ struct QueryStats {
     kernel_batch_calls += o.kernel_batch_calls;
     radius_expansions += o.radius_expansions;
     results += o.results;
+    planes_scanned += o.planes_scanned;
+    blocks_pruned += o.blocks_pruned;
     return *this;
   }
 
@@ -56,7 +64,9 @@ struct QueryStats {
            candidates_generated == o.candidates_generated &&
            exact_distance_computations == o.exact_distance_computations &&
            kernel_batch_calls == o.kernel_batch_calls &&
-           radius_expansions == o.radius_expansions && results == o.results;
+           radius_expansions == o.radius_expansions && results == o.results &&
+           planes_scanned == o.planes_scanned &&
+           blocks_pruned == o.blocks_pruned;
   }
 
   /// \brief One JSON object with every field.
@@ -73,9 +83,14 @@ struct QueryStatsHistograms {
   MetricId kernel_batches = kOverflowMetric;
   MetricId radius_expansions = kOverflowMetric;
   MetricId results = kOverflowMetric;
+  MetricId planes_scanned = kOverflowMetric;
+  MetricId blocks_pruned = kOverflowMetric;
 
   /// \brief Registers the histograms under `prefix` + ".candidates" etc.
-  /// (default prefix "query"). Safe to call repeatedly.
+  /// (default prefix "query"). The vertical-kernel counters always
+  /// register under the fixed names "kernel.planes_scanned" and
+  /// "kernel.blocks_pruned" regardless of prefix, so every index family
+  /// feeds one pair of kernel histograms. Safe to call repeatedly.
   static QueryStatsHistograms Register(MetricsRegistry* registry,
                                        const std::string& prefix = "query");
 

@@ -7,6 +7,7 @@
 #include "join/centralized_join.h"
 #include "kernels/code_store.h"
 #include "kernels/hamming_kernels.h"
+#include "kernels/vertical_code_store.h"
 
 namespace hamming::ops {
 
@@ -21,11 +22,14 @@ Result<DynamicHAIndex> BuildIndex(const HammingTable& t,
 }
 
 // Full-table selection through the batched kernels; slot i is tuple id i.
-Result<std::vector<TupleId>> ScanSelect(const kernels::CodeStore& store,
-                                        const BinaryCode& query,
-                                        std::size_t h) {
+// `mirror` (optional) is the bit-plane transpose of `store`; when present
+// the layout dispatch may take the vertical plane-pruning kernel.
+Result<std::vector<TupleId>> ScanSelect(
+    const kernels::CodeStore& store,
+    const kernels::VerticalCodeStore* mirror, const BinaryCode& query,
+    std::size_t h) {
   std::vector<uint32_t> slots;
-  kernels::BatchWithinDistance(query, store, h, &slots);
+  kernels::BatchWithinDistanceDual(query, store, mirror, h, &slots);
   return std::vector<TupleId>(slots.begin(), slots.end());
 }
 
@@ -38,7 +42,8 @@ Result<std::vector<TupleId>> HammingSelect(const HammingTable& s,
   if (opts.plan == JoinPlan::kNestedLoops) {
     HAMMING_ASSIGN_OR_RETURN(kernels::CodeStore store,
                              kernels::CodeStore::FromCodes(s.codes()));
-    return ScanSelect(store, query, h);
+    // Single query: the one-shot transpose would cost more than it saves.
+    return ScanSelect(store, nullptr, query, h);
   }
   HAMMING_ASSIGN_OR_RETURN(DynamicHAIndex index, BuildIndex(s, opts.index));
   return index.Search(query, h);
@@ -52,8 +57,19 @@ Result<std::vector<std::vector<TupleId>>> HammingSelectBatch(
     // Pack once, scan per query — the pack cost amortizes over the batch.
     HAMMING_ASSIGN_OR_RETURN(kernels::CodeStore store,
                              kernels::CodeStore::FromCodes(s.codes()));
+    // Transpose once for the whole batch when any query could take the
+    // vertical kernel (queries.size() > 1 amortizes the transpose).
+    kernels::VerticalCodeStore mirror;
+    const kernels::VerticalCodeStore* mirror_ptr = nullptr;
+    if (queries.size() > 1 &&
+        kernels::ChooseLayout(store.bits(), h, store.size()) ==
+            kernels::KernelLayout::kVertical) {
+      store.TransposeInto(&mirror);
+      mirror_ptr = &mirror;
+    }
     for (std::size_t q = 0; q < queries.size(); ++q) {
-      HAMMING_ASSIGN_OR_RETURN(out[q], ScanSelect(store, queries[q], h));
+      HAMMING_ASSIGN_OR_RETURN(out[q],
+                               ScanSelect(store, mirror_ptr, queries[q], h));
     }
     return out;
   }

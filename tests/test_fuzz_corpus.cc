@@ -56,4 +56,8 @@ TEST(FuzzCorpus, JsonSeedsReplayClean) {
   ReplayCorpus("json", hamming_fuzz::RunJsonFuzzInput);
 }
 
+TEST(FuzzCorpus, VerticalSeedsReplayClean) {
+  ReplayCorpus("vertical", hamming_fuzz::RunVerticalFuzzInput);
+}
+
 }  // namespace

@@ -8,7 +8,9 @@
 #include <algorithm>
 
 #include "common/rng.h"
+#include "common/threadpool.h"
 #include "kernels/code_store.h"
+#include "kernels/vertical_code_store.h"
 #include "mapreduce/counters.h"
 #include "test_util.h"
 
@@ -23,6 +25,7 @@ const std::size_t kLengths[] = {1, 63, 64, 65, 225, 511, 512};
 std::vector<Backend> BackendsUnderTest() {
   std::vector<Backend> out = {Backend::kPortable};
   if (Avx2Supported()) out.push_back(Backend::kAvx2);
+  if (Avx512Supported()) out.push_back(Backend::kAvx512);
   return out;
 }
 
@@ -34,6 +37,18 @@ class ScopedBackend {
 
  private:
   Backend prev_;
+};
+
+// Pins the layout policy for one scope.
+class ScopedLayout {
+ public:
+  explicit ScopedLayout(LayoutPolicy p) : prev_(ActiveLayoutPolicy()) {
+    SetLayoutPolicy(p);
+  }
+  ~ScopedLayout() { SetLayoutPolicy(prev_); }
+
+ private:
+  LayoutPolicy prev_;
 };
 
 TEST(CodeStore, RoundTripsCodes) {
@@ -208,6 +223,230 @@ TEST(Kernels, FuzzPortableAndActiveBackendsAgree) {
       EXPECT_EQ(portable[i], codes[i].Distance(query)) << "i=" << i;
     }
   }
+}
+
+// Store sizes straddling the 512-code block boundary of the vertical
+// layout, including multi-block with a partial tail.
+const std::size_t kVerticalSizes[] = {0, 1, 63, 64, 65, 511, 512, 513, 1500};
+
+TEST(VerticalStore, TransposeRoundTripAcrossLengthsAndSizes) {
+  for (std::size_t bits : kLengths) {
+    for (std::size_t n : kVerticalSizes) {
+      auto codes = RandomCodes(n, bits, /*seed=*/7000 + bits + n);
+      auto store = CodeStore::FromCodes(codes).ValueOrDie();
+      VerticalCodeStore v;
+      store.TransposeInto(&v);
+      ASSERT_EQ(v.size(), n) << "bits=" << bits;
+      if (n > 0) {
+        EXPECT_EQ(v.bits(), bits);
+      }
+      EXPECT_EQ(v.num_blocks(), (n + 511) / 512);
+      // Differential round trip: transposing back must reproduce every
+      // lane word, zero pads included.
+      ASSERT_TRUE(v.IsTransposeOf(store)) << "bits=" << bits << " n=" << n;
+      for (std::size_t i = 0; i < n; i += 101) {
+        EXPECT_EQ(v.Get(i), codes[i]) << "bits=" << bits << " i=" << i;
+      }
+      if (n > 0) {
+        // A flipped bit anywhere must break the equivalence.
+        auto mutated = codes[n / 2];
+        mutated.FlipBit(bits / 2);
+        CodeStore other = store;
+        ASSERT_TRUE(other.Append(mutated).ok());
+        EXPECT_FALSE(v.IsTransposeOf(other));
+      }
+    }
+  }
+}
+
+TEST(VerticalStore, IncrementalAppendMatchesBulkTranspose) {
+  for (std::size_t bits : {64ul, 225ul, 511ul}) {
+    auto codes = RandomCodes(700, bits, /*seed=*/31 * bits);
+    CodeStore store;
+    VerticalCodeStore incremental;
+    for (const auto& c : codes) {
+      ASSERT_TRUE(store.Append(c).ok());
+      ASSERT_TRUE(incremental.Append(c).ok());
+    }
+    EXPECT_TRUE(incremental.IsTransposeOf(store)) << "bits=" << bits;
+    VerticalCodeStore bulk;
+    store.TransposeInto(&bulk);
+    for (std::size_t i = 0; i < codes.size(); i += 97) {
+      EXPECT_EQ(incremental.Get(i), bulk.Get(i)) << "i=" << i;
+    }
+  }
+}
+
+TEST(VerticalStore, RejectsMixedLengths) {
+  VerticalCodeStore v;
+  ASSERT_TRUE(v.Append(BinaryCode(64)).ok());
+  EXPECT_FALSE(v.Append(BinaryCode(65)).ok());
+}
+
+TEST(VerticalStore, SwapRemoveTracksCodeStore) {
+  auto codes = RandomCodes(600, 225, /*seed=*/53);
+  auto store = CodeStore::FromCodes(codes).ValueOrDie();
+  VerticalCodeStore v;
+  store.TransposeInto(&v);
+  std::size_t step = 0;
+  while (store.size() > 0) {
+    const std::size_t i = (store.size() * 2) / 3;
+    store.SwapRemove(i);
+    v.SwapRemove(i);
+    // Full differential every few removals and around the 512-code
+    // block boundary, where the tail block empties.
+    if (++step % 37 == 0 || store.size() == 512 || store.size() == 511 ||
+        store.size() <= 2) {
+      ASSERT_TRUE(v.IsTransposeOf(store)) << "size=" << store.size();
+    }
+  }
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Kernels, VerticalWithinDistanceMatchesScalarEverywhere) {
+  for (Backend backend : BackendsUnderTest()) {
+    ScopedBackend pin(backend);
+    for (std::size_t bits : kLengths) {
+      for (std::size_t n : {0ul, 1ul, 511ul, 512ul, 513ul, 1500ul}) {
+        auto codes = RandomCodes(n, bits, /*seed=*/bits * 131 + n,
+                                 /*clusters=*/6);
+        auto store = CodeStore::FromCodes(codes).ValueOrDie();
+        VerticalCodeStore v;
+        store.TransposeInto(&v);
+        auto query = RandomCodes(1, bits, /*seed=*/bits + 3 * n)[0];
+        for (std::size_t h :
+             {0ul, 1ul, 3ul, bits / 8, bits / 4, bits - 1, bits}) {
+          std::vector<uint32_t> expected;
+          for (std::size_t i = 0; i < n; ++i) {
+            if (codes[i].WithinDistance(query, h)) {
+              expected.push_back(static_cast<uint32_t>(i));
+            }
+          }
+          std::vector<uint32_t> slots;
+          VerticalScanStats stats;
+          BatchWithinDistance(query, v, h, &slots, &stats);
+          ASSERT_EQ(slots, expected) << BackendName(backend) << " bits="
+                                     << bits << " n=" << n << " h=" << h;
+          EXPECT_EQ(BatchCount(query, v, h), expected.size());
+          EXPECT_EQ(stats.blocks_scanned, v.num_blocks());
+          EXPECT_LE(stats.blocks_pruned, stats.blocks_scanned);
+          EXPECT_LE(stats.planes_scanned, stats.blocks_scanned * bits);
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, VerticalBackendsAgreeOnClusteredData) {
+  // Clustered codes concentrate matches in a few blocks, exercising the
+  // prune/no-prune split; every backend must agree with portable.
+  const std::size_t bits = 256;
+  auto codes = RandomCodes(3000, bits, /*seed=*/77, /*clusters=*/3);
+  auto store = CodeStore::FromCodes(codes).ValueOrDie();
+  VerticalCodeStore v;
+  store.TransposeInto(&v);
+  auto query = codes[123];
+  query.FlipBit(5);
+  for (std::size_t h : {2ul, 16ul, 64ul}) {
+    std::vector<uint32_t> portable;
+    {
+      ScopedBackend pin(Backend::kPortable);
+      BatchWithinDistance(query, v, h, &portable);
+    }
+    for (Backend backend : BackendsUnderTest()) {
+      ScopedBackend pin(backend);
+      std::vector<uint32_t> got;
+      BatchWithinDistance(query, v, h, &got);
+      EXPECT_EQ(got, portable) << BackendName(backend) << " h=" << h;
+    }
+  }
+}
+
+TEST(Kernels, ChooseLayoutHeuristic) {
+  // Vertical only pays off for big stores with selective radii.
+  EXPECT_EQ(ChooseLayout(128, 8, 1 << 20), KernelLayout::kVertical);
+  EXPECT_EQ(ChooseLayout(128, 8, kVerticalMinCodes), KernelLayout::kVertical);
+  EXPECT_EQ(ChooseLayout(128, 8, kVerticalMinCodes - 1),
+            KernelLayout::kHorizontal);
+  EXPECT_EQ(ChooseLayout(128, 17, 1 << 20), KernelLayout::kHorizontal);
+  EXPECT_EQ(ChooseLayout(64, 8, 1 << 20), KernelLayout::kVertical);
+  EXPECT_EQ(ChooseLayout(64, 9, 1 << 20), KernelLayout::kHorizontal);
+}
+
+TEST(Kernels, DualDispatchHonorsPolicyAndMirror) {
+  const std::size_t bits = 128;
+  const std::size_t n = kVerticalMinCodes + 77;
+  auto codes = RandomCodes(n, bits, /*seed=*/9, /*clusters=*/5);
+  auto store = CodeStore::FromCodes(codes).ValueOrDie();
+  VerticalCodeStore mirror;
+  store.TransposeInto(&mirror);
+  auto query = RandomCodes(1, bits, /*seed=*/10)[0];
+  const std::size_t h = 8;
+  std::vector<uint32_t> expected;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (codes[i].WithinDistance(query, h)) {
+      expected.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  {
+    ScopedLayout pin(LayoutPolicy::kAuto);
+    std::vector<uint32_t> slots;
+    VerticalScanStats stats;
+    EXPECT_EQ(BatchWithinDistanceDual(query, store, &mirror, h, &slots,
+                                      &stats),
+              KernelLayout::kVertical);
+    EXPECT_EQ(slots, expected);
+    EXPECT_EQ(stats.blocks_scanned, mirror.num_blocks());
+    // Unselective radius flips the heuristic back to horizontal.
+    std::vector<uint32_t> all;
+    EXPECT_EQ(BatchWithinDistanceDual(query, store, &mirror, bits, &all),
+              KernelLayout::kHorizontal);
+    EXPECT_EQ(all.size(), n);
+  }
+  {
+    ScopedLayout pin(LayoutPolicy::kForceHorizontal);
+    std::vector<uint32_t> slots;
+    EXPECT_EQ(BatchWithinDistanceDual(query, store, &mirror, h, &slots),
+              KernelLayout::kHorizontal);
+    EXPECT_EQ(slots, expected);
+  }
+  {
+    ScopedLayout pin(LayoutPolicy::kForceVertical);
+    std::vector<uint32_t> slots;
+    EXPECT_EQ(BatchWithinDistanceDual(query, store, &mirror, h, &slots),
+              KernelLayout::kVertical);
+    EXPECT_EQ(slots, expected);
+    // No mirror, or a mirror that lags the store, must fall back.
+    std::vector<uint32_t> fallback;
+    EXPECT_EQ(BatchWithinDistanceDual(query, store, nullptr, h, &fallback),
+              KernelLayout::kHorizontal);
+    EXPECT_EQ(fallback, expected);
+    CodeStore grown = store;
+    ASSERT_TRUE(grown.Append(query).ok());
+    std::vector<uint32_t> stale;
+    EXPECT_EQ(BatchWithinDistanceDual(query, grown, &mirror, h, &stale),
+              KernelLayout::kHorizontal);
+    EXPECT_EQ(stale.size(), expected.size() + 1);
+  }
+}
+
+TEST(Kernels, VerticalScanSharedAcrossThreads) {
+  // Read-only concurrent scans over one shared mirror: exercised under
+  // TSan by scripts/check.sh. Each thread gets its own output vector.
+  const std::size_t bits = 128;
+  auto codes = RandomCodes(2000, bits, /*seed=*/21, /*clusters=*/4);
+  auto store = CodeStore::FromCodes(codes).ValueOrDie();
+  VerticalCodeStore v;
+  store.TransposeInto(&v);
+  std::vector<uint32_t> expected;
+  auto query = RandomCodes(1, bits, /*seed=*/22)[0];
+  BatchWithinDistance(query, store, 24, &expected);
+  ThreadPool pool(4);
+  std::vector<std::vector<uint32_t>> got(16);
+  ParallelFor(&pool, got.size(), [&](std::size_t i) {
+    BatchWithinDistance(query, v, 24, &got[i]);
+  });
+  for (const auto& g : got) EXPECT_EQ(g, expected);
 }
 
 TEST(LocalCounters, MergeLocalMatchesPerRecordAdds) {

@@ -28,6 +28,15 @@ Enforced invariants (rule ids in brackets):
                    attribute, and every deliberate (void)-discard of a
                    call result carries a justifying comment on the same
                    line or the two lines above.
+  [kernel-tu]      SIMD kernel translation units keep their -m<isa>
+                   flags: every TU in KERNEL_TU_FLAGS that appears in
+                   compile_commands.json must be compiled with all of
+                   its listed flags, and a TU *missing* from the build
+                   is a violation unless CMakeCache.txt shows it was
+                   deliberately gated off (HAMMING_AVX512=OFF or a
+                   failed compiler-flag probe). This stops a CMake
+                   refactor from silently dropping a kernel tier or its
+                   -march handling.
 
 Exit status: 0 clean, 1 violations found, 2 usage/internal error.
 
@@ -429,6 +438,88 @@ def check_nodiscard(root: str, violations: list):
 # --------------------------------------------------------------------------
 
 
+# SIMD translation units and the ISA flags their compile command must
+# carry, plus the CMake cache variables that legitimately gate each TU
+# out of the build (failed compiler-flag probes; the explicit OFF knob).
+KERNEL_TU_FLAGS = {
+    "src/kernels/hamming_kernels_avx2.cc": {
+        "flags": ["-mavx2"],
+        "probe_vars": ["HAMMING_CXX_HAS_MAVX2"],
+        "option_var": None,
+    },
+    "src/kernels/hamming_kernels_avx512.cc": {
+        "flags": ["-mavx512f", "-mavx512bw", "-mavx512vpopcntdq"],
+        "probe_vars": ["HAMMING_CXX_HAS_MAVX512F",
+                       "HAMMING_CXX_HAS_MAVX512BW",
+                       "HAMMING_CXX_HAS_MAVX512VPOPCNTDQ"],
+        "option_var": "HAMMING_AVX512",
+    },
+}
+
+_CMAKE_FALSE = {"", "0", "off", "no", "false", "n", "ignore", "notfound"}
+
+
+def _cmake_truthy(value) -> bool:
+    if value is None:
+        return False
+    v = value.strip().lower()
+    return not (v in _CMAKE_FALSE or v.endswith("-notfound"))
+
+
+def _read_cmake_cache(build_dir: str) -> dict:
+    cache = {}
+    path = os.path.join(build_dir, "CMakeCache.txt")
+    if not os.path.isfile(path):
+        return cache
+    for line in open(path, encoding="utf-8"):
+        line = line.strip()
+        if not line or line.startswith(("#", "//")):
+            continue
+        m = re.match(r"([^:=]+):[^=]*=(.*)", line)
+        if m:
+            cache[m.group(1)] = m.group(2)
+    return cache
+
+
+def check_kernel_tus(root: str, build_dir: str, violations: list):
+    cc_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(cc_path):
+        return  # the coverage check already reported the missing export
+    with open(cc_path, encoding="utf-8") as f:
+        entries = json.load(f)
+    by_file = {}
+    for e in entries:
+        cmd = e.get("command") or " ".join(e.get("arguments", []))
+        by_file[os.path.realpath(e["file"])] = cmd
+    cache = _read_cmake_cache(build_dir)
+    for tu, spec in sorted(KERNEL_TU_FLAGS.items()):
+        path = os.path.join(root, tu)
+        if not os.path.isfile(path):
+            continue  # tier not present in this tree
+        cmd = by_file.get(os.path.realpath(path))
+        if cmd is not None:
+            for flag in spec["flags"]:
+                if not re.search(re.escape(flag) + r"(\s|$)", cmd):
+                    violations.append(Violation(
+                        tu, 1, "kernel-tu",
+                        f"compiled without {flag} — the per-TU "
+                        "COMPILE_OPTIONS in src/CMakeLists.txt lost its "
+                        "ISA flag"))
+            continue
+        option = spec["option_var"]
+        if option is not None and cache.get(option, "").strip().upper() == \
+                "OFF":
+            continue  # deliberately disabled tier
+        if spec["probe_vars"] and not all(
+                _cmake_truthy(cache.get(v)) for v in spec["probe_vars"]):
+            continue  # compiler cannot build this tier
+        violations.append(Violation(
+            tu, 1, "kernel-tu",
+            "SIMD TU missing from compile_commands.json although its "
+            "compiler-flag probes passed — the build silently dropped "
+            "this kernel tier"))
+
+
 def check_build_coverage(root: str, build_dir: str, violations: list):
     cc_path = os.path.join(build_dir, "compile_commands.json")
     if not os.path.isfile(cc_path):
@@ -497,8 +588,87 @@ FIXTURES = {
 }
 
 
+def _kernel_tu_self_test(failures: list):
+    """Synthetic-fixture checks for [kernel-tu]: seeded violations (a
+    dropped flag; a silently orphaned TU) must fire, the blessed
+    configurations (flags present; tier gated off via cache) must not."""
+
+    def run_scenario(compile_entries, cache_lines):
+        with tempfile.TemporaryDirectory(
+                prefix="hamming-lint-kerneltu-") as tmp:
+            for tu in KERNEL_TU_FLAGS:
+                path = os.path.join(tmp, tu)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "w", encoding="utf-8") as f:
+                    f.write("// fixture\n")
+            build = os.path.join(tmp, "build")
+            os.makedirs(build)
+            entries = [
+                {"directory": build,
+                 "command": f"/usr/bin/c++ {flags} -c {os.path.join(tmp, tu)}",
+                 "file": os.path.join(tmp, tu)}
+                for tu, flags in compile_entries.items()]
+            with open(os.path.join(build, "compile_commands.json"), "w",
+                      encoding="utf-8") as f:
+                json.dump(entries, f)
+            with open(os.path.join(build, "CMakeCache.txt"), "w",
+                      encoding="utf-8") as f:
+                f.write("\n".join(cache_lines) + "\n")
+            violations = []
+            check_kernel_tus(tmp, build, violations)
+            return violations
+
+    avx2 = "src/kernels/hamming_kernels_avx2.cc"
+    avx512 = "src/kernels/hamming_kernels_avx512.cc"
+    probes_on = ["HAMMING_CXX_HAS_MAVX2:INTERNAL=1",
+                 "HAMMING_CXX_HAS_MAVX512F:INTERNAL=1",
+                 "HAMMING_CXX_HAS_MAVX512BW:INTERNAL=1",
+                 "HAMMING_CXX_HAS_MAVX512VPOPCNTDQ:INTERNAL=1"]
+    good = {avx2: "-O2 -mavx2",
+            avx512: "-O2 -mavx512f -mavx512bw -mavx512vpopcntdq"}
+
+    # Clean: both TUs compiled with their full flag sets.
+    hits = run_scenario(good, probes_on + ["HAMMING_AVX512:STRING=AUTO"])
+    for v in hits:
+        failures.append(f"false positive: {v}")
+
+    # Clean: AVX-512 tier explicitly OFF, TU absent from the build.
+    hits = run_scenario({avx2: "-O2 -mavx2"},
+                        probes_on + ["HAMMING_AVX512:STRING=OFF"])
+    for v in hits:
+        failures.append(f"false positive (tier off): {v}")
+
+    # Clean: failed probe gates the TU out.
+    hits = run_scenario(
+        {avx2: "-O2 -mavx2"},
+        ["HAMMING_CXX_HAS_MAVX2:INTERNAL=1",
+         "HAMMING_CXX_HAS_MAVX512F:INTERNAL=0",
+         "HAMMING_AVX512:STRING=AUTO"])
+    for v in hits:
+        failures.append(f"false positive (failed probe): {v}")
+
+    # Seeded: the AVX2 TU lost its -mavx2 flag.
+    hits = run_scenario(
+        {avx2: "-O2",
+         avx512: "-O2 -mavx512f -mavx512bw -mavx512vpopcntdq"},
+        probes_on + ["HAMMING_AVX512:STRING=AUTO"])
+    if not any(v.rule == "kernel-tu" and v.path == avx2 for v in hits):
+        failures.append(
+            "seeded violation NOT detected: dropped -mavx2 flag should "
+            "fire [kernel-tu]")
+
+    # Seeded: AVX-512 TU silently absent although every probe passed.
+    hits = run_scenario({avx2: "-O2 -mavx2"},
+                        probes_on + ["HAMMING_AVX512:STRING=AUTO"])
+    if not any(v.rule == "kernel-tu" and v.path == avx512 for v in hits):
+        failures.append(
+            "seeded violation NOT detected: orphaned AVX-512 TU should "
+            "fire [kernel-tu]")
+
+
 def self_test() -> int:
     failures = []
+    _kernel_tu_self_test(failures)
     with tempfile.TemporaryDirectory(prefix="hamming-lint-selftest-") as tmp:
         for relpath, (contents, _) in FIXTURES.items():
             path = os.path.join(tmp, relpath)
@@ -542,6 +712,7 @@ def run_checks(root: str, build_dir) -> list:
     check_nodiscard(root, violations)
     if build_dir:
         check_build_coverage(root, build_dir, violations)
+        check_kernel_tus(root, build_dir, violations)
     violations.sort(key=lambda v: (v.path, v.line, v.rule))
     return violations
 
