@@ -1,0 +1,212 @@
+// Serving-layer QPS/latency study: batched vs unbatched query engines
+// over the same shared index, closed- and open-loop.
+//
+// Closed loop (fixed concurrency, clients submit back-to-back) measures
+// the throughput ceiling at a batch-friendly operating point: many
+// concurrent clients over a modest index, where coalescing in-flight
+// queries into one multi-query kernel call amortizes both the engine's
+// per-request overhead (lock, wake, promise) and the per-query streaming
+// of the stored codes. The headline acceptance number — batched >= 2x
+// unbatched QPS — comes from this section.
+//
+// Open loop (scheduled arrivals at an offered QPS, latency measured from
+// the *scheduled* arrival so queueing cannot hide behind dispatcher lag)
+// sweeps a ladder of offered rates and reports, per engine config, the
+// max sustainable QPS: the highest offered rate the engine absorbed with
+// >= 95% of requests completed and achieved throughput within 90% of
+// offered. Past that point an open-loop system shows its overload
+// honestly: rejections and runaway p999.
+//
+// Output: human-readable tables + BENCH_serving.json with p50/p99/p999
+// per row and a "max_sustainable" section. --smoke shrinks everything to
+// a CI-sized run (scripts/check.sh validates the JSON artifact).
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "index/linear_scan.h"
+#include "serving/load_gen.h"
+#include "serving/query_engine.h"
+
+namespace hamming {
+namespace {
+
+using bench::BenchReport;
+using serving::LoadReport;
+using serving::QueryEngine;
+using serving::QueryEngineOptions;
+using serving::RunClosedLoop;
+using serving::RunOpenLoop;
+using serving::WorkloadOptions;
+
+std::vector<BinaryCode> MakeCodes(std::size_t n, std::size_t bits) {
+  Rng rng(42);
+  std::vector<BinaryCode> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    BinaryCode code(bits);
+    for (std::size_t b = 0; b < bits; ++b) {
+      code.SetBit(b, rng.Bernoulli(0.5));
+    }
+    out.push_back(code);
+  }
+  return out;
+}
+
+struct EngineConfig {
+  const char* name;
+  std::size_t max_batch;
+  std::chrono::microseconds linger;
+};
+
+void AddLatencyFields(BenchReport::Row& row, const LoadReport& r) {
+  row.Num("completed", static_cast<double>(r.completed))
+      .Num("rejected", static_cast<double>(r.rejected))
+      .Num("expired", static_cast<double>(r.expired))
+      .Num("qps", r.achieved_qps)
+      .Num("p50_us", r.latency.p50_us)
+      .Num("p99_us", r.latency.p99_us)
+      .Num("p999_us", r.latency.p999_us)
+      .Num("max_us", r.latency.max_us);
+}
+
+}  // namespace
+}  // namespace hamming
+
+int main(int argc, char** argv) {
+  using namespace hamming;
+  bool smoke = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+  auto args = bench::BenchArgs::Parse(argc, argv);
+
+  // Batch-friendly operating point: a 64-bit store big enough to spill
+  // out of L2, so a single-query scan is memory-bound streaming while the
+  // SIMD popcount compute is much cheaper than the loads. Coalescing B
+  // in-flight queries into one MultiWithinDistance call streams the store
+  // once instead of B times, which is where the batched engine earns its
+  // throughput multiple. High client concurrency keeps a backlog queued
+  // so batches actually form.
+  const std::size_t n = smoke ? 32768 : args.Scaled(std::size_t{1} << 20);
+  const std::size_t bits = 64;
+  const std::size_t clients = smoke ? 32 : 64;
+  const std::size_t per_client = smoke ? 40 : 100;
+  auto codes = MakeCodes(n, bits);
+  LinearScanIndex index;
+  if (!index.Build(codes).ok()) return 1;
+
+  // h = 9 on 64-bit codes keeps the scan selective (virtually no matches
+  // on random codes) while steering ChooseLayout to the horizontal
+  // lanes (h*8 > bits): the layout whose multi-query kernel the batcher
+  // coalesces into. A smaller radius would route every request to the
+  // per-query vertical scan and batching would have nothing to amortize.
+  WorkloadOptions workload;
+  workload.h = 9;
+
+  // No linger for the batched engine: under closed-loop backlog batches
+  // form naturally from queued requests, and added linger would inflate
+  // closed-loop latency (QPS = clients / latency) without growing batches.
+  const EngineConfig configs[] = {
+      {"unbatched", 1, std::chrono::microseconds(0)},
+      {"batched", 64, std::chrono::microseconds(0)},
+  };
+
+  obs::MetricsRegistry metrics;
+  BenchReport report("serving", args.scale);
+
+  std::printf("Closed loop: %zu clients x %zu queries, n=%zu codes, h=%zu\n",
+              clients, per_client, n, workload.h);
+  std::printf("%-10s %10s %10s %10s %10s %10s\n", "config", "qps", "p50_us",
+              "p99_us", "p999_us", "batch_avg");
+  std::printf("%s\n", bench::Separator());
+  double closed_qps[2] = {0.0, 0.0};
+  for (std::size_t ci = 0; ci < 2; ++ci) {
+    const EngineConfig& cfg = configs[ci];
+    QueryEngineOptions opts;
+    opts.num_workers = 2;
+    opts.queue_capacity = 8192;
+    opts.max_batch = cfg.max_batch;
+    opts.batch_linger = cfg.linger;
+    opts.metrics = ci == 1 ? &metrics : nullptr;  // serving.* for batched
+    QueryEngine engine(&index, opts);
+    if (!engine.Start().ok()) return 1;
+    LoadReport r = RunClosedLoop(&engine, codes, workload, clients,
+                                 per_client);
+    engine.Shutdown();
+    auto counters = engine.counters();
+    const double batch_avg =
+        counters.batches > 0
+            ? static_cast<double>(counters.batched_queries) /
+                  static_cast<double>(counters.batches)
+            : 0.0;
+    closed_qps[ci] = r.achieved_qps;
+    std::printf("%-10s %10.0f %10.1f %10.1f %10.1f %10.2f\n", cfg.name,
+                r.achieved_qps, r.latency.p50_us, r.latency.p99_us,
+                r.latency.p999_us, batch_avg);
+    auto& row = report.AddRow();
+    row.Str("section", "closed_loop").Str("config", cfg.name);
+    AddLatencyFields(row, r);
+    row.Num("batch_avg", batch_avg);
+  }
+  if (closed_qps[1] > 0.0 && closed_qps[0] > 0.0) {
+    std::printf("batched/unbatched QPS: %.2fx\n",
+                closed_qps[1] / closed_qps[0]);
+    report.AddRow()
+        .Str("section", "summary")
+        .Str("config", "closed_loop_speedup")
+        .Num("batched_over_unbatched", closed_qps[1] / closed_qps[0]);
+  }
+
+  // Open-loop ladder: offered rates stepping up from half of each
+  // config's own closed-loop ceiling; sustainable = >=95% completed and
+  // achieved >= 90% of offered.
+  std::printf("\nOpen loop ladder (%s)\n", smoke ? "smoke" : "full");
+  std::printf("%-10s %12s %10s %10s %10s %10s\n", "config", "offered_qps",
+              "qps", "p50_us", "p99_us", "p999_us");
+  std::printf("%s\n", bench::Separator());
+  const auto step_ms = std::chrono::milliseconds(smoke ? 150 : 500);
+  for (std::size_t ci = 0; ci < 2; ++ci) {
+    const EngineConfig& cfg = configs[ci];
+    double base = closed_qps[ci] > 0 ? closed_qps[ci] : 1000.0;
+    double max_sustainable = 0.0;
+    for (double frac : {0.5, 0.75, 0.9, 1.1}) {
+      const double offered = base * frac;
+      QueryEngineOptions opts;
+      opts.num_workers = 2;
+      opts.queue_capacity = 8192;
+      opts.max_batch = cfg.max_batch;
+      opts.batch_linger = cfg.linger;
+      QueryEngine engine(&index, opts);
+      if (!engine.Start().ok()) return 1;
+      LoadReport r = RunOpenLoop(&engine, codes, workload, offered, step_ms);
+      engine.Shutdown();
+      const bool sustained =
+          r.attempted > 0 &&
+          static_cast<double>(r.completed) >=
+              0.95 * static_cast<double>(r.attempted) &&
+          r.achieved_qps >= 0.9 * offered;
+      if (sustained && offered > max_sustainable) max_sustainable = offered;
+      std::printf("%-10s %12.0f %10.0f %10.1f %10.1f %10.1f%s\n", cfg.name,
+                  offered, r.achieved_qps, r.latency.p50_us, r.latency.p99_us,
+                  r.latency.p999_us, sustained ? "" : "  (overload)");
+      auto& row = report.AddRow();
+      row.Str("section", "open_loop")
+          .Str("config", cfg.name)
+          .Num("offered_qps", offered);
+      AddLatencyFields(row, r);
+      row.Num("sustained", sustained ? 1.0 : 0.0);
+    }
+    std::printf("%-10s max sustainable: %.0f qps\n", cfg.name,
+                max_sustainable);
+    report.AddRow()
+        .Str("section", "max_sustainable")
+        .Str("config", cfg.name)
+        .Num("max_sustainable_qps", max_sustainable);
+  }
+
+  return report.Write(&metrics, out_path) ? 0 : 1;
+}

@@ -17,6 +17,14 @@
 # histogram with a sane skew coefficient. The TSan pass also covers the
 # metrics shard-merge and trace-collector suites (concurrent recording).
 #
+# The serving step runs the query-engine load generator in smoke mode
+# (bench/bench_serving --smoke: closed- and open-loop over batched and
+# unbatched engine configs) and validates the JSON artifact: every
+# latency row must carry ordered p50/p99/p999, each config must report a
+# positive max-sustainable rate, and the batched/unbatched speedup
+# summary must be present. The TSan pass also runs the Serving* suites
+# (worker pool, batcher, admission control under concurrent clients).
+#
 # The lint stage runs the repo-invariant linter (tools/lint/lint.py:
 # layering DAG, raw-sync ban, metric-arg purity, nodiscard discipline) —
 # first its --self-test (seeded violations must be detected, the
@@ -101,6 +109,29 @@ print(f"trace OK ({len(events)} events), metrics OK "
       f"({len(metrics['histograms'])} histograms)")
 PY
 
+echo "==> serving: load-generator smoke + latency artifact validation"
+./build/bench/bench_serving --smoke --out="$OBS_DIR/serving.json"
+python3 - "$OBS_DIR/serving.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+rows = report["rows"]
+assert rows, "serving report has no rows"
+latency_rows = [r for r in rows if r["section"] in ("closed_loop", "open_loop")]
+assert latency_rows, "no latency rows"
+for r in latency_rows:
+    for field in ("qps", "p50_us", "p99_us", "p999_us"):
+        assert field in r, f"latency row missing {field!r}: {r}"
+    assert r["p50_us"] <= r["p99_us"] <= r["p999_us"], f"percentiles out of order: {r}"
+sustainable = [r for r in rows if r["section"] == "max_sustainable"]
+assert len(sustainable) == 2, "expected one max_sustainable row per engine config"
+assert all(r["max_sustainable_qps"] > 0 for r in sustainable), "no sustainable rate found"
+speedup = [r for r in rows if r["section"] == "summary"]
+assert speedup and "batched_over_unbatched" in speedup[0], "missing speedup summary"
+print(f"serving OK ({len(latency_rows)} latency rows, "
+      f"batched/unbatched {speedup[0]['batched_over_unbatched']:.2f}x)")
+PY
+
 if [[ "$SKIP_ASAN" == "1" ]]; then
   echo "==> skipping ASan pass (--skip-asan)"
 else
@@ -123,7 +154,7 @@ else
     >/dev/null
   cmake --build build-tsan -j --target hamming_tests
   ./build-tsan/tests/hamming_tests --gtest_filter=\
-'MapReduce*:FaultTolerance*:PlanFaultTolerance*:CancelToken*:ThreadPool*:Concurrency*:Metrics*:TraceJson*:VerticalStore*:Kernels.VerticalScanSharedAcrossThreads'
+'MapReduce*:FaultTolerance*:PlanFaultTolerance*:CancelToken*:ThreadPool*:Concurrency*:Metrics*:TraceJson*:VerticalStore*:Kernels.VerticalScanSharedAcrossThreads:Serving*'
   echo "==> TSan: MapReduce + external shuffle under a 64 KiB budget"
   HAMMING_SHUFFLE_BUDGET=65536 ./build-tsan/tests/hamming_tests --gtest_filter=\
 'MapReduce*:FaultTolerance*:PlanFaultTolerance*:Shuffle*'

@@ -22,6 +22,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "ExecutionError";
     case StatusCode::kUnknownError:
       return "UnknownError";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "InvalidCode";
 }

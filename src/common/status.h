@@ -22,6 +22,8 @@ enum class StatusCode : int {
   kIOError = 6,
   kExecutionError = 7,  // runtime failure inside a MapReduce job
   kUnknownError = 8,
+  kResourceExhausted = 9,   // admission control shed the request
+  kDeadlineExceeded = 10,   // request expired before (or during) service
 };
 
 /// \brief Returns a human-readable name for a status code.
@@ -87,6 +89,12 @@ class [[nodiscard]] Status {
   static Status UnknownError(std::string msg) {
     return Status(StatusCode::kUnknownError, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const {
@@ -109,6 +117,12 @@ class [[nodiscard]] Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsExecutionError() const {
     return code() == StatusCode::kExecutionError;
+  }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
   }
 
   /// \brief "OK" or "<CodeName>: <message>".

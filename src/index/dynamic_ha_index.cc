@@ -352,6 +352,30 @@ DynamicHAIndex::SearchWithDistances(const BinaryCode& query, std::size_t h,
   return out;
 }
 
+Status DynamicHAIndex::SearchBatch(std::span<const QueryRequest> requests,
+                                   std::span<QueryResponse> responses) const {
+  HAMMING_RETURN_NOT_OK(CheckBatchSpans(requests, responses));
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    QueryResponse& resp = responses[i];
+    resp.Clear();
+    auto got =
+        SearchWithDistances(requests[i].code, requests[i].h, &resp.stats);
+    if (!got.ok()) {
+      resp.status = got.status();
+      continue;
+    }
+    auto pairs = std::move(got).ValueOrDie();
+    resp.ids.reserve(pairs.size());
+    resp.distances.reserve(pairs.size());
+    for (const auto& [id, dist] : pairs) {
+      resp.ids.push_back(id);
+      resp.distances.push_back(dist);
+    }
+    resp.has_distances = true;
+  }
+  return Status::OK();
+}
+
 Result<std::vector<BinaryCode>> DynamicHAIndex::SearchCodes(
     const BinaryCode& query, std::size_t h, obs::QueryStats* stats) const {
   if (code_bits_ != 0 && query.size() != code_bits_) {

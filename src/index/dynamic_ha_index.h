@@ -99,6 +99,15 @@ class DynamicHAIndex final : public HammingIndex {
       const BinaryCode& query, std::size_t h,
       obs::QueryStats* stats = nullptr) const;
 
+  /// \brief Native batch range plan: routes every request through
+  /// SearchWithDistances, so each response carries per-match exact
+  /// distances (`has_distances`) at no extra traversal cost — H-Search
+  /// already knows the full distance at each qualifying leaf. That lets
+  /// the default Knn expand the radius geometrically (O(log L) rounds)
+  /// instead of h += 1.
+  Status SearchBatch(std::span<const QueryRequest> requests,
+                     std::span<QueryResponse> responses) const override;
+
   /// \brief Qualifying distinct *codes* within distance h (works in
   /// leafless mode; used by MapReduce Option B, Section 5.3).
   Result<std::vector<BinaryCode>> SearchCodes(

@@ -6,12 +6,14 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "code/binary_code.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "index/query.h"
 #include "observability/memtrack.h"
 #include "observability/query_stats.h"
 
@@ -64,22 +66,61 @@ class HammingIndex {
   /// per-family field semantics. Passing nullptr (the default) records
   /// nothing. Overrides restate the default so two-argument calls on
   /// concrete index types keep compiling.
+  ///
+  /// \deprecated-next-PR As of the batch-first redesign this is the
+  /// one-query convenience shim over the SearchBatch surface (the
+  /// batched entry points are where the kernel amortization lives);
+  /// existing drivers/benches/tests keep compiling unchanged, but new
+  /// callers with more than one in-flight query should use SearchBatch.
   virtual Result<std::vector<TupleId>> Search(
       const BinaryCode& query, std::size_t h,
       obs::QueryStats* stats = nullptr) const = 0;
+
+  /// \brief Batch-first range query: answers requests[i] (interpreted as
+  /// a range query over its `code`/`h` fields regardless of `kind`) into
+  /// responses[i]. Per-request failures land in responses[i].status; the
+  /// returned Status is non-OK only for batch-level misuse (span size
+  /// mismatch). Requests in one batch are independent — responses are
+  /// byte-identical to issuing the same queries one at a time.
+  ///
+  /// The default loops the scalar Search path. Indexes with a cheaper
+  /// coalesced plan override it: LinearScanIndex and the HA indexes
+  /// route the whole batch through one multi-query kernel traversal
+  /// (kernels::MultiWithinDistance) that streams the stored codes once
+  /// for every query in the batch, and fill per-match exact distances
+  /// (`has_distances`) when the plan produces them as a by-product.
+  virtual Status SearchBatch(std::span<const QueryRequest> requests,
+                             std::span<QueryResponse> responses) const;
+
+  /// \brief Batch-first kNN: answers requests[i] (its `code`/`k` fields)
+  /// into responses[i].neighbors, same contract as SearchBatch. The
+  /// default loops the scalar Knn path; LinearScanIndex overrides it
+  /// with one multi-query bounded-heap scan (kernels::MultiKnn).
+  virtual Status KnnBatch(std::span<const QueryRequest> requests,
+                          std::span<QueryResponse> responses) const;
 
   /// \brief The k stored tuples nearest to `query` by Hamming distance,
   /// as (id, distance) sorted by ascending distance (order among equal
   /// distances is unspecified). Fewer than k pairs when size() < k.
   ///
-  /// The default expands the search radius — Search(h) for h = 0, 1, ...
-  /// until k ids have been seen; because Search(h) contains Search(h-1),
-  /// the radius at which an id first appears is its exact distance. It
-  /// is exact wherever Search is complete at arbitrary h (indexes with a
-  /// bounded supported radius, e.g. MultiHashTableIndex, inherit that
-  /// bound: candidates beyond it are missed or Search's error surfaces).
+  /// The default expands the search radius through SearchBatch. When the
+  /// index reports per-match exact distances (has_distances — the HA
+  /// indexes do), the radius grows geometrically (h = 0, 1, 3, 7, ...):
+  /// the first radius with >= k matches already carries every distance
+  /// needed to rank them, so the expansion costs O(log L) rounds instead
+  /// of the h+1 rounds of the classic walk. Without distances it falls
+  /// back to the classic h += 1 expansion, where the radius at which an
+  /// id first appears is its exact distance; that path is exact wherever
+  /// Search is complete at arbitrary h (indexes with a bounded supported
+  /// radius, e.g. MultiHashTableIndex, inherit that bound). Either way
+  /// the tuples a round re-surfaces after an earlier round already
+  /// returned them are counted in QueryStats::rescanned_results — the
+  /// re-scan waste the geometric expansion exists to avoid.
   /// Implementations with a cheaper native path override it
   /// (LinearScanIndex runs one batched scan with a bounded top-k heap).
+  ///
+  /// \deprecated-next-PR One-query convenience shim; batch callers use
+  /// KnnBatch.
   virtual Result<std::vector<std::pair<TupleId, uint32_t>>> Knn(
       const BinaryCode& query, std::size_t k,
       obs::QueryStats* stats = nullptr) const;
@@ -99,6 +140,19 @@ class HammingIndex {
   /// \brief True if the index supports dynamic Insert/Delete (the static
   /// HA-Index and signature indexes rebuild instead).
   virtual bool SupportsDynamicUpdates() const { return true; }
+
+ protected:
+  /// \brief Shared guard of the batch entry points: the spans must pair
+  /// up 1:1. Overrides call this first.
+  static Status CheckBatchSpans(std::span<const QueryRequest> requests,
+                                std::span<QueryResponse> responses);
+
+  /// \brief The classic h += 1 radius expansion over scalar Search
+  /// (first-seen radius = exact distance) — the exactness fallback of
+  /// the default Knn for indexes whose batch path never reports
+  /// distances after a geometric jump.
+  Result<std::vector<std::pair<TupleId, uint32_t>>> LegacyKnnExpansion(
+      const BinaryCode& query, std::size_t k, obs::QueryStats* stats) const;
 };
 
 /// \brief Sorts a search result for deterministic comparison in tests.

@@ -51,6 +51,107 @@ Result<std::vector<std::pair<TupleId, uint32_t>>> LinearScanIndex::Knn(
   return out;
 }
 
+Status LinearScanIndex::SearchBatch(std::span<const QueryRequest> requests,
+                                    std::span<QueryResponse> responses) const {
+  HAMMING_RETURN_NOT_OK(CheckBatchSpans(requests, responses));
+  const std::size_t n = ids_.size();
+  // Requests whose (bits, h, n) pick the vertical layout run the exact
+  // scalar plane-pruning path; the rest coalesce into one multi-query
+  // horizontal scan. The split mirrors BatchWithinDistanceDual, so each
+  // response is byte-identical to its scalar Search.
+  const auto policy = kernels::ActiveLayoutPolicy();
+  const bool mirror_ok = !vcodes_.empty() && vcodes_.size() == codes_.size() &&
+                         vcodes_.bits() == codes_.bits();
+  std::vector<std::size_t> coalesced;  // request indices, horizontal group
+  std::vector<const BinaryCode*> queries;
+  std::vector<std::size_t> radii;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    QueryResponse& resp = responses[i];
+    resp.Clear();
+    bool want_vertical;
+    switch (policy) {
+      case kernels::LayoutPolicy::kForceHorizontal:
+        want_vertical = false;
+        break;
+      case kernels::LayoutPolicy::kForceVertical:
+        want_vertical = true;
+        break;
+      default:
+        want_vertical = kernels::ChooseLayout(codes_.bits(), requests[i].h,
+                                              codes_.size()) ==
+                        kernels::KernelLayout::kVertical;
+    }
+    if (want_vertical && mirror_ok) {
+      std::vector<uint32_t> slots;
+      kernels::VerticalScanStats vstats;
+      kernels::BatchWithinDistance(requests[i].code, vcodes_, requests[i].h,
+                                   &slots, &vstats);
+      resp.ids.reserve(slots.size());
+      for (uint32_t slot : slots) resp.ids.push_back(ids_[slot]);
+      ++resp.stats.kernel_batch_calls;
+      resp.stats.candidates_generated += n;
+      resp.stats.exact_distance_computations += n;
+      resp.stats.results += resp.ids.size();
+      resp.stats.planes_scanned += vstats.planes_scanned;
+      resp.stats.blocks_pruned += vstats.blocks_pruned;
+    } else {
+      coalesced.push_back(i);
+      queries.push_back(&requests[i].code);
+      radii.push_back(requests[i].h);
+    }
+  }
+  if (!coalesced.empty()) {
+    std::vector<std::vector<kernels::SlotDistance>> hits;
+    kernels::MultiWithinDistance(codes_, queries.data(), radii.data(),
+                                 coalesced.size(), &hits);
+    for (std::size_t g = 0; g < coalesced.size(); ++g) {
+      QueryResponse& resp = responses[coalesced[g]];
+      resp.ids.reserve(hits[g].size());
+      resp.distances.reserve(hits[g].size());
+      for (const auto& hit : hits[g]) {
+        resp.ids.push_back(ids_[hit.slot]);
+        resp.distances.push_back(hit.dist);
+      }
+      resp.has_distances = true;
+      ++resp.stats.kernel_batch_calls;
+      resp.stats.candidates_generated += n;
+      resp.stats.exact_distance_computations += n;
+      resp.stats.results += resp.ids.size();
+    }
+  }
+  return Status::OK();
+}
+
+Status LinearScanIndex::KnnBatch(std::span<const QueryRequest> requests,
+                                 std::span<QueryResponse> responses) const {
+  HAMMING_RETURN_NOT_OK(CheckBatchSpans(requests, responses));
+  if (requests.empty()) return Status::OK();
+  std::vector<const BinaryCode*> queries;
+  std::vector<std::size_t> ks;
+  queries.reserve(requests.size());
+  ks.reserve(requests.size());
+  for (const QueryRequest& req : requests) {
+    queries.push_back(&req.code);
+    ks.push_back(req.k);
+  }
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> nearest;
+  kernels::MultiKnn(codes_, queries.data(), ks.data(), requests.size(),
+                    &nearest);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    QueryResponse& resp = responses[i];
+    resp.Clear();
+    resp.neighbors.reserve(nearest[i].size());
+    for (const auto& [slot, dist] : nearest[i]) {
+      resp.neighbors.emplace_back(ids_[slot], dist);
+    }
+    ++resp.stats.kernel_batch_calls;
+    resp.stats.candidates_generated += ids_.size();
+    resp.stats.exact_distance_computations += ids_.size();
+    resp.stats.results += resp.neighbors.size();
+  }
+  return Status::OK();
+}
+
 Status LinearScanIndex::Insert(TupleId id, const BinaryCode& code) {
   HAMMING_RETURN_NOT_OK(codes_.Append(code));
   HAMMING_RETURN_NOT_OK(vcodes_.Append(code));

@@ -36,6 +36,20 @@ class LinearScanIndex final : public HammingIndex {
       const BinaryCode& query, std::size_t k,
       obs::QueryStats* stats = nullptr) const override;
 
+  /// \brief Native batch range plan: requests whose radius picks the
+  /// vertical layout run the plane-pruning scan (identical to the
+  /// scalar path), and the rest coalesce into ONE tile-major
+  /// multi-query kernel call (kernels::MultiWithinDistance) that
+  /// streams the word lanes once for the whole group and reports exact
+  /// distances per match (has_distances).
+  Status SearchBatch(std::span<const QueryRequest> requests,
+                     std::span<QueryResponse> responses) const override;
+
+  /// \brief Native batch kNN: one multi-query bounded-heap scan
+  /// (kernels::MultiKnn), bit-identical per query to the scalar Knn.
+  Status KnnBatch(std::span<const QueryRequest> requests,
+                  std::span<QueryResponse> responses) const override;
+
  private:
   kernels::CodeStore codes_;
   // Transposed mirror of codes_, maintained through every mutation so

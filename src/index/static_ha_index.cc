@@ -121,7 +121,45 @@ Status StaticHAIndex::Delete(TupleId id, const BinaryCode& code) {
 Result<std::vector<TupleId>> StaticHAIndex::Search(
     const BinaryCode& query, std::size_t h, obs::QueryStats* stats) const {
   std::vector<TupleId> out;
-  if (paths_.empty()) return out;
+  SearchScratch scratch;
+  bool took_path_walk = false;
+  HAMMING_RETURN_NOT_OK(
+      SearchOne(query, h, stats, &out, nullptr, &took_path_walk, &scratch));
+  return out;
+}
+
+Status StaticHAIndex::SearchBatch(std::span<const QueryRequest> requests,
+                                  std::span<QueryResponse> responses) const {
+  HAMMING_RETURN_NOT_OK(CheckBatchSpans(requests, responses));
+  // One group refresh and one scratch allocation serve the whole batch.
+  if (groups_stale_ && !paths_.empty()) RefreshGroups();
+  SearchScratch scratch;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    QueryResponse& resp = responses[i];
+    resp.Clear();
+    bool took_path_walk = false;
+    Status st = SearchOne(requests[i].code, requests[i].h, &resp.stats,
+                          &resp.ids, &resp.distances, &took_path_walk,
+                          &scratch);
+    if (!st.ok()) {
+      resp.status = std::move(st);
+      continue;
+    }
+    resp.has_distances = took_path_walk;
+    if (!took_path_walk) resp.distances.clear();
+  }
+  return Status::OK();
+}
+
+Status StaticHAIndex::SearchOne(const BinaryCode& query, std::size_t h,
+                                obs::QueryStats* stats,
+                                std::vector<TupleId>* out_ids,
+                                std::vector<uint32_t>* out_dists,
+                                bool* took_path_walk,
+                                SearchScratch* scratch) const {
+  std::vector<TupleId>& out = *out_ids;
+  *took_path_walk = false;
+  if (paths_.empty()) return Status::OK();
   if (query.size() != code_bits_) {
     return Status::InvalidArgument("query length mismatch");
   }
@@ -150,15 +188,18 @@ Result<std::vector<TupleId>> StaticHAIndex::Search(
       stats->planes_scanned += vstats.planes_scanned;
       stats->blocks_pruned += vstats.blocks_pruned;
     }
-    return out;
+    return Status::OK();
   }
+  *took_path_walk = true;
 
   // Phase 1: one XOR+popcount per *distinct* segment node — the shared
   // computation that distinguishes the HA-Index from per-tuple scans.
-  std::vector<std::vector<uint16_t>> node_dist(nl);
+  auto& node_dist = scratch->node_dist;
+  node_dist.resize(nl);
   // Suffix-minimum of per-level best distances enables a tighter prune:
   // if acc + min_rest[j] > h no path can qualify through level j.
-  std::vector<uint16_t> level_min(nl, 0);
+  auto& level_min = scratch->level_min;
+  level_min.assign(nl, 0);
   for (std::size_t j = 0; j < nl; ++j) {
     const Level& level = levels_[j];
     uint64_t qseg = query.SubstringAsUint64(level.begin, level.len);
@@ -183,11 +224,12 @@ Result<std::vector<TupleId>> StaticHAIndex::Search(
     }
     level_min[j] = best == 0xffff ? 0 : best;
   }
-  std::vector<std::size_t> min_rest(nl + 1, 0);
+  auto& min_rest = scratch->min_rest;
+  min_rest.assign(nl + 1, 0);
   for (std::size_t j = nl; j-- > 0;) {
     min_rest[j] = min_rest[j + 1] + level_min[j];
   }
-  if (min_rest[0] > h) return out;
+  if (min_rest[0] > h) return Status::OK();
 
   // Phase 2: walk rows grouped by their shared level-0 node — one check
   // discards a whole group (the node-sharing payoff) — then sum memoized
@@ -213,11 +255,18 @@ Result<std::vector<TupleId>> StaticHAIndex::Search(
       // from memoized node distances — the exact computation for this
       // structure.
       if (ok && stats != nullptr) ++stats->exact_distance_computations;
-      if (ok && acc <= h) out.push_back(paths_[row]);
+      if (ok && acc <= h) {
+        out.push_back(paths_[row]);
+        // The completed walk IS the exact distance — record it for free
+        // when the caller wants it (SearchBatch's has_distances).
+        if (out_dists != nullptr) {
+          out_dists->push_back(static_cast<uint32_t>(acc));
+        }
+      }
     }
   }
   if (stats != nullptr) stats->results += out.size();
-  return out;
+  return Status::OK();
 }
 
 std::size_t StaticHAIndex::NodeCount() const {

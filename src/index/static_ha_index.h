@@ -44,6 +44,19 @@ class StaticHAIndex final : public HammingIndex {
   Result<std::vector<TupleId>> Search(
       const BinaryCode& query, std::size_t h,
       obs::QueryStats* stats = nullptr) const override;
+
+  /// \brief Native batch range plan. Each request still walks the shared
+  /// node structure independently (the node distances depend on the
+  /// query), but the batch refreshes the row-group cache once, reuses
+  /// one set of per-level scratch buffers across the whole batch, and —
+  /// the payoff for the radius-expanding Knn — reports the exact path
+  /// distance of every match (`has_distances`) whenever a request takes
+  /// the memoized path walk, since the walk sums that distance anyway.
+  /// Requests routed to the vertical plane scan (small h over a large
+  /// store) match the scalar path byte-for-byte and carry no distances.
+  Status SearchBatch(std::span<const QueryRequest> requests,
+                     std::span<QueryResponse> responses) const override;
+
   Status Insert(TupleId id, const BinaryCode& code) override;
   Status Delete(TupleId id, const BinaryCode& code) override;
   std::size_t size() const override { return paths_.size(); }
@@ -61,8 +74,25 @@ class StaticHAIndex final : public HammingIndex {
     std::unordered_map<uint64_t, uint32_t> value_to_node;
   };
 
+  /// Per-query scratch reused across a batch so SearchBatch does not
+  /// reallocate the per-level distance tables for every request.
+  struct SearchScratch {
+    std::vector<std::vector<uint16_t>> node_dist;
+    std::vector<uint16_t> level_min;
+    std::vector<std::size_t> min_rest;
+  };
+
   Status EnsureLayout(const BinaryCode& code);
   uint32_t InternNode(Level* level, uint64_t value);
+
+  /// The single-query engine behind Search and SearchBatch. Fills
+  /// out_ids; when out_dists is non-null AND the query takes the path
+  /// walk (not the vertical scan), also fills the matches' exact
+  /// distances and sets *took_path_walk.
+  Status SearchOne(const BinaryCode& query, std::size_t h,
+                   obs::QueryStats* stats, std::vector<TupleId>* out_ids,
+                   std::vector<uint32_t>* out_dists, bool* took_path_walk,
+                   SearchScratch* scratch) const;
 
   /// Rebuilds groups_ (rows bucketed by their level-0 node) when stale.
   void RefreshGroups() const;

@@ -18,6 +18,9 @@ void BatchDistanceRangeAvx2(const CodeStore& store, const uint64_t* qwords,
                             std::size_t base, std::size_t len, uint32_t* out);
 void BatchXorPopcountAvx2(uint64_t query_word, const uint64_t* values,
                           std::size_t n, uint16_t* out);
+void RangeHitsAvx2(const CodeStore& store, const uint64_t* qwords, uint32_t h,
+                   std::size_t base, std::size_t len,
+                   std::vector<SlotDistance>* hits);
 std::size_t VerticalScanAvx2(const VerticalCodeStore& store,
                              const uint64_t* qmask, std::size_t h,
                              std::vector<uint32_t>* out_slots,
@@ -32,6 +35,9 @@ namespace detail {
 void BatchDistanceRangeAvx512(const CodeStore& store, const uint64_t* qwords,
                               std::size_t base, std::size_t len,
                               uint32_t* out);
+void RangeHitsAvx512(const CodeStore& store, const uint64_t* qwords,
+                     uint32_t h, std::size_t base, std::size_t len,
+                     std::vector<SlotDistance>* hits);
 std::size_t VerticalScanAvx512(const VerticalCodeStore& store,
                                const uint64_t* qmask, std::size_t h,
                                std::vector<uint32_t>* out_slots,
@@ -95,6 +101,32 @@ void BatchXorPopcountPortable(uint64_t query_word, const uint64_t* values,
   }
 }
 
+// Fused range scan: appends (slot, distance) for every code in
+// [base, base+len) within distance h, without materializing a dists[]
+// array. Semantically BatchDistanceRange + a <= h filter.
+void RangeHitsPortable(const CodeStore& store, const uint64_t* qwords,
+                       uint32_t h, std::size_t base, std::size_t len,
+                       std::vector<SlotDistance>* hits) {
+  const std::size_t nw = store.words();
+  if (nw == 1) {
+    const uint64_t q0 = qwords[0];
+    const uint64_t* lane = store.Lane(0) + base;
+    for (std::size_t i = 0; i < len; ++i) {
+      const uint32_t d = static_cast<uint32_t>(std::popcount(lane[i] ^ q0));
+      if (d <= h) hits->push_back({static_cast<uint32_t>(base + i), d});
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < len; ++i) {
+    uint32_t d = 0;
+    for (std::size_t w = 0; w < nw; ++w) {
+      d += static_cast<uint32_t>(std::popcount(store.Lane(w)[base + i] ^
+                                               qwords[w]));
+    }
+    if (d <= h) hits->push_back({static_cast<uint32_t>(base + i), d});
+  }
+}
+
 // ---- Dispatch -----------------------------------------------------------
 
 std::atomic<Backend> g_backend = [] {
@@ -149,6 +181,29 @@ void BatchDistanceRange(const CodeStore& store, const uint64_t* qwords,
   }
 #endif
   BatchDistanceRangePortable(store, qwords, base, len, out);
+}
+
+// Backend dispatch for the fused range scan (mirrors BatchDistanceRange).
+// A zero-word store (bits == 0) never enters the vector paths' lane loop,
+// so every code matches at distance 0 on all tiers — same as the dists[]
+// path would report.
+void RangeHits(const CodeStore& store, const uint64_t* qwords, uint32_t h,
+               std::size_t base, std::size_t len,
+               std::vector<SlotDistance>* hits) {
+  if (len == 0) return;
+#if defined(HAMMING_HAVE_AVX512_TU)
+  if (g_backend.load(std::memory_order_relaxed) == Backend::kAvx512) {
+    detail::RangeHitsAvx512(store, qwords, h, base, len, hits);
+    return;
+  }
+#endif
+#if defined(HAMMING_HAVE_AVX2_TU)
+  if (g_backend.load(std::memory_order_relaxed) == Backend::kAvx2) {
+    detail::RangeHitsAvx2(store, qwords, h, base, len, hits);
+    return;
+  }
+#endif
+  RangeHitsPortable(store, qwords, h, base, len, hits);
 }
 
 // Shared body of the vertical BatchWithinDistance / BatchCount: handles
@@ -403,6 +458,81 @@ std::vector<std::pair<uint32_t, uint32_t>> BatchKnn(const BinaryCode& query,
   out.reserve(heap.size());
   for (const auto& [d, slot] : heap) out.emplace_back(slot, d);
   return out;
+}
+
+void MultiWithinDistance(const CodeStore& store,
+                         const BinaryCode* const* queries,
+                         const std::size_t* radii, std::size_t nq,
+                         std::vector<std::vector<SlotDistance>>* out_hits) {
+  out_hits->assign(nq, {});
+  const std::size_t n = store.size();
+  if (n == 0 || nq == 0) return;
+  for (std::size_t base = 0; base < n; base += kTile) {
+    const std::size_t len = std::min(kTile, n - base);
+    // The tile's lane words are hot in cache after the first query's
+    // pass; the remaining nq-1 passes recompute distances from L1/L2
+    // instead of re-streaming the store from memory. The fused RangeHits
+    // kernel keeps the threshold compare in-register and touches memory
+    // only for actual matches, so those re-passes cost a few
+    // instructions per code — without the fusion the per-query scalar
+    // unpack+filter would dominate and coalescing would buy nothing.
+    for (std::size_t q = 0; q < nq; ++q) {
+      const std::size_t h = radii[q];
+      const uint32_t h32 =
+          h > 0xffffffffull ? 0xffffffffu : static_cast<uint32_t>(h);
+      RangeHits(store, queries[q]->words().data(), h32, base, len,
+                &(*out_hits)[q]);
+    }
+  }
+}
+
+void MultiKnn(const CodeStore& store, const BinaryCode* const* queries,
+              const std::size_t* ks, std::size_t nq,
+              std::vector<std::vector<std::pair<uint32_t, uint32_t>>>* out) {
+  out->assign(nq, {});
+  if (nq == 0) return;
+  auto cmp = [](const std::pair<uint32_t, uint32_t>& a,
+                const std::pair<uint32_t, uint32_t>& b) {
+    // Same (distance, slot) max-heap ordering as BatchKnn, so the final
+    // neighbour sets are bit-identical to the single-query kernel.
+    return a.first != b.first ? a.first < b.first : a.second < b.second;
+  };
+  // heaps[q] holds (distance, slot) with the worst kept neighbour at the
+  // root; O(sum ks) memory total.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> heaps(nq);
+  for (std::size_t q = 0; q < nq; ++q) {
+    heaps[q].reserve(std::min(ks[q], store.size()) + 1);
+  }
+  const std::size_t n = store.size();
+  uint32_t dists[kTile];
+  for (std::size_t base = 0; base < n; base += kTile) {
+    const std::size_t len = std::min(kTile, n - base);
+    for (std::size_t q = 0; q < nq; ++q) {
+      const std::size_t k = ks[q];
+      if (k == 0) continue;
+      BatchDistanceRange(store, queries[q]->words().data(), base, len, dists);
+      auto& heap = heaps[q];
+      for (std::size_t i = 0; i < len; ++i) {
+        const std::pair<uint32_t, uint32_t> cand{
+            dists[i], static_cast<uint32_t>(base + i)};
+        if (heap.size() < k) {
+          heap.push_back(cand);
+          std::push_heap(heap.begin(), heap.end(), cmp);
+        } else if (cmp(cand, heap.front())) {
+          std::pop_heap(heap.begin(), heap.end(), cmp);
+          heap.back() = cand;
+          std::push_heap(heap.begin(), heap.end(), cmp);
+        }
+      }
+    }
+  }
+  for (std::size_t q = 0; q < nq; ++q) {
+    auto& heap = heaps[q];
+    std::sort_heap(heap.begin(), heap.end(), cmp);
+    auto& result = (*out)[q];
+    result.reserve(heap.size());
+    for (const auto& [d, slot] : heap) result.emplace_back(slot, d);
+  }
 }
 
 }  // namespace hamming::kernels

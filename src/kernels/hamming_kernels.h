@@ -162,4 +162,35 @@ std::vector<std::pair<uint32_t, uint32_t>> BatchKnn(const BinaryCode& query,
                                                     const CodeStore& store,
                                                     std::size_t k);
 
+/// \brief One (slot, exact distance) match of a multi-query scan.
+struct SlotDistance {
+  uint32_t slot;
+  uint32_t dist;
+  bool operator==(const SlotDistance& o) const {
+    return slot == o.slot && dist == o.dist;
+  }
+};
+
+/// \brief Multi-query threshold scan: out_hits[q] = every store slot
+/// within Hamming distance radii[q] of *queries[q], as (slot, distance)
+/// in ascending slot order — per query identical to BatchWithinDistance
+/// plus the distances a BatchDistance pass would report.
+///
+/// The store is streamed ONCE per tile for all nq queries (tile loop
+/// outside, query loop inside), so a coalesced batch pays the lane
+/// memory traffic once instead of nq times — the amortization the
+/// serving layer's batcher exists to harvest. All queries must have the
+/// store's code length.
+void MultiWithinDistance(const CodeStore& store,
+                         const BinaryCode* const* queries,
+                         const std::size_t* radii, std::size_t nq,
+                         std::vector<std::vector<SlotDistance>>* out_hits);
+
+/// \brief Multi-query exact kNN with the same tile-major traversal:
+/// out[q] = BatchKnn(*queries[q], store, ks[q]), bit-identical, with one
+/// bounded max-heap per query fed from shared tile distances.
+void MultiKnn(const CodeStore& store, const BinaryCode* const* queries,
+              const std::size_t* ks, std::size_t nq,
+              std::vector<std::vector<std::pair<uint32_t, uint32_t>>>* out);
+
 }  // namespace hamming::kernels

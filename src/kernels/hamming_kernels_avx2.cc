@@ -93,6 +93,58 @@ void BatchXorPopcountAvx2(uint64_t query_word, const uint64_t* values,
   }
 }
 
+void RangeHitsAvx2(const CodeStore& store, const uint64_t* qwords,
+                   uint32_t h, std::size_t base, std::size_t len,
+                   std::vector<SlotDistance>* hits) {
+  const std::size_t nw = store.words();
+  // Distances are at most 64*nw, far below 2^63, so the signed compare
+  // is exact: acc <= h  <=>  !(acc > h).
+  const __m256i hv = _mm256_set1_epi64x(static_cast<long long>(h));
+  std::size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    __m256i acc0 = _mm256_setzero_si256();
+    __m256i acc1 = _mm256_setzero_si256();
+    for (std::size_t w = 0; w < nw; ++w) {
+      const __m256i q = _mm256_set1_epi64x(static_cast<long long>(qwords[w]));
+      const uint64_t* lane = store.Lane(w) + base + i;
+      const __m256i v0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(lane));
+      const __m256i v1 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(lane + 4));
+      acc0 = _mm256_add_epi64(acc0, Popcount256(_mm256_xor_si256(v0, q)));
+      acc1 = _mm256_add_epi64(acc1, Popcount256(_mm256_xor_si256(v1, q)));
+    }
+    // Sign bit of each 64-bit lane of the cmpgt result, inverted: a set
+    // bit means distance <= h. Hit extraction only runs on a nonzero
+    // mask, which on selective radii is the rare case.
+    const int over0 = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpgt_epi64(acc0, hv)));
+    const int over1 = _mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpgt_epi64(acc1, hv)));
+    const unsigned m =
+        static_cast<unsigned>((~over0 & 0xf) | ((~over1 & 0xf) << 4));
+    if (m != 0) {
+      alignas(32) uint64_t counts[8];
+      _mm256_store_si256(reinterpret_cast<__m256i*>(counts), acc0);
+      _mm256_store_si256(reinterpret_cast<__m256i*>(counts + 4), acc1);
+      for (std::size_t j = 0; j < 8; ++j) {
+        if ((m >> j) & 1) {
+          hits->push_back({static_cast<uint32_t>(base + i + j),
+                           static_cast<uint32_t>(counts[j])});
+        }
+      }
+    }
+  }
+  for (; i < len; ++i) {
+    uint32_t d = 0;
+    for (std::size_t w = 0; w < nw; ++w) {
+      d += static_cast<uint32_t>(
+          __builtin_popcountll(store.Lane(w)[base + i] ^ qwords[w]));
+    }
+    if (d <= h) hits->push_back({static_cast<uint32_t>(base + i), d});
+  }
+}
+
 // Vertical (bit-sliced) threshold scan, AVX2 form: each plane row of a
 // 512-code block is two 256-bit vectors, the bit-sliced counters and
 // alive mask live in registers, and the same carry-save pair step as the

@@ -60,6 +60,109 @@ void BatchDistanceRangeAvx512(const CodeStore& store, const uint64_t* qwords,
   }
 }
 
+namespace {
+
+// Appends the masked lanes of one 8-code distance vector. Out of line
+// from the scan loops on purpose: it only runs on actual matches.
+inline void EmitMasked512(__m512i dists, __mmask8 m, std::size_t slot0,
+                          std::vector<SlotDistance>* hits) {
+  alignas(64) uint64_t counts[8];
+  _mm512_store_si512(counts, dists);
+  for (std::size_t j = 0; j < 8; ++j) {
+    if ((m >> j) & 1) {
+      hits->push_back({static_cast<uint32_t>(slot0 + j),
+                       static_cast<uint32_t>(counts[j])});
+    }
+  }
+}
+
+}  // namespace
+
+void RangeHitsAvx512(const CodeStore& store, const uint64_t* qwords,
+                     uint32_t h, std::size_t base, std::size_t len,
+                     std::vector<SlotDistance>* hits) {
+  const std::size_t nw = store.words();
+  const __m512i hv = _mm512_set1_epi64(static_cast<long long>(h));
+  std::size_t i = 0;
+  if (nw == 1) {
+    // One-word codes (<= 64 bits): the popcount IS the distance, so the
+    // hot loop is four independent load+xor+popcnt+compare chains and a
+    // single combined-mask branch per 32 codes. This path sets the
+    // re-pass speed of a coalesced batch over an L1-hot tile, so it is
+    // kept free of the general path's per-word inner loop and of any
+    // accumulator dependency chain.
+    const __m512i q = _mm512_set1_epi64(static_cast<long long>(qwords[0]));
+    const uint64_t* lane = store.Lane(0) + base;
+    for (; i + 32 <= len; i += 32) {
+      const __m512i d0 = _mm512_popcnt_epi64(
+          _mm512_xor_si512(_mm512_loadu_si512(lane + i), q));
+      const __m512i d1 = _mm512_popcnt_epi64(
+          _mm512_xor_si512(_mm512_loadu_si512(lane + i + 8), q));
+      const __m512i d2 = _mm512_popcnt_epi64(
+          _mm512_xor_si512(_mm512_loadu_si512(lane + i + 16), q));
+      const __m512i d3 = _mm512_popcnt_epi64(
+          _mm512_xor_si512(_mm512_loadu_si512(lane + i + 24), q));
+      const __mmask8 m0 = _mm512_cmple_epu64_mask(d0, hv);
+      const __mmask8 m1 = _mm512_cmple_epu64_mask(d1, hv);
+      const __mmask8 m2 = _mm512_cmple_epu64_mask(d2, hv);
+      const __mmask8 m3 = _mm512_cmple_epu64_mask(d3, hv);
+      if ((m0 | m1 | m2 | m3) != 0) {
+        EmitMasked512(d0, m0, base + i, hits);
+        EmitMasked512(d1, m1, base + i + 8, hits);
+        EmitMasked512(d2, m2, base + i + 16, hits);
+        EmitMasked512(d3, m3, base + i + 24, hits);
+      }
+    }
+    for (; i + 8 <= len; i += 8) {
+      const __m512i d = _mm512_popcnt_epi64(
+          _mm512_xor_si512(_mm512_loadu_si512(lane + i), q));
+      const __mmask8 m = _mm512_cmple_epu64_mask(d, hv);
+      if (m != 0) EmitMasked512(d, m, base + i, hits);
+    }
+    const uint64_t q0 = qwords[0];
+    for (; i < len; ++i) {
+      const uint32_t d =
+          static_cast<uint32_t>(__builtin_popcountll(lane[i] ^ q0));
+      if (d <= h) hits->push_back({static_cast<uint32_t>(base + i), d});
+    }
+    return;
+  }
+  // Fused distance + threshold: the compare stays in-register (vpcmpuq)
+  // and the slow lane — spilling counts and appending hits — runs only
+  // when the 8-code mask is nonzero, which on selective radii is almost
+  // never. This is what lets a coalesced batch re-run the compute over
+  // an L1-hot tile at a few instructions per code instead of paying the
+  // scalar unpack+filter of the dists[] path per query.
+  for (; i + 8 <= len; i += 8) {
+    __m512i acc = _mm512_setzero_si512();
+    for (std::size_t w = 0; w < nw; ++w) {
+      const __m512i q = _mm512_set1_epi64(static_cast<long long>(qwords[w]));
+      const __m512i v = _mm512_loadu_si512(store.Lane(w) + base + i);
+      acc = _mm512_add_epi64(acc,
+                             _mm512_popcnt_epi64(_mm512_xor_si512(v, q)));
+    }
+    const __mmask8 m = _mm512_cmple_epu64_mask(acc, hv);
+    if (m != 0) {
+      alignas(64) uint64_t counts[8];
+      _mm512_store_si512(counts, acc);
+      for (std::size_t j = 0; j < 8; ++j) {
+        if ((m >> j) & 1) {
+          hits->push_back({static_cast<uint32_t>(base + i + j),
+                           static_cast<uint32_t>(counts[j])});
+        }
+      }
+    }
+  }
+  for (; i < len; ++i) {
+    uint32_t d = 0;
+    for (std::size_t w = 0; w < nw; ++w) {
+      d += static_cast<uint32_t>(
+          __builtin_popcountll(store.Lane(w)[base + i] ^ qwords[w]));
+    }
+    if (d <= h) hits->push_back({static_cast<uint32_t>(base + i), d});
+  }
+}
+
 // Vertical (bit-sliced) threshold scan, AVX-512 form: one 512-bit vector
 // covers a whole plane row, so the counters and alive mask are single
 // registers and the carry-save pair step (see the portable kernel in

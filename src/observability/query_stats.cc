@@ -17,12 +17,16 @@ std::string QueryStats::ToJson() const {
   w.Uint(kernel_batch_calls);
   w.Key("radius_expansions");
   w.Uint(radius_expansions);
+  w.Key("rescanned_results");
+  w.Uint(rescanned_results);
   w.Key("results");
   w.Uint(results);
   w.Key("planes_scanned");
   w.Uint(planes_scanned);
   w.Key("blocks_pruned");
   w.Uint(blocks_pruned);
+  w.Key("serving_queue_nanos");
+  w.Uint(serving_queue_nanos);
   w.EndObject();
   return w.Release();
 }
@@ -36,9 +40,11 @@ QueryStatsHistograms QueryStatsHistograms::Register(
   h.exact_distances = registry->Histogram(prefix + ".exact_distances");
   h.kernel_batches = registry->Histogram(prefix + ".kernel_batches");
   h.radius_expansions = registry->Histogram(prefix + ".radius_expansions");
+  h.rescanned_results = registry->Histogram(prefix + ".rescanned_results");
   h.results = registry->Histogram(prefix + ".results");
   h.planes_scanned = registry->Histogram("kernel.planes_scanned");
   h.blocks_pruned = registry->Histogram("kernel.blocks_pruned");
+  h.serving_queue_nanos = registry->Histogram(prefix + ".serving_queue_nanos");
   return h;
 }
 
@@ -52,9 +58,13 @@ void QueryStatsHistograms::Observe(MetricsRegistry* registry,
   HAMMING_METRIC_OBSERVE(registry, kernel_batches, stats.kernel_batch_calls);
   HAMMING_METRIC_OBSERVE(registry, radius_expansions,
                          stats.radius_expansions);
+  HAMMING_METRIC_OBSERVE(registry, rescanned_results,
+                         stats.rescanned_results);
   HAMMING_METRIC_OBSERVE(registry, results, stats.results);
   HAMMING_METRIC_OBSERVE(registry, planes_scanned, stats.planes_scanned);
   HAMMING_METRIC_OBSERVE(registry, blocks_pruned, stats.blocks_pruned);
+  HAMMING_METRIC_OBSERVE(registry, serving_queue_nanos,
+                         stats.serving_queue_nanos);
 }
 
 }  // namespace hamming::obs

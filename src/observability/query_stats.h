@@ -18,7 +18,16 @@
 //    pays off.
 //  * radius_expansions — Search(h) rounds issued by the radius-expanding
 //    default Knn.
+//  * rescanned_results — tuples re-surfaced by a later expansion round
+//    that an earlier Search(h) had already returned: the pure re-scan
+//    waste of radius-expanding Knn. The geometric (distance-guided)
+//    expansion exists to drive this number down; the legacy h += 1
+//    walk pays it once per extra round.
 //  * results — qualifying tuples returned.
+//  * serving_queue_nanos — time the request spent waiting in the serving
+//    layer's admission queue before its batch reached the index (zero
+//    for queries issued outside src/serving/). The serving engine stamps
+//    it so per-query work profiles and queueing delay travel together.
 //  * planes_scanned / blocks_pruned — vertical (bit-sliced) kernel
 //    counters: plane rows actually read and 512-code blocks abandoned
 //    early. Zero whenever the query ran on the horizontal layout; the
@@ -43,9 +52,11 @@ struct QueryStats {
   uint64_t exact_distance_computations = 0;
   uint64_t kernel_batch_calls = 0;
   uint64_t radius_expansions = 0;
+  uint64_t rescanned_results = 0;
   uint64_t results = 0;
   uint64_t planes_scanned = 0;
   uint64_t blocks_pruned = 0;
+  uint64_t serving_queue_nanos = 0;
 
   QueryStats& operator+=(const QueryStats& o) {
     signatures_enumerated += o.signatures_enumerated;
@@ -53,9 +64,11 @@ struct QueryStats {
     exact_distance_computations += o.exact_distance_computations;
     kernel_batch_calls += o.kernel_batch_calls;
     radius_expansions += o.radius_expansions;
+    rescanned_results += o.rescanned_results;
     results += o.results;
     planes_scanned += o.planes_scanned;
     blocks_pruned += o.blocks_pruned;
+    serving_queue_nanos += o.serving_queue_nanos;
     return *this;
   }
 
@@ -64,9 +77,11 @@ struct QueryStats {
            candidates_generated == o.candidates_generated &&
            exact_distance_computations == o.exact_distance_computations &&
            kernel_batch_calls == o.kernel_batch_calls &&
-           radius_expansions == o.radius_expansions && results == o.results &&
+           radius_expansions == o.radius_expansions &&
+           rescanned_results == o.rescanned_results && results == o.results &&
            planes_scanned == o.planes_scanned &&
-           blocks_pruned == o.blocks_pruned;
+           blocks_pruned == o.blocks_pruned &&
+           serving_queue_nanos == o.serving_queue_nanos;
   }
 
   /// \brief One JSON object with every field.
@@ -82,9 +97,11 @@ struct QueryStatsHistograms {
   MetricId exact_distances = kOverflowMetric;
   MetricId kernel_batches = kOverflowMetric;
   MetricId radius_expansions = kOverflowMetric;
+  MetricId rescanned_results = kOverflowMetric;
   MetricId results = kOverflowMetric;
   MetricId planes_scanned = kOverflowMetric;
   MetricId blocks_pruned = kOverflowMetric;
+  MetricId serving_queue_nanos = kOverflowMetric;
 
   /// \brief Registers the histograms under `prefix` + ".candidates" etc.
   /// (default prefix "query"). The vertical-kernel counters always

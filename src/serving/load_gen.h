@@ -1,0 +1,83 @@
+// Closed- and open-loop load generation against a QueryEngine.
+//
+// Closed loop: N client threads, each submitting its next query the
+// moment the previous one completes — throughput-oriented, models a
+// fixed concurrency level, and cannot observe queueing collapse (the
+// clients self-throttle). Latency is measured submit -> completion.
+//
+// Open loop: queries arrive on a fixed schedule at an offered QPS
+// regardless of how the engine is doing — the arrival process of a
+// public service. Latency is measured from the *scheduled* arrival time
+// (not the actual submit instant) to completion, so dispatcher lag
+// cannot hide server-side queueing (the coordinated-omission trap); an
+// engine that cannot sustain the offered rate shows it as unbounded tail
+// growth and/or admission rejections rather than a flattering average.
+//
+// Both report exact percentiles (p50/p99/p999) computed from the full
+// per-request latency sample vector — log-bucketed histograms are fine
+// for always-on metrics but too coarse for SLO verdicts.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "code/binary_code.h"
+#include "serving/query_engine.h"
+
+namespace hamming::serving {
+
+/// \brief What queries the generator draws. Queries are picked uniformly
+/// (seeded) from `pool`; each is a range query with radius `h` with
+/// probability 1 - knn_fraction, else a kNN query with neighbour count
+/// `k`.
+struct WorkloadOptions {
+  std::size_t h = 2;
+  std::size_t k = 8;
+  double knn_fraction = 0.0;
+  uint64_t seed = 42;
+  /// Per-request relative deadline; zero = none.
+  std::chrono::microseconds deadline{0};
+};
+
+/// \brief Exact latency percentiles over one run's completed requests.
+struct LatencySummary {
+  uint64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+
+  /// \brief Sorts `samples_us` in place and summarizes it.
+  static LatencySummary FromSamples(std::vector<double>* samples_us);
+};
+
+/// \brief One load-generation run's outcome.
+struct LoadReport {
+  uint64_t attempted = 0;  // submissions tried
+  uint64_t completed = 0;  // served with OK status
+  uint64_t rejected = 0;   // admission-control rejections
+  uint64_t expired = 0;    // completed with kDeadlineExceeded
+  uint64_t failed = 0;     // any other non-OK completion
+  double elapsed_seconds = 0.0;
+  double achieved_qps = 0.0;  // completed / elapsed
+  LatencySummary latency;     // over completed requests only
+};
+
+/// \brief Runs `clients` closed-loop threads for `queries_per_client`
+/// queries each. The engine must be Start()ed.
+LoadReport RunClosedLoop(QueryEngine* engine,
+                         const std::vector<BinaryCode>& pool,
+                         const WorkloadOptions& workload, std::size_t clients,
+                         std::size_t queries_per_client);
+
+/// \brief Offers `offered_qps` uniformly paced arrivals for `duration`,
+/// then waits for every in-flight request. The engine must be Start()ed.
+LoadReport RunOpenLoop(QueryEngine* engine,
+                       const std::vector<BinaryCode>& pool,
+                       const WorkloadOptions& workload, double offered_qps,
+                       std::chrono::milliseconds duration);
+
+}  // namespace hamming::serving

@@ -1,0 +1,305 @@
+#include "serving/query_engine.h"
+
+#include <algorithm>
+
+#include "observability/stopwatch.h"
+
+namespace hamming::serving {
+
+namespace {
+
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point{};
+
+bool HasDeadline(std::chrono::steady_clock::time_point d) {
+  return d != kNoDeadline;
+}
+
+uint64_t ToMicros(std::chrono::nanoseconds d) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(std::vector<const HammingIndex*> indexes,
+                         QueryEngineOptions opts)
+    : indexes_(std::move(indexes)), opts_(std::move(opts)) {
+  obs::MetricsRegistry* reg = opts_.metrics;
+  if (reg != nullptr) {
+    metrics_.queue_wait_us = reg->Histogram("serving.queue_wait_us");
+    metrics_.service_us = reg->Histogram("serving.service_us");
+    metrics_.e2e_us = reg->Histogram("serving.e2e_us");
+    metrics_.batch_size = reg->Histogram("serving.batch_size");
+    metrics_.accepted = reg->Counter("serving.accepted");
+    metrics_.rejected_queue_full = reg->Counter("serving.rejected_queue_full");
+    metrics_.rejected_latency = reg->Counter("serving.rejected_latency");
+    metrics_.deadline_expired = reg->Counter("serving.deadline_expired");
+    metrics_.batches = reg->Counter("serving.batches");
+    metrics_.queue_depth_peak = reg->Gauge("serving.queue_depth_peak");
+    metrics_.query_hists =
+        obs::QueryStatsHistograms::Register(reg, "serving.query");
+  }
+}
+
+QueryEngine::~QueryEngine() { Shutdown(); }
+
+Status QueryEngine::Start() {
+  {
+    MutexLock lock(&mu_);
+    if (stopping_) {
+      return Status::InvalidArgument("engine already shut down");
+    }
+    if (started_) return Status::OK();
+    started_ = true;
+  }
+  const std::size_t n = std::max<std::size_t>(1, opts_.num_workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void QueryEngine::Shutdown() {
+  std::deque<std::unique_ptr<Pending>> orphans;
+  {
+    MutexLock lock(&mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    if (!started_) {
+      // Nobody will ever drain the queue; fail the waiters now instead
+      // of leaving their futures hanging.
+      orphans.swap(queue_);
+    }
+  }
+  queue_cv_.NotifyAll();
+  for (auto& p : orphans) {
+    FailPending(std::move(p),
+                Status::ResourceExhausted("engine shut down before Start"),
+                /*batch_size=*/0);
+  }
+  for (Thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+Result<std::future<ServeResult>> QueryEngine::Submit(
+    QueryRequest req, std::size_t index_id,
+    std::chrono::steady_clock::time_point deadline) {
+  if (index_id >= indexes_.size()) {
+    return Status::InvalidArgument("index_id out of range");
+  }
+  auto pending = std::make_unique<Pending>();
+  pending->index_id = index_id;
+  pending->req = std::move(req);
+  pending->enqueued = std::chrono::steady_clock::now();
+  pending->deadline = deadline;
+  std::future<ServeResult> fut = pending->promise.get_future();
+  {
+    MutexLock lock(&mu_);
+    if (stopping_) {
+      return Status::ResourceExhausted("engine is shutting down");
+    }
+    if (queue_.size() >= opts_.queue_capacity) {
+      ++counters_.rejected_queue_full;
+      HAMMING_METRIC_ADD(opts_.metrics, metrics_.rejected_queue_full, 1);
+      return Status::ResourceExhausted(
+          "serving queue full (" + std::to_string(opts_.queue_capacity) +
+          " requests)");
+    }
+    if (opts_.latency_budget.count() > 0 && !queue_.empty() &&
+        ewma_queue_wait_us_ >
+            static_cast<double>(opts_.latency_budget.count())) {
+      ++counters_.rejected_latency;
+      HAMMING_METRIC_ADD(opts_.metrics, metrics_.rejected_latency, 1);
+      return Status::ResourceExhausted("latency budget exceeded (ewma wait)");
+    }
+    queue_.push_back(std::move(pending));
+    ++counters_.accepted;
+    HAMMING_METRIC_ADD(opts_.metrics, metrics_.accepted, 1);
+    HAMMING_METRIC_SET(opts_.metrics, metrics_.queue_depth_peak,
+                       static_cast<int64_t>(queue_.size()));
+  }
+  queue_cv_.NotifyOne();
+  return fut;
+}
+
+Result<ServeResult> QueryEngine::Serve(QueryRequest req, std::size_t index_id,
+                                       std::chrono::microseconds timeout) {
+  std::chrono::steady_clock::time_point deadline = kNoDeadline;
+  if (timeout.count() > 0) {
+    deadline = std::chrono::steady_clock::now() + timeout;
+  }
+  HAMMING_ASSIGN_OR_RETURN(std::future<ServeResult> fut,
+                           Submit(std::move(req), index_id, deadline));
+  return fut.get();
+}
+
+ServingCounters QueryEngine::counters() const {
+  MutexLock lock(&mu_);
+  return counters_;
+}
+
+void QueryEngine::SetQueueWaitEwmaForTest(double ewma_us) {
+  MutexLock lock(&mu_);
+  ewma_queue_wait_us_ = ewma_us;
+}
+
+void QueryEngine::GatherBatchLocked(
+    std::vector<std::unique_ptr<Pending>>* batch) {
+  const auto now = std::chrono::steady_clock::now();
+  const std::size_t key_index = queue_.front()->index_id;
+  const QueryKind key_kind = queue_.front()->req.kind;
+  while (!queue_.empty() && batch->size() < opts_.max_batch &&
+         queue_.front()->index_id == key_index &&
+         queue_.front()->req.kind == key_kind) {
+    std::unique_ptr<Pending> p = std::move(queue_.front());
+    queue_.pop_front();
+    const double wait_us = static_cast<double>(ToMicros(now - p->enqueued));
+    ewma_queue_wait_us_ = opts_.ewma_alpha * wait_us +
+                          (1.0 - opts_.ewma_alpha) * ewma_queue_wait_us_;
+    batch->push_back(std::move(p));
+  }
+}
+
+void QueryEngine::WorkerLoop() {
+  std::vector<std::unique_ptr<Pending>> batch;
+  mu_.Lock();
+  for (;;) {
+    while (queue_.empty() && !stopping_) queue_cv_.Wait(&mu_);
+    if (queue_.empty() && stopping_) break;  // drained; time to go
+    batch.clear();
+    GatherBatchLocked(&batch);
+    if (opts_.batch_linger.count() > 0 && batch.size() < opts_.max_batch &&
+        !stopping_) {
+      // Hold the batch open briefly: more same-kind arrivals amortize
+      // the index call further, and the linger bounds the latency cost.
+      const auto linger_until =
+          std::chrono::steady_clock::now() + opts_.batch_linger;
+      while (batch.size() < opts_.max_batch && !stopping_) {
+        if (!queue_.empty()) {
+          if (queue_.front()->index_id != batch.front()->index_id ||
+              queue_.front()->req.kind != batch.front()->req.kind) {
+            break;  // different stream; let the next worker have it
+          }
+          GatherBatchLocked(&batch);
+          continue;
+        }
+        if (queue_cv_.WaitUntil(&mu_, linger_until)) break;  // timed out
+      }
+    }
+    mu_.Unlock();
+    ExecuteBatch(std::move(batch));
+    batch.clear();
+    mu_.Lock();
+  }
+  mu_.Unlock();
+}
+
+void QueryEngine::FailPending(std::unique_ptr<Pending> p, Status status,
+                              std::size_t batch_size) {
+  const auto now = std::chrono::steady_clock::now();
+  ServeResult r;
+  r.response.status = std::move(status);
+  r.queue_wait = now - p->enqueued;
+  r.response.stats.serving_queue_nanos =
+      static_cast<uint64_t>(r.queue_wait.count());
+  r.batch_size = batch_size;
+  r.completed_at = now;
+  HAMMING_METRIC_OBSERVE(opts_.metrics, metrics_.queue_wait_us,
+                         ToMicros(r.queue_wait));
+  HAMMING_METRIC_OBSERVE(opts_.metrics, metrics_.e2e_us,
+                         ToMicros(now - p->enqueued));
+  p->promise.set_value(std::move(r));
+}
+
+void QueryEngine::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
+  if (batch.empty()) return;
+  const auto exec_start = std::chrono::steady_clock::now();
+
+  // Queued expiries never reach the index.
+  std::vector<std::unique_ptr<Pending>> live;
+  live.reserve(batch.size());
+  uint64_t expired = 0;
+  for (auto& p : batch) {
+    if (HasDeadline(p->deadline) && exec_start > p->deadline) {
+      ++expired;
+      HAMMING_METRIC_ADD(opts_.metrics, metrics_.deadline_expired, 1);
+      FailPending(std::move(p),
+                  Status::DeadlineExceeded("deadline expired in queue"),
+                  /*batch_size=*/0);
+    } else {
+      live.push_back(std::move(p));
+    }
+  }
+
+  uint64_t in_service_expired = 0;
+  if (!live.empty()) {
+    const std::size_t n = live.size();
+    const HammingIndex* index = indexes_[live.front()->index_id];
+    const QueryKind kind = live.front()->req.kind;
+    std::vector<QueryRequest> requests;
+    requests.reserve(n);
+    for (auto& p : live) requests.push_back(std::move(p->req));
+    std::vector<QueryResponse> responses(n);
+
+    obs::Stopwatch service_watch;
+    Status batch_status =
+        kind == QueryKind::kKnn
+            ? index->KnnBatch({requests.data(), n}, {responses.data(), n})
+            : index->SearchBatch({requests.data(), n}, {responses.data(), n});
+    const auto service_time = std::chrono::nanoseconds(
+        static_cast<int64_t>(service_watch.ElapsedNanos()));
+    const auto done = std::chrono::steady_clock::now();
+
+    HAMMING_METRIC_OBSERVE(opts_.metrics, metrics_.batch_size, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::unique_ptr<Pending> p = std::move(live[i]);
+      ServeResult r;
+      r.response = std::move(responses[i]);
+      if (!batch_status.ok() && r.response.status.ok()) {
+        r.response.status = batch_status;
+      }
+      if (HasDeadline(p->deadline) && done > p->deadline &&
+          r.response.status.ok()) {
+        // Expired mid-service: the caller has stopped waiting, so the
+        // results are discarded and the expiry recorded.
+        r.response.ids.clear();
+        r.response.distances.clear();
+        r.response.has_distances = false;
+        r.response.neighbors.clear();
+        r.response.status =
+            Status::DeadlineExceeded("deadline expired during service");
+        ++in_service_expired;
+        HAMMING_METRIC_ADD(opts_.metrics, metrics_.deadline_expired, 1);
+      }
+      r.queue_wait = exec_start - p->enqueued;
+      r.response.stats.serving_queue_nanos =
+          static_cast<uint64_t>(r.queue_wait.count());
+      r.service_time = service_time;
+      r.batch_size = n;
+      r.completed_at = done;
+      HAMMING_METRIC_OBSERVE(opts_.metrics, metrics_.queue_wait_us,
+                             ToMicros(r.queue_wait));
+      HAMMING_METRIC_OBSERVE(opts_.metrics, metrics_.service_us,
+                             ToMicros(service_time));
+      HAMMING_METRIC_OBSERVE(opts_.metrics, metrics_.e2e_us,
+                             ToMicros(done - p->enqueued));
+      if (opts_.metrics != nullptr) {
+        metrics_.query_hists.Observe(opts_.metrics, r.response.stats);
+      }
+      p->promise.set_value(std::move(r));
+    }
+  }
+
+  MutexLock lock(&mu_);
+  counters_.deadline_expired += expired + in_service_expired;
+  if (!live.empty()) {
+    ++counters_.batches;
+    counters_.batched_queries += live.size();
+    HAMMING_METRIC_ADD(opts_.metrics, metrics_.batches, 1);
+  }
+}
+
+}  // namespace hamming::serving

@@ -370,5 +370,158 @@ TEST(IndexKnn, DistanceTiesAtTheCutStayExact) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// The batch-first query surface (SearchBatch / KnnBatch): every index —
+// native override or looping default — must answer a batch exactly as it
+// answers the same queries one at a time, and the per-match distances an
+// index reports (has_distances) must be the true distances.
+// ---------------------------------------------------------------------------
+
+TEST(BatchApi, SearchBatchMatchesScalarForEveryIndex) {
+  auto codes = RandomCodes(500, 64, /*seed=*/314, /*clusters=*/8);
+  auto queries = RandomCodes(12, 64, /*seed=*/159, /*clusters=*/8);
+  queries.push_back(codes[7]);
+  for (const char* name : {"linear", "mh4", "hengine", "hmsearch", "radix",
+                           "sha8", "dha"}) {
+    auto index = MakeIndex(name);
+    ASSERT_TRUE(index->Build(codes).ok()) << name;
+    for (std::size_t h : {0ul, 2ul, 3ul}) {
+      std::vector<QueryRequest> requests;
+      for (const auto& q : queries) {
+        requests.push_back(QueryRequest::Range(q, h));
+      }
+      std::vector<QueryResponse> responses(requests.size());
+      ASSERT_TRUE(index
+                      ->SearchBatch({requests.data(), requests.size()},
+                                    {responses.data(), responses.size()})
+                      .ok())
+          << name;
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        ASSERT_TRUE(responses[i].status.ok()) << name << " query " << i;
+        auto scalar = index->Search(queries[i], h);
+        ASSERT_TRUE(scalar.ok()) << name;
+        EXPECT_EQ(responses[i].ids, *scalar)
+            << name << " h=" << h << " query " << i;
+        if (responses[i].has_distances) {
+          ASSERT_EQ(responses[i].distances.size(), responses[i].ids.size())
+              << name;
+          for (std::size_t j = 0; j < responses[i].ids.size(); ++j) {
+            EXPECT_EQ(responses[i].distances[j],
+                      codes[responses[i].ids[j]].Distance(queries[i]))
+                << name << " query " << i << " match " << j;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchApi, KnnBatchMatchesScalarKnn) {
+  auto codes = RandomCodes(300, 64, /*seed=*/271, /*clusters=*/8);
+  auto queries = RandomCodes(8, 64, /*seed=*/828, /*clusters=*/8);
+  for (const char* name : {"linear", "dha", "sha8"}) {
+    auto index = MakeIndex(name);
+    ASSERT_TRUE(index->Build(codes).ok()) << name;
+    std::vector<QueryRequest> requests;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      requests.push_back(QueryRequest::Knn(queries[i], 1 + 3 * i));
+    }
+    std::vector<QueryResponse> responses(requests.size());
+    ASSERT_TRUE(index
+                    ->KnnBatch({requests.data(), requests.size()},
+                               {responses.data(), responses.size()})
+                    .ok())
+        << name;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      ASSERT_TRUE(responses[i].status.ok()) << name;
+      auto scalar = index->Knn(queries[i], requests[i].k);
+      ASSERT_TRUE(scalar.ok()) << name;
+      EXPECT_EQ(responses[i].neighbors, *scalar) << name << " query " << i;
+    }
+  }
+}
+
+TEST(BatchApi, MismatchedSpansRejected) {
+  auto codes = RandomCodes(32, 32, /*seed=*/4);
+  LinearScanIndex index;
+  ASSERT_TRUE(index.Build(codes).ok());
+  std::vector<QueryRequest> requests(2, QueryRequest::Range(codes[0], 1));
+  std::vector<QueryResponse> responses(1);
+  EXPECT_TRUE(index
+                  .SearchBatch({requests.data(), requests.size()},
+                               {responses.data(), responses.size()})
+                  .IsInvalidArgument());
+  EXPECT_TRUE(index
+                  .KnnBatch({requests.data(), requests.size()},
+                            {responses.data(), responses.size()})
+                  .IsInvalidArgument());
+}
+
+TEST(BatchApi, PerRequestFailureDoesNotPoisonTheBatch) {
+  auto codes = RandomCodes(64, 32, /*seed=*/6);
+  auto dha = MakeIndex("dha");
+  ASSERT_TRUE(dha->Build(codes).ok());
+  std::vector<QueryRequest> requests;
+  requests.push_back(QueryRequest::Range(codes[0], 2));
+  requests.push_back(
+      QueryRequest::Range(RandomCodes(1, 16, /*seed=*/8)[0], 2));  // bad len
+  requests.push_back(QueryRequest::Range(codes[1], 2));
+  std::vector<QueryResponse> responses(requests.size());
+  ASSERT_TRUE(dha->SearchBatch({requests.data(), requests.size()},
+                               {responses.data(), responses.size()})
+                  .ok());
+  EXPECT_TRUE(responses[0].status.ok());
+  EXPECT_TRUE(responses[1].status.IsInvalidArgument());
+  EXPECT_TRUE(responses[2].status.ok());
+  EXPECT_EQ(responses[0].ids, *dha->Search(codes[0], 2));
+  EXPECT_EQ(responses[2].ids, *dha->Search(codes[1], 2));
+}
+
+// ---------------------------------------------------------------------------
+// The geometric (distance-guided) kNN radius expansion: fewer rounds and
+// less re-scan waste than the legacy h += 1 walk, with identical results.
+// ---------------------------------------------------------------------------
+
+TEST(IndexKnn, GeometricExpansionBoundsRoundsAndRecordsWaste) {
+  auto codes = RandomCodes(500, 64, /*seed=*/41, /*clusters=*/8);
+  LinearScanIndex truth;
+  ASSERT_TRUE(truth.Build(codes).ok());
+  auto dha = MakeIndex("dha");  // batch path reports distances
+  ASSERT_TRUE(dha->Build(codes).ok());
+  auto queries = RandomCodes(8, 64, /*seed=*/43, /*clusters=*/8);
+  for (const auto& q : queries) {
+    obs::QueryStats stats;
+    auto got = dha->Knn(q, 10, &stats);
+    ASSERT_TRUE(got.ok());
+    auto exact = truth.Knn(q, 10);
+    ASSERT_TRUE(exact.ok());
+    ASSERT_EQ(got->size(), exact->size());
+    for (std::size_t i = 0; i < got->size(); ++i) {
+      EXPECT_EQ((*got)[i].second, (*exact)[i].second) << "rank " << i;
+    }
+    // Geometric doubling over 64-bit codes: radii 0,1,3,7,15,31,63 — at
+    // most 7 rounds, where the legacy walk would take up to (k-th
+    // distance + 1) rounds.
+    EXPECT_LE(stats.radius_expansions, 7u);
+  }
+}
+
+TEST(IndexKnn, RescannedResultsCountsRadiusExpansionWaste) {
+  // Two codes one bit apart. Knn(zero, 2) needs two rounds (h=0 finds
+  // only the exact match), and the second round re-returns it — exactly
+  // one re-scanned result.
+  BinaryCode zero(32);
+  BinaryCode near = zero;
+  near.FlipBit(3);
+  auto dha = MakeIndex("dha");
+  ASSERT_TRUE(dha->Build({zero, near}).ok());
+  obs::QueryStats stats;
+  auto got = dha->Knn(zero, 2, &stats);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got->size(), 2u);
+  EXPECT_EQ(stats.radius_expansions, 2u);
+  EXPECT_EQ(stats.rescanned_results, 1u);
+}
+
 }  // namespace
 }  // namespace hamming

@@ -199,6 +199,67 @@ TEST(Kernels, BatchKnnMatchesSortedScalarDistances) {
   }
 }
 
+TEST(Kernels, MultiWithinDistanceMatchesScalarLoop) {
+  for (Backend backend : BackendsUnderTest()) {
+    ScopedBackend pin(backend);
+    for (std::size_t bits : {64ul, 225ul}) {
+      auto codes = RandomCodes(700, bits, /*seed=*/5 * bits, /*clusters=*/4);
+      auto store = CodeStore::FromCodes(codes).ValueOrDie();
+      auto queries = RandomCodes(9, bits, /*seed=*/23 + bits, /*clusters=*/3);
+      std::vector<const BinaryCode*> qptrs;
+      std::vector<std::size_t> radii;
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        qptrs.push_back(&queries[q]);
+        radii.push_back(q * bits / 12);  // mix of selectivities incl. 0
+      }
+      std::vector<std::vector<SlotDistance>> hits;
+      MultiWithinDistance(store, qptrs.data(), radii.data(), qptrs.size(),
+                          &hits);
+      ASSERT_EQ(hits.size(), queries.size());
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        std::vector<SlotDistance> ref;
+        for (std::size_t i = 0; i < codes.size(); ++i) {
+          auto d = static_cast<uint32_t>(codes[i].Distance(queries[q]));
+          if (d <= radii[q]) {
+            ref.push_back({static_cast<uint32_t>(i), d});
+          }
+        }
+        ASSERT_EQ(hits[q].size(), ref.size())
+            << BackendName(backend) << " bits=" << bits << " q=" << q;
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+          EXPECT_TRUE(hits[q][i] == ref[i]) << "q=" << q << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Kernels, MultiKnnMatchesBatchKnn) {
+  for (Backend backend : BackendsUnderTest()) {
+    ScopedBackend pin(backend);
+    for (std::size_t bits : {64ul, 225ul}) {
+      auto codes = RandomCodes(400, bits, /*seed=*/7 * bits, /*clusters=*/4);
+      auto store = CodeStore::FromCodes(codes).ValueOrDie();
+      auto queries = RandomCodes(6, bits, /*seed=*/31 + bits);
+      std::vector<const BinaryCode*> qptrs;
+      // Mixed k per query, including 0 and beyond the dataset size.
+      std::vector<std::size_t> ks = {0, 1, 10, 64, 400, 500};
+      for (const auto& q : queries) qptrs.push_back(&q);
+      std::vector<std::vector<std::pair<uint32_t, uint32_t>>> got;
+      MultiKnn(store, qptrs.data(), ks.data(), qptrs.size(), &got);
+      ASSERT_EQ(got.size(), queries.size());
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        auto ref = BatchKnn(queries[q], store, ks[q]);
+        ASSERT_EQ(got[q].size(), ref.size())
+            << BackendName(backend) << " bits=" << bits << " q=" << q;
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+          EXPECT_EQ(got[q][i], ref[i]) << "q=" << q << " rank " << i;
+        }
+      }
+    }
+  }
+}
+
 TEST(Kernels, FuzzPortableAndActiveBackendsAgree) {
   // 10k-code pass per length: the two implementations (and the scalar
   // reference, spot-checked) must produce identical distance arrays.

@@ -78,6 +78,7 @@ ALLOWED_EDGES = {
     "mapreduce": {"common", "observability", "storage"},
     "mrjoin": {"code", "common", "dataset", "hashing", "index", "join",
                "knn", "mapreduce", "observability"},
+    "serving": {"code", "common", "index", "kernels", "observability"},
 }
 
 # Per-file exceptions to ALLOWED_EDGES, as {relative path: extra target
