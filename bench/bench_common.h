@@ -105,11 +105,15 @@ inline double MeasureQueryMillis(
     const obs::QueryStatsHistograms& hists = {}) {
   obs::Stopwatch watch;
   std::size_t sink = 0;
+  // One single-request batch per query: this measures *per-query*
+  // latency (the batch-amortization study lives in bench_serving).
+  QueryResponse resp;
   for (const auto& q : queries) {
-    obs::QueryStats stats;
-    auto got = index.Search(q, h, metrics != nullptr ? &stats : nullptr);
-    if (got.ok()) sink += got->size();
-    if (metrics != nullptr) hists.Observe(metrics, stats);
+    QueryRequest req = QueryRequest::Range(q, h);
+    if (index.SearchBatch({&req, 1}, {&resp, 1}).ok() && resp.status.ok()) {
+      sink += resp.ids.size();
+    }
+    if (metrics != nullptr) hists.Observe(metrics, resp.stats);
   }
   double ms = watch.ElapsedMillis() / static_cast<double>(queries.size());
   // Defeat dead-code elimination.

@@ -145,9 +145,11 @@ void SearchBench(benchmark::State& state, MakeIndex make) {
   }
   Rng rng(7);
   std::size_t qi = 0;
+  QueryResponse resp;
   for (auto _ : state) {
-    auto got = index->Search(codes[qi % codes.size()], 3);
-    benchmark::DoNotOptimize(got);
+    QueryRequest req = QueryRequest::Range(codes[qi % codes.size()], 3);
+    benchmark::DoNotOptimize(index->SearchBatch({&req, 1}, {&resp, 1}));
+    benchmark::DoNotOptimize(resp.ids.data());
     qi += 97;
   }
 }

@@ -17,6 +17,14 @@
 // offered. Past that point an open-loop system shows its overload
 // honestly: rejections and runaway p999.
 //
+// Churn mode: the same engine serving a ConcurrentHAIndex while worker
+// threads mix inserts/deletes (applied directly to the index, which
+// serializes them) with queries at configurable ratios — the
+// reads-during-writes operating point of the epoch/snapshot layer.
+// Ratios/threads via --churn-insert= --churn-delete= --churn-threads=
+// --churn-ops=; rows land in the "churn" section with mutation rate and
+// epoch-motion columns next to the query QPS/latency.
+//
 // Output: human-readable tables + BENCH_serving.json with p50/p99/p999
 // per row and a "max_sustainable" section. --smoke shrinks everything to
 // a CI-sized run (scripts/check.sh validates the JSON artifact).
@@ -25,6 +33,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "index/concurrent_ha_index.h"
 #include "index/linear_scan.h"
 #include "serving/load_gen.h"
 #include "serving/query_engine.h"
@@ -33,9 +42,12 @@ namespace hamming {
 namespace {
 
 using bench::BenchReport;
+using serving::ChurnOptions;
+using serving::ChurnReport;
 using serving::LoadReport;
 using serving::QueryEngine;
 using serving::QueryEngineOptions;
+using serving::RunChurn;
 using serving::RunClosedLoop;
 using serving::RunOpenLoop;
 using serving::WorkloadOptions;
@@ -78,9 +90,23 @@ int main(int argc, char** argv) {
   using namespace hamming;
   bool smoke = false;
   std::string out_path;
+  double churn_insert = 0.2, churn_delete = 0.1;
+  std::size_t churn_threads = 4, churn_ops = 0;  // 0 = pick by scale
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+    if (std::strncmp(argv[i], "--churn-insert=", 15) == 0) {
+      churn_insert = std::atof(argv[i] + 15);
+    }
+    if (std::strncmp(argv[i], "--churn-delete=", 15) == 0) {
+      churn_delete = std::atof(argv[i] + 15);
+    }
+    if (std::strncmp(argv[i], "--churn-threads=", 16) == 0) {
+      churn_threads = static_cast<std::size_t>(std::atol(argv[i] + 16));
+    }
+    if (std::strncmp(argv[i], "--churn-ops=", 12) == 0) {
+      churn_ops = static_cast<std::size_t>(std::atol(argv[i] + 12));
+    }
   }
   auto args = bench::BenchArgs::Parse(argc, argv);
 
@@ -206,6 +232,70 @@ int main(int argc, char** argv) {
         .Str("section", "max_sustainable")
         .Str("config", cfg.name)
         .Num("max_sustainable_qps", max_sustainable);
+  }
+
+  // Churn mode: queries race a live insert/delete stream over the
+  // epoch/snapshot index. Mutations bypass the engine (the index
+  // serializes its own writers); queries go through it like any client.
+  {
+    const std::size_t churn_n =
+        smoke ? 8192 : args.Scaled(std::size_t{1} << 16);
+    if (churn_ops == 0) churn_ops = smoke ? 400 : args.Scaled(4000);
+    auto churn_codes = MakeCodes(churn_n, bits);
+    ConcurrentHAIndexOptions iopts;
+    iopts.metrics = &metrics;  // index.epoch_* land in the JSON snapshot
+    ConcurrentHAIndex cha(iopts);
+    if (!cha.Build(churn_codes).ok()) return 1;
+
+    QueryEngineOptions eopts;
+    eopts.num_workers = 2;
+    eopts.queue_capacity = 8192;
+    eopts.max_batch = 64;
+    eopts.metrics = &metrics;
+    QueryEngine engine(&cha, eopts);
+    if (!engine.Start().ok()) return 1;
+
+    ChurnOptions copts;
+    copts.insert_fraction = churn_insert;
+    copts.delete_fraction = churn_delete;
+    copts.threads = churn_threads;
+    copts.ops_per_thread = churn_ops;
+    copts.workload = workload;
+    ChurnReport r = RunChurn(&engine, &cha, churn_codes, copts);
+    engine.Shutdown();
+
+    std::printf("\nChurn: %zu threads x %zu ops (insert %.0f%% / delete "
+                "%.0f%% / query %.0f%%), n=%zu codes\n",
+                copts.threads, copts.ops_per_thread,
+                100 * copts.insert_fraction, 100 * copts.delete_fraction,
+                100 * (1 - copts.insert_fraction - copts.delete_fraction),
+                churn_n);
+    std::printf("%-10s %12s %10s %10s %10s %12s %8s\n", "config", "mut/s",
+                "qps", "p50_us", "p99_us", "p999_us", "epochs");
+    std::printf("%s\n", bench::Separator());
+    std::printf("%-10s %12.0f %10.0f %10.1f %10.1f %12.1f %8llu\n", "churn",
+                r.mutations_per_second, r.query_qps, r.latency.p50_us,
+                r.latency.p99_us, r.latency.p999_us,
+                static_cast<unsigned long long>(r.epochs_published));
+    report.AddRow()
+        .Str("section", "churn")
+        .Str("config", "batched")
+        .Num("threads", static_cast<double>(copts.threads))
+        .Num("insert_fraction", copts.insert_fraction)
+        .Num("delete_fraction", copts.delete_fraction)
+        .Num("inserts", static_cast<double>(r.inserts))
+        .Num("deletes", static_cast<double>(r.deletes))
+        .Num("mutations_per_sec", r.mutations_per_second)
+        .Num("epochs_published", static_cast<double>(r.epochs_published))
+        .Num("rebuilds", static_cast<double>(r.rebuilds))
+        .Num("completed", static_cast<double>(r.query_completed))
+        .Num("rejected", static_cast<double>(r.query_rejected))
+        .Num("expired", static_cast<double>(r.query_expired))
+        .Num("qps", r.query_qps)
+        .Num("p50_us", r.latency.p50_us)
+        .Num("p99_us", r.latency.p99_us)
+        .Num("p999_us", r.latency.p999_us)
+        .Num("max_us", r.latency.max_us);
   }
 
   return report.Write(&metrics, out_path) ? 0 : 1;

@@ -53,16 +53,24 @@ int main() {
   for (double& v : edited) v += rng.Gaussian(0.0, 1e-3);
   BinaryCode probe = hash->Hash(edited);
 
+  // A batch of one through the batch-first surface; a real dedup
+  // pipeline would coalesce many probes per SearchBatch call.
+  hamming::QueryRequest req = hamming::QueryRequest::Range(probe, 3);
+  hamming::QueryResponse resp;
   watch.Restart();
-  auto dup = index.Search(probe, /*h=*/3).ValueOrDie();
+  // Well-formed probe over matching spans; failure is impossible.
+  (void)index.SearchBatch({&req, 1}, {&resp, 1});
   double ha_ms = watch.ElapsedMillis();
+  std::vector<TupleId> dup = std::move(resp.ids);
 
   LinearScanIndex scan;
   // Build on in-memory codes cannot fail.
   (void)scan.Build(codes);
   watch.Restart();
-  auto dup_scan = scan.Search(probe, /*h=*/3).ValueOrDie();
+  // Same well-formed probe as above; failure is impossible.
+  (void)scan.SearchBatch({&req, 1}, {&resp, 1});
   double scan_ms = watch.ElapsedMillis();
+  std::vector<TupleId> dup_scan = std::move(resp.ids);
 
   std::printf("\nnear-duplicates of edited image 4242 (h<=3): %zu found\n",
               dup.size());

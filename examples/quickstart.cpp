@@ -31,17 +31,20 @@ int main() {
     return 1;
   }
 
-  // Example 1: h-select(tq, S) with tq = "101100010" and h = 3.
+  // Example 1: h-select(tq, S) with tq = "101100010" and h = 3, through
+  // the batch-first query surface (a batch of one).
   auto tq = BinaryCode::FromString("101100010").ValueOrDie();
-  auto result = index.Search(tq, /*h=*/3);
-  if (!result.ok()) {
+  hamming::QueryRequest req = hamming::QueryRequest::Range(tq, /*radius=*/3);
+  hamming::QueryResponse resp;
+  st = index.SearchBatch({&req, 1}, {&resp, 1});
+  if (!st.ok() || !resp.status.ok()) {
     std::fprintf(stderr, "search failed: %s\n",
-                 result.status().ToString().c_str());
+                 (st.ok() ? resp.status : st).ToString().c_str());
     return 1;
   }
 
   std::printf("h-select(tq=%s, h=3) = {", tq.ToString().c_str());
-  auto ids = hamming::Sorted(*result);
+  auto ids = hamming::Sorted(resp.ids);
   for (std::size_t i = 0; i < ids.size(); ++i) {
     std::printf("%st%u", i ? ", " : "", ids[i]);
   }

@@ -22,8 +22,15 @@
 # unbatched engine configs) and validates the JSON artifact: every
 # latency row must carry ordered p50/p99/p999, each config must report a
 # positive max-sustainable rate, and the batched/unbatched speedup
-# summary must be present. The TSan pass also runs the Serving* suites
-# (worker pool, batcher, admission control under concurrent clients).
+# summary must be present. The smoke run also drives the mixed
+# insert/delete/query churn workload against a ConcurrentHAIndex, and
+# the validator requires the churn row: a positive mutation rate,
+# published epochs, and ordered percentiles, proving reads-during-writes
+# actually ran. The TSan pass also runs the Serving* suites (worker
+# pool, batcher, admission control under concurrent clients) plus the
+# epoch/snapshot suites (ConcurrentIndex*, ChurnStress*, DynamicHAAudit*:
+# snapshot immutability, N-reader/1-mutator churn, swap-remove
+# invariants) — the data-race gate for the concurrent index.
 #
 # The lint stage runs the repo-invariant linter (tools/lint/lint.py:
 # layering DAG, raw-sync ban, metric-arg purity, nodiscard discipline) —
@@ -128,8 +135,21 @@ assert len(sustainable) == 2, "expected one max_sustainable row per engine confi
 assert all(r["max_sustainable_qps"] > 0 for r in sustainable), "no sustainable rate found"
 speedup = [r for r in rows if r["section"] == "summary"]
 assert speedup and "batched_over_unbatched" in speedup[0], "missing speedup summary"
+churn = [r for r in rows if r["section"] == "churn"]
+assert churn, "missing churn row (mixed insert/delete/query workload)"
+for r in churn:
+    for field in ("threads", "insert_fraction", "delete_fraction", "inserts",
+                  "deletes", "mutations_per_sec", "epochs_published",
+                  "completed", "qps", "p50_us", "p99_us", "p999_us"):
+        assert field in r, f"churn row missing {field!r}: {r}"
+    assert r["mutations_per_sec"] > 0, f"churn ran no mutations: {r}"
+    assert r["epochs_published"] > 0, f"churn published no epochs: {r}"
+    assert r["completed"] > 0, f"churn completed no queries: {r}"
+    assert r["p50_us"] <= r["p99_us"] <= r["p999_us"], f"percentiles out of order: {r}"
 print(f"serving OK ({len(latency_rows)} latency rows, "
-      f"batched/unbatched {speedup[0]['batched_over_unbatched']:.2f}x)")
+      f"batched/unbatched {speedup[0]['batched_over_unbatched']:.2f}x, "
+      f"churn {churn[0]['mutations_per_sec']:.0f} mut/s over "
+      f"{churn[0]['epochs_published']:.0f} epochs)")
 PY
 
 if [[ "$SKIP_ASAN" == "1" ]]; then
@@ -154,7 +174,7 @@ else
     >/dev/null
   cmake --build build-tsan -j --target hamming_tests
   ./build-tsan/tests/hamming_tests --gtest_filter=\
-'MapReduce*:FaultTolerance*:PlanFaultTolerance*:CancelToken*:ThreadPool*:Concurrency*:Metrics*:TraceJson*:VerticalStore*:Kernels.VerticalScanSharedAcrossThreads:Serving*'
+'MapReduce*:FaultTolerance*:PlanFaultTolerance*:CancelToken*:ThreadPool*:Concurrency*:Metrics*:TraceJson*:VerticalStore*:Kernels.VerticalScanSharedAcrossThreads:Serving*:ConcurrentIndex*:ChurnStress*:DynamicHAAudit*'
   echo "==> TSan: MapReduce + external shuffle under a 64 KiB budget"
   HAMMING_SHUFFLE_BUDGET=65536 ./build-tsan/tests/hamming_tests --gtest_filter=\
 'MapReduce*:FaultTolerance*:PlanFaultTolerance*:Shuffle*'

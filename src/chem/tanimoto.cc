@@ -61,8 +61,14 @@ Result<std::vector<TupleId>> TanimotoSearcher::Search(
   for (auto it = buckets_.lower_bound(lo);
        it != buckets_.end() && it->first <= hi; ++it) {
     std::size_t h = TanimotoHammingBound(threshold, q, it->first);
-    HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> candidates,
-                             it->second.Search(query, h, stats));
+    // Each popcount bucket is its own index, so the batch surface sees
+    // one single-request batch per qualifying bucket.
+    QueryRequest req = QueryRequest::Range(query, h);
+    QueryResponse resp;
+    HAMMING_RETURN_NOT_OK(it->second.SearchBatch({&req, 1}, {&resp, 1}));
+    HAMMING_RETURN_NOT_OK(resp.status);
+    if (stats != nullptr) *stats += resp.stats;
+    const std::vector<TupleId>& candidates = resp.ids;
     if (stats != nullptr) {
       stats->exact_distance_computations += candidates.size();
     }

@@ -487,11 +487,22 @@ Result<std::vector<JoinPair>> DynamicHAIndex::JoinWith(
     }
   }
 
-  // Buffered inserts on either side fall back to per-code probing.
-  for (const auto& [rid, rcode] : buffer_) {
-    HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> matches,
-                             other.Search(rcode, h));
-    for (TupleId s : matches) out.push_back({rid, s});
+  // Buffered inserts on this side probe the other index through one
+  // coalesced batch (bounded by the flush threshold).
+  if (!buffer_.empty()) {
+    std::vector<QueryRequest> reqs;
+    reqs.reserve(buffer_.size());
+    for (const auto& [rid, rcode] : buffer_) {
+      reqs.push_back(QueryRequest::Range(rcode, h));
+    }
+    std::vector<QueryResponse> resps(reqs.size());
+    HAMMING_RETURN_NOT_OK(other.SearchBatch(reqs, resps));
+    for (std::size_t i = 0; i < resps.size(); ++i) {
+      HAMMING_RETURN_NOT_OK(resps[i].status);
+      for (TupleId s : resps[i].ids) {
+        out.push_back({buffer_[i].first, s});
+      }
+    }
   }
   for (const auto& [sid, scode] : other.buffer_) {
     // Probe only the built part of this index (buffer x buffer pairs were
@@ -537,6 +548,76 @@ HAIndexStats DynamicHAIndex::Stats() const {
     }
   }
   return stats;
+}
+
+std::vector<std::pair<TupleId, BinaryCode>> DynamicHAIndex::ExportTuples()
+    const {
+  std::vector<std::pair<TupleId, BinaryCode>> out;
+  out.reserve(num_tuples_);
+  std::vector<uint32_t> stack(roots_.begin(), roots_.end());
+  while (!stack.empty()) {
+    uint32_t cur = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[cur];
+    if (n.is_leaf) {
+      // A leaf's cumulative pattern is the full code.
+      for (TupleId id : n.tuple_ids) {
+        out.emplace_back(id, n.cumulative.value());
+      }
+    } else {
+      for (uint32_t c : n.children) stack.push_back(c);
+    }
+  }
+  out.insert(out.end(), buffer_.begin(), buffer_.end());
+  return out;
+}
+
+Status DynamicHAIndex::CheckConsistency() const {
+  // Insert buffer and its kernel mirrors must agree slot-for-slot.
+  if (buffer_store_.size() != buffer_.size() ||
+      buffer_vstore_.size() != buffer_.size()) {
+    return Status::IndexError("buffer/mirror size mismatch");
+  }
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    if (!buffer_store_.Matches(i, buffer_[i].second)) {
+      return Status::IndexError("buffer_store_ slot diverged from buffer_");
+    }
+  }
+  if (!buffer_vstore_.IsTransposeOf(buffer_store_)) {
+    return Status::IndexError(
+        "buffer_vstore_ is not the transpose of buffer_store_");
+  }
+  // Forest frequencies: every live node's frequency is the number of
+  // live tuples below it; leaves carry their id-table size.
+  std::size_t leaf_tuples = 0;
+  std::vector<uint32_t> stack(roots_.begin(), roots_.end());
+  while (!stack.empty()) {
+    uint32_t cur = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[cur];
+    if (!n.alive) {
+      return Status::IndexError("dead node reachable from the roots");
+    }
+    if (n.is_leaf) {
+      if (opts_.store_tuple_ids && n.frequency != n.tuple_ids.size()) {
+        return Status::IndexError("leaf frequency != tuple-id count");
+      }
+      leaf_tuples += n.frequency;
+    } else {
+      uint32_t below = 0;
+      for (uint32_t c : n.children) {
+        below += nodes_[c].frequency;
+        stack.push_back(c);
+      }
+      if (n.frequency != below) {
+        return Status::IndexError("internal frequency != sum of children");
+      }
+    }
+  }
+  if (leaf_tuples + buffer_.size() != num_tuples_) {
+    return Status::IndexError("size() != leaf tuples + buffered inserts");
+  }
+  return Status::OK();
 }
 
 Status DynamicHAIndex::MergeFrom(const DynamicHAIndex& other) {

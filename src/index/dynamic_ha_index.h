@@ -129,6 +129,21 @@ class DynamicHAIndex final : public HammingIndex {
   /// \brief Structural statistics (node/edge counts, depth).
   HAIndexStats Stats() const;
 
+  /// \brief The indexed corpus as (id, code) pairs — leaf walk plus the
+  /// insert buffer, order unspecified. Requires store_tuple_ids. The
+  /// epoch layer's snapshot tests use it as the frozen ground truth;
+  /// rebuilds of a wrapped index source from it.
+  std::vector<std::pair<TupleId, BinaryCode>> ExportTuples() const;
+
+  /// \brief Audits the SwapRemove-era cross-structure invariants after a
+  /// mutation stream: the insert buffer and both kernel mirrors agree
+  /// slot-for-slot (buffer_vstore_ is the exact transpose of
+  /// buffer_store_, which matches buffer_), every forest frequency
+  /// equals the live tuples below it, and size() equals leaves + buffer.
+  /// Returns the first violated invariant; OK when consistent. Test and
+  /// debug hook — walks the whole structure, not for hot paths.
+  Status CheckConsistency() const;
+
   /// \brief Merges another HA-Index into this one (the global-index merge
   /// of Section 5.2): the other forest's roots are adopted, and roots
   /// whose FLSSeq equals an existing root's are consolidated.

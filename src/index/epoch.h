@@ -1,0 +1,136 @@
+// Epoch-based snapshot publication for reads-during-writes indexes.
+//
+// The concurrency scheme is publish-and-pin: a single logical mutator
+// builds the next index state privately, wraps it in an immutable
+// snapshot object, and *publishes* it by swapping one shared pointer
+// under a short critical section. Readers *pin* whatever snapshot is
+// current — a shared_ptr copy — and then run entirely lock-free against
+// immutable data; a batch that pins once answers every query in the
+// batch against exactly one published epoch.
+//
+// Reclamation is deferred, not immediate: a superseded snapshot is moved
+// to a retired list, and retired entries are freed at later publish
+// boundaries once their reference count says no reader still pins them.
+// This is safe without any reader-side epoch counters because Pin() is
+// the only way to obtain a strong reference and Pin() only ever copies
+// `current_`: the moment a snapshot leaves `current_` its refcount can
+// only fall. A reader racing the sweep merely delays reclamation to the
+// next publish; it can never resurrect a retired snapshot.
+//
+// Lock-order note: the publisher's internal mutex is a leaf lock — no
+// callback runs and no other lock is acquired while it is held. Owners
+// that serialize mutators with their own lock (ConcurrentHAIndex's
+// write_mu_) therefore acquire that lock strictly before this one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/sync.h"
+#include "observability/metrics.h"
+
+namespace hamming {
+
+/// \brief Metric handles of one EpochPublisher (see RegisterEpochMetrics).
+struct EpochMetricIds {
+  obs::MetricId published = obs::kOverflowMetric;  // counter: snapshots swapped in
+  obs::MetricId reclaimed = obs::kOverflowMetric;  // counter: retired snapshots freed
+  obs::MetricId retired = obs::kOverflowMetric;    // gauge: high-watermark of the retired list
+  obs::MetricId current = obs::kOverflowMetric;    // gauge: latest published epoch number
+  obs::MetricId pins = obs::kOverflowMetric;       // counter: Pin() calls (one per batch, not per query)
+};
+
+/// \brief Single-writer/multi-reader snapshot publication point.
+///
+/// SnapT is the immutable snapshot type. Publish() is serialized by the
+/// owner (it is called with the owner's mutator lock held); Pin() and the
+/// observers may be called from any thread at any time.
+template <typename SnapT>
+class EpochPublisher {
+ public:
+  using Ptr = std::shared_ptr<const SnapT>;
+
+  /// Registers index.epoch_* metrics under `prefix` when `metrics` is
+  /// non-null; a null registry compiles recording out entirely.
+  explicit EpochPublisher(obs::MetricsRegistry* metrics = nullptr,
+                          std::string_view prefix = "index")
+      : metrics_(metrics) {
+    if (metrics_ != nullptr) {
+      const std::string p(prefix);
+      ids_.published = metrics_->Counter(p + ".epoch_published");
+      ids_.reclaimed = metrics_->Counter(p + ".epoch_reclaimed");
+      ids_.retired = metrics_->Gauge(p + ".epoch_retired");
+      ids_.current = metrics_->Gauge(p + ".epoch_current");
+      ids_.pins = metrics_->Counter(p + ".epoch_pins");
+    }
+  }
+
+  /// \brief Returns a strong reference to the current snapshot (null only
+  /// before the first Publish). Constant-time; the only reader-side cost
+  /// of the whole scheme.
+  Ptr Pin() const {
+    MutexLock lock(&mu_);
+    HAMMING_METRIC_ADD(metrics_, ids_.pins, 1);
+    return current_;
+  }
+
+  /// \brief Installs `next` as the current snapshot under epoch number
+  /// `epoch`, retires the previous one, and sweeps the retired list —
+  /// every retired snapshot no longer pinned by any reader is freed here.
+  void Publish(Ptr next, uint64_t epoch) {
+    std::vector<Ptr> reclaim;  // freed outside the lock
+    {
+      MutexLock lock(&mu_);
+      if (current_ != nullptr) retired_.push_back(std::move(current_));
+      current_ = std::move(next);
+      epoch_ = epoch;
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < retired_.size(); ++i) {
+        // use_count() == 1 means the retired list holds the only strong
+        // reference: no reader can mint a new one (Pin copies current_
+        // alone), so the snapshot is quiescent and safe to free.
+        if (retired_[i].use_count() == 1) {
+          reclaim.push_back(std::move(retired_[i]));
+        } else {
+          retired_[kept++] = std::move(retired_[i]);
+        }
+      }
+      retired_.resize(kept);
+      HAMMING_METRIC_ADD(metrics_, ids_.published, 1);
+      HAMMING_METRIC_ADD(metrics_, ids_.reclaimed,
+                         static_cast<int64_t>(reclaim.size()));
+      HAMMING_METRIC_SET(metrics_, ids_.retired,
+                         static_cast<int64_t>(retired_.size()));
+      HAMMING_METRIC_SET(metrics_, ids_.current, static_cast<int64_t>(epoch_));
+    }
+  }
+
+  /// \brief Latest published epoch number (0 before the first Publish).
+  uint64_t epoch() const {
+    MutexLock lock(&mu_);
+    return epoch_;
+  }
+
+  /// \brief Retired snapshots still awaiting reader quiescence.
+  std::size_t retired_count() const {
+    MutexLock lock(&mu_);
+    return retired_.size();
+  }
+
+  /// \brief Metric ids (for tests asserting registration).
+  const EpochMetricIds& metric_ids() const { return ids_; }
+
+ private:
+  obs::MetricsRegistry* metrics_;
+  EpochMetricIds ids_;
+  mutable Mutex mu_;
+  Ptr current_ HAMMING_GUARDED_BY(mu_);
+  std::vector<Ptr> retired_ HAMMING_GUARDED_BY(mu_);
+  uint64_t epoch_ HAMMING_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace hamming

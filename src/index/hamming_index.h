@@ -44,7 +44,15 @@ struct JoinPair {
 /// answering Hamming range queries.
 ///
 /// Implementations: LinearScanIndex, MultiHashTableIndex, HEngineIndex,
-/// HmSearchIndex, RadixTreeIndex, StaticHAIndex, DynamicHAIndex.
+/// HmSearchIndex, RadixTreeIndex, StaticHAIndex, DynamicHAIndex,
+/// ConcurrentHAIndex.
+///
+/// Thread contract: the const entry points are safe to call from many
+/// threads concurrently as long as no thread mutates the index — plain
+/// indexes are externally synchronized. ConcurrentHAIndex is the
+/// internally synchronized exception: its readers may overlap an
+/// Insert/Delete stream and each batch call is answered against one
+/// published epoch snapshot (see index/concurrent_ha_index.h).
 class HammingIndex {
  public:
   virtual ~HammingIndex() = default;
@@ -67,11 +75,11 @@ class HammingIndex {
   /// nothing. Overrides restate the default so two-argument calls on
   /// concrete index types keep compiling.
   ///
-  /// \deprecated-next-PR As of the batch-first redesign this is the
-  /// one-query convenience shim over the SearchBatch surface (the
-  /// batched entry points are where the kernel amortization lives);
-  /// existing drivers/benches/tests keep compiling unchanged, but new
-  /// callers with more than one in-flight query should use SearchBatch.
+  /// Library code is batch-first: every driver, operator and bench goes
+  /// through SearchBatch (the [batch-first] lint rule enforces it under
+  /// src/ outside src/index/). This scalar entry point remains public as
+  /// the per-family *implementation* hook the default batch plan loops
+  /// over, and as the convenience surface tests and one-off probes use.
   virtual Result<std::vector<TupleId>> Search(
       const BinaryCode& query, std::size_t h,
       obs::QueryStats* stats = nullptr) const = 0;
@@ -119,8 +127,8 @@ class HammingIndex {
   /// Implementations with a cheaper native path override it
   /// (LinearScanIndex runs one batched scan with a bounded top-k heap).
   ///
-  /// \deprecated-next-PR One-query convenience shim; batch callers use
-  /// KnnBatch.
+  /// Like Search, this is the per-query engine under the batch surface
+  /// (KnnBatch's default loops it); library callers use KnnBatch.
   virtual Result<std::vector<std::pair<TupleId, uint32_t>>> Knn(
       const BinaryCode& query, std::size_t k,
       obs::QueryStats* stats = nullptr) const;

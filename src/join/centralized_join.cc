@@ -55,11 +55,25 @@ Result<std::vector<JoinPair>> IndexProbeJoin(
     const std::vector<BinaryCode>& s_codes, std::size_t h) {
   HAMMING_RETURN_NOT_OK(index->Build(r_codes));
   std::vector<JoinPair> out;
-  for (std::size_t j = 0; j < s_codes.size(); ++j) {
-    HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> matches,
-                             index->Search(s_codes[j], h));
-    for (TupleId r : matches) {
-      out.push_back({r, static_cast<TupleId>(j)});
+  // Probe in coalesced batches: one SearchBatch streams the R side once
+  // for every query in the chunk instead of once per S tuple.
+  constexpr std::size_t kProbeBatch = 64;
+  std::vector<QueryRequest> reqs;
+  std::vector<QueryResponse> resps;
+  for (std::size_t begin = 0; begin < s_codes.size(); begin += kProbeBatch) {
+    const std::size_t count = std::min(kProbeBatch, s_codes.size() - begin);
+    reqs.clear();
+    reqs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      reqs.push_back(QueryRequest::Range(s_codes[begin + i], h));
+    }
+    resps.resize(count);
+    HAMMING_RETURN_NOT_OK(index->SearchBatch(reqs, resps));
+    for (std::size_t i = 0; i < count; ++i) {
+      HAMMING_RETURN_NOT_OK(resps[i].status);
+      for (TupleId r : resps[i].ids) {
+        out.push_back({r, static_cast<TupleId>(begin + i)});
+      }
     }
   }
   return out;

@@ -23,8 +23,12 @@ Result<std::vector<Neighbor>> HammingKnnSearcher::Search(
   const std::size_t max_h = hash_->code_bits();
   std::size_t h = opts_.initial_h;
   std::vector<TupleId> candidates;
+  QueryResponse resp;
   for (;;) {
-    HAMMING_ASSIGN_OR_RETURN(candidates, index_->Search(qcode, h));
+    QueryRequest req = QueryRequest::Range(qcode, h);
+    HAMMING_RETURN_NOT_OK(index_->SearchBatch({&req, 1}, {&resp, 1}));
+    HAMMING_RETURN_NOT_OK(resp.status);
+    candidates = std::move(resp.ids);
     if (candidates.size() >= k || h >= max_h) break;
     h = std::min(max_h, h + opts_.h_step);
   }

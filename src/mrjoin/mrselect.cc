@@ -95,14 +95,19 @@ Result<MrSelectResult> RunMrSelect(const FloatMatrix& data,
     }
     DynamicHAIndex local(index_opts);
     HAMMING_RETURN_NOT_OK(local.BuildWithIds(ids, codes));
-    for (std::size_t q = 0; q < queries_ptr->size(); ++q) {
-      obs::QueryStats qstats;
-      HAMMING_ASSIGN_OR_RETURN(
-          std::vector<TupleId> matches,
-          local.Search((*queries_ptr)[q], h,
-                       metrics != nullptr ? &qstats : nullptr));
-      if (metrics != nullptr) query_hists.Observe(metrics, qstats);
-      for (TupleId id : matches) {
+    // The query set is the natural batch: one coalesced SearchBatch over
+    // the partition's local index answers every query.
+    std::vector<QueryRequest> reqs;
+    reqs.reserve(queries_ptr->size());
+    for (const BinaryCode& qcode : *queries_ptr) {
+      reqs.push_back(QueryRequest::Range(qcode, h));
+    }
+    std::vector<QueryResponse> resps(reqs.size());
+    HAMMING_RETURN_NOT_OK(local.SearchBatch(reqs, resps));
+    for (std::size_t q = 0; q < resps.size(); ++q) {
+      HAMMING_RETURN_NOT_OK(resps[q].status);
+      if (metrics != nullptr) query_hists.Observe(metrics, resps[q].stats);
+      for (TupleId id : resps[q].ids) {
         BufferWriter w;
         w.PutVarint64(q);
         w.PutVarint64(id);

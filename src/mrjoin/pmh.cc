@@ -92,16 +92,33 @@ Result<PmhResult> RunPmhJoin(const FloatMatrix& r_data,
                       const std::vector<std::vector<uint8_t>>& values,
                       mr::Emitter* out) -> Status {
     // One group per reducer: probe the broadcast R index with every S
-    // tuple of this partition.
-    for (const auto& v : values) {
-      HAMMING_ASSIGN_OR_RETURN(CodeTuple t, DecodeCodeTuple(v));
-      obs::QueryStats qstats;
-      HAMMING_ASSIGN_OR_RETURN(
-          std::vector<TupleId> matches,
-          r_index_ptr->Search(t.code, h,
-                              metrics != nullptr ? &qstats : nullptr));
-      if (metrics != nullptr) query_hists.Observe(metrics, qstats);
-      for (TupleId r : matches) out->Emit({}, EncodeJoinPair({r, t.id}));
+    // tuple of this partition, in coalesced batches (one sample per
+    // probe still lands in the work histograms).
+    constexpr std::size_t kProbeBatch = 64;
+    std::vector<TupleId> s_ids;
+    std::vector<QueryRequest> reqs;
+    s_ids.reserve(kProbeBatch);
+    reqs.reserve(kProbeBatch);
+    std::vector<QueryResponse> resps;
+    for (std::size_t begin = 0; begin < values.size(); begin += kProbeBatch) {
+      const std::size_t count = std::min(kProbeBatch, values.size() - begin);
+      s_ids.clear();
+      reqs.clear();
+      for (std::size_t i = 0; i < count; ++i) {
+        HAMMING_ASSIGN_OR_RETURN(CodeTuple t,
+                                 DecodeCodeTuple(values[begin + i]));
+        s_ids.push_back(t.id);
+        reqs.push_back(QueryRequest::Range(std::move(t.code), h));
+      }
+      resps.resize(count);
+      HAMMING_RETURN_NOT_OK(r_index_ptr->SearchBatch(reqs, resps));
+      for (std::size_t i = 0; i < count; ++i) {
+        HAMMING_RETURN_NOT_OK(resps[i].status);
+        if (metrics != nullptr) query_hists.Observe(metrics, resps[i].stats);
+        for (TupleId r : resps[i].ids) {
+          out->Emit({}, EncodeJoinPair({r, s_ids[i]}));
+        }
+      }
     }
     return Status::OK();
   };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <span>
 
 #include "common/sync.h"
 #include "join/centralized_join.h"
@@ -33,6 +34,30 @@ Result<std::vector<TupleId>> ScanSelect(
   return std::vector<TupleId>(slots.begin(), slots.end());
 }
 
+// One coalesced range batch: queries[i] answered into out[i]. The index's
+// SearchBatch plan streams the stored codes once for the whole span; any
+// per-request failure aborts the operator (requests here are internally
+// generated, never user-malformed).
+Status BatchSelectInto(const HammingIndex& index,
+                       std::span<const BinaryCode> queries, std::size_t h,
+                       std::span<std::vector<TupleId>> out) {
+  std::vector<QueryRequest> reqs(queries.size());
+  std::vector<QueryResponse> resps(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    reqs[i] = QueryRequest::Range(queries[i], h);
+  }
+  HAMMING_RETURN_NOT_OK(index.SearchBatch(reqs, resps));
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    HAMMING_RETURN_NOT_OK(resps[i].status);
+    out[i] = std::move(resps[i].ids);
+  }
+  return Status::OK();
+}
+
+// Queries per parallel chunk: wide enough that the multi-query kernel
+// has a real batch to coalesce, small enough to spread across the pool.
+constexpr std::size_t kParallelBatch = 32;
+
 }  // namespace
 
 Result<std::vector<TupleId>> HammingSelect(const HammingTable& s,
@@ -46,7 +71,10 @@ Result<std::vector<TupleId>> HammingSelect(const HammingTable& s,
     return ScanSelect(store, nullptr, query, h);
   }
   HAMMING_ASSIGN_OR_RETURN(DynamicHAIndex index, BuildIndex(s, opts.index));
-  return index.Search(query, h);
+  std::vector<TupleId> out;
+  HAMMING_RETURN_NOT_OK(
+      BatchSelectInto(index, {&query, 1}, h, {&out, 1}));
+  return out;
 }
 
 Result<std::vector<std::vector<TupleId>>> HammingSelectBatch(
@@ -75,22 +103,25 @@ Result<std::vector<std::vector<TupleId>>> HammingSelectBatch(
   }
   HAMMING_ASSIGN_OR_RETURN(DynamicHAIndex index, BuildIndex(s, opts.index));
   if (opts.pool == nullptr) {
-    for (std::size_t q = 0; q < queries.size(); ++q) {
-      HAMMING_ASSIGN_OR_RETURN(out[q], index.Search(queries[q], h));
-    }
+    HAMMING_RETURN_NOT_OK(BatchSelectInto(index, queries, h, out));
     return out;
   }
   // Parallel probing: the index is immutable during the batch, so worker
-  // threads share it without synchronization.
+  // threads share it without synchronization. Each task answers one
+  // contiguous chunk through the coalesced batch plan.
+  const std::size_t nchunks =
+      (queries.size() + kParallelBatch - 1) / kParallelBatch;
   Mutex error_mu;
   Status first_error = Status::OK();
-  ParallelFor(opts.pool, queries.size(), [&](std::size_t q) {
-    auto got = index.Search(queries[q], h);
-    if (got.ok()) {
-      out[q] = std::move(*got);
-    } else {
+  ParallelFor(opts.pool, nchunks, [&](std::size_t c) {
+    const std::size_t begin = c * kParallelBatch;
+    const std::size_t count = std::min(kParallelBatch, queries.size() - begin);
+    Status st = BatchSelectInto(
+        index, std::span<const BinaryCode>(queries).subspan(begin, count), h,
+        std::span<std::vector<TupleId>>(out).subspan(begin, count));
+    if (!st.ok()) {
       MutexLock lock(&error_mu);
-      if (first_error.ok()) first_error = got.status();
+      if (first_error.ok()) first_error = st;
     }
   });
   if (!first_error.ok()) return first_error;
@@ -113,33 +144,33 @@ Result<std::vector<JoinPair>> HammingJoin(const HammingTable& r,
                                BuildIndex(r, opts.index));
       std::vector<JoinPair> out;
       const auto& s_codes = s.codes();
+      std::vector<std::vector<TupleId>> matches(s_codes.size());
       if (opts.pool == nullptr) {
-        for (std::size_t j = 0; j < s_codes.size(); ++j) {
-          HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> matches,
-                                   index.Search(s_codes[j], h));
-          for (TupleId rid : matches) {
-            out.push_back({rid, static_cast<TupleId>(j)});
+        HAMMING_RETURN_NOT_OK(BatchSelectInto(index, s_codes, h, matches));
+      } else {
+        const std::size_t nchunks =
+            (s_codes.size() + kParallelBatch - 1) / kParallelBatch;
+        Mutex error_mu;
+        Status first_error = Status::OK();
+        ParallelFor(opts.pool, nchunks, [&](std::size_t c) {
+          const std::size_t begin = c * kParallelBatch;
+          const std::size_t count =
+              std::min(kParallelBatch, s_codes.size() - begin);
+          Status st = BatchSelectInto(
+              index,
+              std::span<const BinaryCode>(s_codes).subspan(begin, count), h,
+              std::span<std::vector<TupleId>>(matches).subspan(begin, count));
+          if (!st.ok()) {
+            MutexLock lock(&error_mu);
+            if (first_error.ok()) first_error = st;
           }
-        }
-        return out;
+        });
+        if (!first_error.ok()) return first_error;
       }
-      std::vector<std::vector<JoinPair>> partial(s_codes.size());
-      Mutex error_mu;
-      Status first_error = Status::OK();
-      ParallelFor(opts.pool, s_codes.size(), [&](std::size_t j) {
-        auto matches = index.Search(s_codes[j], h);
-        if (!matches.ok()) {
-          MutexLock lock(&error_mu);
-          if (first_error.ok()) first_error = matches.status();
-          return;
+      for (std::size_t j = 0; j < s_codes.size(); ++j) {
+        for (TupleId rid : matches[j]) {
+          out.push_back({rid, static_cast<TupleId>(j)});
         }
-        for (TupleId rid : *matches) {
-          partial[j].push_back({rid, static_cast<TupleId>(j)});
-        }
-      });
-      if (!first_error.ok()) return first_error;
-      for (auto& p : partial) {
-        out.insert(out.end(), p.begin(), p.end());
       }
       return out;
     }
@@ -158,8 +189,8 @@ Result<std::vector<TupleId>> SimilarityIntersect(const HammingTable& r,
                                                  const HammingTable& s,
                                                  std::size_t h,
                                                  const OperatorOptions& opts) {
-  // Semi-join: index S once, probe with each R tuple, stop at the first
-  // match (existence is enough — no pair materialization).
+  // Semi-join: index S once, probe with each R tuple, keep the ids whose
+  // probe found anything (existence is enough — no pair materialization).
   if (opts.plan == JoinPlan::kNestedLoops) {
     std::vector<TupleId> out;
     for (std::size_t i = 0; i < r.codes().size(); ++i) {
@@ -173,11 +204,11 @@ Result<std::vector<TupleId>> SimilarityIntersect(const HammingTable& r,
     return out;
   }
   HAMMING_ASSIGN_OR_RETURN(DynamicHAIndex index, BuildIndex(s, opts.index));
+  std::vector<std::vector<TupleId>> matches(r.codes().size());
+  HAMMING_RETURN_NOT_OK(BatchSelectInto(index, r.codes(), h, matches));
   std::vector<TupleId> out;
-  for (std::size_t i = 0; i < r.codes().size(); ++i) {
-    HAMMING_ASSIGN_OR_RETURN(std::vector<TupleId> matches,
-                             index.Search(r.codes()[i], h));
-    if (!matches.empty()) out.push_back(static_cast<TupleId>(i));
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    if (!matches[i].empty()) out.push_back(static_cast<TupleId>(i));
   }
   return out;
 }

@@ -191,4 +191,107 @@ LoadReport RunOpenLoop(QueryEngine* engine,
   return report;
 }
 
+ChurnReport RunChurn(QueryEngine* engine, ConcurrentHAIndex* index,
+                     const std::vector<BinaryCode>& pool,
+                     const ChurnOptions& opts) {
+  ChurnReport report;
+  if (pool.empty()) return report;
+  const std::size_t threads = std::max<std::size_t>(1, opts.threads);
+  const std::size_t initial = index->size();
+  const uint64_t epoch_start = index->epoch();
+  const uint64_t rebuilds_start = index->rebuilds();
+
+  struct WorkerResult {
+    uint64_t inserts = 0;
+    uint64_t deletes = 0;
+    LoadReport queries;  // attempted/completed/rejected/expired/failed
+    std::vector<double> latencies_us;
+  };
+  std::vector<WorkerResult> per_worker(threads);
+
+  obs::Stopwatch run_watch;
+  {
+    std::vector<Thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        WorkerResult& mine = per_worker[t];
+        Rng rng(opts.workload.seed + 0xd1b54a32d192ed03ull * (t + 1));
+        // Id sharding: this worker owns residue class t (mod threads) —
+        // its slice of the initial corpus plus every id it mints.
+        std::vector<std::pair<TupleId, BinaryCode>> owned;
+        for (std::size_t i = t; i < initial; i += threads) {
+          owned.emplace_back(static_cast<TupleId>(i), pool[i]);
+        }
+        TupleId next_id = static_cast<TupleId>(initial + t);
+        for (std::size_t op = 0; op < opts.ops_per_thread; ++op) {
+          const double draw = rng.UniformReal(0.0, 1.0);
+          const bool want_insert = draw < opts.insert_fraction;
+          const bool want_delete =
+              !want_insert && draw < opts.insert_fraction +
+                                         opts.delete_fraction;
+          if (want_insert || (want_delete && owned.empty())) {
+            const TupleId id = next_id;
+            next_id += static_cast<TupleId>(threads);
+            const BinaryCode& code = pool[id % pool.size()];
+            if (index->Insert(id, code).ok()) {
+              ++mine.inserts;
+              owned.emplace_back(id, code);
+            }
+          } else if (want_delete) {
+            const std::size_t pick = static_cast<std::size_t>(
+                rng.UniformInt(0, static_cast<int64_t>(owned.size()) - 1));
+            if (index->Delete(owned[pick].first, owned[pick].second).ok()) {
+              ++mine.deletes;
+              owned[pick] = std::move(owned.back());
+              owned.pop_back();
+            }
+          } else {
+            ++mine.queries.attempted;
+            obs::Stopwatch watch;
+            auto got = engine->Serve(DrawRequest(pool, opts.workload, &rng),
+                                     /*index_id=*/0, opts.workload.deadline);
+            if (!got.ok()) {
+              if (got.status().IsResourceExhausted()) {
+                ++mine.queries.rejected;
+              } else {
+                ++mine.queries.failed;
+              }
+              continue;
+            }
+            Tally(*got, watch.ElapsedMicros(), &mine.queries,
+                  &mine.latencies_us);
+          }
+        }
+      });
+    }
+    for (Thread& w : workers) w.join();
+  }
+
+  std::vector<double> all_latencies;
+  for (WorkerResult& wr : per_worker) {
+    report.inserts += wr.inserts;
+    report.deletes += wr.deletes;
+    report.query_attempted += wr.queries.attempted;
+    report.query_completed += wr.queries.completed;
+    report.query_rejected += wr.queries.rejected;
+    report.query_expired += wr.queries.expired;
+    report.query_failed += wr.queries.failed;
+    all_latencies.insert(all_latencies.end(), wr.latencies_us.begin(),
+                         wr.latencies_us.end());
+  }
+  report.elapsed_seconds = run_watch.ElapsedSeconds();
+  if (report.elapsed_seconds > 0.0) {
+    report.query_qps =
+        static_cast<double>(report.query_completed) / report.elapsed_seconds;
+    report.mutations_per_second =
+        static_cast<double>(report.inserts + report.deletes) /
+        report.elapsed_seconds;
+  }
+  report.epochs_published = index->epoch() - epoch_start;
+  report.rebuilds = index->rebuilds() - rebuilds_start;
+  report.latency = LatencySummary::FromSamples(&all_latencies);
+  return report;
+}
+
 }  // namespace hamming::serving

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "code/binary_code.h"
+#include "index/concurrent_ha_index.h"
 #include "serving/query_engine.h"
 
 namespace hamming::serving {
@@ -79,5 +80,53 @@ LoadReport RunOpenLoop(QueryEngine* engine,
                        const std::vector<BinaryCode>& pool,
                        const WorkloadOptions& workload, double offered_qps,
                        std::chrono::milliseconds duration);
+
+/// \brief Mixed insert/delete/query churn against an internally
+/// synchronized ConcurrentHAIndex being served by `engine`.
+///
+/// Each of `threads` workers draws ops from the configured mix: inserts
+/// and deletes go straight at the index (its write lock serializes
+/// them), queries go through the engine like any other client. Tuple
+/// ids are sharded per thread (worker t owns initial ids congruent to t
+/// modulo `threads` and mints fresh ids in its own residue class), so
+/// deletes never race each other on an id — all remaining interleaving
+/// is the epoch layer's problem, which is the point of the workload.
+struct ChurnOptions {
+  /// Probability that one op is an Insert / a Delete; the remainder are
+  /// queries drawn from `workload`. A delete drawn with nothing left to
+  /// delete runs as an insert instead (tallied as the op it became).
+  double insert_fraction = 0.2;
+  double delete_fraction = 0.1;
+  std::size_t threads = 4;
+  std::size_t ops_per_thread = 2000;
+  /// Query shape + per-request deadline + seed.
+  WorkloadOptions workload;
+};
+
+/// \brief One churn run's outcome: the query-side LoadReport fields plus
+/// the mutation and epoch-motion tallies.
+struct ChurnReport {
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t query_attempted = 0;
+  uint64_t query_completed = 0;  // OK status
+  uint64_t query_rejected = 0;   // admission control
+  uint64_t query_expired = 0;    // kDeadlineExceeded
+  uint64_t query_failed = 0;     // any other non-OK
+  double elapsed_seconds = 0.0;
+  double query_qps = 0.0;             // completed / elapsed
+  double mutations_per_second = 0.0;  // (inserts + deletes) / elapsed
+  uint64_t epochs_published = 0;      // index epoch delta over the run
+  uint64_t rebuilds = 0;              // base rebuild delta over the run
+  LatencySummary latency;  // completed queries, submit -> completion
+};
+
+/// \brief Runs the churn mix. The engine must be Start()ed and serving
+/// `index`; `index` must have been Built over `pool` (tuple i holds
+/// pool[i]) so the workers know which ids exist. Inserted tuples reuse
+/// codes from `pool` under fresh ids.
+ChurnReport RunChurn(QueryEngine* engine, ConcurrentHAIndex* index,
+                     const std::vector<BinaryCode>& pool,
+                     const ChurnOptions& opts);
 
 }  // namespace hamming::serving

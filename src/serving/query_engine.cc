@@ -73,10 +73,27 @@ void QueryEngine::Shutdown() {
     }
   }
   queue_cv_.NotifyAll();
+  uint64_t expired = 0;
+  const auto drain_now = std::chrono::steady_clock::now();
   for (auto& p : orphans) {
-    FailPending(std::move(p),
-                Status::ResourceExhausted("engine shut down before Start"),
-                /*batch_size=*/0);
+    // A request whose deadline has already passed completes with the
+    // same DeadlineExceeded it would have gotten from a worker drain —
+    // the shutdown path must not relabel (or outlive) an expiry.
+    if (HasDeadline(p->deadline) && drain_now > p->deadline) {
+      ++expired;
+      HAMMING_METRIC_ADD(opts_.metrics, metrics_.deadline_expired, 1);
+      FailPending(std::move(p),
+                  Status::DeadlineExceeded("deadline expired in queue"),
+                  /*batch_size=*/0);
+    } else {
+      FailPending(std::move(p),
+                  Status::ResourceExhausted("engine shut down before Start"),
+                  /*batch_size=*/0);
+    }
+  }
+  if (expired > 0) {
+    MutexLock lock(&mu_);
+    counters_.deadline_expired += expired;
   }
   for (Thread& t : workers_) {
     if (t.joinable()) t.join();

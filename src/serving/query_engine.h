@@ -43,9 +43,16 @@
 //
 // Threading. Built exclusively on the annotated primitives of
 // common/sync.h (the raw-sync lint ban and the TSan stage of
-// scripts/check.sh keep it honest). The engine never mutates the indexes;
-// they must not be mutated by anyone else while the engine serves them
-// (HammingIndex reads are const but not synchronized against writers).
+// scripts/check.sh keep it honest). The engine never mutates the indexes.
+// A plain (externally synchronized) index must not be mutated by anyone
+// else while the engine serves it — HammingIndex reads are const but not
+// synchronized against writers. An *internally synchronized* index
+// (ConcurrentHAIndex) lifts that restriction: its owner may run a live
+// Insert/Delete stream while the engine serves queries. Because the
+// engine issues exactly ONE batched index call per coalesced batch, such
+// an index pins one published epoch snapshot for the whole batch — every
+// request coalesced together observes the same point-in-time dataset
+// (see index/concurrent_ha_index.h).
 #pragma once
 
 #include <chrono>
@@ -141,7 +148,11 @@ class QueryEngine {
   /// workers. Requests still queued when Shutdown is called ARE served
   /// (drain-on-shutdown); requests submitted after it are rejected.
   /// Idempotent. If Start was never called, queued requests are failed
-  /// with kResourceExhausted instead (there is nobody to serve them).
+  /// instead (there is nobody to serve them): a request whose deadline
+  /// has already passed completes with kDeadlineExceeded — exactly what
+  /// a worker drain would report — and the rest with kResourceExhausted.
+  /// Either way every admitted request's future is completed; none are
+  /// dropped and none are served after their deadline.
   void Shutdown();
 
   /// \brief Enqueues one query against indexes()[index_id]. Returns the

@@ -9,6 +9,7 @@
 
 #include <atomic>
 
+#include "index/concurrent_ha_index.h"
 #include "index/dynamic_ha_index.h"
 #include "index/linear_scan.h"
 #include "serving/load_gen.h"
@@ -209,6 +210,35 @@ TEST(ServingShutdown, NeverStartedFailsPendingFutures) {
   EXPECT_TRUE(got->get().response.status.IsResourceExhausted());
 }
 
+// Regression: the never-started shutdown drain used to relabel every
+// orphan kResourceExhausted, including requests whose deadline had
+// already expired — those must complete with kDeadlineExceeded exactly
+// as a worker drain would report them.
+TEST(ServingShutdown, NeverStartedExpiredDeadlineGetsDeadlineExceeded) {
+  ServingFixture fx(64);
+  auto engine = std::make_unique<QueryEngine>(fx.Indexes(),
+                                              QueryEngineOptions{});
+  const auto past =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(5);
+  auto expired = engine->Submit(QueryRequest::Range(fx.codes[0], 2),
+                                /*index_id=*/0, past);
+  ASSERT_TRUE(expired.ok());  // admission accepts; expiry is a drain event
+  const auto far =
+      std::chrono::steady_clock::now() + std::chrono::hours(1);
+  auto fresh = engine->Submit(QueryRequest::Range(fx.codes[1], 2),
+                              /*index_id=*/0, far);
+  ASSERT_TRUE(fresh.ok());
+  engine->Shutdown();
+  ServeResult r_expired = expired->get();
+  EXPECT_TRUE(r_expired.response.status.IsDeadlineExceeded())
+      << r_expired.response.status;
+  EXPECT_TRUE(r_expired.response.ids.empty());
+  ServeResult r_fresh = fresh->get();
+  EXPECT_TRUE(r_fresh.response.status.IsResourceExhausted())
+      << r_fresh.response.status;
+  EXPECT_EQ(engine->counters().deadline_expired, 1u);
+}
+
 TEST(ServingAdmission, BadIndexIdRejected) {
   ServingFixture fx(64);
   QueryEngine engine(fx.Indexes(), QueryEngineOptions{});
@@ -288,6 +318,70 @@ TEST(ServingStress, MixedLoadOverSharedIndexes) {
   EXPECT_GT(snap.counters.at("serving.accepted"), 0);
   EXPECT_GT(snap.histograms.at("serving.batch_size").count, 0u);
   EXPECT_GT(snap.histograms.at("serving.e2e_us").count, 0u);
+}
+
+// The tentpole integration: the engine serves a ConcurrentHAIndex while
+// its owner streams inserts and deletes. Responses must stay well-formed
+// (OK status, ids drawn from rows that exist at *some* epoch); the
+// byte-level single-epoch consistency proof lives in
+// tests/test_concurrent_index.cc.
+TEST(ServingStress, ServesConcurrentIndexUnderChurn) {
+  auto codes = RandomCodes(512, 64, /*seed=*/11, /*clusters=*/8);
+  auto churn_codes = RandomCodes(256, 64, /*seed=*/12, /*clusters=*/8);
+  ConcurrentHAIndex index{ConcurrentHAIndexOptions{}};
+  ASSERT_TRUE(index.Build(codes).ok());
+
+  QueryEngineOptions opts;
+  opts.num_workers = 2;
+  opts.max_batch = 8;
+  opts.batch_linger = std::chrono::microseconds(100);
+  QueryEngine engine(&index, opts);
+  ASSERT_TRUE(engine.Start().ok());
+
+  std::atomic<bool> stop{false};
+  // Mutator owns ids >= 100000: inserts a wave, deletes it, repeats.
+  Thread mutator([&] {
+    TupleId next = 100000;
+    while (!stop.load()) {
+      std::vector<std::pair<TupleId, BinaryCode>> wave;
+      for (std::size_t i = 0; i < 16; ++i) {
+        const TupleId id = next++;
+        wave.emplace_back(id, churn_codes[id % churn_codes.size()]);
+        ASSERT_TRUE(index.Insert(wave.back().first, wave.back().second).ok());
+      }
+      for (const auto& [id, code] : wave) {
+        ASSERT_TRUE(index.Delete(id, code).ok());
+      }
+    }
+  });
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 40;
+  std::atomic<uint64_t> served{0};
+  {
+    std::vector<Thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        Rng rng(2000 + c);
+        for (std::size_t i = 0; i < kPerClient; ++i) {
+          const auto& q = codes[static_cast<std::size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(codes.size()) - 1))];
+          auto got = engine.Serve(QueryRequest::Range(q, 3));
+          if (!got.ok()) continue;  // shed; acceptable under load
+          ASSERT_TRUE(got->response.status.ok()) << got->response.status;
+          ++served;
+        }
+      });
+    }
+    for (Thread& t : clients) t.join();
+  }
+  stop.store(true);
+  mutator.join();
+  engine.Shutdown();
+
+  EXPECT_GT(served.load(), 0u);
+  // The mutator actually published epochs while queries were in flight.
+  EXPECT_GT(index.epoch(), 0u);
 }
 
 TEST(ServingLoadGen, ClosedLoopReportsSaneNumbers) {

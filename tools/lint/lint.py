@@ -28,6 +28,15 @@ Enforced invariants (rule ids in brackets):
                    attribute, and every deliberate (void)-discard of a
                    call result carries a justifying comment on the same
                    line or the two lines above.
+  [batch-first]    Library code under src/ (outside src/index/, which
+                   implements the scalar hooks) never calls the scalar
+                   HammingIndex::Search/Knn entry points — all query
+                   traffic goes through SearchBatch/KnnBatch so the
+                   coalesced kernel plans (and, for ConcurrentHAIndex,
+                   the one-epoch-per-batch snapshot guarantee) apply.
+                   Tests/bench/examples are exempt: scalar calls there
+                   exercise the per-family hooks or non-HammingIndex
+                   searcher APIs with same-named methods.
   [kernel-tu]      SIMD kernel translation units keep their -m<isa>
                    flags: every TU in KERNEL_TU_FLAGS that appears in
                    compile_commands.json must be compiled with all of
@@ -115,6 +124,11 @@ SIDE_EFFECT_PATTERN = re.compile(
     r"\+\+|--|<<=|>>=|[+\-*/%&|^]=(?!=)|(?<![=!<>+\-*/%&|^])=(?!=)")
 
 DISCARD_PATTERN = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_][\w.\->:]*\s*\(")
+
+# Scalar Search( / Knn( through a member access. The open paren must
+# immediately follow the name, so SearchBatch(, SearchWithDistances(,
+# SearchCodes( and KnnBatch( never match.
+BATCH_FIRST_PATTERN = re.compile(r"(\.|->)(Search|Knn)\(")
 
 
 class Violation:
@@ -321,6 +335,27 @@ def check_raw_sync(root: str, violations: list):
                     f"raw '{m.group(0).strip()}' outside src/common/ — use "
                     "the annotated wrappers in common/sync.h "
                     "(Mutex/MutexLock/CondVar/Thread)"))
+
+
+# --------------------------------------------------------------------------
+# Rule: batch-first
+# --------------------------------------------------------------------------
+
+
+def check_batch_first(root: str, violations: list):
+    for path in iter_source_files(root, ["src"]):
+        r = rel(root, path)
+        if r.startswith("src/index/"):
+            continue  # the directory that *implements* the scalar hooks
+        text = strip_comments_and_strings(open(path, encoding="utf-8").read())
+        for i, line in enumerate(text.split("\n"), start=1):
+            m = BATCH_FIRST_PATTERN.search(line)
+            if m:
+                violations.append(Violation(
+                    r, i, "batch-first",
+                    f"scalar '{m.group(2)}(' call — library code is "
+                    "batch-first; route queries through "
+                    "SearchBatch/KnnBatch (batch of one if need be)"))
 
 
 # --------------------------------------------------------------------------
@@ -560,6 +595,8 @@ FIXTURES = {
          "metric-args"),
     "src/storage/bad_discard.cc":
         ("void f() { (void)DoRiskyThing(); }\n", "nodiscard"),
+    "src/ops/bad_scalar.cc":
+        ("void f() { auto hits = idx->Search(q, 3); }\n", "batch-first"),
     # Clean counterparts: none of these may fire.
     "src/kernels/good_layer.h":
         ('#pragma once\n#include "code/binary_code.h"\n', None),
@@ -570,6 +607,15 @@ FIXTURES = {
     "src/ops/good_metric.cc":
         ("void f(int x) { HAMMING_METRIC_ADD(reg, id, x <= 3 ? 1 : 2); }\n",
          None),
+    "src/ops/good_batch.cc":
+        ("void f() {\n"
+         "  // a comment saying idx->Search(q, 3) is fine\n"
+         "  auto s1 = idx->SearchBatch(reqs, resps);\n"
+         "  auto s2 = idx.KnnBatch(reqs, resps);\n"
+         "  auto s3 = idx->SearchWithDistances(q, 3);\n"
+         "}\n", None),
+    "src/index/good_scalar_hook.cc":
+        ("void f() { auto hits = idx->Search(q, 3); }\n", None),
     "src/storage/good_discard.cc":
         ("void f() {\n"
          "  int key = 0;\n"
@@ -709,6 +755,7 @@ def run_checks(root: str, build_dir) -> list:
     violations = []
     check_layering(root, violations)
     check_raw_sync(root, violations)
+    check_batch_first(root, violations)
     check_metric_args(root, violations)
     check_nodiscard(root, violations)
     if build_dir:
