@@ -25,9 +25,21 @@
 // --churn-ops=; rows land in the "churn" section with mutation rate and
 // epoch-motion columns next to the query QPS/latency.
 //
+// Telemetry study: the batched closed-loop run repeated with the full
+// live-telemetry stack (trace sampler at the default 1-in-64, query log,
+// windowed time series) against an identical run with it off — the
+// overhead A/B behind the "<= 3% at default sampling" acceptance bound.
+// The telemetry stack then stays live through churn mode, and the run
+// leaves three artifacts next to the JSON report: <out>_trace.json
+// (Perfetto timeline with per-request spans), <out>_timeseries.jsonl
+// (windowed rates/percentiles), <out>_querylog.jsonl (sampled
+// exemplars) — the inputs of tools/telemetry_report.
+//
 // Output: human-readable tables + BENCH_serving.json with p50/p99/p999
-// per row and a "max_sustainable" section. --smoke shrinks everything to
-// a CI-sized run (scripts/check.sh validates the JSON artifact).
+// per row, a "max_sustainable" section, a "telemetry" A/B section, and
+// "slow_query" exemplar rows. --smoke shrinks everything to a CI-sized
+// run (scripts/check.sh validates the JSON artifact).
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -35,6 +47,10 @@
 #include "bench_common.h"
 #include "index/concurrent_ha_index.h"
 #include "index/linear_scan.h"
+#include "observability/query_log.h"
+#include "observability/request_trace.h"
+#include "observability/time_series.h"
+#include "observability/trace.h"
 #include "serving/load_gen.h"
 #include "serving/query_engine.h"
 
@@ -234,9 +250,77 @@ int main(int argc, char** argv) {
         .Num("max_sustainable_qps", max_sustainable);
   }
 
+  // Telemetry A/B: the batched closed-loop point, once with the whole
+  // live-telemetry stack off and once with it on at default sampling.
+  // Back-to-back runs on the same index isolate the telemetry delta
+  // from run-to-run drift better than reusing the earlier closed-loop
+  // number would.
+  obs::TraceSamplerOptions sampler_opts;  // default 1-in-64 head sampling
+  sampler_opts.slow_threshold = std::chrono::milliseconds(smoke ? 5 : 25);
+  obs::TraceSampler sampler(sampler_opts);
+  obs::TraceCollector trace;
+  obs::QueryLog query_log;
+  std::string artifact_prefix;
+  obs::TimeSeriesOptions ts_opts;
+  ts_opts.interval = std::chrono::milliseconds(smoke ? 25 : 250);
+  if (!out_path.empty()) {
+    artifact_prefix = out_path;
+    const auto dot = artifact_prefix.rfind(".json");
+    if (dot != std::string::npos) artifact_prefix.resize(dot);
+    ts_opts.export_path = artifact_prefix + "_timeseries.jsonl";
+  }
+  obs::TimeSeriesCollector time_series(&metrics, ts_opts);
+  if (Status st = time_series.Start(); !st.ok()) {
+    std::fprintf(stderr, "time-series exporter failed to start: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nTelemetry overhead (closed loop, batched, default "
+              "1-in-%u sampling)\n", sampler.options().sample_every);
+  std::printf("%-14s %10s %10s %10s %10s\n", "config", "qps", "p50_us",
+              "p99_us", "p999_us");
+  std::printf("%s\n", bench::Separator());
+  double telemetry_qps[2] = {0.0, 0.0};
+  for (int telemetry_on = 0; telemetry_on <= 1; ++telemetry_on) {
+    QueryEngineOptions opts;
+    opts.num_workers = 2;
+    opts.queue_capacity = 8192;
+    opts.max_batch = 64;
+    opts.metrics = &metrics;  // both runs: isolate the *telemetry* cost
+    if (telemetry_on != 0) {
+      opts.sampler = &sampler;
+      opts.trace = &trace;
+      opts.query_log = &query_log;
+    }
+    QueryEngine engine(&index, opts);
+    if (!engine.Start().ok()) return 1;
+    LoadReport r = RunClosedLoop(&engine, codes, workload, clients,
+                                 per_client);
+    engine.Shutdown();
+    telemetry_qps[telemetry_on] = r.achieved_qps;
+    const char* name = telemetry_on != 0 ? "telemetry_on" : "telemetry_off";
+    std::printf("%-14s %10.0f %10.1f %10.1f %10.1f\n", name, r.achieved_qps,
+                r.latency.p50_us, r.latency.p99_us, r.latency.p999_us);
+    auto& row = report.AddRow();
+    row.Str("section", "telemetry").Str("config", name);
+    AddLatencyFields(row, r);
+  }
+  if (telemetry_qps[0] > 0.0) {
+    const double overhead_pct =
+        (telemetry_qps[0] - telemetry_qps[1]) / telemetry_qps[0] * 100.0;
+    std::printf("telemetry overhead: %.2f%%\n", overhead_pct);
+    report.AddRow()
+        .Str("section", "summary")
+        .Str("config", "telemetry_overhead")
+        .Num("overhead_pct", overhead_pct);
+  }
+
   // Churn mode: queries race a live insert/delete stream over the
   // epoch/snapshot index. Mutations bypass the engine (the index
   // serializes its own writers); queries go through it like any client.
+  // The telemetry stack stays attached, so the artifacts cover the
+  // reads-during-writes phase too.
   {
     const std::size_t churn_n =
         smoke ? 8192 : args.Scaled(std::size_t{1} << 16);
@@ -252,6 +336,9 @@ int main(int argc, char** argv) {
     eopts.queue_capacity = 8192;
     eopts.max_batch = 64;
     eopts.metrics = &metrics;
+    eopts.sampler = &sampler;
+    eopts.trace = &trace;
+    eopts.query_log = &query_log;
     QueryEngine engine(&cha, eopts);
     if (!engine.Start().ok()) return 1;
 
@@ -296,6 +383,56 @@ int main(int argc, char** argv) {
         .Num("p99_us", r.latency.p99_us)
         .Num("p999_us", r.latency.p999_us)
         .Num("max_us", r.latency.max_us);
+  }
+
+  // Wind down the telemetry stack: one final window, then the drain in
+  // Stop() flushes the JSONL. The slowest recorded queries (tail set
+  // first, reservoir as fallback so the section is never empty) become
+  // exemplar rows with their latency decomposition.
+  time_series.CloseWindowNow();
+  time_series.Stop();
+  std::vector<obs::QueryLogEntry> exemplars = query_log.SlowSnapshot();
+  {
+    std::vector<obs::QueryLogEntry> reservoir = query_log.ReservoirSnapshot();
+    std::sort(reservoir.begin(), reservoir.end(),
+              [](const obs::QueryLogEntry& a, const obs::QueryLogEntry& b) {
+                return a.e2e_us > b.e2e_us;
+              });
+    exemplars.insert(exemplars.end(), reservoir.begin(), reservoir.end());
+  }
+  std::printf("\nSlowest recorded queries (query log)\n");
+  std::printf("%10s %6s %10s %10s %10s %6s\n", "trace_id", "kind", "e2e_us",
+              "queue_us", "svc_us", "batch");
+  std::printf("%s\n", bench::Separator());
+  const std::size_t top = std::min<std::size_t>(5, exemplars.size());
+  for (std::size_t i = 0; i < top; ++i) {
+    const obs::QueryLogEntry& e = exemplars[i];
+    std::printf("%10llu %6c %10.1f %10.1f %10.1f %6llu\n",
+                static_cast<unsigned long long>(e.trace_id), e.kind, e.e2e_us,
+                e.queue_us, e.service_us,
+                static_cast<unsigned long long>(e.batch_size));
+    report.AddRow()
+        .Str("section", "slow_query")
+        .Str("kind", e.kind == 'k' ? "knn" : "range")
+        .Num("trace_id", static_cast<double>(e.trace_id))
+        .Num("slow", e.slow ? 1.0 : 0.0)
+        .Num("e2e_us", e.e2e_us)
+        .Num("queue_us", e.queue_us)
+        .Num("service_us", e.service_us)
+        .Num("batch_size", static_cast<double>(e.batch_size));
+  }
+  report.AddRow()
+      .Str("section", "telemetry_totals")
+      .Num("queries_logged", static_cast<double>(query_log.recorded()))
+      .Num("slow_seen", static_cast<double>(query_log.slow_seen()))
+      .Num("windows_closed", static_cast<double>(time_series.windows_closed()))
+      .Num("trace_events", static_cast<double>(trace.size()));
+  if (!artifact_prefix.empty()) {
+    if (!trace.WriteChromeJson(artifact_prefix + "_trace.json")) return 1;
+    if (!query_log.ExportJsonl(artifact_prefix + "_querylog.jsonl")) return 1;
+    std::printf("\nartifacts: %s_trace.json, %s_timeseries.jsonl, "
+                "%s_querylog.jsonl\n", artifact_prefix.c_str(),
+                artifact_prefix.c_str(), artifact_prefix.c_str());
   }
 
   return report.Write(&metrics, out_path) ? 0 : 1;

@@ -146,10 +146,52 @@ for r in churn:
     assert r["epochs_published"] > 0, f"churn published no epochs: {r}"
     assert r["completed"] > 0, f"churn completed no queries: {r}"
     assert r["p50_us"] <= r["p99_us"] <= r["p999_us"], f"percentiles out of order: {r}"
+telemetry = [r for r in rows if r["section"] == "telemetry"]
+assert {r["config"] for r in telemetry} == {"telemetry_off", "telemetry_on"}, \
+    "missing telemetry A/B rows"
+overhead = [r for r in rows if r["section"] == "summary"
+            and r.get("config") == "telemetry_overhead"]
+assert overhead and "overhead_pct" in overhead[0], "missing telemetry overhead"
+slow_rows = [r for r in rows if r["section"] == "slow_query"]
+assert slow_rows, "missing slow_query exemplar rows"
+for r in slow_rows:
+    assert r["e2e_us"] >= r["service_us"] >= 0, f"bad exemplar latencies: {r}"
+totals = [r for r in rows if r["section"] == "telemetry_totals"]
+assert totals and totals[0]["queries_logged"] > 0, "query log recorded nothing"
+assert totals[0]["windows_closed"] > 0, "time series closed no windows"
+assert totals[0]["trace_events"] > 0, "trace collected no events"
 print(f"serving OK ({len(latency_rows)} latency rows, "
       f"batched/unbatched {speedup[0]['batched_over_unbatched']:.2f}x, "
       f"churn {churn[0]['mutations_per_sec']:.0f} mut/s over "
-      f"{churn[0]['epochs_published']:.0f} epochs)")
+      f"{churn[0]['epochs_published']:.0f} epochs, "
+      f"telemetry overhead {overhead[0]['overhead_pct']:.2f}%)")
+PY
+
+echo "==> serving: telemetry artifacts (windows, exemplars, request spans)"
+# The report tool doubles as the schema check: it exits non-zero on
+# malformed JSONL, missing fields, or out-of-order percentiles.
+python3 tools/telemetry_report/telemetry_report.py \
+  --timeseries="$OBS_DIR/serving_timeseries.jsonl" \
+  --querylog="$OBS_DIR/serving_querylog.jsonl" --top=3
+python3 - "$OBS_DIR/serving_trace.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    trace = json.load(f)
+events = trace["traceEvents"]
+serving_pids = {e["pid"] for e in events
+                if e["ph"] == "M" and e.get("name") == "process_name"
+                and e.get("args", {}).get("name") == "serving"}
+assert serving_pids, "no auxiliary serving process in trace"
+workers = [e for e in events if e["ph"] == "M" and e.get("name") == "thread_name"
+           and e["pid"] in serving_pids]
+assert workers, "serving process has no named worker lanes"
+reqs = [e for e in events if e.get("cat") == "request" and e["ph"] == "X"]
+assert reqs, "no per-request spans in trace"
+phases = {e["name"] for e in events if e.get("cat") == "request.phase"}
+for needed in ("queue", "batch_form", "epoch_pin", "kernel", "respond"):
+    assert needed in phases, f"missing request phase span {needed!r}: {phases}"
+print(f"telemetry trace OK ({len(reqs)} request spans, "
+      f"{len(workers)} worker lanes, phases: {sorted(phases)})")
 PY
 
 if [[ "$SKIP_ASAN" == "1" ]]; then
@@ -174,7 +216,7 @@ else
     >/dev/null
   cmake --build build-tsan -j --target hamming_tests
   ./build-tsan/tests/hamming_tests --gtest_filter=\
-'MapReduce*:FaultTolerance*:PlanFaultTolerance*:CancelToken*:ThreadPool*:Concurrency*:Metrics*:TraceJson*:VerticalStore*:Kernels.VerticalScanSharedAcrossThreads:Serving*:ConcurrentIndex*:ChurnStress*:DynamicHAAudit*'
+'MapReduce*:FaultTolerance*:PlanFaultTolerance*:CancelToken*:ThreadPool*:Concurrency*:Metrics*:TraceJson*:VerticalStore*:Kernels.VerticalScanSharedAcrossThreads:Serving*:ConcurrentIndex*:ChurnStress*:DynamicHAAudit*:Telemetry*'
   echo "==> TSan: MapReduce + external shuffle under a 64 KiB budget"
   HAMMING_SHUFFLE_BUDGET=65536 ./build-tsan/tests/hamming_tests --gtest_filter=\
 'MapReduce*:FaultTolerance*:PlanFaultTolerance*:Shuffle*'

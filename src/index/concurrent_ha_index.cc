@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "kernels/hamming_kernels.h"
+#include "observability/request_trace.h"
 
 namespace hamming {
 
@@ -257,12 +258,24 @@ Result<std::vector<TupleId>> ConcurrentHAIndex::Search(
 
 Status ConcurrentHAIndex::SearchBatch(std::span<const QueryRequest> requests,
                                       std::span<QueryResponse> responses) const {
-  return Pin()->SearchBatch(requests, responses);
+  // The pin itself is the interesting serving span: it is where a batch
+  // binds to one published epoch (and where reclamation pressure would
+  // show up as latency). Recorded only when the serving layer installed
+  // a span sink for this thread.
+  obs::ScopedRequestSpan pin_span(obs::RequestPhase::kEpochPin);
+  SnapshotPtr snap = Pin();
+  pin_span.SetDetail(snap->epoch());
+  pin_span.End();
+  return snap->SearchBatch(requests, responses);
 }
 
 Status ConcurrentHAIndex::KnnBatch(std::span<const QueryRequest> requests,
                                    std::span<QueryResponse> responses) const {
-  return Pin()->KnnBatch(requests, responses);
+  obs::ScopedRequestSpan pin_span(obs::RequestPhase::kEpochPin);
+  SnapshotPtr snap = Pin();
+  pin_span.SetDetail(snap->epoch());
+  pin_span.End();
+  return snap->KnnBatch(requests, responses);
 }
 
 Result<std::vector<std::pair<TupleId, uint32_t>>> ConcurrentHAIndex::Knn(

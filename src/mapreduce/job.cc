@@ -9,6 +9,7 @@
 
 #include "common/sync.h"
 #include "mapreduce/shuffle.h"
+#include "observability/metric_names.h"
 #include "observability/metrics.h"
 #include "observability/stopwatch.h"
 
@@ -602,9 +603,9 @@ Result<JobResult> RunJob(const JobSpec& spec, Cluster* cluster) {
   result.reducer_load.bytes_skew = SkewCoefficient(result.reducer_load.bytes);
   if (opts.metrics != nullptr) {
     const obs::MetricId rec_hist =
-        opts.metrics->Histogram("mr.reduce_input_records");
+        opts.metrics->Histogram(obs::metric_names::kMrReduceInputRecords);
     const obs::MetricId byte_hist =
-        opts.metrics->Histogram("mr.reduce_input_bytes");
+        opts.metrics->Histogram(obs::metric_names::kMrReduceInputBytes);
     for (std::size_t r = 0; r < opts.num_reducers; ++r) {
       HAMMING_METRIC_OBSERVE(opts.metrics, rec_hist,
                              result.reducer_load.records[r]);

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "observability/metric_names.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
 #endif
@@ -53,7 +55,7 @@ void RecordPeakRss(MetricsRegistry* registry) {
   if (registry == nullptr) return;
   uint64_t rss = PeakRssBytes();
   if (rss == 0) return;
-  MetricId id = registry->Gauge("process.peak_rss_bytes");
+  MetricId id = registry->Gauge(metric_names::kProcessPeakRssBytes);
   registry->Set(id, static_cast<int64_t>(rss));
 }
 

@@ -5,19 +5,80 @@
 #include <unordered_map>
 
 #include "observability/json.h"
+#include "observability/metric_names.h"
 
 namespace hamming::obs {
 
 std::size_t HistogramBucketOf(uint64_t value) {
-  if (value == 0) return 0;
-  // floor(log2(value)) = 63 - countl_zero; bucket i >= 1 holds
-  // [2^(i-1), 2^i), so value v lands in bucket floor(log2 v) + 1.
-  return static_cast<std::size_t>(64 - std::countl_zero(value));
+  if (value < kHistogramSubBuckets) return static_cast<std::size_t>(value);
+  // Octave k = floor(log2 v) >= 2; the top two bits below the leading
+  // bit select one of the 4 equal-width sub-buckets of [2^k, 2^(k+1)).
+  const std::size_t k = static_cast<std::size_t>(63 - std::countl_zero(value));
+  const std::size_t sub =
+      static_cast<std::size_t>((value >> (k - 2)) & (kHistogramSubBuckets - 1));
+  return kHistogramSubBuckets + (k - 2) * kHistogramSubBuckets + sub;
 }
 
 uint64_t HistogramBucketLowerBound(std::size_t i) {
-  if (i == 0) return 0;
-  return uint64_t{1} << (i - 1);
+  if (i < kHistogramSubBuckets) return static_cast<uint64_t>(i);
+  const std::size_t j = i - kHistogramSubBuckets;
+  const std::size_t k = 2 + j / kHistogramSubBuckets;
+  const uint64_t sub = j % kHistogramSubBuckets;
+  return (uint64_t{1} << k) + sub * (uint64_t{1} << (k - 2));
+}
+
+uint64_t HistogramBucketUpperBound(std::size_t i) {
+  if (i + 1 >= kHistogramBuckets) return ~uint64_t{0};
+  return HistogramBucketLowerBound(i + 1) - 1;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return static_cast<double>(min);
+  if (q >= 1.0) return static_cast<double>(max);
+  const double target = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double in_bucket = static_cast<double>(buckets[b]);
+    if (cum + in_bucket >= target) {
+      const double lo = static_cast<double>(HistogramBucketLowerBound(b));
+      const double hi = static_cast<double>(HistogramBucketUpperBound(b));
+      const double frac = std::clamp((target - cum) / in_bucket, 0.0, 1.0);
+      // Interpolate inside the bucket, then clamp into the exact
+      // observed range — single-valued histograms come out exact.
+      return std::clamp(lo + frac * (hi - lo), static_cast<double>(min),
+                        static_cast<double>(max));
+    }
+    cum += in_bucket;
+  }
+  return static_cast<double>(max);
+}
+
+HistogramSnapshot HistogramSnapshot::Delta(const HistogramSnapshot& before,
+                                           const HistogramSnapshot& after) {
+  HistogramSnapshot d;
+  d.count = after.count >= before.count ? after.count - before.count : 0;
+  if (d.count == 0) return d;
+  d.sum = after.sum >= before.sum ? after.sum - before.sum : 0;
+  std::size_t first = kHistogramBuckets;
+  std::size_t last = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    const uint64_t delta =
+        after.buckets[b] >= before.buckets[b]
+            ? after.buckets[b] - before.buckets[b]
+            : 0;
+    d.buckets[b] = delta;
+    if (delta > 0) {
+      first = std::min(first, b);
+      last = b;
+    }
+  }
+  if (first == kHistogramBuckets) return d;  // counts moved, buckets didn't
+  d.min = HistogramBucketLowerBound(first);
+  d.max = std::min(after.max, HistogramBucketUpperBound(last));
+  d.max = std::max(d.max, d.min);
+  return d;
 }
 
 // One histogram's per-shard cells. The owning thread is the only writer;
@@ -92,6 +153,9 @@ MetricId MetricsRegistry::Register(std::string_view name, MetricKind kind) {
   if (names_.size() >= kMaxMetricsPerRegistry - 1) {
     // The last slot is the shared overflow sink, so runaway registration
     // degrades to lumped accounting instead of UB or unbounded growth.
+    // Count the rejection: Snapshot() surfaces it as the
+    // metrics.registration_overflow diagnostics counter.
+    ++overflow_registrations_;
     return kOverflowMetric;
   }
   const MetricId id = static_cast<MetricId>(names_.size());
@@ -145,6 +209,10 @@ void MetricsRegistry::Observe(MetricId id, uint64_t value) {
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snap;
   MutexLock lock(&mu_);
+  // Always present (0 when healthy) so registration overflow is visible
+  // in every exported snapshot, not only after someone thinks to ask.
+  snap.counters[metric_names::kMetricsRegistrationOverflow] =
+      static_cast<int64_t>(overflow_registrations_);
   for (std::size_t id = 0; id < names_.size(); ++id) {
     const std::string& name = names_[id];
     switch (kinds_[id]) {
@@ -192,6 +260,11 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 std::size_t MetricsRegistry::NumMetrics() const {
   MutexLock lock(&mu_);
   return names_.size();
+}
+
+uint64_t MetricsRegistry::RegistrationOverflows() const {
+  MutexLock lock(&mu_);
+  return overflow_registrations_;
 }
 
 bool MetricsSnapshot::operator==(const MetricsSnapshot& other) const {

@@ -12,10 +12,14 @@
 // the merged totals are independent of thread scheduling and shard
 // count — the determinism the shard-merge tests pin down.
 //
-// Histograms are log2-bucketed: bucket 0 holds the value 0 and bucket
-// i >= 1 holds [2^(i-1), 2^i), so 65 buckets cover all of uint64 — wide
-// enough for byte counts and candidate counts alike, and coarse enough
-// that a histogram costs ~0.5 KB per recording thread. Each histogram
+// Histograms are log-linear-bucketed with 4 sub-buckets per octave:
+// buckets 0-3 hold the exact values 0-3, and every octave [2^k, 2^(k+1))
+// for k >= 2 splits into 4 equal-width sub-buckets of 2^(k-2) values, so
+// 252 buckets cover all of uint64 and a histogram costs ~2 KB per
+// recording thread. The sub-buckets bound any bucket's relative width by
+// 25% of its lower edge, which is what makes the interpolated
+// HistogramSnapshot::Percentile() estimates usable for serving p99/p999
+// (a pure log2 scheme quantizes tails to powers of two). Each histogram
 // also tracks count/sum/min/max, from which SkewMaxOverMean() derives
 // the max/mean skew coefficient the MapReduce reducer-balance reports
 // use (the quantity Lu et al.'s kNN-join partitioning tries to drive to
@@ -45,17 +49,30 @@ using MetricId = uint32_t;
 
 /// \brief Hard cap on metrics per registry; registration beyond it
 /// returns the overflow sink id (kOverflowMetric) instead of growing.
+/// Every overflowed registration is counted and surfaced in Snapshot()
+/// as the "metrics.registration_overflow" diagnostics counter, so the
+/// lumped accounting is visible instead of silent.
 inline constexpr std::size_t kMaxMetricsPerRegistry = 256;
 inline constexpr MetricId kOverflowMetric = kMaxMetricsPerRegistry - 1;
 
-/// \brief Number of log2 histogram buckets: bucket 0 = {0}, bucket
-/// i >= 1 = [2^(i-1), 2^i). 65 buckets cover every uint64 value.
-inline constexpr std::size_t kHistogramBuckets = 65;
+/// \brief Number of log-linear histogram buckets. Buckets 0-3 hold the
+/// exact values 0-3; each octave [2^k, 2^(k+1)) for k in [2, 63] splits
+/// into 4 equal sub-buckets of width 2^(k-2), so any bucket's width is
+/// at most 25% of its lower edge. 4 + 62*4 = 252 buckets cover uint64.
+inline constexpr std::size_t kHistogramBuckets = 252;
 
-/// \brief Bucket index of a value (0 for 0, else 1 + floor(log2 v)).
+/// \brief Sub-buckets per octave (the "4" in the layout above).
+inline constexpr std::size_t kHistogramSubBuckets = 4;
+
+/// \brief Bucket index of a value: v for v < 4, else
+/// 4 + (k-2)*4 + ((v >> (k-2)) & 3) with k = floor(log2 v).
 std::size_t HistogramBucketOf(uint64_t value);
-/// \brief Inclusive lower bound of bucket `i` (0, 1, 2, 4, 8, ...).
+/// \brief Inclusive lower bound of bucket `i` (0, 1, 2, 3, 4, 5, 6, 7,
+/// 8, 10, 12, 14, 16, 20, ...).
 uint64_t HistogramBucketLowerBound(std::size_t i);
+/// \brief Inclusive upper bound of bucket `i` (saturates at uint64 max
+/// for the last bucket).
+uint64_t HistogramBucketUpperBound(std::size_t i);
 
 enum class MetricKind : uint8_t { kCounter = 0, kGauge, kHistogram };
 
@@ -78,6 +95,23 @@ struct HistogramSnapshot {
     const double mean = Mean();
     return mean == 0.0 ? 0.0 : static_cast<double>(max) / mean;
   }
+
+  /// \brief Bucket-interpolated quantile estimate (q in [0, 1]; 0 when
+  /// empty). Walks the cumulative bucket counts to the bucket holding
+  /// rank q*count and interpolates linearly inside it, clamped to the
+  /// exact [min, max]. The log-linear layout bounds the relative error
+  /// at < 25% for any value >= 4 (buckets below 4 are exact), the bound
+  /// the percentile unit tests pin.
+  double Percentile(double q) const;
+
+  /// \brief The window between two snapshots of the SAME histogram
+  /// (`after` taken later than `before`): count/sum/buckets subtract;
+  /// min/max are bucket-resolution estimates from the windowed buckets
+  /// (the cumulative min/max are not invertible) with max clamped to
+  /// the cumulative max. This is what TimeSeriesCollector emits per
+  /// window.
+  static HistogramSnapshot Delta(const HistogramSnapshot& before,
+                                 const HistogramSnapshot& after);
 };
 
 /// \brief A merged point-in-time view of a registry, plain data.
@@ -122,18 +156,25 @@ class MetricsRegistry {
   /// semantics for peaks like peak-RSS; last-write-wins is meaningless
   /// once recording is sharded).
   MetricId Gauge(std::string_view name);
-  /// \brief Registers (or finds) a log2-bucketed histogram.
+  /// \brief Registers (or finds) a log-linear-bucketed histogram.
   MetricId Histogram(std::string_view name);
 
   void Add(MetricId id, int64_t delta);
   void Set(MetricId id, int64_t value);
   void Observe(MetricId id, uint64_t value);
 
-  /// \brief Merges every shard into one plain-data view.
+  /// \brief Merges every shard into one plain-data view. Always carries
+  /// the "metrics.registration_overflow" counter (0 in the healthy
+  /// case) so registration overflow is observable wherever snapshots
+  /// are exported.
   MetricsSnapshot Snapshot() const HAMMING_EXCLUDES(mu_);
 
   /// \brief Number of registered metrics (for tests).
   std::size_t NumMetrics() const HAMMING_EXCLUDES(mu_);
+
+  /// \brief Registrations of NEW names rejected because the registry
+  /// was full (re-registrations of existing names never count).
+  uint64_t RegistrationOverflows() const HAMMING_EXCLUDES(mu_);
 
  private:
   struct HistCell;
@@ -147,6 +188,7 @@ class MetricsRegistry {
   mutable Mutex mu_;
   std::vector<std::string> names_ HAMMING_GUARDED_BY(mu_);
   std::vector<MetricKind> kinds_ HAMMING_GUARDED_BY(mu_);
+  uint64_t overflow_registrations_ HAMMING_GUARDED_BY(mu_) = 0;
   std::map<std::string, MetricId, std::less<>> by_name_
       HAMMING_GUARDED_BY(mu_);
   // The vector is guarded; the shard cells it points at are the

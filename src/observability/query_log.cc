@@ -1,0 +1,161 @@
+#include "observability/query_log.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "observability/json.h"
+
+namespace hamming::obs {
+
+namespace {
+
+// xorshift64*: tiny seeded PRNG for the reservoir; quality is ample for
+// sampling and the fixed seed keeps the kept set reproducible.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545f4914f6cdd1dull;
+}
+
+}  // namespace
+
+QueryLog::QueryLog(QueryLogOptions opts)
+    : opts_(opts),
+      base_(std::chrono::steady_clock::now()),
+      rng_state_(opts.seed == 0 ? 1 : opts.seed) {}
+
+void QueryLog::Record(QueryLogEntry entry) {
+  MutexLock lock(&mu_);
+  // Stamp arrival on the log's own clock so entries order/rate without
+  // an external timebase.
+  entry.t_s = std::chrono::duration_cast<std::chrono::duration<double>>(
+                  std::chrono::steady_clock::now() - base_)
+                  .count();
+  if (entry.slow && opts_.slow_capacity > 0) {
+    ++slow_seen_;
+    if (slow_.size() < opts_.slow_capacity) {
+      slow_.push_back(std::move(entry));
+    } else {
+      // Evict the fastest retained slow query if the newcomer is
+      // slower — the K worst always survive.
+      auto fastest = std::min_element(
+          slow_.begin(), slow_.end(),
+          [](const QueryLogEntry& a, const QueryLogEntry& b) {
+            return a.e2e_us < b.e2e_us;
+          });
+      if (fastest->e2e_us < entry.e2e_us) *fastest = std::move(entry);
+    }
+    return;
+  }
+  ++normal_seen_;
+  if (opts_.reservoir_capacity == 0) return;
+  if (reservoir_.size() < opts_.reservoir_capacity) {
+    reservoir_.push_back(std::move(entry));
+    return;
+  }
+  // Algorithm R: the n-th element replaces a random slot with
+  // probability capacity/n, keeping the sample uniform over the stream.
+  const uint64_t j = NextRand(&rng_state_) % normal_seen_;
+  if (j < reservoir_.size()) reservoir_[j] = std::move(entry);
+}
+
+std::vector<QueryLogEntry> QueryLog::ReservoirSnapshot() const {
+  MutexLock lock(&mu_);
+  return reservoir_;
+}
+
+std::vector<QueryLogEntry> QueryLog::SlowSnapshot() const {
+  std::vector<QueryLogEntry> out;
+  {
+    MutexLock lock(&mu_);
+    out = slow_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const QueryLogEntry& a, const QueryLogEntry& b) {
+              return a.e2e_us > b.e2e_us;
+            });
+  return out;
+}
+
+uint64_t QueryLog::recorded() const {
+  MutexLock lock(&mu_);
+  return normal_seen_ + slow_seen_;
+}
+
+uint64_t QueryLog::slow_seen() const {
+  MutexLock lock(&mu_);
+  return slow_seen_;
+}
+
+std::string QueryLogEntry::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("trace_id");
+  w.Uint(trace_id);
+  w.Key("head_sampled");
+  w.Bool(head_sampled);
+  w.Key("slow");
+  w.Bool(slow);
+  w.Key("ok");
+  w.Bool(ok);
+  w.Key("kind");
+  w.String(kind == 'k' ? "knn" : "range");
+  w.Key("param");
+  w.Uint(param);
+  w.Key("t_s");
+  w.Double(t_s);
+  w.Key("e2e_us");
+  w.Double(e2e_us);
+  w.Key("queue_us");
+  w.Double(queue_us);
+  w.Key("service_us");
+  w.Double(service_us);
+  w.Key("batch_size");
+  w.Uint(batch_size);
+  w.Key("stats");
+  w.Raw(stats.ToJson());
+  w.Key("spans");
+  w.BeginArray();
+  for (const RequestSpan& s : spans) {
+    w.BeginObject();
+    w.Key("phase");
+    w.String(RequestPhaseName(s.phase));
+    w.Key("dur_us");
+    w.Double(static_cast<double>(s.DurationNs()) / 1e3);
+    if (s.detail != 0) {
+      w.Key("detail");
+      w.Uint(s.detail);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Release();
+}
+
+std::string QueryLog::ToJsonl() const {
+  std::string out;
+  for (const QueryLogEntry& e : SlowSnapshot()) {
+    out += e.ToJson();
+    out += '\n';
+  }
+  for (const QueryLogEntry& e : ReservoirSnapshot()) {
+    out += e.ToJson();
+    out += '\n';
+  }
+  return out;
+}
+
+bool QueryLog::ExportJsonl(const std::string& path) const {
+  const std::string body = ToJsonl();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace hamming::obs

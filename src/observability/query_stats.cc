@@ -1,6 +1,7 @@
 #include "observability/query_stats.h"
 
 #include "observability/json.h"
+#include "observability/metric_names.h"
 
 namespace hamming::obs {
 
@@ -42,8 +43,8 @@ QueryStatsHistograms QueryStatsHistograms::Register(
   h.radius_expansions = registry->Histogram(prefix + ".radius_expansions");
   h.rescanned_results = registry->Histogram(prefix + ".rescanned_results");
   h.results = registry->Histogram(prefix + ".results");
-  h.planes_scanned = registry->Histogram("kernel.planes_scanned");
-  h.blocks_pruned = registry->Histogram("kernel.blocks_pruned");
+  h.planes_scanned = registry->Histogram(metric_names::kKernelPlanesScanned);
+  h.blocks_pruned = registry->Histogram(metric_names::kKernelBlocksPruned);
   h.serving_queue_nanos = registry->Histogram(prefix + ".serving_queue_nanos");
   return h;
 }

@@ -1,0 +1,90 @@
+#include "observability/request_trace.h"
+
+namespace hamming::obs {
+
+namespace {
+
+thread_local SpanSink* g_current_sink = nullptr;
+
+// SplitMix64 finalizer: a cheap, well-mixed hash so head-sampling is
+// uniform over ids even though ids are sequential.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* RequestPhaseName(RequestPhase phase) {
+  switch (phase) {
+    case RequestPhase::kAdmit:
+      return "admit";
+    case RequestPhase::kQueue:
+      return "queue";
+    case RequestPhase::kBatchForm:
+      return "batch_form";
+    case RequestPhase::kEpochPin:
+      return "epoch_pin";
+    case RequestPhase::kKernel:
+      return "kernel";
+    case RequestPhase::kRespond:
+      return "respond";
+  }
+  return "unknown";
+}
+
+TraceSampler::TraceSampler(TraceSamplerOptions opts)
+    : opts_(opts), base_(std::chrono::steady_clock::now()) {}
+
+uint64_t TraceSampler::NextTraceId() {
+  return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool TraceSampler::HeadSampled(uint64_t trace_id) const {
+  if (opts_.sample_every <= 1) return true;
+  return Mix64(opts_.seed ^ trace_id) % opts_.sample_every == 0;
+}
+
+bool TraceSampler::Slow(std::chrono::nanoseconds e2e) const {
+  return opts_.slow_threshold.count() > 0 && e2e >= opts_.slow_threshold;
+}
+
+double TraceSampler::ToTraceMicros(
+    std::chrono::steady_clock::time_point tp) const {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+             tp - base_)
+      .count();
+}
+
+SpanSink* CurrentSpanSink() { return g_current_sink; }
+
+SpanSinkScope::SpanSinkScope(SpanSink* sink) : previous_(g_current_sink) {
+  g_current_sink = sink;
+}
+
+SpanSinkScope::~SpanSinkScope() { g_current_sink = previous_; }
+
+ScopedRequestSpan::ScopedRequestSpan(RequestPhase phase, uint64_t detail)
+    : sink_(g_current_sink), phase_(phase), detail_(detail) {
+  if (sink_ != nullptr) start_ns_ = RequestTraceNowNs();
+}
+
+ScopedRequestSpan::~ScopedRequestSpan() { End(); }
+
+void ScopedRequestSpan::End() {
+  if (sink_ != nullptr) {
+    sink_->Record(phase_, start_ns_, RequestTraceNowNs(), detail_);
+    sink_ = nullptr;
+  }
+}
+
+uint64_t RequestTraceNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace hamming::obs

@@ -1,0 +1,215 @@
+#include "observability/time_series.h"
+
+#include <algorithm>
+
+#include "observability/json.h"
+
+namespace hamming::obs {
+
+namespace {
+
+double SecondsBetween(std::chrono::steady_clock::time_point a,
+                      std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(b - a)
+      .count();
+}
+
+}  // namespace
+
+TimeSeriesCollector::TimeSeriesCollector(MetricsRegistry* registry,
+                                         TimeSeriesOptions opts)
+    : registry_(registry),
+      opts_(std::move(opts)),
+      base_(std::chrono::steady_clock::now()) {
+  MutexLock lock(&mu_);
+  prev_time_ = base_;
+  if (registry_ != nullptr) prev_ = registry_->Snapshot();
+}
+
+TimeSeriesCollector::~TimeSeriesCollector() { Stop(); }
+
+Status TimeSeriesCollector::Start() {
+  MutexLock lifecycle(&lifecycle_mu_);
+  {
+    MutexLock lock(&mu_);
+    if (started_) return Status::OK();
+    if (stopping_) return Status::InvalidArgument("collector already stopped");
+    if (!opts_.export_path.empty()) {
+      file_ = std::fopen(opts_.export_path.c_str(), "w");
+      if (file_ == nullptr) {
+        return Status::IOError("cannot open time-series export path: " +
+                               opts_.export_path);
+      }
+    }
+    started_ = true;
+  }
+  exporter_ = Thread([this] { ExporterLoop(); });
+  return Status::OK();
+}
+
+void TimeSeriesCollector::ExporterLoop() {
+  MutexLock lock(&mu_);
+  auto next = std::chrono::steady_clock::now() + opts_.interval;
+  while (!stopping_) {
+    // WaitUntil returns true on timeout: time to close a window. A
+    // spurious or stop wakeup just re-checks the flag.
+    if (stop_cv_.WaitUntil(&mu_, next)) {
+      CloseWindowLocked();
+      next = std::chrono::steady_clock::now() + opts_.interval;
+    }
+  }
+}
+
+void TimeSeriesCollector::Stop() {
+  MutexLock lifecycle(&lifecycle_mu_);
+  {
+    MutexLock lock(&mu_);
+    stopping_ = true;
+  }
+  stop_cv_.NotifyAll();
+  if (exporter_.joinable()) exporter_.join();
+  MutexLock lock(&mu_);
+  if (drained_) return;
+  drained_ = true;
+  if (started_) {
+    // Final partial window: whatever accumulated since the last tick
+    // still reaches the ring and the file.
+    CloseWindowLocked();
+  }
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+TimeSeriesWindow TimeSeriesCollector::CloseWindowNow() {
+  MutexLock lock(&mu_);
+  return CloseWindowLocked();
+}
+
+TimeSeriesWindow TimeSeriesCollector::CloseWindowLocked() {
+  const auto now = std::chrono::steady_clock::now();
+  MetricsSnapshot snap =
+      registry_ != nullptr ? registry_->Snapshot() : MetricsSnapshot{};
+
+  TimeSeriesWindow w;
+  w.index = closed_;
+  w.t_start_s = SecondsBetween(base_, prev_time_);
+  w.duration_s = SecondsBetween(prev_time_, now);
+  const double dt = std::max(w.duration_s, 1e-9);
+
+  for (const auto& [name, value] : snap.counters) {
+    auto it = prev_.counters.find(name);
+    const int64_t before = it == prev_.counters.end() ? 0 : it->second;
+    const int64_t delta = value - before;
+    if (delta == 0) continue;
+    w.counter_deltas[name] = delta;
+    w.counter_rates[name] = static_cast<double>(delta) / dt;
+  }
+  w.gauges = snap.gauges;
+  for (const auto& [name, after] : snap.histograms) {
+    auto it = prev_.histograms.find(name);
+    const HistogramSnapshot empty;
+    const HistogramSnapshot& before =
+        it == prev_.histograms.end() ? empty : it->second;
+    HistogramSnapshot win = HistogramSnapshot::Delta(before, after);
+    if (win.count == 0) continue;
+    WindowHistogram wh;
+    wh.count = win.count;
+    wh.sum = win.sum;
+    wh.mean = win.Mean();
+    wh.p50 = win.Percentile(0.50);
+    wh.p99 = win.Percentile(0.99);
+    wh.p999 = win.Percentile(0.999);
+    w.histograms[name] = wh;
+  }
+
+  prev_ = std::move(snap);
+  prev_time_ = now;
+  ++closed_;
+
+  if (file_ != nullptr) {
+    const std::string line = w.ToJson();
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fputc('\n', file_);
+    std::fflush(file_);
+  }
+  if (opts_.ring_capacity > 0) {
+    if (ring_.size() >= opts_.ring_capacity) {
+      ring_.erase(ring_.begin());
+      ++evicted_;
+    }
+    ring_.push_back(w);
+  }
+  return w;
+}
+
+std::vector<TimeSeriesWindow> TimeSeriesCollector::Windows() const {
+  MutexLock lock(&mu_);
+  return ring_;
+}
+
+uint64_t TimeSeriesCollector::windows_closed() const {
+  MutexLock lock(&mu_);
+  return closed_;
+}
+
+uint64_t TimeSeriesCollector::windows_evicted() const {
+  MutexLock lock(&mu_);
+  return evicted_;
+}
+
+std::string TimeSeriesWindow::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("window");
+  w.Uint(index);
+  w.Key("t_start_s");
+  w.Double(t_start_s);
+  w.Key("duration_s");
+  w.Double(duration_s);
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, delta] : counter_deltas) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("delta");
+    w.Int(delta);
+    w.Key("rate");
+    auto it = counter_rates.find(name);
+    w.Double(it == counter_rates.end() ? 0.0 : it->second);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, value] : gauges) {
+    w.Key(name);
+    w.Int(value);
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, h] : histograms) {
+    w.Key(name);
+    w.BeginObject();
+    w.Key("count");
+    w.Uint(h.count);
+    w.Key("sum");
+    w.Uint(h.sum);
+    w.Key("mean");
+    w.Double(h.mean);
+    w.Key("p50");
+    w.Double(h.p50);
+    w.Key("p99");
+    w.Double(h.p99);
+    w.Key("p999");
+    w.Double(h.p999);
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.Release();
+}
+
+}  // namespace hamming::obs

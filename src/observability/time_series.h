@@ -1,0 +1,137 @@
+// TimeSeriesCollector: windowed serving telemetry from cumulative
+// metrics.
+//
+// MetricsRegistry keeps monotone totals — perfect for "what happened
+// over the whole run", useless for "what is happening NOW". This
+// collector turns totals into fixed-interval windows by periodically
+// snapshotting the registry and diffing consecutive snapshots:
+//
+//  * counters  -> per-window delta and rate (delta / window seconds);
+//  * gauges    -> current high-watermark value (gauges are cumulative
+//                 maxima by design, so the window reports the level);
+//  * histograms-> HistogramSnapshot::Delta of the window, exported as
+//                 count / mean / interpolated p50, p99, p999 —
+//                 the serving latency timeline.
+//
+// Windows live in a bounded ring (oldest evicted, eviction counted) and
+// are appended to a JSONL file by the same background exporter thread
+// that closes them — one window, one line, flushed immediately, so a
+// crashed run still leaves its telemetry behind. Built on the annotated
+// sync.h primitives; Stop() drains: it closes one final partial window,
+// flushes the file, and joins the thread, and is safe to call twice or
+// without Start() — the shutdown/drain races the TSan telemetry tests
+// hammer.
+//
+// CloseWindowNow() ticks synchronously, for tests and for callers
+// (bench_serving) that want a deterministic final window without
+// sleeping through an interval.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/sync.h"
+#include "observability/metrics.h"
+
+namespace hamming::obs {
+
+struct TimeSeriesOptions {
+  /// Window length the exporter thread closes windows at.
+  std::chrono::milliseconds interval{1000};
+  /// Bounded ring capacity; the oldest window is evicted beyond it.
+  std::size_t ring_capacity = 512;
+  /// JSONL destination (one window per line); empty = in-memory only.
+  std::string export_path;
+};
+
+/// \brief One histogram's windowed view.
+struct WindowHistogram {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
+/// \brief One closed window, plain data.
+struct TimeSeriesWindow {
+  uint64_t index = 0;
+  /// Window start, seconds since the collector was constructed.
+  double t_start_s = 0.0;
+  double duration_s = 0.0;
+  /// Counter deltas over the window (zero deltas omitted) and the same
+  /// as per-second rates.
+  std::map<std::string, int64_t> counter_deltas;
+  std::map<std::string, double> counter_rates;
+  /// Gauge levels at window close.
+  std::map<std::string, int64_t> gauges;
+  /// Histogram windows (zero-count windows omitted).
+  std::map<std::string, WindowHistogram> histograms;
+
+  /// \brief The window as one JSON object (one JSONL line, no newline).
+  std::string ToJson() const;
+};
+
+/// \brief Periodic snapshot-diff collector with a background exporter
+/// thread. The registry must outlive the collector.
+class TimeSeriesCollector {
+ public:
+  TimeSeriesCollector(MetricsRegistry* registry, TimeSeriesOptions opts);
+  ~TimeSeriesCollector();  // Stop()
+
+  TimeSeriesCollector(const TimeSeriesCollector&) = delete;
+  TimeSeriesCollector& operator=(const TimeSeriesCollector&) = delete;
+
+  /// \brief Opens the export file (when configured) and spawns the
+  /// exporter thread. Idempotent; fails if the file cannot be opened.
+  Status Start() HAMMING_EXCLUDES(lifecycle_mu_, mu_);
+
+  /// \brief Drains and stops: joins the exporter, closes one final
+  /// partial window, flushes and closes the file. Idempotent, safe from
+  /// multiple threads, callable without Start().
+  void Stop() HAMMING_EXCLUDES(lifecycle_mu_, mu_);
+
+  /// \brief Synchronously closes the current window and returns it.
+  TimeSeriesWindow CloseWindowNow() HAMMING_EXCLUDES(mu_);
+
+  /// \brief Ring contents, oldest first.
+  std::vector<TimeSeriesWindow> Windows() const HAMMING_EXCLUDES(mu_);
+
+  /// \brief Total windows closed (>= ring size).
+  uint64_t windows_closed() const HAMMING_EXCLUDES(mu_);
+  /// \brief Windows evicted from the ring.
+  uint64_t windows_evicted() const HAMMING_EXCLUDES(mu_);
+
+ private:
+  void ExporterLoop() HAMMING_EXCLUDES(mu_);
+  TimeSeriesWindow CloseWindowLocked() HAMMING_REQUIRES(mu_);
+
+  MetricsRegistry* const registry_;
+  const TimeSeriesOptions opts_;
+  const std::chrono::steady_clock::time_point base_;
+
+  // Serializes Start/Stop against each other (the exporter Thread
+  // object must have exactly one joiner); never held while waiting for
+  // work. Lock order: lifecycle_mu_ before mu_.
+  Mutex lifecycle_mu_ HAMMING_ACQUIRED_BEFORE(mu_);
+  mutable Mutex mu_;
+  CondVar stop_cv_;
+  bool started_ HAMMING_GUARDED_BY(mu_) = false;
+  bool stopping_ HAMMING_GUARDED_BY(mu_) = false;
+  bool drained_ HAMMING_GUARDED_BY(mu_) = false;
+  std::FILE* file_ HAMMING_GUARDED_BY(mu_) = nullptr;
+  MetricsSnapshot prev_ HAMMING_GUARDED_BY(mu_);
+  std::chrono::steady_clock::time_point prev_time_ HAMMING_GUARDED_BY(mu_);
+  std::vector<TimeSeriesWindow> ring_ HAMMING_GUARDED_BY(mu_);
+  uint64_t closed_ HAMMING_GUARDED_BY(mu_) = 0;
+  uint64_t evicted_ HAMMING_GUARDED_BY(mu_) = 0;
+  Thread exporter_;  // assigned in Start, joined in Stop (lifecycle_mu_)
+};
+
+}  // namespace hamming::obs

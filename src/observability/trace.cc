@@ -43,6 +43,51 @@ std::size_t TraceCollector::size() const {
   return spans_.size();
 }
 
+uint32_t TraceCollector::AuxProcessPidLocked(const std::string& process) {
+  for (std::size_t i = 0; i < aux_processes_.size(); ++i) {
+    if (aux_processes_[i] == process) {
+      return kAuxTracePidBase + static_cast<uint32_t>(i);
+    }
+  }
+  aux_processes_.push_back(process);
+  return kAuxTracePidBase + static_cast<uint32_t>(aux_processes_.size() - 1);
+}
+
+void TraceCollector::AddProcessSpan(const std::string& process, uint32_t tid,
+                                    const std::string& name,
+                                    const std::string& category,
+                                    double start_us, double duration_us,
+                                    const std::string& args_detail,
+                                    bool instant) {
+  MutexLock lock(&mu_);
+  Span s;
+  s.name = name;
+  s.category = category;
+  s.args_detail = args_detail;
+  s.start_us = start_us;
+  s.duration_us = instant ? 0.0 : std::max(0.0, duration_us);
+  s.pid = AuxProcessPidLocked(process);
+  s.tid = tid;
+  s.instant = instant;
+  // Deliberately no max_abs_us_ update: aux spans ride their own clock
+  // and must not push the job re-basing forward.
+  spans_.push_back(std::move(s));
+}
+
+void TraceCollector::NameProcessThread(const std::string& process,
+                                       uint32_t tid,
+                                       const std::string& thread_name) {
+  MutexLock lock(&mu_);
+  const uint32_t pid = AuxProcessPidLocked(process);
+  for (auto& [p, t, n] : thread_names_) {
+    if (p == pid && t == tid) {
+      n = thread_name;
+      return;
+    }
+  }
+  thread_names_.emplace_back(pid, tid, thread_name);
+}
+
 void TraceCollector::CloseJobSpan() {
   if (!job_open_) return;
   Span job;
@@ -205,6 +250,27 @@ std::string TraceCollector::ToChromeJson() const {
   name_process(0, "driver");
   for (std::size_t n = 0; n <= max_node_seen_; ++n) {
     name_process(static_cast<uint32_t>(n) + 1, "node-" + std::to_string(n));
+  }
+  for (std::size_t i = 0; i < aux_processes_.size(); ++i) {
+    name_process(kAuxTracePidBase + static_cast<uint32_t>(i),
+                 aux_processes_[i]);
+  }
+  for (const auto& [pid, tid, label] : thread_names_) {
+    w.BeginObject();
+    w.Key("name");
+    w.String("thread_name");
+    w.Key("ph");
+    w.String("M");
+    w.Key("pid");
+    w.Uint(pid);
+    w.Key("tid");
+    w.Uint(tid);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("name");
+    w.String(label);
+    w.EndObject();
+    w.EndObject();
   }
   for (const Span& s : spans) {
     w.BeginObject();

@@ -23,10 +23,19 @@
 // the maximum absolute timestamp seen so far, so a plan's jobs lay out
 // end-to-end on one timeline. Label jobs with BeginJob() to get named
 // "job" spans around each.
+//
+// Beyond job events, AddProcessSpan() injects spans into auxiliary named
+// processes (pids from kAuxTracePidBase up, one per distinct name) on a
+// caller-supplied clock — this is how the serving layer's sampled
+// per-request traces (observability/request_trace.h) land on the same
+// timeline as the MapReduce jobs, one thread lane per engine worker
+// (label lanes with NameProcessThread). Aux spans never perturb the job
+// re-basing clock.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "common/sync.h"
@@ -39,6 +48,10 @@ struct TraceOptions {
   /// match the Cluster the jobs run on for the lanes to be truthful.
   std::size_t num_nodes = 16;
 };
+
+/// \brief First pid of auxiliary named processes (AddProcessSpan); well
+/// above any node pid so the two families can never collide.
+inline constexpr uint32_t kAuxTracePidBase = 1000;
 
 /// \brief Collects JobEvents (as a mr::JobObserver) and exports a
 /// Chrome trace-event JSON document.
@@ -61,6 +74,22 @@ class TraceCollector final : public mr::JobObserver {
   /// for callers that kept JobResult::trace instead of observing live).
   void AddJobTrace(const mr::JobEventTrace& trace,
                    const std::string& job_name = "") HAMMING_EXCLUDES(mu_);
+
+  /// \brief Appends one span to the auxiliary process named `process`
+  /// (created on first use), thread lane `tid`. Timestamps are on the
+  /// caller's clock in microseconds; `duration_us` <= 0 with
+  /// `instant` = true renders an instant marker. Thread-safe.
+  void AddProcessSpan(const std::string& process, uint32_t tid,
+                      const std::string& name, const std::string& category,
+                      double start_us, double duration_us,
+                      const std::string& args_detail = "",
+                      bool instant = false) HAMMING_EXCLUDES(mu_);
+
+  /// \brief Labels thread lane `tid` of auxiliary process `process`
+  /// (e.g. "worker-3") via thread_name metadata.
+  void NameProcessThread(const std::string& process, uint32_t tid,
+                         const std::string& thread_name)
+      HAMMING_EXCLUDES(mu_);
 
   /// \brief Number of trace events collected so far.
   std::size_t size() const HAMMING_EXCLUDES(mu_);
@@ -87,11 +116,18 @@ class TraceCollector final : public mr::JobObserver {
 
   void Ingest(const mr::JobEvent& e) HAMMING_REQUIRES(mu_);
   void CloseJobSpan() HAMMING_REQUIRES(mu_);
+  uint32_t AuxProcessPidLocked(const std::string& process)
+      HAMMING_REQUIRES(mu_);
 
   TraceOptions opts_;
   mutable Mutex mu_;
   std::vector<Span> spans_ HAMMING_GUARDED_BY(mu_);
   std::size_t max_node_seen_ HAMMING_GUARDED_BY(mu_) = 0;
+  // Auxiliary named processes: index i renders as pid
+  // kAuxTracePidBase + i; thread_names_ holds (pid, tid, label).
+  std::vector<std::string> aux_processes_ HAMMING_GUARDED_BY(mu_);
+  std::vector<std::tuple<uint32_t, uint32_t, std::string>> thread_names_
+      HAMMING_GUARDED_BY(mu_);
   // Job re-basing state.
   double job_base_us_ HAMMING_GUARDED_BY(mu_) = 0.0;
   double max_abs_us_ HAMMING_GUARDED_BY(mu_) = 0.0;

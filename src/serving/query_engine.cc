@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "observability/stopwatch.h"
+#include "observability/metric_names.h"
 
 namespace hamming::serving {
 
@@ -19,6 +19,21 @@ uint64_t ToMicros(std::chrono::nanoseconds d) {
       std::chrono::duration_cast<std::chrono::microseconds>(d).count());
 }
 
+// Steady time_point <-> the RequestSpan nanosecond timebase
+// (steady-clock nanos since epoch, see obs::RequestTraceNowNs).
+uint64_t ToSpanNs(std::chrono::steady_clock::time_point tp) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          tp.time_since_epoch())
+          .count());
+}
+
+std::chrono::steady_clock::time_point FromSpanNs(uint64_t ns) {
+  return std::chrono::steady_clock::time_point(
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::nanoseconds(ns)));
+}
+
 }  // namespace
 
 QueryEngine::QueryEngine(std::vector<const HammingIndex*> indexes,
@@ -26,16 +41,17 @@ QueryEngine::QueryEngine(std::vector<const HammingIndex*> indexes,
     : indexes_(std::move(indexes)), opts_(std::move(opts)) {
   obs::MetricsRegistry* reg = opts_.metrics;
   if (reg != nullptr) {
-    metrics_.queue_wait_us = reg->Histogram("serving.queue_wait_us");
-    metrics_.service_us = reg->Histogram("serving.service_us");
-    metrics_.e2e_us = reg->Histogram("serving.e2e_us");
-    metrics_.batch_size = reg->Histogram("serving.batch_size");
-    metrics_.accepted = reg->Counter("serving.accepted");
-    metrics_.rejected_queue_full = reg->Counter("serving.rejected_queue_full");
-    metrics_.rejected_latency = reg->Counter("serving.rejected_latency");
-    metrics_.deadline_expired = reg->Counter("serving.deadline_expired");
-    metrics_.batches = reg->Counter("serving.batches");
-    metrics_.queue_depth_peak = reg->Gauge("serving.queue_depth_peak");
+    namespace mn = obs::metric_names;
+    metrics_.queue_wait_us = reg->Histogram(mn::kServingQueueWaitUs);
+    metrics_.service_us = reg->Histogram(mn::kServingServiceUs);
+    metrics_.e2e_us = reg->Histogram(mn::kServingE2eUs);
+    metrics_.batch_size = reg->Histogram(mn::kServingBatchSize);
+    metrics_.accepted = reg->Counter(mn::kServingAccepted);
+    metrics_.rejected_queue_full = reg->Counter(mn::kServingRejectedQueueFull);
+    metrics_.rejected_latency = reg->Counter(mn::kServingRejectedLatency);
+    metrics_.deadline_expired = reg->Counter(mn::kServingDeadlineExpired);
+    metrics_.batches = reg->Counter(mn::kServingBatches);
+    metrics_.queue_depth_peak = reg->Gauge(mn::kServingQueueDepthPeak);
     metrics_.query_hists =
         obs::QueryStatsHistograms::Register(reg, "serving.query");
   }
@@ -55,7 +71,12 @@ Status QueryEngine::Start() {
   const std::size_t n = std::max<std::size_t>(1, opts_.num_workers);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    if (opts_.sampler != nullptr && opts_.trace != nullptr) {
+      opts_.trace->NameProcessThread("serving", static_cast<uint32_t>(i),
+                                     "worker-" + std::to_string(i));
+    }
+    workers_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<uint32_t>(i)); });
   }
   return Status::OK();
 }
@@ -112,6 +133,10 @@ Result<std::future<ServeResult>> QueryEngine::Submit(
   pending->req = std::move(req);
   pending->enqueued = std::chrono::steady_clock::now();
   pending->deadline = deadline;
+  if (opts_.sampler != nullptr) {
+    pending->trace_id = opts_.sampler->NextTraceId();
+    pending->head_sampled = opts_.sampler->HeadSampled(pending->trace_id);
+  }
   std::future<ServeResult> fut = pending->promise.get_future();
   {
     MutexLock lock(&mu_);
@@ -173,6 +198,7 @@ void QueryEngine::GatherBatchLocked(
          queue_.front()->req.kind == key_kind) {
     std::unique_ptr<Pending> p = std::move(queue_.front());
     queue_.pop_front();
+    p->gathered = now;
     const double wait_us = static_cast<double>(ToMicros(now - p->enqueued));
     ewma_queue_wait_us_ = opts_.ewma_alpha * wait_us +
                           (1.0 - opts_.ewma_alpha) * ewma_queue_wait_us_;
@@ -180,7 +206,7 @@ void QueryEngine::GatherBatchLocked(
   }
 }
 
-void QueryEngine::WorkerLoop() {
+void QueryEngine::WorkerLoop(uint32_t worker_id) {
   std::vector<std::unique_ptr<Pending>> batch;
   mu_.Lock();
   for (;;) {
@@ -207,7 +233,7 @@ void QueryEngine::WorkerLoop() {
       }
     }
     mu_.Unlock();
-    ExecuteBatch(std::move(batch));
+    ExecuteBatch(std::move(batch), worker_id);
     batch.clear();
     mu_.Lock();
   }
@@ -231,7 +257,8 @@ void QueryEngine::FailPending(std::unique_ptr<Pending> p, Status status,
   p->promise.set_value(std::move(r));
 }
 
-void QueryEngine::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
+void QueryEngine::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch,
+                               uint32_t worker_id) {
   if (batch.empty()) return;
   const auto exec_start = std::chrono::steady_clock::now();
 
@@ -243,6 +270,20 @@ void QueryEngine::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
     if (HasDeadline(p->deadline) && exec_start > p->deadline) {
       ++expired;
       HAMMING_METRIC_ADD(opts_.metrics, metrics_.deadline_expired, 1);
+      // An expired request still belongs in the exemplar log — a
+      // calibration corpus that omits the requests the engine gave up
+      // on would under-represent exactly the overload it must model.
+      const char kind = p->req.kind == QueryKind::kKnn ? 'k' : 'r';
+      const uint64_t param =
+          p->req.kind == QueryKind::kKnn ? p->req.k : p->req.h;
+      RequestTiming t;
+      t.exec_start = exec_start;
+      t.svc_start = exec_start;
+      t.svc_end = exec_start;
+      t.done = std::chrono::steady_clock::now();
+      RecordRequestTelemetry(*p, kind, param, /*ok=*/false,
+                             obs::QueryStats{}, /*batch_size=*/0, worker_id,
+                             t, {});
       FailPending(std::move(p),
                   Status::DeadlineExceeded("deadline expired in queue"),
                   /*batch_size=*/0);
@@ -261,14 +302,23 @@ void QueryEngine::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
     for (auto& p : live) requests.push_back(std::move(p->req));
     std::vector<QueryResponse> responses(n);
 
-    obs::Stopwatch service_watch;
-    Status batch_status =
-        kind == QueryKind::kKnn
-            ? index->KnnBatch({requests.data(), n}, {responses.data(), n})
-            : index->SearchBatch({requests.data(), n}, {responses.data(), n});
-    const auto service_time = std::chrono::nanoseconds(
-        static_cast<int64_t>(service_watch.ElapsedNanos()));
-    const auto done = std::chrono::steady_clock::now();
+    // Record spans emitted below the serving layer (the epoch pin of a
+    // concurrent index) for the duration of the batched call. Installed
+    // only when tracing is on, so the untraced path stays span-free.
+    obs::SpanSink pin_sink;
+    const auto svc_start = std::chrono::steady_clock::now();
+    Status batch_status;
+    {
+      obs::SpanSinkScope sink_scope(opts_.sampler != nullptr ? &pin_sink
+                                                             : nullptr);
+      batch_status =
+          kind == QueryKind::kKnn
+              ? index->KnnBatch({requests.data(), n}, {responses.data(), n})
+              : index->SearchBatch({requests.data(), n}, {responses.data(), n});
+    }
+    const auto svc_end = std::chrono::steady_clock::now();
+    const auto service_time = svc_end - svc_start;
+    const auto done = svc_end;
 
     HAMMING_METRIC_OBSERVE(opts_.metrics, metrics_.batch_size, n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -306,6 +356,17 @@ void QueryEngine::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
       if (opts_.metrics != nullptr) {
         metrics_.query_hists.Observe(opts_.metrics, r.response.stats);
       }
+      const char kind_c = kind == QueryKind::kKnn ? 'k' : 'r';
+      const uint64_t param =
+          kind == QueryKind::kKnn ? requests[i].k : requests[i].h;
+      RequestTiming t;
+      t.exec_start = exec_start;
+      t.svc_start = svc_start;
+      t.svc_end = svc_end;
+      t.done = done;
+      RecordRequestTelemetry(*p, kind_c, param, r.response.status.ok(),
+                             r.response.stats, n, worker_id, t,
+                             pin_sink.spans());
       p->promise.set_value(std::move(r));
     }
   }
@@ -316,6 +377,94 @@ void QueryEngine::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch) {
     ++counters_.batches;
     counters_.batched_queries += live.size();
     HAMMING_METRIC_ADD(opts_.metrics, metrics_.batches, 1);
+  }
+}
+
+void QueryEngine::RecordRequestTelemetry(
+    const Pending& p, char kind, uint64_t param, bool ok,
+    const obs::QueryStats& stats, std::size_t batch_size, uint32_t worker_id,
+    const RequestTiming& t, const std::vector<obs::RequestSpan>& pin_spans) {
+  if (opts_.sampler == nullptr) return;
+  const auto e2e = t.done - p.enqueued;
+  const bool slow = opts_.sampler->Slow(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(e2e));
+
+  // Assemble the span stack in phase order. `gathered` is unset when a
+  // request expired before any worker picked it up; the queue span then
+  // runs to exec_start and batch_form is empty.
+  const auto gathered =
+      p.gathered == std::chrono::steady_clock::time_point{} ? t.exec_start
+                                                            : p.gathered;
+  std::vector<obs::RequestSpan> spans;
+  spans.reserve(4 + pin_spans.size());
+  spans.push_back(obs::RequestSpan{obs::RequestPhase::kQueue,
+                                   ToSpanNs(p.enqueued), ToSpanNs(gathered),
+                                   0});
+  spans.push_back(obs::RequestSpan{obs::RequestPhase::kBatchForm,
+                                   ToSpanNs(gathered), ToSpanNs(t.exec_start),
+                                   0});
+  for (const obs::RequestSpan& s : pin_spans) spans.push_back(s);
+  spans.push_back(obs::RequestSpan{obs::RequestPhase::kKernel,
+                                   ToSpanNs(t.svc_start), ToSpanNs(t.svc_end),
+                                   batch_size});
+  spans.push_back(obs::RequestSpan{obs::RequestPhase::kRespond,
+                                   ToSpanNs(t.svc_end), ToSpanNs(t.done), 0});
+
+  if (opts_.trace != nullptr && (p.head_sampled || slow)) {
+    const double req_start_us = opts_.sampler->ToTraceMicros(p.enqueued);
+    const double req_dur_us =
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            e2e)
+            .count();
+    // Parent request span with an admit instant at its start, children
+    // for each phase — all on this worker's lane of the auxiliary
+    // "serving" process.
+    opts_.trace->AddProcessSpan(
+        "serving", worker_id, "req " + std::to_string(p.trace_id), "request",
+        req_start_us, req_dur_us,
+        std::string(slow ? "slow" : "head") + " kind=" + kind +
+            " batch=" + std::to_string(batch_size));
+    opts_.trace->AddProcessSpan("serving", worker_id, "admit",
+                                "request.phase", req_start_us, 0.0, "",
+                                /*instant=*/true);
+    for (const obs::RequestSpan& s : spans) {
+      const double start_us =
+          opts_.sampler->ToTraceMicros(FromSpanNs(s.start_ns));
+      const double dur_us = static_cast<double>(s.DurationNs()) / 1000.0;
+      std::string detail;
+      if (s.phase == obs::RequestPhase::kEpochPin) {
+        detail = "epoch=" + std::to_string(s.detail);
+      }
+      opts_.trace->AddProcessSpan("serving", worker_id,
+                                  obs::RequestPhaseName(s.phase),
+                                  "request.phase", start_us, dur_us, detail);
+    }
+  }
+
+  if (opts_.query_log != nullptr) {
+    obs::QueryLogEntry entry;
+    entry.trace_id = p.trace_id;
+    entry.head_sampled = p.head_sampled;
+    entry.slow = slow;
+    entry.ok = ok;
+    entry.kind = kind;
+    entry.param = param;
+    entry.e2e_us =
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            e2e)
+            .count();
+    entry.queue_us =
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            t.exec_start - p.enqueued)
+            .count();
+    entry.service_us =
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            t.svc_end - t.svc_start)
+            .count();
+    entry.batch_size = batch_size;
+    entry.stats = stats;
+    entry.spans = std::move(spans);
+    opts_.query_log->Record(std::move(entry));
   }
 }
 

@@ -68,7 +68,10 @@
 #include "index/hamming_index.h"
 #include "index/query.h"
 #include "observability/metrics.h"
+#include "observability/query_log.h"
 #include "observability/query_stats.h"
+#include "observability/request_trace.h"
+#include "observability/trace.h"
 
 namespace hamming::serving {
 
@@ -94,6 +97,20 @@ struct QueryEngineOptions {
   /// Optional registry receiving the serving.* metrics and the
   /// serving.query.* per-request work histograms. May be null.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional request tracer. When set, every request gets a trace id
+  /// and phase timestamps; head-sampled (1-in-N, deterministic in the
+  /// sampler seed) and slow (past the sampler's slow_threshold, tail
+  /// capture) requests are exported to `trace` and flagged in
+  /// `query_log`. Null = per-request tracing off, zero cost.
+  obs::TraceSampler* sampler = nullptr;
+  /// Where sampled request spans render: an auxiliary "serving" process
+  /// on the Chrome/Perfetto timeline, one thread lane per worker.
+  /// Only consulted when `sampler` is set. May be null.
+  obs::TraceCollector* trace = nullptr;
+  /// Optional sampled exemplar log; every completed (or expired)
+  /// request is offered, the log's reservoir/slow policy decides what
+  /// is kept. Span breakdowns are attached when `sampler` is set.
+  obs::QueryLog* query_log = nullptr;
 };
 
 /// \brief What the engine hands back for one request.
@@ -186,6 +203,19 @@ class QueryEngine {
     std::promise<ServeResult> promise;
     std::chrono::steady_clock::time_point enqueued;
     std::chrono::steady_clock::time_point deadline;  // max() = none
+    // Telemetry identity (zero / unset when no sampler is configured).
+    uint64_t trace_id = 0;
+    bool head_sampled = false;
+    std::chrono::steady_clock::time_point gathered{};
+  };
+
+  /// Phase boundaries of one request's trip through a batch, for span
+  /// assembly (all on the steady clock).
+  struct RequestTiming {
+    std::chrono::steady_clock::time_point exec_start{};
+    std::chrono::steady_clock::time_point svc_start{};
+    std::chrono::steady_clock::time_point svc_end{};
+    std::chrono::steady_clock::time_point done{};
   };
 
   struct Metrics {
@@ -202,17 +232,26 @@ class QueryEngine {
     obs::QueryStatsHistograms query_hists;
   };
 
-  void WorkerLoop();
+  void WorkerLoop(uint32_t worker_id);
   /// Pops the longest same-(index, kind) FIFO prefix (up to max_batch)
   /// off the queue. Caller holds mu_.
   void GatherBatchLocked(std::vector<std::unique_ptr<Pending>>* batch)
       HAMMING_REQUIRES(mu_);
   /// Executes one gathered batch outside the lock and fulfills its
-  /// promises.
-  void ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch);
+  /// promises. `worker_id` labels the trace lane.
+  void ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch,
+                    uint32_t worker_id);
   /// Completes one request with a terminal status (no index call).
   void FailPending(std::unique_ptr<Pending> p, Status status,
                    std::size_t batch_size);
+  /// Assembles one request's span stack and offers it to the configured
+  /// trace (head-sampled or slow only) and query log (every request).
+  /// No-op unless a sampler is configured.
+  void RecordRequestTelemetry(const Pending& p, char kind, uint64_t param,
+                              bool ok, const obs::QueryStats& stats,
+                              std::size_t batch_size, uint32_t worker_id,
+                              const RequestTiming& t,
+                              const std::vector<obs::RequestSpan>& pin_spans);
 
   const std::vector<const HammingIndex*> indexes_;
   const QueryEngineOptions opts_;

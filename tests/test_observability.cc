@@ -1,5 +1,6 @@
-// The observability layer's contract: log2 histogram bucketing is exact
-// at the edges, shard merges are deterministic under concurrent
+// The observability layer's contract: log-linear histogram bucketing is
+// exact at the edges (with interpolated percentiles inside the pinned
+// error bound), shard merges are deterministic under concurrent
 // recording, runtime metrics are byte-identical across fault-injection
 // retries (wall-clock "time." metrics excluded), the JSON escaper
 // round-trips hostile strings through JobEventTrace::ToJson, the trace
@@ -7,6 +8,8 @@
 // index family fills QueryStats.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -31,22 +34,44 @@ namespace {
 // ---- Histogram bucketing --------------------------------------------------
 
 TEST(Metrics, HistogramBucketEdges) {
+  // Values below 4 get exact buckets.
   EXPECT_EQ(HistogramBucketOf(0), 0u);
   EXPECT_EQ(HistogramBucketOf(1), 1u);
   EXPECT_EQ(HistogramBucketOf(2), 2u);
-  EXPECT_EQ(HistogramBucketOf(3), 2u);
-  EXPECT_EQ(HistogramBucketOf(4), 3u);
-  EXPECT_EQ(HistogramBucketOf((uint64_t{1} << 63) - 1), 63u);
-  EXPECT_EQ(HistogramBucketOf(uint64_t{1} << 63), 64u);
-  EXPECT_EQ(HistogramBucketOf(std::numeric_limits<uint64_t>::max()), 64u);
+  EXPECT_EQ(HistogramBucketOf(3), 3u);
+  // Octave [4, 8) splits into 4 width-1 sub-buckets (still exact).
+  EXPECT_EQ(HistogramBucketOf(4), 4u);
+  EXPECT_EQ(HistogramBucketOf(7), 7u);
+  // Octave [8, 16): width-2 sub-buckets 8-9, 10-11, 12-13, 14-15.
+  EXPECT_EQ(HistogramBucketOf(8), 8u);
+  EXPECT_EQ(HistogramBucketOf(9), 8u);
+  EXPECT_EQ(HistogramBucketOf(10), 9u);
+  EXPECT_EQ(HistogramBucketOf(15), 11u);
+  EXPECT_EQ(HistogramBucketOf(16), 12u);
+  // Top octave [2^63, 2^64).
+  EXPECT_EQ(HistogramBucketOf((uint64_t{1} << 63) - 1),
+            kHistogramBuckets - 5);
+  EXPECT_EQ(HistogramBucketOf(uint64_t{1} << 63), kHistogramBuckets - 4);
+  EXPECT_EQ(HistogramBucketOf(std::numeric_limits<uint64_t>::max()),
+            kHistogramBuckets - 1);
 
   EXPECT_EQ(HistogramBucketLowerBound(0), 0u);
   EXPECT_EQ(HistogramBucketLowerBound(1), 1u);
-  EXPECT_EQ(HistogramBucketLowerBound(2), 2u);
-  EXPECT_EQ(HistogramBucketLowerBound(64), uint64_t{1} << 63);
-  // Every bucket's lower bound lands in its own bucket.
+  EXPECT_EQ(HistogramBucketLowerBound(8), 8u);
+  EXPECT_EQ(HistogramBucketLowerBound(9), 10u);
+  EXPECT_EQ(HistogramBucketLowerBound(kHistogramBuckets - 4),
+            uint64_t{1} << 63);
+  EXPECT_EQ(HistogramBucketUpperBound(kHistogramBuckets - 1),
+            std::numeric_limits<uint64_t>::max());
+  // Every bucket's bounds land in their own bucket, buckets tile uint64.
   for (std::size_t i = 0; i < kHistogramBuckets; ++i) {
     EXPECT_EQ(HistogramBucketOf(HistogramBucketLowerBound(i)), i) << i;
+    EXPECT_EQ(HistogramBucketOf(HistogramBucketUpperBound(i)), i) << i;
+    if (i + 1 < kHistogramBuckets) {
+      EXPECT_EQ(HistogramBucketUpperBound(i) + 1,
+                HistogramBucketLowerBound(i + 1))
+          << i;
+    }
   }
 }
 
@@ -64,7 +89,95 @@ TEST(Metrics, HistogramObserveEdgeValues) {
   EXPECT_EQ(snap.sum, 0u);
   EXPECT_EQ(snap.buckets[0], 1u);
   EXPECT_EQ(snap.buckets[1], 1u);
-  EXPECT_EQ(snap.buckets[64], 1u);
+  EXPECT_EQ(snap.buckets[kHistogramBuckets - 1], 1u);
+}
+
+// ---- Interpolated percentiles ---------------------------------------------
+
+TEST(Metrics, PercentileEmptyAndSingleValue) {
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.Percentile(0.5), 0.0);
+
+  // A single-valued histogram is exact at every quantile: the estimate
+  // interpolates inside the bucket but clamps to [min, max].
+  for (uint64_t v : {uint64_t{0}, uint64_t{3}, uint64_t{7}, uint64_t{1000},
+                     uint64_t{123456789}}) {
+    MetricsRegistry reg;
+    MetricId h = reg.Histogram("one");
+    for (int i = 0; i < 10; ++i) reg.Observe(h, v);
+    HistogramSnapshot snap = reg.Snapshot().histograms.at("one");
+    for (double q : {0.0, 0.25, 0.5, 0.99, 0.999, 1.0}) {
+      EXPECT_DOUBLE_EQ(snap.Percentile(q), static_cast<double>(v)) << q;
+    }
+  }
+}
+
+TEST(Metrics, PercentileWorstCaseRelativeErrorBound) {
+  // The log-linear layout (4 sub-buckets per octave) bounds any
+  // bucket's width at 25% of its lower edge, so an interpolated
+  // quantile can never be off by more than 25% relative — the bound
+  // that makes p99/p999 usable. Pin it against exact quantiles of a
+  // deterministic heavy-tailed sample.
+  std::vector<uint64_t> values;
+  uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (int i = 0; i < 20000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    // Spread across ~5 orders of magnitude, like latency microseconds.
+    values.push_back(50 + (x % 1000) * (x % 97) * (x % 11));
+  }
+  MetricsRegistry reg;
+  MetricId h = reg.Histogram("lat");
+  for (uint64_t v : values) reg.Observe(h, v);
+  HistogramSnapshot snap = reg.Snapshot().histograms.at("lat");
+
+  std::vector<uint64_t> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 0.9999}) {
+    const std::size_t rank = std::min(
+        sorted.size() - 1,
+        static_cast<std::size_t>(q * static_cast<double>(sorted.size())));
+    const double exact = static_cast<double>(sorted[rank]);
+    const double est = snap.Percentile(q);
+    const double rel = std::abs(est - exact) / exact;
+    EXPECT_LT(rel, 0.25) << "q=" << q << " exact=" << exact
+                         << " est=" << est;
+  }
+  // Quantiles are monotone in q.
+  double prev = 0.0;
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double est = snap.Percentile(q);
+    EXPECT_GE(est, prev) << q;
+    prev = est;
+  }
+}
+
+TEST(Metrics, HistogramDeltaWindows) {
+  MetricsRegistry reg;
+  MetricId h = reg.Histogram("w");
+  reg.Observe(h, 8);
+  reg.Observe(h, 100);
+  HistogramSnapshot before = reg.Snapshot().histograms.at("w");
+  reg.Observe(h, 1000);
+  reg.Observe(h, 1000);
+  reg.Observe(h, 2000);
+  HistogramSnapshot after = reg.Snapshot().histograms.at("w");
+
+  HistogramSnapshot win = HistogramSnapshot::Delta(before, after);
+  EXPECT_EQ(win.count, 3u);
+  EXPECT_EQ(win.sum, 4000u);
+  // min/max are bucket-resolution estimates around [1000, 2000].
+  EXPECT_LE(win.min, 1000u);
+  EXPECT_GT(win.min, 500u);
+  EXPECT_GE(win.max, 2000u);
+  EXPECT_LE(win.max, 2500u);
+  EXPECT_NEAR(win.Percentile(0.5), 1000.0, 250.0);
+
+  // Empty window: nothing recorded between the snapshots.
+  HistogramSnapshot none = HistogramSnapshot::Delta(after, after);
+  EXPECT_EQ(none.count, 0u);
+  EXPECT_EQ(none.Percentile(0.99), 0.0);
 }
 
 TEST(Metrics, CounterGaugeSemantics) {
@@ -89,6 +202,29 @@ TEST(Metrics, RegistrationOverflowFallsBackToSink) {
     EXPECT_LT(id, kMaxMetricsPerRegistry);
   }
   EXPECT_LE(reg.NumMetrics(), kMaxMetricsPerRegistry);
+}
+
+TEST(Metrics, RegistrationOverflowIsVisibleInSnapshot) {
+  MetricsRegistry reg;
+  // Healthy registry: the diagnostics counter is present and zero.
+  EXPECT_EQ(reg.Snapshot().counters.at("metrics.registration_overflow"), 0);
+
+  constexpr std::size_t kAttempts = 300;
+  for (std::size_t i = 0; i < kAttempts; ++i) {
+    reg.Counter("overflow_probe_" + std::to_string(i));
+  }
+  // 255 slots hold distinct metrics (the 256th is the shared sink); the
+  // remaining 45 new-name registrations overflowed — and say so.
+  EXPECT_EQ(reg.NumMetrics(), kMaxMetricsPerRegistry - 1);
+  const uint64_t expect_overflow = kAttempts - (kMaxMetricsPerRegistry - 1);
+  EXPECT_EQ(reg.RegistrationOverflows(), expect_overflow);
+  EXPECT_EQ(
+      static_cast<uint64_t>(
+          reg.Snapshot().counters.at("metrics.registration_overflow")),
+      expect_overflow);
+  // Re-registering an existing name is not an overflow.
+  reg.Counter("overflow_probe_0");
+  EXPECT_EQ(reg.RegistrationOverflows(), expect_overflow);
 }
 
 // Shard-merge determinism: the snapshot of concurrent recording from T

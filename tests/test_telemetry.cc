@@ -1,0 +1,461 @@
+// Live-telemetry tests (all suites prefixed Telemetry* — the TSan stage
+// of scripts/check.sh runs them under the race detector):
+//
+//  * TraceSampler determinism: head-sampling is a pure function of
+//    (seed, id), so replays sample the same requests; the sampled
+//    fraction lands near 1/N.
+//  * SpanSink plumbing: ScopedRequestSpan records into the installed
+//    thread-local sink, is a no-op without one, and End() is idempotent.
+//  * QueryLog: reservoir stays bounded and seed-deterministic, the slow
+//    set keeps exactly the K slowest, and 8 concurrent recorders leave
+//    the invariants intact.
+//  * TimeSeriesCollector: snapshot-diff windows carry deltas/rates and
+//    ordered percentiles; the background exporter survives start /
+//    export / concurrent-Stop / double-Stop races and drains to JSONL.
+//  * End-to-end: a traced QueryEngine over a ConcurrentHAIndex exports
+//    per-request spans (including the epoch pin recorded below the
+//    serving layer) and feeds every request to the query log.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "index/concurrent_ha_index.h"
+#include "observability/metric_names.h"
+#include "observability/metrics.h"
+#include "observability/query_log.h"
+#include "observability/request_trace.h"
+#include "observability/time_series.h"
+#include "observability/trace.h"
+#include "serving/query_engine.h"
+#include "test_util.h"
+
+namespace hamming::obs {
+namespace {
+
+using testutil::RandomCodes;
+
+// ---------------------------------------------------------------------------
+// TraceSampler
+// ---------------------------------------------------------------------------
+
+TEST(TelemetrySampler, HeadSamplingIsDeterministicInSeedAndId) {
+  TraceSamplerOptions opts;
+  opts.sample_every = 16;
+  opts.seed = 12345;
+  TraceSampler a(opts), b(opts);
+  for (uint64_t id = 1; id <= 2000; ++id) {
+    EXPECT_EQ(a.HeadSampled(id), b.HeadSampled(id)) << id;
+  }
+  // A different seed flips some decisions (overwhelmingly likely over
+  // 2000 ids at 1-in-16).
+  opts.seed = 54321;
+  TraceSampler c(opts);
+  bool any_diff = false;
+  for (uint64_t id = 1; id <= 2000 && !any_diff; ++id) {
+    any_diff = a.HeadSampled(id) != c.HeadSampled(id);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TelemetrySampler, SampledFractionIsNearOneInN) {
+  TraceSamplerOptions opts;
+  opts.sample_every = 64;
+  TraceSampler s(opts);
+  std::size_t sampled = 0;
+  const std::size_t kIds = 64 * 1000;
+  for (uint64_t id = 1; id <= kIds; ++id) {
+    if (s.HeadSampled(id)) ++sampled;
+  }
+  // Expect ~1000; a well-mixed hash stays within +-30% at this volume.
+  EXPECT_GT(sampled, 700u);
+  EXPECT_LT(sampled, 1300u);
+}
+
+TEST(TelemetrySampler, SampleEveryOneTakesAllAndIdsAreUnique) {
+  TraceSamplerOptions opts;
+  opts.sample_every = 1;
+  opts.slow_threshold = std::chrono::microseconds(500);
+  TraceSampler s(opts);
+  std::set<uint64_t> ids;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t id = s.NextTraceId();
+    EXPECT_GT(id, 0u);
+    EXPECT_TRUE(ids.insert(id).second);
+    EXPECT_TRUE(s.HeadSampled(id));
+  }
+  EXPECT_FALSE(s.Slow(std::chrono::microseconds(499)));
+  EXPECT_TRUE(s.Slow(std::chrono::microseconds(500)));
+  // Zero threshold disables tail capture entirely.
+  TraceSampler off;
+  EXPECT_FALSE(off.Slow(std::chrono::hours(1)));
+}
+
+// ---------------------------------------------------------------------------
+// SpanSink / ScopedRequestSpan
+// ---------------------------------------------------------------------------
+
+TEST(TelemetrySpans, ScopedSpanRecordsIntoInstalledSink) {
+  EXPECT_EQ(CurrentSpanSink(), nullptr);
+  {
+    // No sink installed: constructing and destroying a span is a no-op.
+    ScopedRequestSpan ignored(RequestPhase::kEpochPin, 7);
+  }
+  SpanSink sink;
+  {
+    SpanSinkScope scope(&sink);
+    EXPECT_EQ(CurrentSpanSink(), &sink);
+    ScopedRequestSpan pin(RequestPhase::kEpochPin);
+    pin.SetDetail(42);
+    pin.End();
+    pin.End();  // idempotent: the destructor must not double-record
+    { ScopedRequestSpan kernel(RequestPhase::kKernel, 3); }
+    // Nested scope replaces and restores.
+    SpanSink inner;
+    {
+      SpanSinkScope nested(&inner);
+      EXPECT_EQ(CurrentSpanSink(), &inner);
+      ScopedRequestSpan respond(RequestPhase::kRespond);
+    }
+    EXPECT_EQ(CurrentSpanSink(), &sink);
+  }
+  EXPECT_EQ(CurrentSpanSink(), nullptr);
+  ASSERT_EQ(sink.spans().size(), 2u);
+  EXPECT_EQ(sink.spans()[0].phase, RequestPhase::kEpochPin);
+  EXPECT_EQ(sink.spans()[0].detail, 42u);
+  EXPECT_GE(sink.spans()[0].end_ns, sink.spans()[0].start_ns);
+  EXPECT_EQ(sink.spans()[1].phase, RequestPhase::kKernel);
+  EXPECT_EQ(sink.spans()[1].detail, 3u);
+  sink.Clear();
+  EXPECT_TRUE(sink.spans().empty());
+}
+
+// ---------------------------------------------------------------------------
+// QueryLog
+// ---------------------------------------------------------------------------
+
+QueryLogEntry MakeEntry(uint64_t trace_id, bool slow, double e2e_us) {
+  QueryLogEntry e;
+  e.trace_id = trace_id;
+  e.slow = slow;
+  e.e2e_us = e2e_us;
+  e.kind = (trace_id % 2 == 0) ? 'k' : 'r';
+  e.param = 3;
+  return e;
+}
+
+TEST(TelemetryQueryLog, ReservoirIsBoundedAndSeedDeterministic) {
+  QueryLogOptions opts;
+  opts.reservoir_capacity = 32;
+  opts.slow_capacity = 8;
+  opts.seed = 99;
+  QueryLog a(opts), b(opts);
+  for (uint64_t id = 1; id <= 5000; ++id) {
+    a.Record(MakeEntry(id, /*slow=*/false, 100.0));
+    b.Record(MakeEntry(id, /*slow=*/false, 100.0));
+  }
+  EXPECT_EQ(a.recorded(), 5000u);
+  EXPECT_EQ(a.slow_seen(), 0u);
+  auto ra = a.ReservoirSnapshot();
+  auto rb = b.ReservoirSnapshot();
+  ASSERT_EQ(ra.size(), 32u);
+  ASSERT_EQ(rb.size(), 32u);
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].trace_id, rb[i].trace_id) << i;  // same seed, same sample
+    EXPECT_GE(ra[i].t_s, 0.0);  // Record stamps the arrival time
+  }
+}
+
+TEST(TelemetryQueryLog, SlowSetKeepsExactlyTheKSlowest) {
+  QueryLogOptions opts;
+  opts.reservoir_capacity = 4;
+  opts.slow_capacity = 5;
+  QueryLog log(opts);
+  // 100 slow queries with distinct latencies 1..100 ms, shuffled order
+  // via a stride walk; the 5 slowest (96..100 ms) must survive.
+  for (uint64_t i = 0; i < 100; ++i) {
+    const uint64_t latency_ms = (i * 37) % 100 + 1;
+    log.Record(MakeEntry(1000 + latency_ms, /*slow=*/true,
+                         static_cast<double>(latency_ms) * 1000.0));
+  }
+  EXPECT_EQ(log.slow_seen(), 100u);
+  auto slow = log.SlowSnapshot();
+  ASSERT_EQ(slow.size(), 5u);
+  for (std::size_t i = 0; i < slow.size(); ++i) {
+    EXPECT_DOUBLE_EQ(slow[i].e2e_us, (100.0 - static_cast<double>(i)) * 1000.0);
+  }
+  // Slowest-first ordering.
+  EXPECT_TRUE(std::is_sorted(slow.begin(), slow.end(),
+                             [](const QueryLogEntry& x, const QueryLogEntry& y) {
+                               return x.e2e_us > y.e2e_us;
+                             }));
+}
+
+TEST(TelemetryQueryLog, ConcurrentRecordersKeepBoundsAndTotals) {
+  QueryLogOptions opts;
+  opts.reservoir_capacity = 64;
+  opts.slow_capacity = 16;
+  QueryLog log(opts);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<hamming::Thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint64_t id = static_cast<uint64_t>(t) * kPerThread + i + 1;
+        const bool slow = (i % 50) == 0;
+        log.Record(MakeEntry(id, slow, slow ? 50000.0 + i : 100.0));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(log.recorded(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(log.slow_seen(),
+            static_cast<uint64_t>(kThreads) * (kPerThread / 50));
+  EXPECT_EQ(log.ReservoirSnapshot().size(), 64u);
+  EXPECT_EQ(log.SlowSnapshot().size(), 16u);
+  // JSONL export: one line per retained entry, each a JSON object.
+  std::istringstream jsonl(log.ToJsonl());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(jsonl, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++lines;
+  }
+  EXPECT_EQ(lines, 64u + 16u);
+}
+
+// ---------------------------------------------------------------------------
+// TimeSeriesCollector
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryTimeSeries, WindowsCarryDeltasRatesAndOrderedPercentiles) {
+  MetricsRegistry reg;
+  const MetricId requests = reg.Counter("serving.accepted");
+  const MetricId latency = reg.Histogram("serving.e2e_us");
+  TimeSeriesOptions opts;
+  opts.interval = std::chrono::milliseconds(3600 * 1000);  // manual ticks only
+  TimeSeriesCollector ts(&reg, opts);
+
+  for (int i = 0; i < 100; ++i) {
+    reg.Add(requests, 1);
+    reg.Observe(latency, 100 + i * 10);
+  }
+  TimeSeriesWindow w1 = ts.CloseWindowNow();
+  EXPECT_EQ(w1.counter_deltas.at("serving.accepted"), 100);
+  EXPECT_GT(w1.counter_rates.at("serving.accepted"), 0.0);
+  const WindowHistogram& h1 = w1.histograms.at("serving.e2e_us");
+  EXPECT_EQ(h1.count, 100u);
+  EXPECT_GT(h1.mean, 0.0);
+  EXPECT_LE(h1.p50, h1.p99);
+  EXPECT_LE(h1.p99, h1.p999);
+
+  // A second window sees only the increments since the first.
+  reg.Add(requests, 5);
+  TimeSeriesWindow w2 = ts.CloseWindowNow();
+  EXPECT_EQ(w2.counter_deltas.at("serving.accepted"), 5);
+  EXPECT_EQ(w2.histograms.count("serving.e2e_us"), 0u);  // zero-count omitted
+  EXPECT_EQ(w2.index, w1.index + 1);
+  EXPECT_GE(w2.t_start_s, w1.t_start_s);
+
+  // An idle window omits the unchanged counter entirely.
+  TimeSeriesWindow w3 = ts.CloseWindowNow();
+  EXPECT_EQ(w3.counter_deltas.count("serving.accepted"), 0u);
+  EXPECT_EQ(ts.windows_closed(), 3u);
+  EXPECT_EQ(ts.Windows().size(), 3u);
+}
+
+TEST(TelemetryTimeSeries, RingEvictsOldestBeyondCapacity) {
+  MetricsRegistry reg;
+  TimeSeriesOptions opts;
+  opts.interval = std::chrono::milliseconds(3600 * 1000);
+  opts.ring_capacity = 4;
+  TimeSeriesCollector ts(&reg, opts);
+  for (int i = 0; i < 10; ++i) ts.CloseWindowNow();
+  EXPECT_EQ(ts.windows_closed(), 10u);
+  EXPECT_EQ(ts.windows_evicted(), 6u);
+  auto windows = ts.Windows();
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows.front().index, 6u);  // oldest surviving
+  EXPECT_EQ(windows.back().index, 9u);
+}
+
+TEST(TelemetryTimeSeries, ExporterThreadSurvivesConcurrentStopAndDrains) {
+  const std::string path =
+      ::testing::TempDir() + "/telemetry_timeseries_race.jsonl";
+  std::remove(path.c_str());
+  MetricsRegistry reg;
+  const MetricId requests = reg.Counter("serving.accepted");
+  const MetricId latency = reg.Histogram("serving.e2e_us");
+  TimeSeriesOptions opts;
+  opts.interval = std::chrono::milliseconds(5);
+  opts.export_path = path;
+  TimeSeriesCollector ts(&reg, opts);
+  ASSERT_TRUE(ts.Start().ok());
+  ASSERT_TRUE(ts.Start().ok());  // idempotent
+
+  std::atomic<bool> stop{false};
+  std::vector<hamming::Thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        reg.Add(requests, 1);
+        reg.Observe(latency, 250);
+      }
+    });
+  }
+  hamming::SleepFor(std::chrono::milliseconds(40));
+  // Two threads race Stop against each other (and the exporter).
+  hamming::Thread s1([&ts] { ts.Stop(); });
+  hamming::Thread s2([&ts] { ts.Stop(); });
+  s1.join();
+  s2.join();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : writers) w.join();
+  ts.Stop();  // third Stop after the fact: still safe
+
+  EXPECT_GE(ts.windows_closed(), 1u);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_NE(line.find("\"window\""), std::string::npos);
+    ++lines;
+  }
+  EXPECT_EQ(lines, ts.windows_closed());
+  std::remove(path.c_str());
+}
+
+TEST(TelemetryTimeSeries, StopWithoutStartAndDestructorAreSafe) {
+  MetricsRegistry reg;
+  {
+    TimeSeriesCollector ts(&reg, {});
+    ts.Stop();  // never started
+  }
+  {
+    TimeSeriesCollector ts(&reg, {});
+    ASSERT_TRUE(ts.Start().ok());
+    // Destructor stops the exporter.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: traced engine over a concurrent index
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryEngine, ExportsSpansAndFeedsQueryLog) {
+  auto codes = RandomCodes(400, 64, /*seed=*/11, /*clusters=*/8);
+  ConcurrentHAIndex index;
+  ASSERT_TRUE(index.Build(codes).ok());
+
+  MetricsRegistry reg;
+  TraceSamplerOptions sopts;
+  sopts.sample_every = 1;  // trace everything: the assertions are exact
+  TraceSampler sampler(sopts);
+  TraceCollector trace;
+  QueryLog qlog;
+
+  serving::QueryEngineOptions opts;
+  opts.num_workers = 2;
+  opts.max_batch = 8;
+  opts.metrics = &reg;
+  opts.sampler = &sampler;
+  opts.trace = &trace;
+  opts.query_log = &qlog;
+  serving::QueryEngine engine(&index, opts);
+  ASSERT_TRUE(engine.Start().ok());
+
+  auto queries = RandomCodes(48, 64, /*seed=*/23, /*clusters=*/8);
+  std::vector<std::future<serving::ServeResult>> futures;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    auto got = i % 2 == 0
+                   ? engine.Submit(QueryRequest::Range(queries[i], 3))
+                   : engine.Submit(QueryRequest::Knn(queries[i], 5));
+    ASSERT_TRUE(got.ok()) << got.status();
+    futures.push_back(std::move(*got));
+  }
+  for (auto& f : futures) {
+    serving::ServeResult r = f.get();
+    EXPECT_TRUE(r.response.status.ok()) << r.response.status;
+  }
+  engine.Shutdown();
+
+  // Every request was offered to the log; trace ids are unique.
+  EXPECT_EQ(qlog.recorded(), queries.size());
+  auto reservoir = qlog.ReservoirSnapshot();
+  ASSERT_FALSE(reservoir.empty());
+  std::set<uint64_t> ids;
+  std::size_t range_seen = 0, knn_seen = 0;
+  for (const auto& e : reservoir) {
+    EXPECT_TRUE(ids.insert(e.trace_id).second);
+    EXPECT_TRUE(e.head_sampled);  // sample_every = 1
+    EXPECT_TRUE(e.ok);
+    EXPECT_GE(e.batch_size, 1u);
+    (e.kind == 'r' ? range_seen : knn_seen) += 1;
+    if (e.kind == 'r') {
+      EXPECT_EQ(e.param, 3u);
+    } else {
+      EXPECT_EQ(e.param, 5u);
+    }
+    // Span stack: queue, batch_form, the epoch pin recorded *below*
+    // the serving layer, kernel, respond — in that order.
+    ASSERT_GE(e.spans.size(), 5u);
+    std::vector<RequestPhase> phases;
+    for (const auto& s : e.spans) {
+      phases.push_back(s.phase);
+      EXPECT_GE(s.end_ns, s.start_ns);
+    }
+    EXPECT_EQ(phases.front(), RequestPhase::kQueue);
+    EXPECT_EQ(phases.back(), RequestPhase::kRespond);
+    EXPECT_NE(std::find(phases.begin(), phases.end(), RequestPhase::kEpochPin),
+              phases.end());
+    EXPECT_NE(std::find(phases.begin(), phases.end(), RequestPhase::kKernel),
+              phases.end());
+  }
+  EXPECT_GT(range_seen, 0u);
+  EXPECT_GT(knn_seen, 0u);
+
+  // The Chrome export carries the serving process, its worker lanes,
+  // and the per-request span family.
+  const std::string json = trace.ToChromeJson();
+  EXPECT_NE(json.find("\"serving\""), std::string::npos);
+  EXPECT_NE(json.find("worker-0"), std::string::npos);
+  EXPECT_NE(json.find("req 1"), std::string::npos);
+  EXPECT_NE(json.find("epoch_pin"), std::string::npos);
+  EXPECT_NE(json.find("batch_form"), std::string::npos);
+  EXPECT_NE(json.find("\"request\""), std::string::npos);
+  // JSONL of the log embeds the stats object and span breakdowns.
+  const std::string jsonl = qlog.ToJsonl();
+  EXPECT_NE(jsonl.find("\"stats\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"spans\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"epoch_pin\""), std::string::npos);
+}
+
+TEST(TelemetryEngine, UntracedEngineRecordsNothing) {
+  auto codes = RandomCodes(100, 64, /*seed=*/5, /*clusters=*/4);
+  ConcurrentHAIndex index;
+  ASSERT_TRUE(index.Build(codes).ok());
+  serving::QueryEngineOptions opts;
+  opts.num_workers = 1;
+  serving::QueryEngine engine(&index, opts);
+  ASSERT_TRUE(engine.Start().ok());
+  auto got = engine.Serve(QueryRequest::Range(codes[0], 2));
+  ASSERT_TRUE(got.ok());
+  EXPECT_TRUE(got->response.status.ok());
+  engine.Shutdown();
+}
+
+}  // namespace
+}  // namespace hamming::obs

@@ -24,6 +24,14 @@ Enforced invariants (rule ids in brackets):
                    inside HAMMING_METRIC_* macro arguments; the macros
                    expand to ((void)0) under -DHAMMING_METRICS_DISABLED
                    and must not change behaviour when they vanish.
+  [metric-name]    Every string-literal metric registration
+                   (Counter/Gauge/Histogram("...")) under src/ uses a
+                   lowercase dotted identifier that is declared in the
+                   central src/observability/metric_names.h — one
+                   place to see the whole namespace, no drive-by
+                   families. Dynamic names built from a prefix
+                   expression (QueryStatsHistograms, epoch.*) don't
+                   match the literal pattern and are exempt by design.
   [nodiscard]      Status and Result<T> keep their [[nodiscard]]
                    attribute, and every deliberate (void)-discard of a
                    call result carries a justifying comment on the same
@@ -142,9 +150,10 @@ class Violation:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
 
-def strip_comments_and_strings(text: str) -> str:
-    """Blanks out comments and string/char literals, preserving newlines
-    and column positions so reported line numbers stay exact."""
+def strip_comments_and_strings(text: str, keep_strings: bool = False) -> str:
+    """Blanks out comments and (unless keep_strings) string/char
+    literals, preserving newlines and column positions so reported line
+    numbers stay exact."""
     out = []
     i, n = 0, len(text)
     state = "code"  # code | line_comment | block_comment | string | char
@@ -162,11 +171,11 @@ def strip_comments_and_strings(text: str) -> str:
                 i += 2
             elif c == '"':
                 state = "string"
-                out.append(" ")
+                out.append(c if keep_strings else " ")
                 i += 1
             elif c == "'":
                 state = "char"
-                out.append(" ")
+                out.append(c if keep_strings else " ")
                 i += 1
             else:
                 out.append(c)
@@ -189,14 +198,14 @@ def strip_comments_and_strings(text: str) -> str:
         else:  # string or char literal
             quote = '"' if state == "string" else "'"
             if c == "\\":
-                out.append("  ")
+                out.append(text[i:i + 2] if keep_strings else "  ")
                 i += 2
             elif c == quote:
                 state = "code"
-                out.append(" ")
+                out.append(c if keep_strings else " ")
                 i += 1
             else:
-                out.append(c if c == "\n" else " ")
+                out.append(c if keep_strings or c == "\n" else " ")
                 i += 1
     return "".join(out)
 
@@ -356,6 +365,61 @@ def check_batch_first(root: str, violations: list):
                     f"scalar '{m.group(2)}(' call — library code is "
                     "batch-first; route queries through "
                     "SearchBatch/KnnBatch (batch of one if need be)"))
+
+
+# --------------------------------------------------------------------------
+# Rule: metric-name
+# --------------------------------------------------------------------------
+
+METRIC_NAMES_HEADER = "src/observability/metric_names.h"
+
+# A string-literal first argument to a registration call. Dynamic names
+# (prefix + ".suffix", a variable) don't start with a quote right after
+# the paren and therefore never match — they are the blessed escape
+# hatch for per-instance families.
+METRIC_REGISTRATION_PATTERN = re.compile(
+    r'\b(Counter|Gauge|Histogram)\s*\(\s*"([^"]*)"\s*\)')
+
+# Lowercase dotted identifier: at least two dot-separated segments of
+# [a-z0-9_], starting with a letter ("serving.queue_wait_us").
+METRIC_NAME_FORMAT = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)+$")
+
+
+def _declared_metric_names(root: str):
+    path = os.path.join(root, METRIC_NAMES_HEADER)
+    if not os.path.isfile(path):
+        return None
+    return set(re.findall(r'"([^"]+)"', open(path, encoding="utf-8").read()))
+
+
+def check_metric_names(root: str, violations: list):
+    declared = _declared_metric_names(root)
+    for path in iter_source_files(root, ["src"]):
+        r = rel(root, path)
+        if r == METRIC_NAMES_HEADER:
+            continue
+        text = strip_comments_and_strings(
+            open(path, encoding="utf-8").read(), keep_strings=True)
+        for m in METRIC_REGISTRATION_PATTERN.finditer(text):
+            line = text.count("\n", 0, m.start()) + 1
+            kind, name = m.group(1), m.group(2)
+            if not METRIC_NAME_FORMAT.match(name):
+                violations.append(Violation(
+                    r, line, "metric-name",
+                    f'{kind}("{name}") — metric names are lowercase '
+                    'dotted identifiers ("family.metric_name")'))
+            elif declared is None:
+                violations.append(Violation(
+                    r, line, "metric-name",
+                    f'{kind}("{name}") but {METRIC_NAMES_HEADER} is '
+                    "missing — literal metric names must be declared "
+                    "there"))
+            elif name not in declared:
+                violations.append(Violation(
+                    r, line, "metric-name",
+                    f'{kind}("{name}") is not declared in '
+                    f"{METRIC_NAMES_HEADER} — add the constant there "
+                    "(one place to see the whole metric namespace)"))
 
 
 # --------------------------------------------------------------------------
@@ -597,6 +661,12 @@ FIXTURES = {
         ("void f() { (void)DoRiskyThing(); }\n", "nodiscard"),
     "src/ops/bad_scalar.cc":
         ("void f() { auto hits = idx->Search(q, 3); }\n", "batch-first"),
+    "src/ops/bad_metric_name.cc":
+        ('void f() { auto id = reg->Counter("Serving.QueueDepth"); }\n',
+         "metric-name"),
+    "src/ops/bad_metric_name2.cc":
+        ('void f() { auto id = reg->Histogram("serving.undeclared_hist"); }'
+         "\n", "metric-name"),
     # Clean counterparts: none of these may fire.
     "src/kernels/good_layer.h":
         ('#pragma once\n#include "code/binary_code.h"\n', None),
@@ -629,6 +699,16 @@ FIXTURES = {
     "src/common/result.h":
         ("#pragma once\nnamespace hamming { template <typename T> class "
          "[[nodiscard]] Result {}; }\n", None),
+    "src/ops/good_metric_name.cc":
+        ("void f(const std::string& prefix) {\n"
+         '  auto id = reg->Counter("serving.accepted");\n'
+         '  // dynamic family: no literal right after the paren, exempt\n'
+         '  auto h = reg->Histogram(prefix + ".candidates");\n'
+         "}\n", None),
+    "src/observability/metric_names.h":
+        ("#pragma once\n"
+         "inline constexpr char kServingAccepted[] = "
+         '"serving.accepted";\n', None),
     "src/code/binary_code.h": ("#pragma once\n", None),
     "src/mapreduce/job.h": ("#pragma once\n", None),
     "src/storage/file_io.h": ("#pragma once\n", None),
@@ -757,6 +837,7 @@ def run_checks(root: str, build_dir) -> list:
     check_raw_sync(root, violations)
     check_batch_first(root, violations)
     check_metric_args(root, violations)
+    check_metric_names(root, violations)
     check_nodiscard(root, violations)
     if build_dir:
         check_build_coverage(root, build_dir, violations)

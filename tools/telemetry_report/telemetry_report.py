@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Render live-telemetry JSONL artifacts into a human-readable summary.
+
+Inputs are the files a telemetry-enabled serving run leaves behind
+(bench_serving writes them next to its JSON report):
+
+  *_timeseries.jsonl  one TimeSeriesCollector window per line
+  *_querylog.jsonl    one sampled QueryLog exemplar per line
+
+The report prints a QPS/latency timeline from the windows and the
+slowest recorded queries with their per-phase span breakdowns from the
+query log. Both inputs are validated as they are read — malformed JSON,
+missing fields, or out-of-order percentiles exit non-zero, which is how
+scripts/check.sh uses this tool as a schema check.
+
+Usage:
+  telemetry_report.py [--timeseries=F] [--querylog=F] [--top=N]
+                      [--latency-hist=serving.e2e_us]
+                      [--qps-counter=serving.accepted]
+"""
+
+import json
+import sys
+
+WINDOW_FIELDS = ("window", "t_start_s", "duration_s", "counters", "gauges",
+                 "histograms")
+HIST_FIELDS = ("count", "sum", "mean", "p50", "p99", "p999")
+ENTRY_FIELDS = ("trace_id", "head_sampled", "slow", "ok", "kind", "param",
+                "t_s", "e2e_us", "queue_us", "service_us", "batch_size",
+                "stats", "spans")
+
+
+def fail(msg):
+    print(f"telemetry_report: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_jsonl(path, kind):
+    rows = []
+    try:
+        with open(path) as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rows.append(json.loads(line))
+                except json.JSONDecodeError as e:
+                    fail(f"{path}:{lineno}: invalid JSON ({e})")
+    except OSError as e:
+        fail(f"cannot read {kind} file: {e}")
+    if not rows:
+        fail(f"{path}: no {kind} records")
+    return rows
+
+
+def validate_window(path, i, w):
+    for field in WINDOW_FIELDS:
+        if field not in w:
+            fail(f"{path}: window {i} missing {field!r}")
+    for name, h in w["histograms"].items():
+        for field in HIST_FIELDS:
+            if field not in h:
+                fail(f"{path}: window {i} histogram {name!r} missing "
+                     f"{field!r}")
+        if not (h["p50"] <= h["p99"] <= h["p999"]):
+            fail(f"{path}: window {i} histogram {name!r} percentiles out of "
+                 f"order: p50={h['p50']} p99={h['p99']} p999={h['p999']}")
+    for name, c in w["counters"].items():
+        if "delta" not in c or "rate" not in c:
+            fail(f"{path}: window {i} counter {name!r} missing delta/rate")
+
+
+def validate_entry(path, i, e):
+    for field in ENTRY_FIELDS:
+        if field not in e:
+            fail(f"{path}: query-log entry {i} missing {field!r}")
+    for s in e["spans"]:
+        if "phase" not in s or "dur_us" not in s:
+            fail(f"{path}: query-log entry {i} has a span without "
+                 f"phase/dur_us: {s}")
+
+
+def report_timeseries(path, qps_counter, latency_hist):
+    windows = load_jsonl(path, "time-series")
+    for i, w in enumerate(windows):
+        validate_window(path, i, w)
+    print(f"Time series: {len(windows)} windows from {path}")
+    print(f"{'window':>6} {'t_start_s':>10} {'dur_s':>8} {'qps':>10} "
+          f"{'served':>8} {'p50_us':>9} {'p99_us':>9} {'p999_us':>9}")
+    total_served = 0
+    for w in windows:
+        counter = w["counters"].get(qps_counter, {})
+        hist = w["histograms"].get(latency_hist, {})
+        served = hist.get("count", 0)
+        total_served += served
+        print(f"{w['window']:>6} {w['t_start_s']:>10.3f} "
+              f"{w['duration_s']:>8.3f} {counter.get('rate', 0.0):>10.0f} "
+              f"{served:>8} {hist.get('p50', 0.0):>9.1f} "
+              f"{hist.get('p99', 0.0):>9.1f} {hist.get('p999', 0.0):>9.1f}")
+    span_s = windows[-1]["t_start_s"] + windows[-1]["duration_s"]
+    print(f"total: {total_served} served over {span_s:.3f}s "
+          f"({len(windows)} windows)")
+    return len(windows)
+
+
+def report_querylog(path, top):
+    entries = load_jsonl(path, "query-log")
+    for i, e in enumerate(entries):
+        validate_entry(path, i, e)
+    slow = sum(1 for e in entries if e["slow"])
+    failed = sum(1 for e in entries if not e["ok"])
+    print(f"\nQuery log: {len(entries)} exemplars from {path} "
+          f"({slow} slow, {failed} failed)")
+    worst = sorted(entries, key=lambda e: e["e2e_us"], reverse=True)[:top]
+    print(f"top {len(worst)} slowest:")
+    for e in worst:
+        flags = "".join(c for c, on in (("S", e["slow"]),
+                                        ("H", e["head_sampled"]),
+                                        ("!", not e["ok"])) if on)
+        print(f"  trace {e['trace_id']} [{e['kind']} param={e['param']} "
+              f"batch={e['batch_size']}{' ' + flags if flags else ''}] "
+              f"e2e {e['e2e_us']:.1f}us = queue {e['queue_us']:.1f} "
+              f"+ service {e['service_us']:.1f}")
+        breakdown = "  +- "
+        parts = []
+        for s in e["spans"]:
+            label = s["phase"]
+            if "detail" in s:
+                label += f"({s['detail']})"
+            parts.append(f"{label} {s['dur_us']:.1f}us")
+        print(breakdown + " | ".join(parts))
+    return len(entries)
+
+
+def main(argv):
+    timeseries = None
+    querylog = None
+    top = 5
+    qps_counter = "serving.accepted"
+    latency_hist = "serving.e2e_us"
+    for arg in argv[1:]:
+        if arg.startswith("--timeseries="):
+            timeseries = arg.split("=", 1)[1]
+        elif arg.startswith("--querylog="):
+            querylog = arg.split("=", 1)[1]
+        elif arg.startswith("--top="):
+            top = int(arg.split("=", 1)[1])
+        elif arg.startswith("--qps-counter="):
+            qps_counter = arg.split("=", 1)[1]
+        elif arg.startswith("--latency-hist="):
+            latency_hist = arg.split("=", 1)[1]
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        else:
+            fail(f"unknown argument {arg!r} (see --help)")
+    if timeseries is None and querylog is None:
+        fail("need --timeseries= and/or --querylog= (see --help)")
+    if timeseries is not None:
+        report_timeseries(timeseries, qps_counter, latency_hist)
+    if querylog is not None:
+        report_querylog(querylog, top)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:
+        sys.exit(0)  # output piped into head etc.
