@@ -33,28 +33,53 @@
 # invariants) — the data-race gate for the concurrent index.
 #
 # The lint stage runs the repo-invariant linter (tools/lint/lint.py:
-# layering DAG, raw-sync ban, metric-arg purity, nodiscard discipline) —
-# first its --self-test (seeded violations must be detected, the
-# negative test), then the real tree — plus clang-tidy over src/ when a
-# clang-tidy binary is on PATH. The fuzz-smoke stage builds the three
-# fuzz harnesses (fuzz/) and replays their seed corpora plus a fixed
-# number of deterministic mutations; same inputs every run, so it is a
-# gate, not a campaign. fuzz_vertical differentially checks the
-# bit-plane vertical kernels against the horizontal layout.
+# layering DAG, raw-sync ban, metric-arg purity) — first its --self-test
+# (seeded violations must be detected, the negative test), then the real
+# tree — plus clang-tidy over src/ when a clang-tidy binary is on PATH.
+# The tidy sweep is blocking: .clang-tidy promotes every enabled family
+# to an error, so any finding fails this script.
 #
-# Usage: scripts/check.sh [--skip-asan] [--skip-tsan] [--skip-lint]
-#                         [--skip-fuzz]
+# The analyze stage runs the semantic concurrency analyzer
+# (tools/analyze/analyze.py): lock-order verification against
+# tools/analyze/lock_order.toml (undeclared nesting edges, cycles,
+# leaf-lock violations, callbacks under locks, CondVar waits with a
+# second mutex held), epoch-pin discipline (no non-leaf lock
+# acquisition, CondVar block, or user callback while an EpochPublisher
+# snapshot is pinned), and AST-accurate Status/Result discard checking
+# (the [[nodiscard]] rule that used to be a lint.py regex). Like lint,
+# it runs --self-test (every seeded fixture must fire) before the real
+# tree, and the real tree must be clean modulo tools/analyze/
+# baseline.json (which ships empty; entries carry expiry dates).
+#
+# The fuzz-smoke stage builds the fuzz harnesses (fuzz/) and replays
+# their seed corpora plus a fixed number of deterministic mutations;
+# same inputs every run, so it is a gate, not a campaign. fuzz_vertical
+# differentially checks the bit-plane vertical kernels against the
+# horizontal layout.
+#
+# The ubsan stage builds with -fsanitize=undefined alone (build-ubsan/,
+# HAMMING_UBSAN=ON, trap-on-first-report) and runs the FULL ctest
+# suite — the combined ASan+UBSan stage only covers the kernel/shuffle
+# test filter, and shift/overflow bugs in the bit-sliced kernels are
+# exactly what a whole-suite UBSan pass exists to catch.
+#
+# Usage: scripts/check.sh [--skip-asan] [--skip-tsan] [--skip-ubsan]
+#                         [--skip-lint] [--skip-analyze] [--skip-fuzz]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_ASAN=0
 SKIP_TSAN=0
+SKIP_UBSAN=0
 SKIP_LINT=0
+SKIP_ANALYZE=0
 SKIP_FUZZ=0
 for arg in "$@"; do
   [[ "$arg" == "--skip-asan" ]] && SKIP_ASAN=1
   [[ "$arg" == "--skip-tsan" ]] && SKIP_TSAN=1
+  [[ "$arg" == "--skip-ubsan" ]] && SKIP_UBSAN=1
   [[ "$arg" == "--skip-lint" ]] && SKIP_LINT=1
+  [[ "$arg" == "--skip-analyze" ]] && SKIP_ANALYZE=1
   [[ "$arg" == "--skip-fuzz" ]] && SKIP_FUZZ=1
 done
 
@@ -71,12 +96,21 @@ else
   echo "==> lint: tools/lint over the tree (compile_commands.json: build/)"
   python3 tools/lint/lint.py --build-dir build
   if command -v clang-tidy >/dev/null 2>&1; then
-    echo "==> lint: clang-tidy (.clang-tidy profile) over src/"
+    echo "==> lint: clang-tidy (.clang-tidy profile, blocking) over src/"
     find src -name '*.cc' -print0 | xargs -0 -P "$(nproc)" -n 8 \
       clang-tidy -p build --quiet
   else
     echo "==> lint: clang-tidy not on PATH; skipping tidy sweep"
   fi
+fi
+
+if [[ "$SKIP_ANALYZE" == "1" ]]; then
+  echo "==> skipping analyze stage (--skip-analyze)"
+else
+  echo "==> analyze: semantic analyzer self-test (negative test)"
+  python3 tools/analyze/analyze.py --self-test
+  echo "==> analyze: lock-order + epoch-pin + discard passes over src/"
+  python3 tools/analyze/analyze.py --build-dir build
 fi
 
 if [[ "$SKIP_FUZZ" == "1" ]]; then
@@ -220,6 +254,16 @@ else
   echo "==> TSan: MapReduce + external shuffle under a 64 KiB budget"
   HAMMING_SHUFFLE_BUDGET=65536 ./build-tsan/tests/hamming_tests --gtest_filter=\
 'MapReduce*:FaultTolerance*:PlanFaultTolerance*:Shuffle*'
+fi
+
+if [[ "$SKIP_UBSAN" == "1" ]]; then
+  echo "==> skipping UBSan pass (--skip-ubsan)"
+else
+  echo "==> sanitizers: Debug + standalone UBSan, full suite (build-ubsan/)"
+  cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=Debug -DHAMMING_UBSAN=ON \
+    >/dev/null
+  cmake --build build-ubsan -j
+  (cd build-ubsan && ctest --output-on-failure -j)
 fi
 
 echo "==> all checks passed"

@@ -120,6 +120,10 @@ Status BufferReader::GetBytes(std::vector<uint8_t>* out) {
 
 Status BufferReader::GetRaw(void* out, std::size_t len) {
   if (remaining() < len) return Status::IOError("truncated raw read");
+  // Zero-length reads skip the memcpy: callers legitimately pass the
+  // data() of an empty container, which may be null, and memcpy's
+  // arguments are declared nonnull even when the count is zero.
+  if (len == 0) return Status::OK();
   std::memcpy(out, data_ + pos_, len);
   pos_ += len;
   return Status::OK();

@@ -27,9 +27,10 @@
 //     Gray-ordered codes) while readers keep serving the old snapshot,
 //     then publishes the compacted state.
 //
-// Lock order: write_mu_ before the publisher's internal mutex (a leaf
-// lock). Readers take only the publisher mutex, and only for the
-// duration of one shared_ptr copy.
+// Acquisition order (write_mu_ -> publisher mutex -> metrics) is
+// declared in tools/analyze/lock_order.toml ("index_write" -> "epoch"
+// -> "metrics") and machine-verified by the analyze stage. Readers take
+// only the publisher mutex, and only for one shared_ptr copy.
 #pragma once
 
 #include <memory>
@@ -204,8 +205,8 @@ class ConcurrentHAIndex final : public HammingIndex {
   Status PublishLocked() HAMMING_REQUIRES(write_mu_);
 
   ConcurrentHAIndexOptions opts_;
-  // Lock order: write_mu_ strictly before the publisher's internal leaf
-  // mutex (taken inside publisher_.Publish/Pin); never the reverse.
+  // write_mu_ nests outside the publisher's mutex (taken inside
+  // publisher_.Publish/Pin); see tools/analyze/lock_order.toml.
   mutable Mutex write_mu_;
   // Mutator-private working state. live_ is the authoritative corpus
   // (id -> code): O(1) duplicate/missing checks and the rebuild source.

@@ -17,10 +17,12 @@
 // only fall. A reader racing the sweep merely delays reclamation to the
 // next publish; it can never resurrect a retired snapshot.
 //
-// Lock-order note: the publisher's internal mutex is a leaf lock — no
-// callback runs and no other lock is acquired while it is held. Owners
+// Lock-order note: the publisher's internal mutex ("epoch" in
+// tools/analyze/lock_order.toml) is near-leaf — no callback runs under
+// it, and its only outgoing edge is to the metrics registry's terminal
+// lock (Publish/Retire update epoch gauges while holding it). Owners
 // that serialize mutators with their own lock (ConcurrentHAIndex's
-// write_mu_) therefore acquire that lock strictly before this one.
+// write_mu_) acquire that lock strictly before this one.
 #pragma once
 
 #include <cstdint>

@@ -298,8 +298,8 @@ class PhaseRunner {
   // The speculation monitor: wakes a few times per threshold interval,
   // finds primary attempts that have been running longer than the
   // slowness threshold, and launches one backup attempt for each such
-  // task. Lock order is watch_mu_ -> task.mu (attempt code never takes
-  // them nested the other way).
+  // task. Acquisition order is declared in tools/analyze/lock_order.toml
+  // ("watch" -> "task") and machine-verified by the analyze stage.
   void MonitorLoop(const AttemptFn& attempt_fn, const CommitFn& commit_fn)
       HAMMING_EXCLUDES(watch_mu_) {
     const double threshold = opts_.speculation.slow_attempt_seconds;
@@ -351,8 +351,8 @@ class PhaseRunner {
   EventLog* events_;
   std::vector<TaskState> tasks_;
 
-  // Lock order: watch_mu_ -> st.mu -> backups_mu_ (MonitorLoop); the
-  // attempt path takes st.mu alone.
+  // Acquisition order for watch_mu_ / st.mu / backups_mu_ lives in
+  // tools/analyze/lock_order.toml ("watch", "task", "backups").
   Mutex watch_mu_;
   CondVar watch_cv_;
   bool monitor_stop_ HAMMING_GUARDED_BY(watch_mu_) = false;

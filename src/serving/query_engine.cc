@@ -94,14 +94,23 @@ void QueryEngine::Shutdown() {
     }
   }
   queue_cv_.NotifyAll();
-  uint64_t expired = 0;
   const auto drain_now = std::chrono::steady_clock::now();
+  const auto is_expired = [&](const std::unique_ptr<Pending>& p) {
+    return HasDeadline(p->deadline) && drain_now > p->deadline;
+  };
+  // Counters are updated before any promise is fulfilled (same rule as
+  // ExecuteBatch): a caller waking from get() must see its own expiry.
+  uint64_t expired = 0;
+  for (const auto& p : orphans) expired += is_expired(p) ? 1 : 0;
+  if (expired > 0) {
+    MutexLock lock(&mu_);
+    counters_.deadline_expired += expired;
+  }
   for (auto& p : orphans) {
     // A request whose deadline has already passed completes with the
     // same DeadlineExceeded it would have gotten from a worker drain —
     // the shutdown path must not relabel (or outlive) an expiry.
-    if (HasDeadline(p->deadline) && drain_now > p->deadline) {
-      ++expired;
+    if (is_expired(p)) {
       HAMMING_METRIC_ADD(opts_.metrics, metrics_.deadline_expired, 1);
       FailPending(std::move(p),
                   Status::DeadlineExceeded("deadline expired in queue"),
@@ -111,10 +120,6 @@ void QueryEngine::Shutdown() {
                   Status::ResourceExhausted("engine shut down before Start"),
                   /*batch_size=*/0);
     }
-  }
-  if (expired > 0) {
-    MutexLock lock(&mu_);
-    counters_.deadline_expired += expired;
   }
   for (Thread& t : workers_) {
     if (t.joinable()) t.join();
@@ -264,35 +269,42 @@ void QueryEngine::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch,
 
   // Queued expiries never reach the index.
   std::vector<std::unique_ptr<Pending>> live;
+  std::vector<std::unique_ptr<Pending>> dead;
   live.reserve(batch.size());
-  uint64_t expired = 0;
   for (auto& p : batch) {
     if (HasDeadline(p->deadline) && exec_start > p->deadline) {
-      ++expired;
-      HAMMING_METRIC_ADD(opts_.metrics, metrics_.deadline_expired, 1);
-      // An expired request still belongs in the exemplar log — a
-      // calibration corpus that omits the requests the engine gave up
-      // on would under-represent exactly the overload it must model.
-      const char kind = p->req.kind == QueryKind::kKnn ? 'k' : 'r';
-      const uint64_t param =
-          p->req.kind == QueryKind::kKnn ? p->req.k : p->req.h;
-      RequestTiming t;
-      t.exec_start = exec_start;
-      t.svc_start = exec_start;
-      t.svc_end = exec_start;
-      t.done = std::chrono::steady_clock::now();
-      RecordRequestTelemetry(*p, kind, param, /*ok=*/false,
-                             obs::QueryStats{}, /*batch_size=*/0, worker_id,
-                             t, {});
-      FailPending(std::move(p),
-                  Status::DeadlineExceeded("deadline expired in queue"),
-                  /*batch_size=*/0);
+      dead.push_back(std::move(p));
     } else {
       live.push_back(std::move(p));
     }
   }
-
-  uint64_t in_service_expired = 0;
+  // Counters are updated BEFORE the promises are fulfilled: a caller
+  // that wakes from get() must already see its own expiry in
+  // counters(), or the count is racy from the caller's point of view.
+  if (!dead.empty()) {
+    MutexLock lock(&mu_);
+    counters_.deadline_expired += dead.size();
+  }
+  for (auto& p : dead) {
+    HAMMING_METRIC_ADD(opts_.metrics, metrics_.deadline_expired, 1);
+    // An expired request still belongs in the exemplar log — a
+    // calibration corpus that omits the requests the engine gave up
+    // on would under-represent exactly the overload it must model.
+    const char kind = p->req.kind == QueryKind::kKnn ? 'k' : 'r';
+    const uint64_t param =
+        p->req.kind == QueryKind::kKnn ? p->req.k : p->req.h;
+    RequestTiming t;
+    t.exec_start = exec_start;
+    t.svc_start = exec_start;
+    t.svc_end = exec_start;
+    t.done = std::chrono::steady_clock::now();
+    RecordRequestTelemetry(*p, kind, param, /*ok=*/false,
+                           obs::QueryStats{}, /*batch_size=*/0, worker_id,
+                           t, {});
+    FailPending(std::move(p),
+                Status::DeadlineExceeded("deadline expired in queue"),
+                /*batch_size=*/0);
+  }
   if (!live.empty()) {
     const std::size_t n = live.size();
     const HammingIndex* index = indexes_[live.front()->index_id];
@@ -320,6 +332,26 @@ void QueryEngine::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch,
     const auto service_time = svc_end - svc_start;
     const auto done = svc_end;
 
+    // Same ordering rule as the queued expiries above: classify
+    // mid-service expiries and publish every counter this batch will
+    // bump before any promise is fulfilled.
+    std::vector<bool> expired_mid(n, false);
+    uint64_t in_service_expired = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (HasDeadline(live[i]->deadline) && done > live[i]->deadline &&
+          batch_status.ok() && responses[i].status.ok()) {
+        expired_mid[i] = true;
+        ++in_service_expired;
+      }
+    }
+    {
+      MutexLock lock(&mu_);
+      counters_.deadline_expired += in_service_expired;
+      ++counters_.batches;
+      counters_.batched_queries += n;
+    }
+    HAMMING_METRIC_ADD(opts_.metrics, metrics_.batches, 1);
+
     HAMMING_METRIC_OBSERVE(opts_.metrics, metrics_.batch_size, n);
     for (std::size_t i = 0; i < n; ++i) {
       std::unique_ptr<Pending> p = std::move(live[i]);
@@ -328,8 +360,7 @@ void QueryEngine::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch,
       if (!batch_status.ok() && r.response.status.ok()) {
         r.response.status = batch_status;
       }
-      if (HasDeadline(p->deadline) && done > p->deadline &&
-          r.response.status.ok()) {
+      if (expired_mid[i]) {
         // Expired mid-service: the caller has stopped waiting, so the
         // results are discarded and the expiry recorded.
         r.response.ids.clear();
@@ -338,7 +369,6 @@ void QueryEngine::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch,
         r.response.neighbors.clear();
         r.response.status =
             Status::DeadlineExceeded("deadline expired during service");
-        ++in_service_expired;
         HAMMING_METRIC_ADD(opts_.metrics, metrics_.deadline_expired, 1);
       }
       r.queue_wait = exec_start - p->enqueued;
@@ -369,14 +399,6 @@ void QueryEngine::ExecuteBatch(std::vector<std::unique_ptr<Pending>> batch,
                              pin_sink.spans());
       p->promise.set_value(std::move(r));
     }
-  }
-
-  MutexLock lock(&mu_);
-  counters_.deadline_expired += expired + in_service_expired;
-  if (!live.empty()) {
-    ++counters_.batches;
-    counters_.batched_queries += live.size();
-    HAMMING_METRIC_ADD(opts_.metrics, metrics_.batches, 1);
   }
 }
 

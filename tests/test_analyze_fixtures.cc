@@ -1,0 +1,93 @@
+// Compiled fixtures for tools/analyze.
+//
+// Two roles:
+//  1. Runtime tests (run under ctest, ASan, TSan) proving the idioms the
+//     analyzer models as *clean* really are clean: sequential scoped
+//     locks, branch-local ReleasableMutexLock release, and the
+//     unlock-work-relock loop.
+//  2. A seeded negative fixture: ReversedOrderNeverRun() below acquires
+//     LockB before LockA, the reverse of the order declared in
+//     tools/analyze/selftest/spec.toml.  `analyze.py --self-test`
+//     parses this file and must flag that edge; the function is never
+//     executed at runtime.
+//
+// If the analyzer self-test starts failing on this file, either the
+// frontend regressed or someone "fixed" the deliberate reversal.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "common/sync.h"
+
+namespace hamming {
+namespace {
+
+struct LockA {
+  Mutex mu_;
+  int value HAMMING_GUARDED_BY(mu_) = 0;
+};
+
+struct LockB {
+  Mutex mu_;
+  int value HAMMING_GUARDED_BY(mu_) = 0;
+};
+
+// Seeded analyzer fixture: acquires b then a against the declared
+// a -> b order.  Compiled (so it stays parseable C++) but never called.
+void ReversedOrderNeverRun(LockA* a, LockB* b) {
+  MutexLock lb(&b->mu_);
+  MutexLock la(&a->mu_);
+  a->value = b->value;
+}
+
+TEST(AnalyzeFixtures, SeededFixtureIsCompiledButNeverRun) {
+  // Reference (without calling) so -Wunused-function stays quiet.
+  EXPECT_NE(reinterpret_cast<void*>(&ReversedOrderNeverRun), nullptr);
+}
+
+TEST(AnalyzeFixtures, SequentialScopedLocksDoNotNest) {
+  LockA a;
+  LockB b;
+  {
+    MutexLock la(&a.mu_);
+    a.value = 1;
+  }
+  {
+    MutexLock lb(&b.mu_);
+    b.value = 2;
+  }
+  MutexLock la(&a.mu_);
+  EXPECT_EQ(a.value, 1);
+}
+
+TEST(AnalyzeFixtures, ReleasableBranchRelease) {
+  Mutex mu;
+  int hits = 0;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    ReleasableMutexLock lock(&mu);
+    if (attempt == 0) {
+      lock.Release();
+      continue;  // released on the early-exit branch
+    }
+    ++hits;  // still held here on the fall-through branch
+  }
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(AnalyzeFixtures, UnlockWorkRelockLoopRunsWorkUnlocked) {
+  Mutex mu;
+  int done = 0;
+  std::function<void()> work = [&done] { ++done; };
+  mu.Lock();
+  for (int i = 0; i < 3; ++i) {
+    mu.Unlock();
+    work();  // no lock held: the analyzer models this as callback-safe
+    mu.Lock();
+  }
+  mu.Unlock();
+  EXPECT_EQ(done, 3);
+}
+
+}  // namespace
+}  // namespace hamming

@@ -1,0 +1,12 @@
+// Negative fixture: a user-supplied std::function invoked while a lock
+// without callbacks_allowed is held.
+#include "support.h"
+
+struct Firer {
+  void Fire() {
+    MutexLock lock(&mu_);
+    done_cb_();
+  }
+  Mutex mu_;
+  std::function<void()> done_cb_;
+};

@@ -1,0 +1,7 @@
+// Negative fixture: Status discarded in the right-hand side of a
+// comma expression.
+#include "support.h"
+
+void CommaDiscard(int* counter) {
+  ++*counter, MightFail();
+}

@@ -1,0 +1,7 @@
+// Negative fixture: a Status-returning call used as a bare expression
+// statement.
+#include "support.h"
+
+void PlainDiscard() {
+  MightFail();
+}

@@ -1,0 +1,7 @@
+// Negative fixture: Status discarded through both arms of a ternary —
+// the regex linter this pass replaces could not see this.
+#include "support.h"
+
+void TernaryDiscard(bool flaky) {
+  flaky ? MightFail() : MightFail();
+}

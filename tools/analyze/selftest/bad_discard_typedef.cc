@@ -1,0 +1,7 @@
+// Negative fixture: Status discarded through a return-type alias
+// (using StatusOr = Status in support.h).
+#include "support.h"
+
+void TypedefDiscard() {
+  AliasedFail();
+}

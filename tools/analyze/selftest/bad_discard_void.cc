@@ -1,0 +1,8 @@
+// Negative fixture: (void)-cast discard without a justifying comment.
+#include "support.h"
+
+void VoidDiscard() {
+  int x = 0;
+  x = x + 1;
+  (void)MightFail();
+}

@@ -1,0 +1,11 @@
+// Negative fixture: the same non-recursive mutex acquired twice on one
+// path (self-deadlock).
+#include "support.h"
+
+struct Doubler {
+  void Twice() {
+    MutexLock l1(&mu_);
+    MutexLock l2(&mu_);
+  }
+  Mutex mu_;
+};

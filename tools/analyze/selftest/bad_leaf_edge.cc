@@ -1,0 +1,11 @@
+// Negative fixture: a leaf lock acquires another lock while held.
+#include "support.h"
+
+struct LeafAbuser {
+  void Bad() {
+    MutexLock l1(&leaf_.mu_);
+    MutexLock l2(&c_.mu_);
+  }
+  LeafLock leaf_;
+  LockC c_;
+};

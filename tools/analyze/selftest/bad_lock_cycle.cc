@@ -1,0 +1,13 @@
+// Negative fixture: the spec declares a -> b, this path acquires
+// b -> a.  Expected: an undeclared-edge finding here plus a cycle
+// finding against the spec.
+#include "support.h"
+
+struct CycleMaker {
+  void Backwards() {
+    MutexLock lb(&b_.mu_);
+    MutexLock la(&a_.mu_);
+  }
+  LockA a_;
+  LockB b_;
+};

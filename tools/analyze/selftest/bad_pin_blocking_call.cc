@@ -1,0 +1,11 @@
+// Negative fixture: a declared blocking call while an epoch snapshot
+// is pinned.
+#include "support.h"
+
+struct PinSleeper {
+  void Nap() {
+    SnapshotPtr snap = pub_.Pin();
+    SleepFor(5);
+  }
+  Publisher pub_;
+};

@@ -1,0 +1,12 @@
+// Negative fixture: a user callback invoked while an epoch snapshot is
+// pinned (user code can block or re-enter the index).
+#include "support.h"
+
+struct PinCaller {
+  void Walk() {
+    SnapshotPtr snap = pub_.Pin();
+    visit_cb_();
+  }
+  Publisher pub_;
+  std::function<void()> visit_cb_;
+};

@@ -1,0 +1,13 @@
+// Negative fixture: a non-pin_safe mutex acquired while an epoch
+// snapshot is pinned.
+#include "support.h"
+
+struct PinLocker {
+  int Bad() {
+    SnapshotPtr snap = pub_.Pin();
+    MutexLock lc(&c_.mu_);
+    return snap->Value();
+  }
+  Publisher pub_;
+  LockC c_;
+};

@@ -1,0 +1,14 @@
+// Negative fixture: a CondVar wait while an epoch snapshot is pinned
+// stalls reclamation for the wait duration.
+#include "support.h"
+
+struct PinWaiter {
+  void Stall() {
+    SnapshotPtr snap = pub_.Pin();
+    MutexLock l(&mu_);
+    cv_.Wait(&mu_);
+  }
+  Publisher pub_;
+  Mutex mu_;
+  CondVar cv_;
+};

@@ -1,0 +1,12 @@
+// Negative fixture: a -> c skips the declared a -> b -> c chain; the
+// direct edge is not in the spec and must be flagged.
+#include "support.h"
+
+struct Skipper {
+  void SkipLevel() {
+    MutexLock la(&a_.mu_);
+    MutexLock lc(&c_.mu_);
+  }
+  LockA a_;
+  LockC c_;
+};

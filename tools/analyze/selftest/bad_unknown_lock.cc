@@ -1,0 +1,16 @@
+// Negative fixture: a lock that participates in nesting but has no
+// [[lock]] entry in the spec.
+#include "support.h"
+
+struct Mystery {
+  Mutex hidden_mu_;
+};
+
+struct UsesMystery {
+  void Nest() {
+    MutexLock la(&a_.mu_);
+    MutexLock lm(&m_.hidden_mu_);
+  }
+  LockA a_;
+  Mystery m_;
+};

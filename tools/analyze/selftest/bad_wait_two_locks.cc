@@ -1,0 +1,14 @@
+// Negative fixture: a CondVar wait releases only its own mutex; the
+// second held lock blocks every peer for the wait duration.
+#include "support.h"
+
+struct TwoLockWaiter {
+  void WaitBoth() {
+    MutexLock la(&a_.mu_);
+    MutexLock lm(&mu_);
+    cv_.Wait(&mu_);
+  }
+  LockA a_;
+  Mutex mu_;
+  CondVar cv_;
+};

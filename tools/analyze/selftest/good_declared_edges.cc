@@ -1,0 +1,16 @@
+// Clean fixture: nesting that follows the declared a -> b -> c order.
+#include "support.h"
+
+struct DeclaredNester {
+  void NestOuter() {
+    MutexLock la(&a_.mu_);
+    MutexLock lb(&b_.mu_);
+  }
+  void NestInner() {
+    MutexLock lb(&b_.mu_);
+    MutexLock lc(&c_.mu_);
+  }
+  LockA a_;
+  LockB b_;
+  LockC c_;
+};

@@ -1,0 +1,13 @@
+// Clean fixture: handled Status, a justified (void) discard, and a
+// value-consuming ternary condition.
+#include "support.h"
+
+bool GoodDiscard() {
+  Status st = MightFail();
+  if (!st.ok()) {
+    return false;
+  }
+  // best-effort second attempt; failure is benign here
+  (void)MightFail();
+  return MightFail().ok() ? true : false;
+}

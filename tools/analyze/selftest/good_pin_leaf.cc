@@ -1,0 +1,20 @@
+// Clean fixture: only pin_safe locks under a pinned snapshot, plus a
+// transient Pin()->... chain confined to one statement.
+#include "support.h"
+
+struct PinReader {
+  int Read() {
+    SnapshotPtr snap = pub_.Pin();
+    MutexLock l(&stats_.mu_);
+    return snap->Value();
+  }
+  int ReadOnce() {
+    return pub_.Pin()->Value();
+  }
+  void AfterTransient() {
+    int v = pub_.Pin()->Value();
+    SleepFor(v);
+  }
+  Publisher pub_;
+  LeafLock stats_;
+};

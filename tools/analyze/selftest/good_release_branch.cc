@@ -1,0 +1,33 @@
+// Clean fixture: branch-local releases.  A Release()/Unlock() in a
+// deeper scope is temporary (the lock is live again after that scope),
+// and the unlock-work-relock loop runs its work with no lock held.
+#include "support.h"
+
+struct Releaser {
+  void Run() {
+    ReleasableMutexLock lock(&mu_);
+    if (Flaky()) {
+      lock.Release();
+      return;
+    }
+    count_ = count_ + 1;
+  }
+  bool Flaky();
+  Mutex mu_;
+  int count_;
+};
+
+struct LoopWorker {
+  void Drain() {
+    mu_.Lock();
+    while (HasWork()) {
+      mu_.Unlock();
+      visit_cb_();
+      mu_.Lock();
+    }
+    mu_.Unlock();
+  }
+  bool HasWork();
+  Mutex mu_;
+  std::function<void()> visit_cb_;
+};

@@ -1,0 +1,16 @@
+// Clean fixture: sequential scoped locks never overlap, so no order
+// edge exists between them.
+#include "support.h"
+
+struct SeqHolder {
+  void Sequential() {
+    {
+      MutexLock lb(&b_.mu_);
+    }
+    {
+      MutexLock lc(&c_.mu_);
+    }
+  }
+  LockB b_;
+  LockC c_;
+};

@@ -1,0 +1,63 @@
+// Shared declarations for the analyzer self-test fixtures.  These
+// files are parsed by tools/analyze, never compiled; the primitives
+// mirror src/common/sync.h closely enough for event extraction.
+#pragma once
+
+#include <functional>
+
+struct Mutex {
+  void Lock();
+  void Unlock();
+};
+
+struct MutexLock {
+  explicit MutexLock(Mutex* mu);
+};
+
+struct ReleasableMutexLock {
+  explicit ReleasableMutexLock(Mutex* mu);
+  void Release();
+};
+
+struct CondVar {
+  void Wait(Mutex* mu);
+  void SignalAll();
+};
+
+struct Status {
+  bool ok() const;
+};
+
+using StatusOr = Status;
+
+Status MightFail();
+StatusOr AliasedFail();
+void SleepFor(int millis);
+
+struct Snapshot {
+  int Value() const;
+};
+using SnapshotPtr = Snapshot*;
+
+struct Publisher {
+  SnapshotPtr Pin() {
+    MutexLock lock(&mu_);
+    return snap_;
+  }
+  Mutex mu_;
+  SnapshotPtr snap_;
+};
+
+// Named lock holders; the self-test spec maps LockX::mu_ identities.
+struct LockA {
+  Mutex mu_;
+};
+struct LockB {
+  Mutex mu_;
+};
+struct LockC {
+  Mutex mu_;
+};
+struct LeafLock {
+  Mutex mu_;
+};

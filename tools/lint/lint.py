@@ -32,10 +32,6 @@ Enforced invariants (rule ids in brackets):
                    families. Dynamic names built from a prefix
                    expression (QueryStatsHistograms, epoch.*) don't
                    match the literal pattern and are exempt by design.
-  [nodiscard]      Status and Result<T> keep their [[nodiscard]]
-                   attribute, and every deliberate (void)-discard of a
-                   call result carries a justifying comment on the same
-                   line or the two lines above.
   [batch-first]    Library code under src/ (outside src/index/, which
                    implements the scalar hooks) never calls the scalar
                    HammingIndex::Search/Knn entry points — all query
@@ -54,6 +50,12 @@ Enforced invariants (rule ids in brackets):
                    failed compiler-flag probe). This stops a CMake
                    refactor from silently dropping a kernel tier or its
                    -march handling.
+
+The old [nodiscard] rule (attribute presence on Status/Result plus
+justified (void)-discards) moved to the semantic analyzer
+(tools/analyze/analyze.py, rule id [discard]): the regex version could
+not see through typedefs, ternaries, or comma expressions, and its
+fixtures now live in tools/analyze/selftest/.
 
 Exit status: 0 clean, 1 violations found, 2 usage/internal error.
 
@@ -130,8 +132,6 @@ METRIC_CALL_PATTERN = re.compile(r"\bHAMMING_METRIC_(ADD|SET|OBSERVE)\s*\(")
 # comparisons ==, <=, >=, !=).
 SIDE_EFFECT_PATTERN = re.compile(
     r"\+\+|--|<<=|>>=|[+\-*/%&|^]=(?!=)|(?<![=!<>+\-*/%&|^])=(?!=)")
-
-DISCARD_PATTERN = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_][\w.\->:]*\s*\(")
 
 # Scalar Search( / Knn( through a member access. The open paren must
 # immediately follow the name, so SearchBatch(, SearchWithDistances(,
@@ -493,47 +493,6 @@ def check_metric_args(root: str, violations: list):
 
 
 # --------------------------------------------------------------------------
-# Rule: nodiscard (attribute presence + justified discards)
-# --------------------------------------------------------------------------
-
-
-def check_nodiscard(root: str, violations: list):
-    for header, cls in (("src/common/status.h", "Status"),
-                        ("src/common/result.h", "Result")):
-        path = os.path.join(root, header)
-        if not os.path.isfile(path):
-            violations.append(Violation(
-                header, 1, "nodiscard", "header is missing"))
-            continue
-        text = open(path, encoding="utf-8").read()
-        if not re.search(r"class\s*\[\[nodiscard\]\]\s*" + cls, text):
-            violations.append(Violation(
-                header, 1, "nodiscard",
-                f"class {cls} must be declared [[nodiscard]]"))
-
-    for path in iter_source_files(
-            root, ["src", "tests", "bench", "examples", "fuzz"]):
-        r = rel(root, path)
-        raw_lines = open(path, encoding="utf-8").read().split("\n")
-        stripped = strip_comments_and_strings("\n".join(raw_lines))
-        # A justifying comment covers a contiguous block of discards
-        # (e.g. four (void)reader.GetFixed32(...) lines under one
-        # comment), so a line is also fine if its predecessor was.
-        prev_ok_line = -10
-        for i, line in enumerate(stripped.split("\n"), start=1):
-            if not DISCARD_PATTERN.search(line):
-                continue
-            window = raw_lines[max(0, i - 3):i]
-            if any("//" in ln for ln in window) or prev_ok_line == i - 1:
-                prev_ok_line = i
-                continue
-            violations.append(Violation(
-                r, i, "nodiscard",
-                "(void)-discarded call result without a justifying "
-                "comment on the same line or the two lines above"))
-
-
-# --------------------------------------------------------------------------
 # compile_commands.json coverage
 # --------------------------------------------------------------------------
 
@@ -657,8 +616,9 @@ FIXTURES = {
     "src/ops/bad_metric2.cc":
         ("void f(int x) { HAMMING_METRIC_SET(reg, id, x += 2); }\n",
          "metric-args"),
-    "src/storage/bad_discard.cc":
-        ("void f() { (void)DoRiskyThing(); }\n", "nodiscard"),
+    # The (void)-discard fixtures that used to live here moved with the
+    # [nodiscard] rule to tools/analyze/selftest/ (bad_discard_*.cc,
+    # good_discard.cc), asserted by `analyze.py --self-test`.
     "src/ops/bad_scalar.cc":
         ("void f() { auto hits = idx->Search(q, 3); }\n", "batch-first"),
     "src/ops/bad_metric_name.cc":
@@ -686,19 +646,6 @@ FIXTURES = {
          "}\n", None),
     "src/index/good_scalar_hook.cc":
         ("void f() { auto hits = idx->Search(q, 3); }\n", None),
-    "src/storage/good_discard.cc":
-        ("void f() {\n"
-         "  int key = 0;\n"
-         "  (void)key;\n"
-         "  // best-effort cleanup; failure is benign\n"
-         "  (void)DoRiskyThing();\n"
-         "}\n", None),
-    "src/common/status.h":
-        ("#pragma once\nnamespace hamming { class [[nodiscard]] Status {}; }"
-         "\n", None),
-    "src/common/result.h":
-        ("#pragma once\nnamespace hamming { template <typename T> class "
-         "[[nodiscard]] Result {}; }\n", None),
     "src/ops/good_metric_name.cc":
         ("void f(const std::string& prefix) {\n"
          '  auto id = reg->Counter("serving.accepted");\n'
@@ -838,7 +785,6 @@ def run_checks(root: str, build_dir) -> list:
     check_batch_first(root, violations)
     check_metric_args(root, violations)
     check_metric_names(root, violations)
-    check_nodiscard(root, violations)
     if build_dir:
         check_build_coverage(root, build_dir, violations)
         check_kernel_tus(root, build_dir, violations)
